@@ -1,0 +1,136 @@
+// Command roiabot connects a swarm of computer-controlled bots to a
+// running roiaserver over TCP — the paper's load-generation setup
+// ("randomly interacting, computer-controlled bots"). Bots move and
+// attack per their interactivity profile and transparently follow user
+// migrations between replicas.
+//
+// Example:
+//
+//	roiabot -server s1=127.0.0.1:7001 -peers s2=127.0.0.1:7002 -bots 100 -duration 60s
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"roia/internal/bots"
+	"roia/internal/rtf/client"
+	"roia/internal/rtf/entity"
+	"roia/internal/rtf/transport"
+)
+
+var (
+	serverFlag   = flag.String("server", "s1=127.0.0.1:7001", "target server: id=host:port")
+	peersFlag    = flag.String("peers", "", "additional replicas bots may be migrated to: id=host:port,...")
+	botsFlag     = flag.Int("bots", 50, "number of bots")
+	zoneFlag     = flag.Uint("zone", 1, "zone to join")
+	profileFlag  = flag.String("profile", "default", "interactivity profile: passive, default, aggressive")
+	stepFlag     = flag.Duration("step", 40*time.Millisecond, "bot decision interval")
+	durationFlag = flag.Duration("duration", 0, "stop after this long (0 = run until interrupted)")
+	seedFlag     = flag.Int64("seed", 1, "base random seed")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "roiabot:", err)
+		os.Exit(1)
+	}
+}
+
+func profile() (bots.Profile, error) {
+	switch *profileFlag {
+	case "passive":
+		return bots.PassiveProfile(), nil
+	case "default":
+		return bots.DefaultProfile(), nil
+	case "aggressive":
+		return bots.AggressiveProfile(), nil
+	default:
+		return bots.Profile{}, fmt.Errorf("unknown profile %q", *profileFlag)
+	}
+}
+
+func run() error {
+	prof, err := profile()
+	if err != nil {
+		return err
+	}
+	srvID, srvAddr, ok := strings.Cut(*serverFlag, "=")
+	if !ok {
+		return fmt.Errorf("bad -server %q (want id=host:port)", *serverFlag)
+	}
+	net := transport.NewTCP()
+	net.Register(srvID, srvAddr)
+	if *peersFlag != "" {
+		for _, spec := range strings.Split(*peersFlag, ",") {
+			id, addr, ok := strings.Cut(strings.TrimSpace(spec), "=")
+			if !ok {
+				return fmt.Errorf("bad -peers entry %q", spec)
+			}
+			net.Register(id, addr)
+		}
+	}
+
+	swarm := make([]*bots.Bot, 0, *botsFlag)
+	for i := 0; i < *botsFlag; i++ {
+		node, err := net.Attach(fmt.Sprintf("bot-%d-%d", os.Getpid(), i+1), 1<<12)
+		if err != nil {
+			return err
+		}
+		defer node.Close()
+		cl := client.New(node, srvID)
+		pos := entity.Vec2{X: float64((i * 97) % 1000), Y: float64((i * 61) % 1000)}
+		if err := cl.Join(uint32(*zoneFlag), pos, node.ID()); err != nil {
+			return fmt.Errorf("join: %w", err)
+		}
+		swarm = append(swarm, bots.New(cl, prof, *seedFlag+int64(i)))
+	}
+	fmt.Printf("roiabot: %d bots (%s) against %s\n", len(swarm), *profileFlag, *serverFlag)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *durationFlag > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *durationFlag)
+		defer cancel()
+	}
+
+	ticker := time.NewTicker(*stepFlag)
+	defer ticker.Stop()
+	statusEvery := time.NewTicker(5 * time.Second)
+	defer statusEvery.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			report(swarm)
+			return nil
+		case <-statusEvery.C:
+			report(swarm)
+		case <-ticker.C:
+			for _, b := range swarm {
+				b.Step()
+			}
+		}
+	}
+}
+
+func report(swarm []*bots.Bot) {
+	joined, inputs, updates, migrations := 0, 0, uint64(0), 0
+	for _, b := range swarm {
+		if b.Client().Joined() {
+			joined++
+		}
+		inputs += b.InputsSent()
+		updates += b.Client().Updates()
+		migrations += b.Client().Migrations()
+	}
+	fmt.Printf("bots=%d joined=%d inputs=%d updates=%d migrations-followed=%d\n",
+		len(swarm), joined, inputs, updates, migrations)
+}

@@ -1,0 +1,108 @@
+// Command roiareplay replays a recorded session's user-count trace through
+// a chosen resource-management policy on the deterministic simulator —
+// the capacity-validation loop: record a production (or simulated) session
+// once, then ask "what would policy X have done on the same workload?".
+//
+// Record a session first:
+//
+//	roiabench -fig 8 -record session.csv
+//
+// then replay it:
+//
+//	roiareplay -in session.csv -policy model
+//	roiareplay -in session.csv -policy static-interval
+//	roiareplay -in session.csv -policy none
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"roia/internal/experiments"
+	"roia/internal/record"
+	"roia/internal/rms"
+	"roia/internal/sim"
+)
+
+var (
+	inFlag     = flag.String("in", "", "recorded session CSV (from roiabench -record)")
+	policyFlag = flag.String("policy", "model", "policy to replay under: model, static-interval, static-threshold, none")
+	seedFlag   = flag.Int64("seed", 1, "simulator seed")
+	outFlag    = flag.String("record", "", "write the replayed session's own time series to this CSV")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "roiareplay:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	if *inFlag == "" {
+		return fmt.Errorf("-in is required")
+	}
+	f, err := os.Open(*inFlag)
+	if err != nil {
+		return err
+	}
+	trace, err := record.LoadTrace(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+
+	p, mdl := experiments.DefaultModel()
+	cluster, err := sim.NewCluster(sim.Config{Params: p, Model: mdl, Seed: *seedFlag})
+	if err != nil {
+		return err
+	}
+	var ctrl rms.Controller
+	switch *policyFlag {
+	case "model":
+		ctrl = rms.NewManager(cluster, rms.Config{Model: mdl})
+	case "static-interval":
+		ctrl = &rms.StaticInterval{Cluster: cluster, IntervalSec: 60, UpperMS: 32, LowerMS: 8, MaxReplicas: 8}
+	case "static-threshold":
+		ctrl = &rms.StaticThreshold{Cluster: cluster, MaxUsersPerServer: 150, MaxReplicas: 8}
+	case "none":
+		ctrl = nil
+	default:
+		return fmt.Errorf("unknown -policy %q", *policyFlag)
+	}
+
+	res := sim.RunSession(cluster, ctrl, trace)
+	fmt.Printf("replayed %.0f s (%d..%d users) under %q:\n",
+		trace.Duration(), trace.UsersAt(0), peak(trace.Counts), *policyFlag)
+	fmt.Printf("  violations:     %d\n", res.TotalViolations)
+	fmt.Printf("  peak tick:      %.2f ms\n", res.PeakTickMS)
+	fmt.Printf("  peak replicas:  %d\n", res.PeakReplicas)
+	fmt.Printf("  migrations:     %d\n", res.TotalMigrations)
+	fmt.Printf("  server-seconds: %.0f\n", res.ServerSeconds)
+	fmt.Printf("  provider cost:  %.2f\n", res.Cost)
+
+	if *outFlag != "" {
+		out, err := os.Create(*outFlag)
+		if err != nil {
+			return err
+		}
+		err = record.SaveSession(out, res.Stats)
+		if cerr := out.Close(); err == nil {
+			err = cerr
+		}
+		return err
+	}
+	return nil
+}
+
+func peak(counts []int) int {
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}

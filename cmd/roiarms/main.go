@@ -1,0 +1,121 @@
+// Command roiarms runs the complete RTF-RMS stack live: an in-process RTF
+// fleet processing the shooter, a bot population following a workload
+// trace, and the model-driven resource manager adding replicas, pacing
+// migrations per the scalability model, and removing replicas again — the
+// paper's Fig. 8 experiment on real servers instead of the simulator.
+//
+// The capacity threshold is configurable because the live fleet runs on
+// the current machine, not the paper's testbed: pick -u so scaling
+// triggers inside your bot budget (see cmd/roiacalibrate for measuring
+// the machine's real profile).
+//
+// Example:
+//
+//	roiarms -peak 150 -duration 90 -u 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"roia/internal/bots"
+	"roia/internal/game"
+	"roia/internal/model"
+	"roia/internal/params"
+	"roia/internal/rms"
+	"roia/internal/rtf/fleet"
+	"roia/internal/rtf/server"
+	"roia/internal/rtf/transport"
+	"roia/internal/rtf/zone"
+	"roia/internal/workload"
+)
+
+var (
+	peakFlag     = flag.Int("peak", 150, "peak bot population")
+	durationFlag = flag.Int("duration", 120, "session length in seconds")
+	uFlag        = flag.Float64("u", 10, "tick-duration threshold U in ms for the manager")
+	tpsFlag      = flag.Int("tps", 25, "ticks per second")
+	maxRepFlag   = flag.Int("maxreplicas", 4, "replica cap")
+	seedFlag     = flag.Int64("seed", 42, "random seed")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "roiarms:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	net := transport.NewLoopback()
+	defer net.Close()
+	fl, err := fleet.New(fleet.Config{
+		Network:    net,
+		Zone:       1,
+		Assignment: zone.NewAssignment(),
+		NewApp:     func() server.Application { return game.New(game.DefaultConfig()) },
+		Seed:       *seedFlag,
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := fl.AddReplica(); err != nil {
+		return err
+	}
+	mdl, err := model.New(params.RTFDemo(), *uFlag, params.CDefault)
+	if err != nil {
+		return err
+	}
+	mgr := rms.NewManager(fl, rms.Config{Model: mdl, CooldownSec: 5, MaxReplicas: *maxRepFlag})
+	driver := bots.NewFleetDriver(fl, net, *seedFlag)
+
+	half := *durationFlag / 2
+	trace := workload.Piecewise{Phases: []workload.Phase{
+		{Until: float64(half), Trace: workload.Ramp{From: 0, To: *peakFlag, Len: float64(half)}},
+		{Until: float64(*durationFlag), Trace: workload.Ramp{From: *peakFlag, To: 0, Len: float64(*durationFlag - half)}},
+	}}
+
+	fmt.Printf("%4s %5s %8s %-24s %s\n", "time", "bots", "servers", "users-per-server", "actions")
+	migrations := 0
+	for sec := 0; sec < *durationFlag; sec++ {
+		if err := driver.SetBots(trace.UsersAt(float64(sec))); err != nil {
+			return err
+		}
+		for tick := 0; tick < *tpsFlag; tick++ {
+			driver.Step()
+		}
+		actions := mgr.Step(float64(sec))
+		var notable []string
+		for _, a := range actions {
+			if a.Kind == rms.ActMigrate {
+				if a.Err == nil {
+					migrations += a.Users
+				}
+				continue
+			}
+			notable = append(notable, a.String())
+		}
+		if sec%5 == 0 || len(notable) > 0 {
+			fmt.Printf("%3ds %5d %8d %-24s %v\n",
+				sec, len(driver.Bots()), len(fl.IDs()), usersPerServer(fl), notable)
+		}
+	}
+	fmt.Printf("\nsession done: %d total migrations, final fleet:\n", migrations)
+	for _, s := range fl.Servers() {
+		fmt.Printf("  %-10s users=%-4d meanTick=%.3f ms\n", s.ID, s.Users, s.TickMS)
+	}
+	return nil
+}
+
+func usersPerServer(fl *fleet.Fleet) string {
+	out := ""
+	for _, s := range fl.Servers() {
+		if out != "" {
+			out += "/"
+		}
+		out += fmt.Sprintf("%d", s.Users)
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+// Command roiaserver runs one RTF application server over TCP, processing
+// the RTFDemo-analogue shooter for one zone. Multiple roiaserver processes
+// replicating the same zone exchange shadow updates and forwarded inputs;
+// cmd/roiabot generates load against them.
+//
+// Example — two replicas of zone 1 on one machine:
+//
+//	roiaserver -id s1 -listen 127.0.0.1:7001 -peers s2=127.0.0.1:7002
+//	roiaserver -id s2 -listen 127.0.0.1:7002 -peers s1=127.0.0.1:7001
+//	roiabot    -server s1=127.0.0.1:7001 -bots 50
+//
+// The server prints a monitoring line once per second: connected users,
+// zone users, mean tick duration, and the per-task model parameters
+// measured by the RTF hooks.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"roia/internal/game"
+	"roia/internal/rtf/entity"
+	"roia/internal/rtf/monitor"
+	"roia/internal/rtf/server"
+	"roia/internal/rtf/transport"
+	"roia/internal/rtf/zone"
+)
+
+var (
+	idFlag      = flag.String("id", "s1", "server node ID (unique per session)")
+	listenFlag  = flag.String("listen", "127.0.0.1:7001", "TCP listen address")
+	zoneFlag    = flag.Uint("zone", 1, "zone ID this server processes")
+	peersFlag   = flag.String("peers", "", "comma-separated peer replicas: id=host:port,...")
+	tickFlag    = flag.Duration("tick", 40*time.Millisecond, "tick interval (40ms = 25Hz)")
+	npcFlag     = flag.Int("npcs", 0, "NPCs to spawn on this server")
+	prefixFlag  = flag.Uint("idprefix", 1, "entity-ID prefix (unique per server)")
+	seedFlag    = flag.Int64("seed", 1, "random seed for the application logic")
+	quietFlag   = flag.Bool("quiet", false, "suppress the per-second monitoring line")
+	metricsFlag = flag.String("metrics", "", "serve Prometheus metrics on this address (e.g. 127.0.0.1:9100)")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "roiaserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	net := transport.NewTCP()
+	node, err := net.AttachListener(*idFlag, *listenFlag, 1<<16)
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+
+	assignment := zone.NewAssignment()
+	assignment.AddReplica(zone.ID(*zoneFlag), *idFlag)
+	if *peersFlag != "" {
+		for _, spec := range strings.Split(*peersFlag, ",") {
+			id, addr, ok := strings.Cut(strings.TrimSpace(spec), "=")
+			if !ok {
+				return fmt.Errorf("bad -peers entry %q (want id=host:port)", spec)
+			}
+			net.Register(id, addr)
+			assignment.AddReplica(zone.ID(*zoneFlag), id)
+		}
+	}
+
+	srv, err := server.New(server.Config{
+		Node:         node,
+		Zone:         zone.ID(*zoneFlag),
+		Assignment:   assignment,
+		App:          game.New(game.DefaultConfig()),
+		IDPrefix:     uint16(*prefixFlag),
+		Seed:         *seedFlag,
+		TickInterval: *tickFlag,
+	})
+	if err != nil {
+		return err
+	}
+	for i := 0; i < *npcFlag; i++ {
+		srv.SpawnNPC(npcPos(i))
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if !*quietFlag {
+		go report(ctx, srv)
+	}
+	if *metricsFlag != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", monitor.MetricsHandler(srv.Monitor(),
+			fmt.Sprintf("server=%q,zone=\"%d\"", *idFlag, *zoneFlag)))
+		httpSrv := &http.Server{Addr: *metricsFlag, Handler: mux}
+		go func() {
+			<-ctx.Done()
+			httpSrv.Close()
+		}()
+		go func() {
+			if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "roiaserver: metrics:", err)
+			}
+		}()
+		fmt.Printf("metrics on http://%s/metrics\n", *metricsFlag)
+	}
+	fmt.Printf("roiaserver %s: zone %d on %s, tick %v, %d peers\n",
+		*idFlag, *zoneFlag, *listenFlag, *tickFlag, assignment.ReplicaCount(zone.ID(*zoneFlag))-1)
+	if err := srv.Run(ctx); err != nil && ctx.Err() == nil {
+		return err
+	}
+	return srv.Stop()
+}
+
+// npcPos spreads initial NPCs deterministically over the world.
+func npcPos(i int) entity.Vec2 {
+	return entity.Vec2{X: float64((i*137)%1000) + 0.5, Y: float64((i*251)%1000) + 0.5}
+}
+
+func report(ctx context.Context, srv *server.Server) {
+	ticker := time.NewTicker(time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			mon := srv.Monitor()
+			b := mon.LastBreakdown()
+			fmt.Printf("[%s] users=%d/%d tick(mean)=%.3fms t_ua=%.4f t_aoi=%.4f t_su=%.4f ticks=%d\n",
+				srv.ID(), srv.UserCount(), srv.ZoneUserCount(), mon.MeanTick(),
+				mon.TaskSummary(monitor.UA).Mean,
+				mon.TaskSummary(monitor.AOI).Mean,
+				mon.TaskSummary(monitor.SU).Mean,
+				b.Users)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+// Calibration: the parameter-determination workflow of Section V-A on
+// synthetic measurements. A known ground-truth profile generates noisy
+// per-task samples (as a bot-loaded testbed would); the calibration
+// pipeline fits the paper's approximation-function shapes through them
+// with Levenberg–Marquardt; and the recovered profile is validated by
+// comparing the thresholds both models predict.
+//
+// For calibration of the *live* shooter on your machine, run
+// cmd/roiacalibrate instead.
+//
+// Run with: go run ./examples/calibration
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"roia/internal/calibrate"
+	"roia/internal/model"
+	"roia/internal/params"
+	"roia/internal/rtf/monitor"
+)
+
+func main() {
+	truth := params.RTFDemo()
+
+	// Sample every parameter at 10..300 users (the paper connects up to
+	// 300 bots), five repeats per level, 5 % multiplicative noise.
+	var counts []int
+	for n := 10; n <= 300; n += 10 {
+		counts = append(counts, n)
+	}
+	samples := calibrate.Synthesize(truth, monitor.Tasks(), counts, 5, 0.05, 2024)
+	fmt.Printf("synthesized %d noisy samples across %d load levels\n", len(samples), len(counts))
+
+	res, err := calibrate.FromSamples("rtfdemo-recovered", samples, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nfitted approximation functions (vs generating truth):")
+	fmt.Printf("  %-10s %-34s %s\n", "param", "fitted", "truth")
+	rows := []struct {
+		name          string
+		fitted, truth params.Curve
+	}{
+		{"t_ua_dser", res.Set.UADeser, truth.UADeser},
+		{"t_ua", res.Set.UA, truth.UA},
+		{"t_aoi", res.Set.AOI, truth.AOI},
+		{"t_su", res.Set.SU, truth.SU},
+		{"t_mig_ini", res.Set.MigIni, truth.MigIni},
+		{"t_mig_rcv", res.Set.MigRcv, truth.MigRcv},
+	}
+	for _, r := range rows {
+		fmt.Printf("  %-10s %-34s %s\n", r.name, r.fitted, r.truth)
+	}
+
+	// The decisive check: do both profiles predict the same thresholds?
+	for _, pr := range []struct {
+		name string
+		set  *params.Set
+	}{{"truth", truth}, {"recovered", res.Set}} {
+		mdl, err := model.New(pr.set, params.UFirstPersonShooter, params.CDefault)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nmax, _ := mdl.MaxUsers(1, 0)
+		lmax, _ := mdl.MaxReplicas(0)
+		fmt.Printf("\n%s model: n_max(1)=%d trigger=%d l_max=%d",
+			pr.name, nmax, model.ReplicationTrigger(nmax, model.DefaultTriggerFraction), lmax)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,72 @@
+// Migrationplan: the worked example of Fig. 2 — workload-aware user
+// migration in two steps. 45 users sit unevenly on three replicas of one
+// zone (25 / 12 / 8). The scalability model computes, for each replica,
+// how many migrations it may initiate (x_max_ini) and receive (x_max_rcv)
+// per second without violating the tick-duration threshold; Listing 1
+// then plans bounded transfers from the most loaded server until the
+// distribution reaches 15 / 15 / 15 over successive seconds.
+//
+// Run with: go run ./examples/migrationplan
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"roia/internal/model"
+	"roia/internal/params"
+	"roia/internal/rms"
+)
+
+func main() {
+	profile := params.RTFDemo()
+	// A tight demo threshold makes the budgets small enough to need two
+	// steps, like the figure. (With U = 40 ms and only 45 users the
+	// budgets would be enormous and the plan would finish in one step.)
+	mdl, err := model.New(profile, 8, params.CDefault)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	servers := []rms.ServerState{
+		{ID: "replica-1", Users: 25},
+		{ID: "replica-2", Users: 12},
+		{ID: "replica-3", Users: 8},
+	}
+	const n, m = 45, 0
+
+	fmt.Println("Fig. 2 scenario: 45 users on three replicas, target 15/15/15")
+	for _, s := range servers {
+		fmt.Printf("  %s: %2d users  x_max_ini=%d/s  x_max_rcv=%d/s\n",
+			s.ID, s.Users,
+			mdl.MaxMigrationsIni(3, n, m, s.Users),
+			mdl.MaxMigrationsRcv(3, n, m, s.Users))
+	}
+
+	for step := 1; ; step++ {
+		plan := rms.PlanMigrations(mdl, servers, n, m)
+		if len(plan) == 0 {
+			fmt.Printf("\nbalanced after %d step(s): ", step-1)
+			for _, s := range servers {
+				fmt.Printf("%s=%d ", s.ID, s.Users)
+			}
+			fmt.Println()
+			return
+		}
+		fmt.Printf("\nstep %d (one second of migrations):\n", step)
+		for _, mig := range plan {
+			fmt.Printf("  migrate %2d users %s → %s\n", mig.Count, mig.From, mig.To)
+			for i := range servers {
+				switch servers[i].ID {
+				case mig.From:
+					servers[i].Users -= mig.Count
+				case mig.To:
+					servers[i].Users += mig.Count
+				}
+			}
+		}
+		if step > 10 {
+			log.Fatal("plan did not converge")
+		}
+	}
+}

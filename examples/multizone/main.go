@@ -1,0 +1,140 @@
+// Multizone: the zoning distribution method at runtime. The world is
+// split into two adjacent zones, each processed by its own replica fleet;
+// bots wander with an eastward drift, so users continuously cross the
+// boundary and are handed off between the zones' servers (avatar state,
+// application state and the client connection all follow). A per-zone
+// RTF-RMS coordinator scales each zone independently as its population
+// shifts.
+//
+// Run with: go run ./examples/multizone
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"roia/internal/game"
+	"roia/internal/model"
+	"roia/internal/params"
+	"roia/internal/rms"
+	"roia/internal/rtf/client"
+	"roia/internal/rtf/entity"
+	"roia/internal/rtf/fleet"
+	"roia/internal/rtf/server"
+	"roia/internal/rtf/transport"
+	"roia/internal/rtf/zone"
+)
+
+const (
+	sessionSeconds = 40
+	ticksPerSecond = 25
+	nBots          = 110
+)
+
+func main() {
+	net := transport.NewLoopback()
+	defer net.Close()
+	world := zone.GridWorld(2, 1, 1000, 500) // west: x<500, east: x>=500
+	assignment := zone.NewAssignment()
+
+	fleets := make(map[zone.ID]*fleet.Fleet, 2)
+	for i, name := range []string{"west", "east"} {
+		z := zone.ID(i + 1)
+		fl, err := fleet.New(fleet.Config{
+			Network:    net,
+			Zone:       z,
+			Assignment: assignment,
+			NewApp:     func() server.Application { return game.New(game.DefaultConfig()) },
+			World:      world,
+			NamePrefix: name,
+			IDBase:     uint16(i * 100),
+			Seed:       int64(i + 1),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := fl.AddReplica(); err != nil {
+			log.Fatal(err)
+		}
+		fleets[z] = fl
+	}
+
+	// Demo-scale threshold so the east zone replicates once the drift
+	// piles users into it.
+	mdl, err := model.New(params.RTFDemo(), 10, params.CDefault)
+	if err != nil {
+		log.Fatal(err)
+	}
+	coord := rms.NewCoordinator()
+	for z, fl := range fleets {
+		coord.Add(z, rms.NewManager(fl, rms.Config{Model: mdl, CooldownSec: 5, MaxReplicas: 3}))
+	}
+
+	// Bots join the west zone and drift east.
+	rng := rand.New(rand.NewSource(9))
+	clients := make([]*client.Client, 0, nBots)
+	for i := 0; i < nBots; i++ {
+		node, err := net.Attach(fmt.Sprintf("bot-%d", i+1), 1<<14)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cl := client.New(node, "west-1")
+		pos := entity.Vec2{X: rng.Float64() * 400, Y: rng.Float64() * 500}
+		if err := cl.Join(1, pos, node.ID()); err != nil {
+			log.Fatal(err)
+		}
+		clients = append(clients, cl)
+	}
+
+	step := func() {
+		for _, z := range coord.Zones() {
+			fleets[z].TickAll()
+		}
+		for _, cl := range clients {
+			cl.Poll()
+			if !cl.Joined() {
+				continue
+			}
+			//
+
+			// Eastward drift with jitter: ~2.5 units/tick east.
+			mv := &game.Move{DX: 1.5 + rng.Float64()*2, DY: (rng.Float64() - 0.5) * 3}
+			_ = cl.SendInput(game.Commands.EncodeToBytes(mv))
+		}
+	}
+
+	fmt.Println("time  west-users(east-users)  servers w/e  handoffs  actions")
+	for sec := 0; sec < sessionSeconds; sec++ {
+		for tick := 0; tick < ticksPerSecond; tick++ {
+			step()
+		}
+		actions := coord.Step(float64(sec))
+		var notable []string
+		for z, acts := range actions {
+			for _, a := range acts {
+				if a.Kind != rms.ActMigrate {
+					notable = append(notable, fmt.Sprintf("zone%d:%s", z, a))
+				}
+			}
+		}
+		handoffs := 0
+		for _, cl := range clients {
+			handoffs += cl.Migrations()
+		}
+		if sec%4 == 0 || len(notable) > 0 {
+			fmt.Printf("%3ds  %5d(%5d)  %d/%d  %8d  %v\n",
+				sec,
+				fleets[1].ZoneUsers(), fleets[2].ZoneUsers(),
+				len(fleets[1].IDs()), len(fleets[2].IDs()),
+				handoffs, notable)
+		}
+	}
+
+	fmt.Println("\nfinal population: west =", fleets[1].ZoneUsers(), " east =", fleets[2].ZoneUsers())
+	followed := 0
+	for _, cl := range clients {
+		followed += cl.Migrations()
+	}
+	fmt.Println("total handoffs followed by clients:", followed)
+}

@@ -1,0 +1,63 @@
+// Quickstart: instantiate the scalability model for an application profile
+// and query every threshold the paper derives — predicted tick durations
+// (Eq. 1/4), capacity limits (Eq. 2), the maximum useful replica count
+// (Eq. 3) and migration budgets (Eq. 5).
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"roia/internal/model"
+	"roia/internal/params"
+)
+
+func main() {
+	// 1. Pick a parameter profile. RTFDemo() is the calibrated
+	//    first-person-shooter profile of the paper's case study; your own
+	//    application's profile comes out of the calibration pipeline
+	//    (cmd/roiacalibrate or internal/calibrate).
+	profile := params.RTFDemo()
+
+	// 2. Build the model: U is the tick-duration threshold the provider
+	//    promises (40 ms = 25 updates/s for a shooter), c the minimum
+	//    capacity improvement each additional replica must deliver.
+	mdl, err := model.New(profile, params.UFirstPersonShooter, params.CDefault)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Predict tick durations (Eq. 1): how long is one real-time-loop
+	//    iteration with n users on l replicas?
+	fmt.Println("predicted tick duration, 200 users:")
+	for _, l := range []int{1, 2, 4} {
+		fmt.Printf("  %d replica(s): %6.2f ms\n", l, mdl.TickTime(l, 200, 0))
+	}
+
+	// 4. Capacity thresholds (Eq. 2) and the 80 % replication trigger.
+	nmax, _ := mdl.MaxUsers(1, 0)
+	trigger := model.ReplicationTrigger(nmax, model.DefaultTriggerFraction)
+	fmt.Printf("\none server sustains %d users below %g ms; RTF-RMS adds a replica at %d\n",
+		nmax, mdl.U, trigger)
+
+	// 5. How far does replication scale (Eq. 3)?
+	lmax, _ := mdl.MaxReplicas(0)
+	fmt.Printf("replication stops paying off after l_max = %d replicas\n", lmax)
+	fmt.Print("capacity per replica count:")
+	for l, n := range mdl.MaxUsersSchedule(0, lmax) {
+		fmt.Printf(" %d:%d", l+1, n)
+	}
+	fmt.Println()
+
+	// 6. Migration budgets (Eq. 5): a loaded server (180 of 260 zone
+	//    users) sheds load to a lighter replica without violating U.
+	const n, srcUsers, dstUsers = 260, 180, 80
+	ini := mdl.MaxMigrationsIni(2, n, 0, srcUsers)
+	rcv := mdl.MaxMigrationsRcv(2, n, 0, dstUsers)
+	fmt.Printf("\nmigration budgets at %d zone users: source may initiate %d/s, target may receive %d/s\n",
+		n, ini, rcv)
+	fmt.Printf("RTF-RMS migrates min{%d, %d} = %d users per second\n",
+		ini, rcv, mdl.MigrationBudget(2, n, 0, srcUsers, dstUsers))
+}

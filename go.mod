@@ -1,0 +1,3 @@
+module roia
+
+go 1.22

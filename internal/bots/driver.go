@@ -1,0 +1,103 @@
+package bots
+
+import (
+	"fmt"
+
+	"roia/internal/rtf/client"
+	"roia/internal/rtf/entity"
+	"roia/internal/rtf/fleet"
+	"roia/internal/rtf/transport"
+)
+
+// FleetDriver maintains a bot population against a live RTF fleet: it
+// connects new bots to the least-loaded replica as the target grows and
+// disconnects them as it shrinks, and advances servers and bots in
+// lockstep. It is the live-cluster counterpart of the simulator's
+// SetTargetUsers and powers cmd/roiacalibrate and the shooter example.
+type FleetDriver struct {
+	fl      *fleet.Fleet
+	net     transport.Network
+	profile Profile
+	seed    int64
+	next    int
+	swarm   []*Bot
+}
+
+// NewFleetDriver returns a driver with the default interactivity profile.
+func NewFleetDriver(fl *fleet.Fleet, net transport.Network, seed int64) *FleetDriver {
+	return &FleetDriver{fl: fl, net: net, profile: DefaultProfile(), seed: seed}
+}
+
+// SetProfile changes the profile used for newly-connected bots.
+func (d *FleetDriver) SetProfile(p Profile) { d.profile = p }
+
+// Bots returns the live swarm.
+func (d *FleetDriver) Bots() []*Bot { return d.swarm }
+
+// SetBots grows or shrinks the swarm to the target size.
+func (d *FleetDriver) SetBots(target int) error {
+	if target < 0 {
+		target = 0
+	}
+	for len(d.swarm) < target {
+		srvID := d.leastLoaded()
+		if srvID == "" {
+			return fmt.Errorf("bots: no server to join")
+		}
+		d.next++
+		node, err := d.net.Attach(fmt.Sprintf("bot-%d", d.next), 1<<14)
+		if err != nil {
+			return err
+		}
+		cl := client.New(node, srvID)
+		pos := entity.Vec2{X: float64((d.next * 97) % 1000), Y: float64((d.next * 61) % 1000)}
+		if err := cl.Join(1, pos, node.ID()); err != nil {
+			node.Close()
+			return err
+		}
+		d.swarm = append(d.swarm, New(cl, d.profile, d.seed+int64(d.next)))
+	}
+	for len(d.swarm) > target {
+		b := d.swarm[len(d.swarm)-1]
+		d.swarm = d.swarm[:len(d.swarm)-1]
+		_ = b.Client().Leave()
+		// Give the leave frame one tick to be processed before the node
+		// disappears from the network.
+		d.fl.TickAll()
+		_ = b.Client().Close()
+	}
+	return nil
+}
+
+// leastLoaded picks the replica with the fewest users, counting the
+// driver's own clients (including joins still in flight) so that bursts
+// of arrivals between ticks spread evenly instead of piling onto the
+// first server.
+func (d *FleetDriver) leastLoaded() string {
+	pointing := make(map[string]int, len(d.swarm))
+	for _, b := range d.swarm {
+		pointing[b.Client().Server()]++
+	}
+	best, bestUsers := "", 1<<30
+	for _, s := range d.fl.Servers() {
+		if s.Draining || !s.Ready {
+			continue
+		}
+		load := s.Users
+		if p := pointing[s.ID]; p > load {
+			load = p
+		}
+		if load < bestUsers {
+			best, bestUsers = s.ID, load
+		}
+	}
+	return best
+}
+
+// Step advances the fleet by one tick and lets every bot act.
+func (d *FleetDriver) Step() {
+	d.fl.TickAll()
+	for _, b := range d.swarm {
+		b.Step()
+	}
+}

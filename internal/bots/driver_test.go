@@ -1,0 +1,125 @@
+package bots
+
+import (
+	"testing"
+
+	"roia/internal/game"
+	"roia/internal/rtf/fleet"
+	"roia/internal/rtf/server"
+	"roia/internal/rtf/transport"
+	"roia/internal/rtf/zone"
+)
+
+func driverFixture(t *testing.T, replicas int) (*FleetDriver, *fleet.Fleet) {
+	t.Helper()
+	net := transport.NewLoopback()
+	t.Cleanup(func() { net.Close() })
+	fl, err := fleet.New(fleet.Config{
+		Network:    net,
+		Zone:       1,
+		Assignment: zone.NewAssignment(),
+		NewApp:     func() server.Application { return game.New(game.DefaultConfig()) },
+		Seed:       3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < replicas; i++ {
+		if _, err := fl.AddReplica(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return NewFleetDriver(fl, net, 9), fl
+}
+
+func TestFleetDriverGrowAndShrink(t *testing.T) {
+	d, fl := driverFixture(t, 2)
+	if err := d.SetBots(10); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Bots()) != 10 {
+		t.Fatalf("swarm = %d", len(d.Bots()))
+	}
+	// Bots joined least-loaded: split evenly.
+	for i := 0; i < 3; i++ {
+		d.Step()
+	}
+	if got := fl.ZoneUsers(); got != 10 {
+		t.Fatalf("zone users = %d", got)
+	}
+	states := fl.Servers()
+	if states[0].Users != 5 || states[1].Users != 5 {
+		t.Fatalf("join not least-loaded: %d/%d", states[0].Users, states[1].Users)
+	}
+	// Shrink: departures leave cleanly.
+	if err := d.SetBots(4); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		d.Step()
+	}
+	if len(d.Bots()) != 4 {
+		t.Fatalf("swarm after shrink = %d", len(d.Bots()))
+	}
+	if got := fl.ZoneUsers(); got != 4 {
+		t.Fatalf("zone users after shrink = %d", got)
+	}
+	// Negative target clamps to empty.
+	if err := d.SetBots(-3); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Bots()) != 0 {
+		t.Fatal("negative target did not empty the swarm")
+	}
+}
+
+func TestFleetDriverSkipsDrainingServers(t *testing.T) {
+	d, fl := driverFixture(t, 2)
+	ids := fl.IDs()
+	if err := fl.SetDraining(ids[0], true); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetBots(6); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		d.Step()
+	}
+	for _, s := range fl.Servers() {
+		if s.ID == ids[0] && s.Users != 0 {
+			t.Fatalf("draining server received %d joins", s.Users)
+		}
+		if s.ID == ids[1] && s.Users != 6 {
+			t.Fatalf("active server has %d users, want 6", s.Users)
+		}
+	}
+}
+
+func TestFleetDriverProfileSwitch(t *testing.T) {
+	d, _ := driverFixture(t, 1)
+	d.SetProfile(PassiveProfile())
+	if err := d.SetBots(2); err != nil {
+		t.Fatal(err)
+	}
+	if d.Bots()[0].profile != PassiveProfile() {
+		t.Fatal("profile not applied to new bots")
+	}
+}
+
+func TestFleetDriverStepsBots(t *testing.T) {
+	d, _ := driverFixture(t, 1)
+	if err := d.SetBots(3); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		d.Step()
+	}
+	for _, b := range d.Bots() {
+		if !b.Client().Joined() {
+			t.Fatal("bot not joined after steps")
+		}
+		if b.InputsSent() == 0 {
+			t.Fatal("bot sent no inputs")
+		}
+	}
+}

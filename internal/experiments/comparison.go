@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+
+	"roia/internal/model"
+	"roia/internal/params"
+	"roia/internal/rms"
+	"roia/internal/sim"
+	"roia/internal/workload"
+)
+
+// BaselineRow summarizes one load-balancing strategy on the Fig. 8
+// workload.
+type BaselineRow struct {
+	Name string
+	// Violations counts server-seconds above U, Migrations the users
+	// moved, PeakReplicas the largest fleet, ServerSeconds the integrated
+	// resource usage and Cost the provider bill.
+	Violations, Migrations, PeakReplicas int
+	PeakTickMS                           float64
+	ServerSeconds, Cost                  float64
+}
+
+// BaselineComparison runs the paper-session workload under the
+// model-driven RTF-RMS and the baseline strategies of Sections IV/VI on
+// identical clusters, quantifying the paper's argument that static
+// strategies either violate performance requirements or waste resources.
+func BaselineComparison(seed int64) ([]BaselineRow, error) {
+	type entry struct {
+		name    string
+		initial int
+		join    sim.JoinPolicy
+		mk      func(c *sim.Cluster, mdl *model.Model) rms.Controller
+	}
+	entries := []entry{
+		{"model-rms", 1, sim.JoinLeastLoaded, func(c *sim.Cluster, mdl *model.Model) rms.Controller {
+			return rms.NewManager(c, rms.Config{Model: mdl})
+		}},
+		{"static-interval-60s", 1, sim.JoinLeastLoaded, func(c *sim.Cluster, mdl *model.Model) rms.Controller {
+			return &rms.StaticInterval{Cluster: c, IntervalSec: 60, UpperMS: 32, LowerMS: 8, MaxReplicas: 8}
+		}},
+		{"static-threshold-150", 1, sim.JoinLeastLoaded, func(c *sim.Cluster, mdl *model.Model) rms.Controller {
+			return &rms.StaticThreshold{Cluster: c, MaxUsersPerServer: 150, MaxReplicas: 8}
+		}},
+		{"proportional-fixed-3", 3, sim.JoinRandom, func(c *sim.Cluster, mdl *model.Model) rms.Controller {
+			return &rms.Proportional{Cluster: c}
+		}},
+		{"no-balancing", 1, sim.JoinLeastLoaded, func(*sim.Cluster, *model.Model) rms.Controller {
+			return nil
+		}},
+	}
+	p, mdl := DefaultModel()
+	trace := workload.PaperSession()
+	rows := make([]BaselineRow, 0, len(entries))
+	for _, e := range entries {
+		cluster, err := sim.NewCluster(sim.Config{
+			Params: p, Model: mdl, Seed: seed, InitialServers: e.initial, Join: e.join,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", e.name, err)
+		}
+		var ctrl rms.Controller
+		if mk := e.mk(cluster, mdl); mk != nil {
+			ctrl = mk
+		}
+		res := sim.RunSession(cluster, ctrl, trace)
+		rows = append(rows, BaselineRow{
+			Name:          e.name,
+			Violations:    res.TotalViolations,
+			Migrations:    res.TotalMigrations,
+			PeakReplicas:  res.PeakReplicas,
+			PeakTickMS:    res.PeakTickMS,
+			ServerSeconds: res.ServerSeconds,
+			Cost:          res.Cost,
+		})
+	}
+	return rows, nil
+}
+
+// FormatBaselines renders the comparison as an aligned text table.
+func FormatBaselines(rows []BaselineRow) string {
+	out := fmt.Sprintf("%-22s %10s %10s %8s %10s %11s %8s\n",
+		"strategy", "violations", "migrations", "replicas", "peak tick", "server-sec", "cost")
+	for _, r := range rows {
+		out += fmt.Sprintf("%-22s %10d %10d %8d %9.2fms %11.0f %8.2f\n",
+			r.Name, r.Violations, r.Migrations, r.PeakReplicas, r.PeakTickMS, r.ServerSeconds, r.Cost)
+	}
+	return out
+}
+
+// ProfileRow summarizes the model thresholds of one application profile
+// (the qualitative FPS-vs-RPG comparison of Section III-C).
+type ProfileRow struct {
+	Name string
+	// U is the tick-duration threshold in ms.
+	U float64
+	// NMax1 is the single-server capacity; Unbounded is set when the
+	// profile never exhausts the search cap (RPG at U = 1.5 s).
+	NMax1     int
+	Unbounded bool
+	// LMax is the maximum useful replica count at c = 0.15.
+	LMax int
+	// XIni200 is the migration budget of an idle-to-half-loaded server
+	// with 200 zone users.
+	XIni200 int
+}
+
+// ProfileComparison instantiates the model for the FPS profile and the
+// role-playing profile of Section III-C, showing how the same equations
+// produce application-specific thresholds: the RPG's relaxed threshold
+// and cheaper input processing yield far higher capacity limits.
+func ProfileComparison() []ProfileRow {
+	rows := make([]ProfileRow, 0, 2)
+	for _, pc := range []struct {
+		name string
+		set  *params.Set
+		u    float64
+	}{
+		{"fps (rtfdemo)", params.RTFDemo(), params.UFirstPersonShooter},
+		{"rpg", params.RPG(), params.URolePlaying},
+	} {
+		mdl, err := model.New(pc.set, pc.u, params.CDefault)
+		if err != nil {
+			panic(err)
+		}
+		mdl.UserCap = 1 << 16
+		nmax, bounded := mdl.MaxUsers(1, 0)
+		lmax, _ := mdl.MaxReplicas(0)
+		base := mdl.TickTimeUneven(1, 200, 0, 100)
+		x := maxMigrations(base, pc.set.MigIniAt(200), mdl.U)
+		rows = append(rows, ProfileRow{
+			Name: pc.name, U: pc.u,
+			NMax1: nmax, Unbounded: !bounded,
+			LMax: lmax, XIni200: x,
+		})
+	}
+	return rows
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"roia/internal/rms"
+	"roia/internal/sim"
+	"roia/internal/stats"
+	"roia/internal/workload"
+)
+
+// FlashCrowdRow summarizes one arm of the flash-crowd experiment.
+type FlashCrowdRow struct {
+	Name       string
+	Violations int
+	PeakTickMS float64
+	// PeakQueue is the longest login queue (0 without admission control).
+	PeakQueue int
+	// QueueClearedAt is the second the queue last became empty (0 without
+	// admission control).
+	QueueClearedAt float64
+	// AdmittedPeak is the largest concurrently admitted population.
+	AdmittedPeak int
+}
+
+// FlashCrowdResult carries both arms plus the admitted/queued time series.
+type FlashCrowdResult struct {
+	Rows  []FlashCrowdRow
+	Table *stats.Table
+}
+
+// FlashCrowd stresses the system with a login spike: the offered
+// population jumps from 150 to 400 in one second — far beyond n_max(1)
+// and faster than replication can provision. Without admission control
+// every user connects immediately and the servers violate the threshold
+// until enough replicas are ready; with the model-driven admission queue
+// the burst waits at the door, the admitted population never outruns
+// capacity, and the queue drains as replicas come up.
+func FlashCrowd(seed int64) (*FlashCrowdResult, error) {
+	offered := workload.Piecewise{Phases: []workload.Phase{
+		{Until: 60, Trace: workload.Constant{N: 150, Len: 60}},
+		{Until: 300, Trace: workload.Constant{N: 400, Len: 240}},
+		{Until: 420, Trace: workload.Ramp{From: 400, To: 100, Len: 120}},
+	}}
+
+	res := &FlashCrowdResult{
+		Table: &stats.Table{
+			Title:  "Flash crowd: admission control vs open doors",
+			XLabel: "time [s]",
+			YLabel: "users",
+		},
+	}
+	offeredSeries := res.Table.AddSeries("offered")
+	admittedSeries := res.Table.AddSeries("admitted (with queue)")
+	queueSeries := res.Table.AddSeries("login queue")
+
+	for _, arm := range []struct {
+		name      string
+		admission bool
+	}{
+		{"open-doors", false},
+		{"admission-queue", true},
+	} {
+		p, mdl := DefaultModel()
+		cluster, err := sim.NewCluster(sim.Config{Params: p, Model: mdl, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		mgr := rms.NewManager(cluster, rms.Config{Model: mdl})
+		var adm *rms.Admission
+		if arm.admission {
+			adm = rms.NewAdmission(mdl)
+		}
+
+		row := FlashCrowdRow{Name: arm.name}
+		admitted, prevOffered := 0, 0
+		for t := 0.0; t < offered.Duration(); t++ {
+			target := offered.UsersAt(t)
+			if adm == nil {
+				admitted = target
+			} else {
+				n := cluster.ZoneUsers()
+				arrivals := target - prevOffered
+				if arrivals < 0 {
+					// Departures: queued users give up first, the rest
+					// leave the game.
+					stillLeaving := -arrivals - adm.Abandon(-arrivals)
+					admitted -= stillLeaving
+					if admitted < 0 {
+						admitted = 0
+					}
+					arrivals = 0
+				}
+				// Enqueue this second's arrivals and admit whatever the
+				// capacity headroom allows (draining the queue first).
+				admitted += adm.Step(cluster.Servers(), n, 0, arrivals)
+				if q := adm.Queued(); q > row.PeakQueue {
+					row.PeakQueue = q
+				}
+				if adm.Queued() == 0 && row.PeakQueue > 0 && row.QueueClearedAt == 0 {
+					row.QueueClearedAt = t
+				}
+				offeredSeries.Add(t, float64(target))
+				admittedSeries.Add(t, float64(admitted))
+				queueSeries.Add(t, float64(adm.Queued()))
+			}
+			prevOffered = target
+			cluster.SetTargetUsers(admitted)
+			mgr.Step(cluster.Now())
+			st := cluster.EndSecond()
+			if st.Users > row.AdmittedPeak {
+				row.AdmittedPeak = st.Users
+			}
+		}
+		row.Violations = cluster.TotalViolations()
+		row.PeakTickMS = cluster.PeakTickMS()
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"roia/internal/cloud"
+	"roia/internal/model"
+	"roia/internal/params"
+	"roia/internal/rms"
+	"roia/internal/sim"
+	"roia/internal/stats"
+	"roia/internal/workload"
+)
+
+// HeavyLoadResult carries the heavier-workload / cloud-resource extension
+// the paper names as future work: a session pushed past what the zone's
+// replica cap can serve on baseline hardware, forcing RTF-RMS through its
+// resource-substitution action onto stronger cloud classes.
+type HeavyLoadResult struct {
+	Table *stats.Table
+	// Session is the full run.
+	Session sim.SessionResult
+	// Substitutions counts executed substitution actions,
+	// SaturationAlerts the times no stronger class existed.
+	Substitutions, SaturationAlerts int
+	// FinalClasses is the resource-class mix at session end.
+	FinalClasses map[string]int
+	// TailViolations counts threshold violations in the final quarter of
+	// the session, after the fleet has finished upgrading.
+	TailViolations int
+}
+
+// HeavyLoad runs a 700-user session against a zone capped at 3 replicas
+// (a zone whose application-specific l_max is low): on baseline hardware
+// the cap saturates at n_max(3) = 403 users, so the model-driven manager
+// must substitute replicas with stronger cloud classes (2× then 4×) to
+// carry the load. The result demonstrates the substitution path of Fig. 3
+// end to end: violations may occur transiently while upgrades provision,
+// but the upgraded fleet serves the plateau cleanly.
+func HeavyLoad(seed int64) (*HeavyLoadResult, error) {
+	p, mdl := DefaultModel()
+	provider := cloud.NewProvider(
+		cloud.Class{Name: "standard", Power: 1, StartupDelay: 30, CostPerSecond: 0.01},
+		cloud.Class{Name: "highcpu", Power: 2, StartupDelay: 30, CostPerSecond: 0.025},
+		cloud.Class{Name: "highcpu2x", Power: 4, StartupDelay: 45, CostPerSecond: 0.06},
+	)
+	cluster, err := sim.NewCluster(sim.Config{
+		Params: p, Model: mdl, Provider: provider, Seed: seed, InitialServers: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	mgr := rms.NewManager(cluster, rms.Config{Model: mdl, MaxReplicas: 3})
+
+	trace := workload.Piecewise{Phases: []workload.Phase{
+		{Until: 900, Trace: workload.Ramp{From: 0, To: 700, Len: 900}},
+		{Until: 1500, Trace: workload.Constant{N: 700, Len: 600}},
+		{Until: 1800, Trace: workload.Ramp{From: 700, To: 200, Len: 300}},
+	}}
+
+	res := &HeavyLoadResult{FinalClasses: make(map[string]int)}
+	dur := int(trace.Duration())
+	for t := 0; t < dur; t++ {
+		cluster.SetTargetUsers(trace.UsersAt(float64(t)))
+		for _, a := range mgr.Step(cluster.Now()) {
+			switch a.Kind {
+			case rms.ActSubstitute:
+				if a.Err == nil {
+					res.Substitutions++
+				}
+			case rms.ActSaturated:
+				res.SaturationAlerts++
+			}
+		}
+		st := cluster.EndSecond()
+		res.Session.Stats = append(res.Session.Stats, st)
+		res.Session.ServerSeconds += float64(st.Replicas)
+		if t >= dur*3/4 {
+			res.TailViolations += st.Violations
+		}
+	}
+	res.Session.TotalMigrations = cluster.TotalMigrations()
+	res.Session.TotalViolations = cluster.TotalViolations()
+	res.Session.PeakTickMS = cluster.PeakTickMS()
+	res.Session.PeakReplicas = cluster.PeakReplicas()
+	res.Session.Cost = provider.Cost(cluster.Now())
+	for _, s := range cluster.Servers() {
+		res.FinalClasses[s.Class]++
+	}
+
+	table := &stats.Table{
+		Title:  "Heavy load: substitution onto stronger cloud classes",
+		XLabel: "time [s]",
+		YLabel: "users / maxTick [ms ×10]",
+	}
+	users := table.AddSeries("# users")
+	tick := table.AddSeries("max tick ×10")
+	for _, s := range res.Session.Stats {
+		users.Add(s.Time, float64(s.Users))
+		tick.Add(s.Time, s.MaxTickMS*10)
+	}
+	res.Table = table
+	return res, nil
+}
+
+// CSweepRow is one entry of the improvement-factor sweep.
+type CSweepRow struct {
+	// C is the minimum-improvement factor of Eq. (3).
+	C float64
+	// LMax is the resulting maximum useful replica count and NMaxLMax the
+	// capacity at that replica count.
+	LMax, NMaxLMax int
+}
+
+// CSweep reproduces the paper's discussion of the economic parameter c
+// ("values close to 0 would lead to a large maximum value for the number
+// of replicas (e.g., l_max = 48 for c = 0.05), while values close or
+// equal to 1 would lead to l_max = 1"): l_max and the corresponding total
+// capacity across the whole (0, 1] range.
+func CSweep() []CSweepRow {
+	p, _ := DefaultModel()
+	var rows []CSweepRow
+	for _, c := range []float64{0.01, 0.02, 0.05, 0.10, 0.15, 0.25, 0.40, 0.60, 0.80, 1.00} {
+		mdl, err := model.New(p, params.UFirstPersonShooter, c)
+		if err != nil {
+			panic(err)
+		}
+		lmax, _ := mdl.MaxReplicas(0)
+		nmax, _ := mdl.MaxUsers(lmax, 0)
+		rows = append(rows, CSweepRow{C: c, LMax: lmax, NMaxLMax: nmax})
+	}
+	return rows
+}
+
+// NPCRow is one entry of the NPC sweep.
+type NPCRow struct {
+	// NPCs is the zone-wide NPC count m.
+	NPCs int
+	// NMax1 is n_max(1, m); LMax is l_max(m) at c = 0.15.
+	NMax1, LMax int
+}
+
+// NPCSweep evaluates the m-dependence of the model's thresholds (Eq. 1's
+// m/l·t_npc term, which the paper includes but sets aside "for brevity"):
+// every computer-controlled character costs capacity, and replication
+// recovers some of it because NPCs spread over replicas.
+func NPCSweep() []NPCRow {
+	_, mdl := DefaultModel()
+	var rows []NPCRow
+	for _, m := range []int{0, 50, 100, 200, 400, 800} {
+		nmax, _ := mdl.MaxUsers(1, m)
+		lmax, _ := mdl.MaxReplicas(m)
+		rows = append(rows, NPCRow{NPCs: m, NMax1: nmax, LMax: lmax})
+	}
+	return rows
+}

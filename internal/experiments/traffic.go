@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+
+	"roia/internal/bots"
+	"roia/internal/game"
+	"roia/internal/rtf/fleet"
+	"roia/internal/rtf/monitor"
+	"roia/internal/rtf/server"
+	"roia/internal/rtf/transport"
+	"roia/internal/rtf/zone"
+	"roia/internal/stats"
+	"roia/internal/traffic"
+)
+
+// TrafficResult carries the bandwidth-analysis extension (the paper's
+// stated future work, grounded in the Kim et al. traffic study it cites).
+type TrafficResult struct {
+	// Table holds measured per-tick inbound/outbound bytes vs users plus
+	// the fitted curves.
+	Table *stats.Table
+	// Model is the fitted traffic model.
+	Model *traffic.Model
+	// AsymmetryAt150 is the out/in byte ratio at 150 users.
+	AsymmetryAt150 float64
+	// CapacityInBPS / CapacityOutBPS is the predicted bandwidth of one
+	// replica at the scalability model's n_max(1), at 25 ticks/s.
+	CapacityInBPS, CapacityOutBPS float64
+}
+
+// Traffic measures real wire traffic on a live two-replica RTF fleet at
+// increasing bot populations, fits the traffic model, and evaluates the
+// bandwidth the capacity threshold implies. Byte counts depend only on
+// the protocol and the seeded bot behaviour — not on CPU speed — so this
+// live experiment is reproducible across machines.
+func Traffic(seed int64) (*TrafficResult, error) {
+	net := transport.NewLoopback()
+	defer net.Close()
+	fl, err := fleet.New(fleet.Config{
+		Network:    net,
+		Zone:       1,
+		Assignment: zone.NewAssignment(),
+		NewApp:     func() server.Application { return game.New(game.DefaultConfig()) },
+		Seed:       seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Two replicas, as in the paper's measurement setup, so replication
+	// traffic (shadow updates, forwarded inputs) is part of the bytes.
+	for i := 0; i < 2; i++ {
+		if _, err := fl.AddReplica(); err != nil {
+			return nil, err
+		}
+	}
+	for _, id := range fl.IDs() {
+		srv, _ := fl.Server(id)
+		srv.Monitor().SetCollecting(true)
+	}
+
+	driver := bots.NewFleetDriver(fl, net, seed)
+	const ticksPerLevel = 30
+	for _, target := range []int{20, 60, 100, 140, 180, 220, 260, 300} {
+		if err := driver.SetBots(target); err != nil {
+			return nil, err
+		}
+		// Let the population settle before sampling the level.
+		for t := 0; t < 5; t++ {
+			driver.Step()
+		}
+		for t := 0; t < ticksPerLevel; t++ {
+			driver.Step()
+		}
+	}
+
+	var samples []monitor.TrafficSample
+	for _, id := range fl.IDs() {
+		srv, _ := fl.Server(id)
+		samples = append(samples, srv.Monitor().TrafficSamples()...)
+	}
+	tm, err := traffic.Fit(samples)
+	if err != nil {
+		return nil, err
+	}
+
+	table := &stats.Table{
+		Title:  "Traffic: per-tick wire bytes vs users (live fleet)",
+		XLabel: "users",
+		YLabel: "bytes per tick",
+	}
+	measIn := table.AddSeries("bytes in (measured)")
+	measOut := table.AddSeries("bytes out (measured)")
+	// Thin the raw samples for plotting: one of every 10.
+	for i, s := range samples {
+		if i%10 == 0 {
+			measIn.Add(float64(s.Users), float64(s.BytesIn))
+			measOut.Add(float64(s.Users), float64(s.BytesOut))
+		}
+	}
+	fitIn := table.AddSeries("bytes in (fit)")
+	fitOut := table.AddSeries("bytes out (fit)")
+	for n := 10; n <= 300; n += 10 {
+		in, out := tm.PerTick(n)
+		fitIn.Add(float64(n), in)
+		fitOut.Add(float64(n), out)
+	}
+
+	res := &TrafficResult{Table: table, Model: tm, AsymmetryAt150: tm.Asymmetry(150)}
+	_, sm := DefaultModel()
+	if in, out, ok := tm.AtCapacity(sm, 1, 25); ok {
+		res.CapacityInBPS, res.CapacityOutBPS = in, out
+	}
+	return res, nil
+}
+
+// FormatTraffic renders the headline traffic numbers.
+func FormatTraffic(r *TrafficResult) string {
+	in100, out100 := r.Model.BandwidthBPS(100, 25)
+	inCap, outCap := r.CapacityInBPS, r.CapacityOutBPS
+	return fmt.Sprintf(`traffic model (per replica, 25 ticks/s):
+  inbound  = %s bytes/tick
+  outbound = %s bytes/tick
+  at 100 users: in %.1f KB/s, out %.1f KB/s
+  at n_max(1)=235: in %.1f KB/s, out %.1f KB/s
+  out/in asymmetry at 150 users: %.1fx`,
+		r.Model.In, r.Model.Out,
+		in100/1024, out100/1024, inCap/1024, outCap/1024, r.AsymmetryAt150)
+}

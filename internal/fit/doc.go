@@ -1,0 +1,18 @@
+// Package fit provides nonlinear and linear least-squares curve fitting.
+//
+// The paper determines its model parameters (per-task CPU times as functions
+// of the user count) by fitting measured samples with the nonlinear
+// least-squares Levenberg–Marquardt algorithm as implemented in gnuplot.
+// This package reimplements that fitting machinery from scratch on top of
+// the standard library only:
+//
+//   - Polyfit fits polynomial coefficients exactly via the linear normal
+//     equations (sufficient for the linear and quadratic approximation
+//     functions the paper uses).
+//   - LevMar minimizes the sum of squared residuals of an arbitrary
+//     parametric model function, using damped Gauss–Newton steps with an
+//     adaptive damping factor — the classic Levenberg–Marquardt scheme.
+//
+// Both return a Result carrying the fitted coefficients and goodness-of-fit
+// diagnostics so that calibration code can reject poor fits.
+package fit

@@ -1,0 +1,214 @@
+package fit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approxEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestPolyfitExactLine(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3.5*x + 1.25
+	}
+	res, err := Polyfit(xs, ys, 1)
+	if err != nil {
+		t.Fatalf("Polyfit: %v", err)
+	}
+	if !approxEq(res.Coeffs[0], 1.25, 1e-9) || !approxEq(res.Coeffs[1], 3.5, 1e-9) {
+		t.Fatalf("coefficients = %v, want [1.25 3.5]", res.Coeffs)
+	}
+	if res.SSR > 1e-18 {
+		t.Fatalf("SSR = %g, want ~0", res.SSR)
+	}
+}
+
+func TestPolyfitExactQuadratic(t *testing.T) {
+	xs := []float64{-2, -1, 0, 1, 2, 5, 10}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 0.5*x*x - 2*x + 7
+	}
+	res, err := Polyfit(xs, ys, 2)
+	if err != nil {
+		t.Fatalf("Polyfit: %v", err)
+	}
+	want := []float64{7, -2, 0.5}
+	for i := range want {
+		if !approxEq(res.Coeffs[i], want[i], 1e-7) {
+			t.Fatalf("coeff[%d] = %g, want %g (all %v)", i, res.Coeffs[i], want[i], res.Coeffs)
+		}
+	}
+}
+
+func TestPolyfitNoisyRecovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 200)
+	ys := make([]float64, 200)
+	for i := range xs {
+		x := float64(i)
+		xs[i] = x
+		ys[i] = 0.002*x*x + 0.3*x + 5 + rng.NormFloat64()*0.5
+	}
+	res, err := Polyfit(xs, ys, 2)
+	if err != nil {
+		t.Fatalf("Polyfit: %v", err)
+	}
+	if !approxEq(res.Coeffs[2], 0.002, 5e-4) || !approxEq(res.Coeffs[1], 0.3, 5e-2) {
+		t.Fatalf("noisy fit drifted: %v", res.Coeffs)
+	}
+}
+
+func TestPolyfitDegenerateInputs(t *testing.T) {
+	if _, err := Polyfit([]float64{1, 1, 1}, []float64{1, 2, 3}, 1); err != ErrSingular {
+		t.Fatalf("identical xs: err = %v, want ErrSingular", err)
+	}
+	if _, err := Polyfit([]float64{1}, []float64{2}, 1); err != ErrSingular {
+		t.Fatalf("too few points: err = %v, want ErrSingular", err)
+	}
+	if _, err := Polyfit([]float64{1, 2}, []float64{2}, 1); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := Polyfit([]float64{1, 2}, []float64{2, 3}, -1); err == nil {
+		t.Fatal("negative degree accepted")
+	}
+}
+
+func TestLevMarRecoversQuadratic(t *testing.T) {
+	xs := make([]float64, 50)
+	ys := make([]float64, 50)
+	for i := range xs {
+		x := float64(i * 6)
+		xs[i] = x
+		ys[i] = 0.001*x*x + 0.05*x + 2
+	}
+	res, err := LevMar(PolyModel(), xs, ys, []float64{1, 1, 1}, LMOptions{})
+	if err != nil {
+		t.Fatalf("LevMar: %v", err)
+	}
+	want := []float64{2, 0.05, 0.001}
+	for i := range want {
+		if !approxEq(res.Coeffs[i], want[i], 1e-5) {
+			t.Fatalf("coeff[%d] = %g, want %g (SSR=%g iters=%d)", i, res.Coeffs[i], want[i], res.SSR, res.Iterations)
+		}
+	}
+}
+
+func TestLevMarRecoversExponential(t *testing.T) {
+	expModel := func(c []float64, x float64) float64 { return c[0] * math.Exp(c[1]*x) }
+	xs := make([]float64, 40)
+	ys := make([]float64, 40)
+	for i := range xs {
+		x := float64(i) / 10
+		xs[i] = x
+		ys[i] = 2.5 * math.Exp(0.8*x)
+	}
+	res, err := LevMar(expModel, xs, ys, []float64{1, 0.1}, LMOptions{})
+	if err != nil {
+		t.Fatalf("LevMar: %v", err)
+	}
+	if !approxEq(res.Coeffs[0], 2.5, 1e-4) || !approxEq(res.Coeffs[1], 0.8, 1e-4) {
+		t.Fatalf("coefficients = %v, want [2.5 0.8]", res.Coeffs)
+	}
+}
+
+func TestLevMarNoisyLinearMatchesPolyfit(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	xs := make([]float64, 120)
+	ys := make([]float64, 120)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = 0.7*xs[i] + 3 + rng.NormFloat64()*0.2
+	}
+	direct, err := Polyfit(xs, ys, 1)
+	if err != nil {
+		t.Fatalf("Polyfit: %v", err)
+	}
+	lm, err := LevMar(PolyModel(), xs, ys, []float64{0, 0}, LMOptions{})
+	if err != nil {
+		t.Fatalf("LevMar: %v", err)
+	}
+	for i := range direct.Coeffs {
+		if !approxEq(direct.Coeffs[i], lm.Coeffs[i], 1e-4) {
+			t.Fatalf("LM %v != direct %v", lm.Coeffs, direct.Coeffs)
+		}
+	}
+}
+
+func TestLevMarInputValidation(t *testing.T) {
+	if _, err := LevMar(PolyModel(), []float64{1}, []float64{1, 2}, []float64{0}, LMOptions{}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := LevMar(PolyModel(), []float64{1, 2}, []float64{1, 2}, nil, LMOptions{}); err == nil {
+		t.Fatal("empty initial guess accepted")
+	}
+	if _, err := LevMar(PolyModel(), []float64{1}, []float64{1}, []float64{0, 0}, LMOptions{}); err != ErrSingular {
+		t.Fatal("underdetermined system accepted")
+	}
+}
+
+// Property: for any line, LevMar never ends with a larger SSR than it
+// started with, and Polyfit on exact polynomial data has ~zero residual.
+func TestLevMarNeverWorsensSSR(t *testing.T) {
+	prop := func(slope, intercept float64, seed int64) bool {
+		slope = math.Mod(slope, 100)
+		intercept = math.Mod(intercept, 100)
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 20)
+		ys := make([]float64, 20)
+		for i := range xs {
+			xs[i] = float64(i)
+			ys[i] = slope*xs[i] + intercept + rng.NormFloat64()
+		}
+		init := []float64{rng.Float64() * 10, rng.Float64() * 10}
+		start := 0.0
+		for i := range xs {
+			d := evalPoly(init, xs[i]) - ys[i]
+			start += d * d
+		}
+		res, err := LevMar(PolyModel(), xs, ys, init, LMOptions{})
+		if err != nil {
+			return false
+		}
+		return res.SSR <= start+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveKnownSystem(t *testing.T) {
+	// 2x + y = 5; x + 3y = 10 → x = 1, y = 3.
+	a := []float64{2, 1, 1, 3}
+	b := []float64{5, 10}
+	if err := solve(a, b, 2); err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	if !approxEq(b[0], 1, 1e-12) || !approxEq(b[1], 3, 1e-12) {
+		t.Fatalf("solution = %v, want [1 3]", b)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := []float64{1, 2, 2, 4}
+	b := []float64{3, 6}
+	if err := solve(a, b, 2); err != ErrSingular {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestSolveNeedsPivoting(t *testing.T) {
+	// Zero on the leading diagonal forces a row swap.
+	a := []float64{0, 1, 1, 0}
+	b := []float64{2, 3}
+	if err := solve(a, b, 2); err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	if !approxEq(b[0], 3, 1e-12) || !approxEq(b[1], 2, 1e-12) {
+		t.Fatalf("solution = %v, want [3 2]", b)
+	}
+}

@@ -1,0 +1,79 @@
+package fit
+
+import (
+	"errors"
+	"math"
+)
+
+// Result reports the outcome of a fit: the coefficients of the fitted model
+// and residual diagnostics.
+type Result struct {
+	// Coeffs holds the fitted coefficients. For Polyfit, Coeffs[i] is the
+	// coefficient of x^i. For LevMar, the layout is whatever the supplied
+	// model function expects.
+	Coeffs []float64
+	// SSR is the sum of squared residuals at the solution.
+	SSR float64
+	// RMSE is sqrt(SSR/len(points)).
+	RMSE float64
+	// Iterations is the number of iterations performed (0 for direct solves).
+	Iterations int
+}
+
+// Polyfit fits y ≈ Σ c_i·x^i (degree deg) to the sample points by ordinary
+// least squares using the normal equations. It needs at least deg+1 points
+// with at least deg+1 distinct x values; otherwise it returns ErrSingular.
+//
+// The paper approximates t_ua_dser, t_su, t_fa, t_fa_dser, t_mig_ini and
+// t_mig_rcv with degree-1 polynomials and t_ua, t_aoi with degree-2
+// polynomials; Polyfit covers all of those directly.
+func Polyfit(xs, ys []float64, deg int) (Result, error) {
+	if len(xs) != len(ys) {
+		return Result{}, errors.New("fit: xs and ys length mismatch")
+	}
+	if deg < 0 {
+		return Result{}, errors.New("fit: negative degree")
+	}
+	n := deg + 1
+	if len(xs) < n {
+		return Result{}, ErrSingular
+	}
+	// Normal equations: (VᵀV)c = Vᵀy with Vandermonde V. Accumulate the
+	// power sums directly; degrees here are tiny (≤3) so conditioning is
+	// not a concern at the scales the calibration pipeline uses.
+	ata := make([]float64, n*n)
+	aty := make([]float64, n)
+	pows := make([]float64, 2*deg+1)
+	for k, x := range xs {
+		p := 1.0
+		for i := 0; i <= 2*deg; i++ {
+			pows[i] = p
+			p *= x
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				ata[i*n+j] += pows[i+j]
+			}
+			aty[i] += pows[i] * ys[k]
+		}
+	}
+	if err := solve(ata, aty, n); err != nil {
+		return Result{}, err
+	}
+	res := Result{Coeffs: aty}
+	for k, x := range xs {
+		d := evalPoly(aty, x) - ys[k]
+		res.SSR += d * d
+	}
+	res.RMSE = math.Sqrt(res.SSR / float64(len(xs)))
+	return res, nil
+}
+
+// evalPoly evaluates Σ c_i·x^i via Horner's scheme.
+func evalPoly(c []float64, x float64) float64 {
+	v := 0.0
+	for i := len(c) - 1; i >= 0; i-- {
+		v = v*x + c[i]
+	}
+	return v
+}

@@ -1,0 +1,170 @@
+package fit
+
+import (
+	"errors"
+	"math"
+)
+
+// ModelFunc evaluates a parametric model y = f(x; coeffs). Implementations
+// must be deterministic and must not retain the coeffs slice.
+type ModelFunc func(coeffs []float64, x float64) float64
+
+// LMOptions configures LevMar. The zero value selects reasonable defaults.
+type LMOptions struct {
+	// MaxIterations bounds the number of outer LM iterations (default 200).
+	MaxIterations int
+	// Tolerance stops the iteration once the relative SSR improvement of a
+	// successful step falls below it (default 1e-12).
+	Tolerance float64
+	// InitialLambda is the starting damping factor (default 1e-3).
+	InitialLambda float64
+}
+
+func (o LMOptions) withDefaults() LMOptions {
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 200
+	}
+	if o.Tolerance <= 0 {
+		o.Tolerance = 1e-12
+	}
+	if o.InitialLambda <= 0 {
+		o.InitialLambda = 1e-3
+	}
+	return o
+}
+
+// LevMar fits the parametric model f to the sample points (xs, ys) by
+// minimizing the sum of squared residuals, starting from the initial
+// coefficient guess. It implements the Levenberg–Marquardt algorithm —
+// damped Gauss–Newton with an adaptive damping factor λ that interpolates
+// between Gauss–Newton (λ→0) and gradient descent (λ large) — matching the
+// fitting procedure the paper runs in gnuplot. The Jacobian is computed by
+// central finite differences.
+//
+// The initial slice is not modified. LevMar returns an error if the inputs
+// are inconsistent or the normal equations become singular before any
+// progress is made.
+func LevMar(f ModelFunc, xs, ys, initial []float64, opts LMOptions) (Result, error) {
+	if len(xs) != len(ys) {
+		return Result{}, errors.New("fit: xs and ys length mismatch")
+	}
+	if len(initial) == 0 {
+		return Result{}, errors.New("fit: empty initial coefficient guess")
+	}
+	if len(xs) < len(initial) {
+		return Result{}, ErrSingular
+	}
+	opts = opts.withDefaults()
+
+	np := len(initial)
+	coeffs := append([]float64(nil), initial...)
+	residual := func(c []float64) float64 {
+		ssr := 0.0
+		for i, x := range xs {
+			d := f(c, x) - ys[i]
+			ssr += d * d
+		}
+		return ssr
+	}
+
+	ssr := residual(coeffs)
+	lambda := opts.InitialLambda
+	jac := make([]float64, len(xs)*np) // row-major m×np
+	jtj := make([]float64, np*np)      // JᵀJ (+ damping)
+	jtr := make([]float64, np)         // Jᵀr
+	trial := make([]float64, np)
+	probe := make([]float64, np)
+
+	iters := 0
+	for ; iters < opts.MaxIterations; iters++ {
+		// Numeric Jacobian of the residual vector r_i = f(c, x_i) - y_i.
+		copy(probe, coeffs)
+		for j := 0; j < np; j++ {
+			h := 1e-6 * math.Max(math.Abs(coeffs[j]), 1e-6)
+			probe[j] = coeffs[j] + h
+			for i, x := range xs {
+				jac[i*np+j] = f(probe, x)
+			}
+			probe[j] = coeffs[j] - h
+			for i, x := range xs {
+				jac[i*np+j] = (jac[i*np+j] - f(probe, x)) / (2 * h)
+			}
+			probe[j] = coeffs[j]
+		}
+		// Normal equations JᵀJ·δ = -Jᵀr.
+		for a := range jtj {
+			jtj[a] = 0
+		}
+		for a := range jtr {
+			jtr[a] = 0
+		}
+		for i, x := range xs {
+			r := f(coeffs, x) - ys[i]
+			for a := 0; a < np; a++ {
+				jtr[a] += jac[i*np+a] * r
+				for b := a; b < np; b++ {
+					jtj[a*np+b] += jac[i*np+a] * jac[i*np+b]
+				}
+			}
+		}
+		for a := 1; a < np; a++ {
+			for b := 0; b < a; b++ {
+				jtj[a*np+b] = jtj[b*np+a]
+			}
+		}
+
+		improved := false
+		// Try increasing damping until a step lowers the SSR (or give up).
+		for attempt := 0; attempt < 30; attempt++ {
+			sys := append([]float64(nil), jtj...)
+			rhs := make([]float64, np)
+			for a := 0; a < np; a++ {
+				// Marquardt's scaling: damp by λ·diag(JᵀJ), falling back to
+				// identity damping when a diagonal entry vanishes.
+				d := jtj[a*np+a]
+				if d == 0 {
+					d = 1
+				}
+				sys[a*np+a] += lambda * d
+				rhs[a] = -jtr[a]
+			}
+			if err := solve(sys, rhs, np); err != nil {
+				lambda *= 10
+				continue
+			}
+			for a := 0; a < np; a++ {
+				trial[a] = coeffs[a] + rhs[a]
+			}
+			if trialSSR := residual(trial); trialSSR < ssr && !math.IsNaN(trialSSR) {
+				rel := (ssr - trialSSR) / math.Max(ssr, 1e-300)
+				copy(coeffs, trial)
+				ssr = trialSSR
+				lambda = math.Max(lambda/10, 1e-14)
+				improved = true
+				if rel < opts.Tolerance {
+					iters++
+					goto done
+				}
+				break
+			}
+			lambda *= 10
+		}
+		if !improved {
+			break // Converged: no damping level yields an improvement.
+		}
+	}
+done:
+	return Result{
+		Coeffs:     coeffs,
+		SSR:        ssr,
+		RMSE:       math.Sqrt(ssr / float64(len(xs))),
+		Iterations: iters,
+	}, nil
+}
+
+// PolyModel returns a ModelFunc evaluating Σ c_i·x^i, for fitting polynomial
+// shapes through LevMar (e.g. to cross-check Polyfit, or with constraints
+// baked into f).
+func PolyModel() ModelFunc {
+	return func(c []float64, x float64) float64 { return evalPoly(c, x) }
+}

@@ -1,0 +1,59 @@
+package fit
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular is returned when a linear system has no unique solution, e.g.
+// when fitting a polynomial of degree d to fewer than d+1 distinct points.
+var ErrSingular = errors.New("fit: singular system (not enough independent data points)")
+
+// solve solves the n×n linear system a·x = b in place using Gaussian
+// elimination with partial pivoting. a is row-major with n*n entries; both a
+// and b are clobbered. The solution is written into b.
+func solve(a []float64, b []float64, n int) error {
+	for col := 0; col < n; col++ {
+		// Partial pivot: find the row with the largest magnitude in col.
+		pivot := col
+		best := math.Abs(a[col*n+col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a[r*n+col]); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best == 0 || math.IsNaN(best) {
+			return ErrSingular
+		}
+		if pivot != col {
+			for c := col; c < n; c++ {
+				a[col*n+c], a[pivot*n+c] = a[pivot*n+c], a[col*n+c]
+			}
+			b[col], b[pivot] = b[pivot], b[col]
+		}
+		inv := 1 / a[col*n+col]
+		for r := col + 1; r < n; r++ {
+			f := a[r*n+col] * inv
+			if f == 0 {
+				continue
+			}
+			a[r*n+col] = 0
+			for c := col + 1; c < n; c++ {
+				a[r*n+c] -= f * a[col*n+c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	// Back substitution.
+	for r := n - 1; r >= 0; r-- {
+		sum := b[r]
+		for c := r + 1; c < n; c++ {
+			sum -= a[r*n+c] * b[c]
+		}
+		b[r] = sum / a[r*n+r]
+		if math.IsNaN(b[r]) || math.IsInf(b[r], 0) {
+			return ErrSingular
+		}
+	}
+	return nil
+}

@@ -1,0 +1,238 @@
+package game
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"roia/internal/rtf/entity"
+	"roia/internal/rtf/server"
+)
+
+func testEnv() *server.Env {
+	return &server.Env{
+		ServerID: "s1",
+		Store:    entity.NewStore(),
+		Rand:     rand.New(rand.NewSource(1)),
+	}
+}
+
+func TestCommandRoundTrips(t *testing.T) {
+	mv, err := Commands.Decode(Commands.EncodeToBytes(&Move{DX: 1.5, DY: -2.5}))
+	if err != nil || mv.(*Move).DX != 1.5 || mv.(*Move).DY != -2.5 {
+		t.Fatalf("move round trip: %v %+v", err, mv)
+	}
+	atk, err := Commands.Decode(Commands.EncodeToBytes(&Attack{DirX: 0, DirY: 1}))
+	if err != nil || atk.(*Attack).DirY != 1 {
+		t.Fatalf("attack round trip: %v %+v", err, atk)
+	}
+	dmg, err := Commands.Decode(Commands.EncodeToBytes(&Damage{Amount: 10}))
+	if err != nil || dmg.(*Damage).Amount != 10 {
+		t.Fatalf("damage round trip: %v %+v", err, dmg)
+	}
+}
+
+func TestSpawnAvatarClampsAndRegisters(t *testing.T) {
+	g := New(DefaultConfig())
+	env := testEnv()
+	av := g.SpawnAvatar(env, 7, entity.Vec2{X: -50, Y: 2000}, 1)
+	if av.Pos != (entity.Vec2{X: 0, Y: 1000}) {
+		t.Fatalf("spawn pos = %v, want clamped", av.Pos)
+	}
+	if av.Health != 100 {
+		t.Fatalf("spawn health = %d", av.Health)
+	}
+	if _, _, ok := g.Score(7); !ok {
+		t.Fatal("user state not registered at spawn")
+	}
+}
+
+func TestApplyInputRejectsGarbage(t *testing.T) {
+	g := New(DefaultConfig())
+	env := testEnv()
+	actor := &entity.Entity{ID: 1}
+	if _, err := g.ApplyInput(env, actor, []byte{0xFF}); err == nil {
+		t.Fatal("garbage input accepted")
+	}
+	// A Damage command is not a valid *user* input.
+	if _, err := g.ApplyInput(env, actor, Commands.EncodeToBytes(&Damage{Amount: 5})); err == nil {
+		t.Fatal("damage accepted as user input")
+	}
+}
+
+func TestAttackHitGeometry(t *testing.T) {
+	g := New(DefaultConfig()) // range 60, width 8
+	env := testEnv()
+	actor := &entity.Entity{ID: 1, Kind: entity.Avatar, Pos: entity.Vec2{X: 100, Y: 100}, Owner: "s1"}
+	env.Store.Put(actor)
+	inRange := &entity.Entity{ID: 2, Kind: entity.Avatar, Pos: entity.Vec2{X: 150, Y: 103}, Owner: "s1"}
+	behind := &entity.Entity{ID: 3, Kind: entity.Avatar, Pos: entity.Vec2{X: 50, Y: 100}, Owner: "s1"}
+	tooFar := &entity.Entity{ID: 4, Kind: entity.Avatar, Pos: entity.Vec2{X: 170, Y: 100}, Owner: "s1"}
+	offAxis := &entity.Entity{ID: 5, Kind: entity.Avatar, Pos: entity.Vec2{X: 150, Y: 120}, Owner: "s1"}
+	npc := &entity.Entity{ID: 6, Kind: entity.NPC, Pos: entity.Vec2{X: 150, Y: 100}, Owner: "s1"}
+	for _, e := range []*entity.Entity{inRange, behind, tooFar, offAxis, npc} {
+		env.Store.Put(e)
+	}
+	fwds, err := g.ApplyInput(env, actor, Commands.EncodeToBytes(&Attack{DirX: 1, DirY: 0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fwds) != 1 || fwds[0].Target != 2 {
+		t.Fatalf("hits = %+v, want only entity 2", fwds)
+	}
+}
+
+func TestAttackZeroDirectionIsNoop(t *testing.T) {
+	g := New(DefaultConfig())
+	env := testEnv()
+	actor := &entity.Entity{ID: 1, Kind: entity.Avatar, Owner: "s1"}
+	env.Store.Put(actor)
+	fwds, err := g.ApplyInput(env, actor, Commands.EncodeToBytes(&Attack{}))
+	if err != nil || len(fwds) != 0 {
+		t.Fatalf("zero-direction attack: %v %v", fwds, err)
+	}
+}
+
+func TestApplyForwardedDamageAndRespawn(t *testing.T) {
+	g := New(DefaultConfig())
+	env := testEnv()
+	victim := &entity.Entity{ID: 2, Kind: entity.Avatar, Pos: entity.Vec2{X: 1, Y: 1}, Health: 15, Owner: "s1"}
+	g.ApplyUserState(env, 2, nil) // ensure state exists
+	payload := Commands.EncodeToBytes(&Damage{Amount: 10})
+
+	if err := g.ApplyForwarded(env, 1, victim, payload); err != nil {
+		t.Fatal(err)
+	}
+	if victim.Health != 5 {
+		t.Fatalf("health = %d, want 5", victim.Health)
+	}
+	if err := g.ApplyForwarded(env, 1, victim, payload); err != nil {
+		t.Fatal(err)
+	}
+	if victim.Health != 100 {
+		t.Fatalf("health = %d, want respawned 100", victim.Health)
+	}
+	if victim.Pos == (entity.Vec2{X: 1, Y: 1}) {
+		t.Fatal("respawn did not relocate")
+	}
+	ev := string(g.DrainEvents(env, 2))
+	if !strings.Contains(ev, "hit") || !strings.Contains(ev, "respawned") {
+		t.Fatalf("events = %q", ev)
+	}
+	// Drained: second call returns nothing.
+	if g.DrainEvents(env, 2) != nil {
+		t.Fatal("events not cleared")
+	}
+}
+
+func TestApplyForwardedRejectsNonDamage(t *testing.T) {
+	g := New(DefaultConfig())
+	env := testEnv()
+	victim := &entity.Entity{ID: 2, Health: 100}
+	if err := g.ApplyForwarded(env, 1, victim, Commands.EncodeToBytes(&Move{DX: 1})); err == nil {
+		t.Fatal("move accepted as forwarded input")
+	}
+	if err := g.ApplyForwarded(env, 1, victim, []byte{1, 2, 3}); err == nil {
+		t.Fatal("garbage accepted as forwarded input")
+	}
+}
+
+func TestUserStateMigrationRoundTrip(t *testing.T) {
+	g1 := New(DefaultConfig())
+	g2 := New(DefaultConfig())
+	env := testEnv()
+	g1.SpawnAvatar(env, 9, entity.Vec2{}, 1)
+	// Accumulate some state.
+	actor := &entity.Entity{ID: 9, Kind: entity.Avatar, Pos: entity.Vec2{X: 10, Y: 10}, Owner: "s1"}
+	env.Store.Put(actor)
+	env.Store.Put(&entity.Entity{ID: 10, Kind: entity.Avatar, Pos: entity.Vec2{X: 20, Y: 10}, Owner: "s1"})
+	if _, err := g1.ApplyInput(env, actor, Commands.EncodeToBytes(&Attack{DirX: 1, DirY: 0})); err != nil {
+		t.Fatal(err)
+	}
+	kills, _, _ := g1.Score(9)
+	blob := g1.EncodeUserState(env, 9)
+	if _, _, ok := g1.Score(9); ok {
+		t.Fatal("source kept user state after encode")
+	}
+	g2.ApplyUserState(env, 9, blob)
+	gotKills, _, ok := g2.Score(9)
+	if !ok || gotKills != kills {
+		t.Fatalf("migrated kills = %d ok=%v, want %d", gotKills, ok, kills)
+	}
+}
+
+func TestApplyUserStateGarbageFallsBack(t *testing.T) {
+	g := New(DefaultConfig())
+	env := testEnv()
+	g.ApplyUserState(env, 3, []byte{1}) // truncated
+	if _, _, ok := g.Score(3); !ok {
+		t.Fatal("garbage state did not fall back to fresh state")
+	}
+}
+
+func TestUpdateNPCStaysInBounds(t *testing.T) {
+	g := New(DefaultConfig())
+	env := testEnv()
+	npc := &entity.Entity{ID: 1, Kind: entity.NPC, Pos: entity.Vec2{X: 0, Y: 0}}
+	for i := 0; i < 500; i++ {
+		g.UpdateNPC(env, npc)
+		if npc.Pos.X < 0 || npc.Pos.X > 1000 || npc.Pos.Y < 0 || npc.Pos.Y > 1000 {
+			t.Fatalf("NPC escaped bounds: %v", npc.Pos)
+		}
+	}
+}
+
+func TestNPCAttacksNearbyAvatar(t *testing.T) {
+	g := New(DefaultConfig()) // aggro 40, prob 0.2
+	env := testEnv()
+	npc := &entity.Entity{ID: 1, Kind: entity.NPC, Pos: entity.Vec2{X: 500, Y: 500}, Owner: "s1"}
+	near := &entity.Entity{ID: 2, Kind: entity.Avatar, Pos: entity.Vec2{X: 510, Y: 500}, Owner: "s1"}
+	far := &entity.Entity{ID: 3, Kind: entity.Avatar, Pos: entity.Vec2{X: 900, Y: 900}, Owner: "s1"}
+	env.Store.Put(npc)
+	env.Store.Put(near)
+	env.Store.Put(far)
+	attacks := 0
+	for i := 0; i < 200; i++ {
+		npc.Pos = entity.Vec2{X: 500, Y: 500} // pin position for the test
+		for _, fw := range g.UpdateNPC(env, npc) {
+			if fw.Target != near.ID {
+				t.Fatalf("NPC attacked %d, want nearest avatar %d", fw.Target, near.ID)
+			}
+			msg, err := Commands.Decode(fw.Payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if msg.(*Damage).Amount != g.cfg.NPCDamage {
+				t.Fatalf("damage = %d", msg.(*Damage).Amount)
+			}
+			attacks++
+		}
+	}
+	if attacks == 0 {
+		t.Fatal("NPC never attacked an avatar in range")
+	}
+	if attacks == 200 {
+		t.Fatal("NPC attacked every tick despite probability")
+	}
+}
+
+func TestNPCAttacksDisabledByConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NPCAggroRange = 0
+	g := New(cfg)
+	env := testEnv()
+	npc := &entity.Entity{ID: 1, Kind: entity.NPC, Pos: entity.Vec2{X: 500, Y: 500}}
+	env.Store.Put(&entity.Entity{ID: 2, Kind: entity.Avatar, Pos: entity.Vec2{X: 501, Y: 500}})
+	for i := 0; i < 100; i++ {
+		if fwds := g.UpdateNPC(env, npc); len(fwds) != 0 {
+			t.Fatal("disabled NPC attacked")
+		}
+	}
+}
+
+func TestNewFallsBackOnBadConfig(t *testing.T) {
+	g := New(Config{WorldMin: 10, WorldMax: 5})
+	if g.cfg.WorldMax <= g.cfg.WorldMin {
+		t.Fatal("bad config not replaced by defaults")
+	}
+}

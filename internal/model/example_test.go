@@ -1,0 +1,43 @@
+package model_test
+
+import (
+	"fmt"
+
+	"roia/internal/model"
+	"roia/internal/params"
+)
+
+// The paper's §V-A numbers, straight from the public API.
+func Example() {
+	mdl, err := model.New(params.RTFDemo(), params.UFirstPersonShooter, params.CDefault)
+	if err != nil {
+		panic(err)
+	}
+	nmax, _ := mdl.MaxUsers(1, 0)
+	lmax, _ := mdl.MaxReplicas(0)
+	fmt.Printf("n_max(1) = %d users\n", nmax)
+	fmt.Printf("trigger  = %d users\n", model.ReplicationTrigger(nmax, model.DefaultTriggerFraction))
+	fmt.Printf("l_max    = %d replicas\n", lmax)
+	// Output:
+	// n_max(1) = 235 users
+	// trigger  = 188 users
+	// l_max    = 8 replicas
+}
+
+func ExampleModel_TickTime() {
+	mdl, _ := model.New(params.RTFDemo(), params.UFirstPersonShooter, params.CDefault)
+	fmt.Printf("T(1, 200, 0) = %.1f ms\n", mdl.TickTime(1, 200, 0))
+	fmt.Printf("T(2, 200, 0) = %.1f ms\n", mdl.TickTime(2, 200, 0))
+	// Output:
+	// T(1, 200, 0) = 29.3 ms
+	// T(2, 200, 0) = 15.3 ms
+}
+
+func ExampleModel_MigrationBudget() {
+	mdl, _ := model.New(params.RTFDemo(), params.UFirstPersonShooter, params.CDefault)
+	// Two replicas, 260 zone users: 180 on the source, 80 on the target.
+	budget := mdl.MigrationBudget(2, 260, 0, 180, 80)
+	fmt.Printf("RTF-RMS migrates %d users per second\n", budget)
+	// Output:
+	// RTF-RMS migrates 3 users per second
+}

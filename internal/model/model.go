@@ -1,0 +1,262 @@
+// Package model implements the paper's scalability model for Real-Time
+// Online Interactive Applications (ROIA): the tick-duration predictions of
+// Eq. (1) and Eq. (4) and the derived thresholds — maximum users per replica
+// count (Eq. 2), maximum useful replica count (Eq. 3), and maximum user
+// migrations per second (Eq. 5).
+//
+// The model is purely analytical: it consumes a CostModel (typically a
+// calibrated params.Set) and produces integer thresholds that a resource
+// manager such as internal/rms enforces at runtime.
+package model
+
+import (
+	"errors"
+	"fmt"
+)
+
+// CostModel supplies the per-item CPU times (in milliseconds) of the four
+// computational tasks of one real-time-loop iteration, plus the user
+// migration overheads. n is the total user count of the zone, m the NPC
+// count. *params.Set implements CostModel.
+type CostModel interface {
+	// UADeserAt is t_ua_dser(n,m): receive + deserialize one user input.
+	UADeserAt(n, m int) float64
+	// UAAt is t_ua(n,m): validate + apply one user input.
+	UAAt(n, m int) float64
+	// FADeserAt is t_fa_dser(n,m): receive + deserialize one forwarded input.
+	FADeserAt(n, m int) float64
+	// FAAt is t_fa(n,m): apply one forwarded input.
+	FAAt(n, m int) float64
+	// NPCAt is t_npc(n,m): update one NPC.
+	NPCAt(n, m int) float64
+	// AOIAt is t_aoi(n,m): compute one user's area of interest.
+	AOIAt(n, m int) float64
+	// SUAt is t_su(n,m): compute + serialize one user's state update.
+	SUAt(n, m int) float64
+	// MigIniAt is t_mig_ini(n): initiate one user migration.
+	MigIniAt(n int) float64
+	// MigRcvAt is t_mig_rcv(n): receive one user migration.
+	MigRcvAt(n int) float64
+}
+
+// Defaults used when the corresponding Model field is zero.
+const (
+	// DefaultUserCap bounds the Eq. (2) search for the maximum user count.
+	DefaultUserCap = 1 << 20
+	// DefaultReplicaCap bounds the Eq. (3) search for the maximum replica
+	// count.
+	DefaultReplicaCap = 4096
+	// DefaultTriggerFraction is the fraction of n_max at which replication
+	// enactment is triggered (the empirical 80 % rule of Section V-A).
+	DefaultTriggerFraction = 0.8
+)
+
+// Model evaluates the scalability model for one application profile.
+type Model struct {
+	// Cost supplies the application-specific per-task CPU times.
+	Cost CostModel
+	// U is the upper tick-duration threshold in ms (e.g. 40 for a
+	// first-person shooter needing 25 updates/s).
+	U float64
+	// C is the minimum-improvement factor in (0, 1]: how much of the
+	// single-server capacity n_max(1) each additional replica must
+	// contribute (Eq. 3). The paper uses c = 0.15 for RTFDemo.
+	C float64
+	// UserCap bounds threshold searches (default DefaultUserCap).
+	UserCap int
+	// ReplicaCap bounds the replica search (default DefaultReplicaCap).
+	ReplicaCap int
+}
+
+// New returns a Model over the given cost model with threshold U (ms) and
+// minimum-improvement factor c. It returns an error for non-positive U or a
+// c outside (0, 1].
+func New(cost CostModel, u, c float64) (*Model, error) {
+	if cost == nil {
+		return nil, errors.New("model: nil cost model")
+	}
+	if u <= 0 {
+		return nil, fmt.Errorf("model: threshold U must be positive, got %g", u)
+	}
+	if c <= 0 || c > 1 {
+		return nil, fmt.Errorf("model: improvement factor c must be in (0,1], got %g", c)
+	}
+	return &Model{Cost: cost, U: u, C: c}, nil
+}
+
+func (mdl *Model) userCap() int {
+	if mdl.UserCap > 0 {
+		return mdl.UserCap
+	}
+	return DefaultUserCap
+}
+
+func (mdl *Model) replicaCap() int {
+	if mdl.ReplicaCap > 0 {
+		return mdl.ReplicaCap
+	}
+	return DefaultReplicaCap
+}
+
+// TickTime implements Eq. (1): the predicted tick duration in ms for n users
+// and m NPCs distributed equally on l replicas.
+//
+//	T(l,n,m) = n/l·(t_ua_dser + t_ua + t_aoi + t_su)
+//	         + (n − n/l)·(t_fa_dser + t_fa)
+//	         + m/l·t_npc
+func (mdl *Model) TickTime(l, n, m int) float64 {
+	if l < 1 || n < 0 || m < 0 {
+		return 0
+	}
+	active := float64(n) / float64(l)
+	return mdl.tick(l, n, m, active)
+}
+
+// TickTimeUneven implements Eq. (4): the predicted tick duration in ms for a
+// server holding a of the zone's n users as active entities (the remaining
+// n−a are shadow entities), with the zone's m NPCs spread over l replicas.
+func (mdl *Model) TickTimeUneven(l, n, m, a int) float64 {
+	if l < 1 || n < 0 || m < 0 || a < 0 || a > n {
+		return 0
+	}
+	return mdl.tick(l, n, m, float64(a))
+}
+
+func (mdl *Model) tick(l, n, m int, active float64) float64 {
+	cm := mdl.Cost
+	perActive := cm.UADeserAt(n, m) + cm.UAAt(n, m) + cm.AOIAt(n, m) + cm.SUAt(n, m)
+	perShadow := cm.FADeserAt(n, m) + cm.FAAt(n, m)
+	shadow := float64(n) - active
+	return active*perActive + shadow*perShadow + float64(m)/float64(l)*cm.NPCAt(n, m)
+}
+
+// MaxUsers implements Eq. (2): the maximum user count n such that
+// T(l,n,m) < U. ok is false if no user count within UserCap violates the
+// threshold (an effectively unbounded configuration), in which case the cap
+// is returned.
+//
+// MaxUsers assumes T(l,·,m) is non-decreasing in n, which holds for any cost
+// model with non-negative curves (every term of Eq. 1 grows with n).
+func (mdl *Model) MaxUsers(l, m int) (nmax int, ok bool) {
+	if l < 1 {
+		return 0, false
+	}
+	cap := mdl.userCap()
+	if mdl.TickTime(l, cap, m) < mdl.U {
+		return cap, false
+	}
+	// Binary search for the first n with T(l,n,m) >= U; n_max is one less.
+	lo, hi := 0, cap // invariant: T(lo) < U, T(hi) >= U
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		if mdl.TickTime(l, mid, m) < mdl.U {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, true
+}
+
+// MaxReplicas implements Eq. (3): the maximum number of replicas for which
+// adding replica l still accommodates n_max(l−1) + c·n_max(1) users within
+// the tick-duration threshold. ok is false if the search hit ReplicaCap
+// without the condition failing.
+func (mdl *Model) MaxReplicas(m int) (lmax int, ok bool) {
+	base, bounded := mdl.MaxUsers(1, m)
+	if !bounded {
+		// A single server already handles UserCap users: replication is
+		// never required within the supported range.
+		return 1, false
+	}
+	minGain := mdl.C * float64(base)
+	prev := base
+	for l := 2; l <= mdl.replicaCap(); l++ {
+		target := prev + int(minGain)
+		if mdl.TickTime(l, target, m) >= mdl.U {
+			return l - 1, true
+		}
+		// n'_max for the next iteration is n_max(l−1); recompute capacity
+		// at the now-accepted replica count.
+		nmax, _ := mdl.MaxUsers(l, m)
+		if nmax < prev {
+			// Capacity shrank outright: replication overhead dominates.
+			return l - 1, true
+		}
+		prev = nmax
+	}
+	return mdl.replicaCap(), false
+}
+
+// MaxUsersSchedule returns n_max(l) for l = 1..lmax, the series plotted in
+// Fig. 5 ("maximum # users" vs replica count).
+func (mdl *Model) MaxUsersSchedule(m, lmax int) []int {
+	sched := make([]int, lmax)
+	for l := 1; l <= lmax; l++ {
+		sched[l-1], _ = mdl.MaxUsers(l, m)
+	}
+	return sched
+}
+
+// ReplicationTrigger returns the user count at which replication enactment
+// should be initiated for a given capacity: fraction·nmax rounded down
+// (Section V-A triggers at 80 % of n_max to absorb migration overhead and
+// users that connect during load balancing). Fractions outside (0,1] fall
+// back to DefaultTriggerFraction.
+func ReplicationTrigger(nmax int, fraction float64) int {
+	if fraction <= 0 || fraction > 1 {
+		fraction = DefaultTriggerFraction
+	}
+	return int(fraction * float64(nmax))
+}
+
+// MaxMigrationsIni implements the first half of Eq. (5): the maximum number
+// of user migrations per second that a server with a active entities out of
+// n zone users (m NPCs, l replicas) can initiate without its tick duration
+// reaching U.
+func (mdl *Model) MaxMigrationsIni(l, n, m, a int) int {
+	return mdl.maxMigrations(mdl.TickTimeUneven(l, n, m, a), mdl.Cost.MigIniAt(n))
+}
+
+// MaxMigrationsRcv implements the second half of Eq. (5): the maximum number
+// of user migrations per second the server can receive.
+func (mdl *Model) MaxMigrationsRcv(l, n, m, a int) int {
+	return mdl.maxMigrations(mdl.TickTimeUneven(l, n, m, a), mdl.Cost.MigRcvAt(n))
+}
+
+// maxMigrations solves max{x ∈ ℕ | base + x·perMig < U} in closed form.
+func (mdl *Model) maxMigrations(base, perMig float64) int {
+	headroom := mdl.U - base
+	if headroom <= 0 {
+		return 0
+	}
+	if perMig <= 0 {
+		// Migration is free under this cost model; cap at the user-count
+		// search bound so callers always receive a finite threshold.
+		return mdl.userCap()
+	}
+	x := int(headroom / perMig)
+	// Strict inequality: if x·perMig lands exactly on the headroom, back off.
+	if base+float64(x)*perMig >= mdl.U {
+		x--
+	}
+	if x < 0 {
+		return 0
+	}
+	if cap := mdl.userCap(); x > cap {
+		return cap
+	}
+	return x
+}
+
+// MigrationBudget reports min{x_max_ini(source), x_max_rcv(target)}: the
+// migration rate RTF-RMS applies between one source/target server pair so
+// that neither side violates the threshold (Section V-A's worked example).
+func (mdl *Model) MigrationBudget(l, n, m, srcActive, dstActive int) int {
+	ini := mdl.MaxMigrationsIni(l, n, m, srcActive)
+	rcv := mdl.MaxMigrationsRcv(l, n, m, dstActive)
+	if rcv < ini {
+		return rcv
+	}
+	return ini
+}

@@ -1,0 +1,414 @@
+package model_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"roia/internal/model"
+	"roia/internal/params"
+)
+
+// constCost is a cost model with constant per-item times, making every
+// equation hand-checkable.
+type constCost struct {
+	uaDeser, ua, faDeser, fa, npc, aoi, su float64
+	migIni, migRcv                         float64
+}
+
+func (c constCost) UADeserAt(n, m int) float64 { return c.uaDeser }
+func (c constCost) UAAt(n, m int) float64      { return c.ua }
+func (c constCost) FADeserAt(n, m int) float64 { return c.faDeser }
+func (c constCost) FAAt(n, m int) float64      { return c.fa }
+func (c constCost) NPCAt(n, m int) float64     { return c.npc }
+func (c constCost) AOIAt(n, m int) float64     { return c.aoi }
+func (c constCost) SUAt(n, m int) float64      { return c.su }
+func (c constCost) MigIniAt(n int) float64     { return c.migIni }
+func (c constCost) MigRcvAt(n int) float64     { return c.migRcv }
+
+func simpleModel(t *testing.T, u float64) *model.Model {
+	t.Helper()
+	// Active per-user cost 0.1 ms, shadow 0.01 ms, NPC 0.05 ms.
+	cc := constCost{uaDeser: 0.02, ua: 0.03, aoi: 0.03, su: 0.02, faDeser: 0.004, fa: 0.006, npc: 0.05, migIni: 1.0, migRcv: 0.5}
+	mdl, err := model.New(cc, u, 0.15)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return mdl
+}
+
+func TestNewValidation(t *testing.T) {
+	cc := constCost{ua: 1}
+	if _, err := model.New(nil, 40, 0.15); err == nil {
+		t.Fatal("nil cost model accepted")
+	}
+	if _, err := model.New(cc, 0, 0.15); err == nil {
+		t.Fatal("zero U accepted")
+	}
+	if _, err := model.New(cc, -1, 0.15); err == nil {
+		t.Fatal("negative U accepted")
+	}
+	if _, err := model.New(cc, 40, 0); err == nil {
+		t.Fatal("c = 0 accepted")
+	}
+	if _, err := model.New(cc, 40, 1.5); err == nil {
+		t.Fatal("c > 1 accepted")
+	}
+	if _, err := model.New(cc, 40, 1.0); err != nil {
+		t.Fatalf("c = 1 rejected: %v", err)
+	}
+}
+
+func TestTickTimeEquationOne(t *testing.T) {
+	mdl := simpleModel(t, 40)
+	// Eq. (1) by hand for l=2, n=100, m=10:
+	// active = 100/2 = 50, shadow = 50, npc share = 5.
+	// T = 50·0.1 + 50·0.01 + 5·0.05 = 5 + 0.5 + 0.25 = 5.75.
+	if got := mdl.TickTime(2, 100, 10); math.Abs(got-5.75) > 1e-12 {
+		t.Fatalf("T(2,100,10) = %g, want 5.75", got)
+	}
+	// Single replica: no shadow entities.
+	// T = 100·0.1 + 0 + 10·0.05 = 10.5.
+	if got := mdl.TickTime(1, 100, 10); math.Abs(got-10.5) > 1e-12 {
+		t.Fatalf("T(1,100,10) = %g, want 10.5", got)
+	}
+}
+
+func TestTickTimeInvalidArgs(t *testing.T) {
+	mdl := simpleModel(t, 40)
+	if got := mdl.TickTime(0, 100, 0); got != 0 {
+		t.Fatalf("T with l=0 = %g, want 0", got)
+	}
+	if got := mdl.TickTime(1, -1, 0); got != 0 {
+		t.Fatalf("T with n<0 = %g, want 0", got)
+	}
+	if got := mdl.TickTimeUneven(1, 10, 0, 11); got != 0 {
+		t.Fatalf("T with a>n = %g, want 0", got)
+	}
+	if got := mdl.TickTimeUneven(1, 10, 0, -1); got != 0 {
+		t.Fatalf("T with a<0 = %g, want 0", got)
+	}
+}
+
+func TestTickTimeUnevenEquationFour(t *testing.T) {
+	mdl := simpleModel(t, 40)
+	// Eq. (4) for l=2, n=100, m=10, a=70:
+	// T = 70·0.1 + 30·0.01 + 5·0.05 = 7 + 0.3 + 0.25 = 7.55.
+	if got := mdl.TickTimeUneven(2, 100, 10, 70); math.Abs(got-7.55) > 1e-12 {
+		t.Fatalf("T(2,100,10,70) = %g, want 7.55", got)
+	}
+	// Even distribution must agree with Eq. (1).
+	if e1, e4 := mdl.TickTime(2, 100, 10), mdl.TickTimeUneven(2, 100, 10, 50); math.Abs(e1-e4) > 1e-12 {
+		t.Fatalf("Eq.1 %g != Eq.4 at a=n/l %g", e1, e4)
+	}
+}
+
+func TestMaxUsersAgainstBruteForce(t *testing.T) {
+	mdl := simpleModel(t, 40)
+	for _, l := range []int{1, 2, 4, 8} {
+		got, ok := mdl.MaxUsers(l, 10)
+		if !ok {
+			t.Fatalf("MaxUsers(l=%d) unbounded", l)
+		}
+		brute := 0
+		for n := 0; n < 100000; n++ {
+			if mdl.TickTime(l, n, 10) < 40 {
+				brute = n
+			} else {
+				break
+			}
+		}
+		if got != brute {
+			t.Fatalf("MaxUsers(l=%d) = %d, brute force %d", l, got, brute)
+		}
+	}
+}
+
+func TestMaxUsersClosedFormConstCost(t *testing.T) {
+	mdl := simpleModel(t, 40)
+	// l=1, m=0: T = n·0.1 < 40 → n_max = 399 (strict inequality).
+	got, ok := mdl.MaxUsers(1, 0)
+	if !ok || got != 399 {
+		t.Fatalf("MaxUsers(1,0) = %d ok=%v, want 399 true", got, ok)
+	}
+}
+
+func TestMaxUsersUnbounded(t *testing.T) {
+	mdl, err := model.New(constCost{}, 40, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mdl.UserCap = 10000
+	got, ok := mdl.MaxUsers(1, 0)
+	if ok || got != 10000 {
+		t.Fatalf("zero-cost MaxUsers = %d ok=%v, want cap 10000 false", got, ok)
+	}
+	if _, ok := mdl.MaxReplicas(0); ok {
+		t.Fatal("zero-cost MaxReplicas reported ok")
+	}
+}
+
+func TestMaxUsersInvalidReplicas(t *testing.T) {
+	mdl := simpleModel(t, 40)
+	if got, ok := mdl.MaxUsers(0, 0); ok || got != 0 {
+		t.Fatalf("MaxUsers(l=0) = %d ok=%v, want 0 false", got, ok)
+	}
+}
+
+func TestMaxReplicasConstCost(t *testing.T) {
+	mdl := simpleModel(t, 40)
+	// With A=0.1, F=0.01 constant: n_max(l) = ceil(U/(A/l+(1−1/l)F))−1.
+	// Brute-force Eq. (3) for comparison.
+	lmax, ok := mdl.MaxReplicas(0)
+	if !ok {
+		t.Fatal("MaxReplicas unbounded")
+	}
+	base, _ := mdl.MaxUsers(1, 0)
+	brute := 1
+	prev := base
+	for l := 2; l <= 4096; l++ {
+		target := prev + int(0.15*float64(base))
+		if mdl.TickTime(l, target, 0) >= 40 {
+			break
+		}
+		brute = l
+		prev, _ = mdl.MaxUsers(l, 0)
+	}
+	if lmax != brute {
+		t.Fatalf("MaxReplicas = %d, brute force %d", lmax, brute)
+	}
+	if lmax < 2 {
+		t.Fatalf("MaxReplicas = %d, expected replication to help with cheap forwarding", lmax)
+	}
+}
+
+func TestMaxUsersScheduleMonotone(t *testing.T) {
+	mdl := simpleModel(t, 40)
+	sched := mdl.MaxUsersSchedule(0, 10)
+	if len(sched) != 10 {
+		t.Fatalf("schedule length %d, want 10", len(sched))
+	}
+	for i := 1; i < len(sched); i++ {
+		if sched[i] < sched[i-1] {
+			t.Fatalf("schedule not monotone at l=%d: %v", i+1, sched)
+		}
+	}
+}
+
+func TestMaxMigrationsClosedFormVsBruteForce(t *testing.T) {
+	mdl := simpleModel(t, 40)
+	for _, tc := range []struct{ l, n, m, a int }{
+		{1, 100, 0, 100}, {2, 200, 10, 150}, {2, 300, 0, 100}, {1, 399, 0, 399},
+	} {
+		base := mdl.TickTimeUneven(tc.l, tc.n, tc.m, tc.a)
+		for _, mig := range []struct {
+			per float64
+			got int
+		}{
+			{1.0, mdl.MaxMigrationsIni(tc.l, tc.n, tc.m, tc.a)},
+			{0.5, mdl.MaxMigrationsRcv(tc.l, tc.n, tc.m, tc.a)},
+		} {
+			brute := 0
+			for x := 0; x < 1000000; x++ {
+				if base+float64(x)*mig.per < 40 {
+					brute = x
+				} else {
+					break
+				}
+			}
+			if mig.got != brute {
+				t.Fatalf("migrations(l=%d n=%d a=%d per=%g) = %d, brute %d",
+					tc.l, tc.n, tc.a, mig.per, mig.got, brute)
+			}
+		}
+	}
+}
+
+func TestMaxMigrationsOverloadedServer(t *testing.T) {
+	mdl := simpleModel(t, 40)
+	// A server already at or above the threshold can afford zero migrations.
+	if got := mdl.MaxMigrationsIni(1, 500, 0, 500); got != 0 {
+		t.Fatalf("overloaded server x_ini = %d, want 0", got)
+	}
+}
+
+func TestMaxMigrationsStrictInequalityEdge(t *testing.T) {
+	// base = 30, per = 5, U = 40: 30 + 2·5 = 40 which is NOT < 40 → x = 1.
+	cc := constCost{ua: 0.3, migIni: 5}
+	mdl, err := model.New(cc, 40, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n=100, a=100: base = 100·0.3 = 30 exactly.
+	if got := mdl.MaxMigrationsIni(1, 100, 0, 100); got != 1 {
+		t.Fatalf("x at exact boundary = %d, want 1", got)
+	}
+}
+
+func TestMaxMigrationsFreeMigrationCapped(t *testing.T) {
+	cc := constCost{ua: 0.1} // zero migration cost
+	mdl, err := model.New(cc, 40, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mdl.UserCap = 5000
+	if got := mdl.MaxMigrationsIni(1, 10, 0, 10); got != 5000 {
+		t.Fatalf("free migration x = %d, want cap 5000", got)
+	}
+}
+
+func TestMigrationBudgetIsMin(t *testing.T) {
+	mdl := simpleModel(t, 40)
+	ini := mdl.MaxMigrationsIni(2, 200, 0, 150)
+	rcv := mdl.MaxMigrationsRcv(2, 200, 0, 50)
+	want := ini
+	if rcv < want {
+		want = rcv
+	}
+	if got := mdl.MigrationBudget(2, 200, 0, 150, 50); got != want {
+		t.Fatalf("MigrationBudget = %d, want min(%d,%d)", got, ini, rcv)
+	}
+}
+
+func TestReplicationTrigger(t *testing.T) {
+	if got := model.ReplicationTrigger(235, 0.8); got != 188 {
+		t.Fatalf("trigger(235, 0.8) = %d, want 188", got)
+	}
+	if got := model.ReplicationTrigger(100, 0); got != 80 {
+		t.Fatalf("trigger with invalid fraction = %d, want default 80", got)
+	}
+	if got := model.ReplicationTrigger(100, 2); got != 80 {
+		t.Fatalf("trigger with fraction > 1 = %d, want default 80", got)
+	}
+}
+
+// --- paper anchors with the calibrated RTFDemo profile (Section V-A) ---
+
+func rtfdemoModel(t *testing.T, c float64) *model.Model {
+	t.Helper()
+	mdl, err := model.New(params.RTFDemo(), params.UFirstPersonShooter, c)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return mdl
+}
+
+func TestPaperAnchorMaxUsersSingleServer(t *testing.T) {
+	mdl := rtfdemoModel(t, 0.15)
+	nmax, ok := mdl.MaxUsers(1, 0)
+	if !ok || nmax != 235 {
+		t.Fatalf("n_max(1) = %d ok=%v, want 235 (paper §V-A)", nmax, ok)
+	}
+	if trig := model.ReplicationTrigger(nmax, 0.8); trig != 188 {
+		t.Fatalf("80%% trigger = %d, want 188 (paper §V-A)", trig)
+	}
+}
+
+func TestPaperAnchorMaxReplicas(t *testing.T) {
+	for _, tc := range []struct {
+		c    float64
+		want int
+	}{
+		{0.05, 48}, // "l_max = 48 for c = 0.05"
+		{0.15, 8},  // "a compromise value of c = 0.15 which results in l_max = 8"
+		{1.00, 1},  // "values close or equal to 1 would lead to l_max = 1"
+	} {
+		mdl := rtfdemoModel(t, tc.c)
+		lmax, ok := mdl.MaxReplicas(0)
+		if !ok || lmax != tc.want {
+			t.Fatalf("l_max(c=%.2f) = %d ok=%v, want %d (paper §V-A)", tc.c, lmax, ok, tc.want)
+		}
+	}
+}
+
+func TestPaperAnchorMigrationExample(t *testing.T) {
+	// Section V-A worked example: source at a 35 ms tick with 180 users can
+	// initiate max{x | 35 + x·t_mig_ini(180) < 40} = 3 migrations/s; target
+	// at 15 ms with 80 users can receive max{x | 15 + x·t_mig_rcv(80) < 40}
+	// = 34/s; RTF-RMS migrates min{3, 34} = 3 users/s.
+	s := params.RTFDemo()
+	count := func(base, per float64) int {
+		x := 0
+		for base+float64(x+1)*per < 40 {
+			x++
+		}
+		return x
+	}
+	ini := count(35, s.MigIniAt(180))
+	rcv := count(15, s.MigRcvAt(80))
+	if ini != 3 || rcv != 34 {
+		t.Fatalf("worked example: ini=%d rcv=%d, want 3 and 34", ini, rcv)
+	}
+}
+
+func TestPaperCapacityGrowsSublinearly(t *testing.T) {
+	// Fig. 5's qualitative shape: capacity grows with every replica but
+	// with shrinking increments (replication overhead).
+	mdl := rtfdemoModel(t, 0.15)
+	sched := mdl.MaxUsersSchedule(0, 8)
+	prevGain := 1 << 30
+	for l := 1; l < len(sched); l++ {
+		gain := sched[l] - sched[l-1]
+		if gain <= 0 {
+			t.Fatalf("no capacity gain at l=%d: %v", l+1, sched)
+		}
+		if gain > prevGain {
+			t.Fatalf("gain increased at l=%d: %v", l+1, sched)
+		}
+		prevGain = gain
+	}
+}
+
+// --- properties ---
+
+func TestTickTimeMonotoneInUsers(t *testing.T) {
+	mdl := rtfdemoModel(t, 0.15)
+	prop := func(l8 uint8, n16 uint16, d8 uint8) bool {
+		l := int(l8%16) + 1
+		n := int(n16 % 2000)
+		d := int(d8)
+		return mdl.TickTime(l, n+d, 0) >= mdl.TickTime(l, n, 0)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTickTimeDecreasingInReplicasWhenShadowCheap(t *testing.T) {
+	// RTFDemo's shadow cost is far below its active cost, so moving load to
+	// more replicas must never increase the (even-distribution) tick time.
+	mdl := rtfdemoModel(t, 0.15)
+	prop := func(l8 uint8, n16 uint16) bool {
+		l := int(l8%16) + 1
+		n := int(n16 % 2000)
+		return mdl.TickTime(l+1, n, 0) <= mdl.TickTime(l, n, 0)+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxUsersConsistentWithTickTime(t *testing.T) {
+	mdl := rtfdemoModel(t, 0.15)
+	prop := func(l8 uint8, m8 uint8) bool {
+		l := int(l8%8) + 1
+		m := int(m8)
+		nmax, ok := mdl.MaxUsers(l, m)
+		if !ok {
+			return false
+		}
+		return mdl.TickTime(l, nmax, m) < 40 && mdl.TickTime(l, nmax+1, m) >= 40
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMoreNPCsReduceCapacity(t *testing.T) {
+	mdl := rtfdemoModel(t, 0.15)
+	n0, _ := mdl.MaxUsers(1, 0)
+	n100, _ := mdl.MaxUsers(1, 100)
+	if n100 >= n0 {
+		t.Fatalf("n_max with 100 NPCs (%d) not below n_max without (%d)", n100, n0)
+	}
+}

@@ -1,0 +1,179 @@
+package params
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCurveEvalHorner(t *testing.T) {
+	c := Quadratic(1, 2, 3) // 1 + 2x + 3x²
+	if got := c.Eval(2); got != 17 {
+		t.Fatalf("Eval(2) = %g, want 17", got)
+	}
+	if got := c.Eval(0); got != 1 {
+		t.Fatalf("Eval(0) = %g, want 1", got)
+	}
+}
+
+func TestCurveEvalClampsNegative(t *testing.T) {
+	c := Linear(-5, 1) // negative below x=5
+	if got := c.Eval(2); got != 0 {
+		t.Fatalf("Eval(2) = %g, want 0 (clamped)", got)
+	}
+	if got := c.Eval(10); got != 5 {
+		t.Fatalf("Eval(10) = %g, want 5", got)
+	}
+}
+
+func TestCurveEvalNaNClamps(t *testing.T) {
+	c := Curve{Coeffs: []float64{math.NaN()}}
+	if got := c.Eval(1); got != 0 {
+		t.Fatalf("Eval on NaN curve = %g, want 0", got)
+	}
+}
+
+func TestCurveDegree(t *testing.T) {
+	if d := (Curve{}).Degree(); d != 0 {
+		t.Fatalf("empty curve degree = %d, want 0", d)
+	}
+	if d := Constant(3).Degree(); d != 0 {
+		t.Fatalf("constant degree = %d, want 0", d)
+	}
+	if d := Linear(1, 2).Degree(); d != 1 {
+		t.Fatalf("linear degree = %d, want 1", d)
+	}
+	if d := Quadratic(1, 2, 3).Degree(); d != 2 {
+		t.Fatalf("quadratic degree = %d, want 2", d)
+	}
+}
+
+func TestCurveString(t *testing.T) {
+	s := Quadratic(3, 2, 1).String()
+	for _, want := range []string{"x^2", "x", "3"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q, missing %q", s, want)
+		}
+	}
+	if got := (Curve{}).String(); got != "0" {
+		t.Fatalf("empty curve String() = %q, want 0", got)
+	}
+}
+
+func TestCurveEvalNonNegativeProperty(t *testing.T) {
+	prop := func(c0, c1, c2, x float64) bool {
+		c := Quadratic(c0, c1, c2)
+		return c.Eval(x) >= 0
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetEncodeDecodeRoundTrip(t *testing.T) {
+	orig := RTFDemo()
+	data, err := orig.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Name != orig.Name {
+		t.Fatalf("Name = %q, want %q", got.Name, orig.Name)
+	}
+	for _, n := range []int{0, 1, 50, 235, 300} {
+		if got.ActivePerUser(n, 0) != orig.ActivePerUser(n, 0) {
+			t.Fatalf("ActivePerUser(%d) changed after round trip", n)
+		}
+		if got.MigIniAt(n) != orig.MigIniAt(n) {
+			t.Fatalf("MigIniAt(%d) changed after round trip", n)
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode([]byte("{not json")); err == nil {
+		t.Fatal("Decode accepted malformed JSON")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := RTFDemo().Validate(1000); err != nil {
+		t.Fatalf("RTFDemo invalid: %v", err)
+	}
+	if err := RPG().Validate(10000); err != nil {
+		t.Fatalf("RPG invalid: %v", err)
+	}
+	var nilSet *Set
+	if err := nilSet.Validate(10); err == nil {
+		t.Fatal("nil set validated")
+	}
+	bad := RTFDemo()
+	bad.UA = Curve{Coeffs: []float64{math.NaN()}}
+	if err := bad.Validate(1000); err == nil {
+		t.Fatal("NaN coefficient validated")
+	}
+	zero := &Set{Name: "zero"}
+	if err := zero.Validate(1000); err == nil {
+		t.Fatal("all-zero active cost validated")
+	}
+}
+
+func TestRTFDemoShapeMatchesPaper(t *testing.T) {
+	s := RTFDemo()
+	// Section V-A: t_ua and t_aoi are quadratic; the (de)serialization,
+	// state-update and migration parameters are linear.
+	if s.UA.Degree() != 2 || s.AOI.Degree() != 2 {
+		t.Fatal("t_ua / t_aoi must be quadratic")
+	}
+	for name, c := range map[string]Curve{
+		"ua_deser": s.UADeser, "su": s.SU, "fa": s.FA,
+		"fa_deser": s.FADeser, "mig_ini": s.MigIni, "mig_rcv": s.MigRcv,
+	} {
+		if c.Degree() != 1 {
+			t.Fatalf("%s degree = %d, want 1 (linear)", name, c.Degree())
+		}
+	}
+	// Initiating a migration is more expensive than receiving one (Fig. 6).
+	for _, n := range []int{10, 80, 180, 300} {
+		if s.MigIniAt(n) <= s.MigRcvAt(n) {
+			t.Fatalf("t_mig_ini(%d)=%g <= t_mig_rcv(%d)=%g, want ini > rcv",
+				n, s.MigIniAt(n), n, s.MigRcvAt(n))
+		}
+	}
+	// Forwarded-input processing is much cheaper than active-user
+	// processing ("very short CPU time ... compared to the other
+	// parameters", Section V-A).
+	for _, n := range []int{50, 235, 300} {
+		if s.ShadowPerUser(n, 0) >= s.ActivePerUser(n, 0)/4 {
+			t.Fatalf("shadow cost at n=%d not small relative to active cost", n)
+		}
+	}
+}
+
+func TestRTFDemoMigrationAnchors(t *testing.T) {
+	s := RTFDemo()
+	// Section V-A worked example: t_mig_ini(180) = 1.4 ms so a server at a
+	// 35 ms tick can initiate 3 migrations/s; t_mig_rcv(80) = 0.73 ms so a
+	// server at a 15 ms tick can receive 34/s.
+	if got := s.MigIniAt(180); math.Abs(got-1.4) > 1e-9 {
+		t.Fatalf("t_mig_ini(180) = %g, want 1.4", got)
+	}
+	if got := s.MigRcvAt(80); math.Abs(got-0.73) > 1e-9 {
+		t.Fatalf("t_mig_rcv(80) = %g, want 0.73", got)
+	}
+}
+
+func TestRPGCheaperInputsThanFPS(t *testing.T) {
+	fps, rpg := RTFDemo(), RPG()
+	// Section III-C: role-playing input processing is simpler (lower t_ua),
+	// and the much higher threshold U yields far higher capacity.
+	for _, n := range []int{100, 235, 500} {
+		if rpg.UAAt(n, 0) >= fps.UAAt(n, 0) {
+			t.Fatalf("RPG t_ua(%d)=%g not below FPS %g", n, rpg.UAAt(n, 0), fps.UAAt(n, 0))
+		}
+	}
+}

@@ -1,0 +1,100 @@
+// Package record persists session time series to CSV and loads them back,
+// closing the operations loop around the simulator: a recorded production
+// session (or a prior simulation) replays as a workload trace against a
+// new resource-management policy, the standard way capacity changes are
+// validated before rollout.
+package record
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+
+	"roia/internal/sim"
+	"roia/internal/workload"
+)
+
+// header is the canonical session CSV column layout.
+var header = []string{
+	"time", "users", "replicas", "ready_replicas",
+	"avg_cpu", "max_tick_ms", "violations", "migrations",
+}
+
+// SaveSession writes the per-second statistics as CSV.
+func SaveSession(w io.Writer, stats []sim.SecondStats) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("record: header: %w", err)
+	}
+	for _, s := range stats {
+		row := []string{
+			strconv.FormatFloat(s.Time, 'g', -1, 64),
+			strconv.Itoa(s.Users),
+			strconv.Itoa(s.Replicas),
+			strconv.Itoa(s.ReadyReplicas),
+			strconv.FormatFloat(s.AvgCPU, 'g', -1, 64),
+			strconv.FormatFloat(s.MaxTickMS, 'g', -1, 64),
+			strconv.Itoa(s.Violations),
+			strconv.Itoa(s.Migrations),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("record: row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// LoadSession parses a CSV written by SaveSession.
+func LoadSession(r io.Reader) ([]sim.SecondStats, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("record: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, errors.New("record: empty file")
+	}
+	if len(rows[0]) != len(header) || rows[0][0] != header[0] {
+		return nil, fmt.Errorf("record: unexpected header %v", rows[0])
+	}
+	out := make([]sim.SecondStats, 0, len(rows)-1)
+	for i, row := range rows[1:] {
+		if len(row) != len(header) {
+			return nil, fmt.Errorf("record: row %d has %d columns", i+2, len(row))
+		}
+		var s sim.SecondStats
+		var errs [8]error
+		s.Time, errs[0] = strconv.ParseFloat(row[0], 64)
+		s.Users, errs[1] = strconv.Atoi(row[1])
+		s.Replicas, errs[2] = strconv.Atoi(row[2])
+		s.ReadyReplicas, errs[3] = strconv.Atoi(row[3])
+		s.AvgCPU, errs[4] = strconv.ParseFloat(row[4], 64)
+		s.MaxTickMS, errs[5] = strconv.ParseFloat(row[5], 64)
+		s.Violations, errs[6] = strconv.Atoi(row[6])
+		s.Migrations, errs[7] = strconv.Atoi(row[7])
+		for _, e := range errs {
+			if e != nil {
+				return nil, fmt.Errorf("record: row %d: %w", i+2, e)
+			}
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// LoadTrace extracts the user-count series of a recorded session as a
+// replayable workload trace.
+func LoadTrace(r io.Reader) (workload.Replay, error) {
+	stats, err := LoadSession(r)
+	if err != nil {
+		return workload.Replay{}, err
+	}
+	counts := make([]int, len(stats))
+	for i, s := range stats {
+		counts[i] = s.Users
+	}
+	return workload.Replay{Counts: counts}, nil
+}

@@ -1,0 +1,115 @@
+package record
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"roia/internal/model"
+	"roia/internal/params"
+	"roia/internal/rms"
+	"roia/internal/sim"
+	"roia/internal/workload"
+)
+
+func sampleStats() []sim.SecondStats {
+	return []sim.SecondStats{
+		{Time: 0, Users: 10, Replicas: 1, ReadyReplicas: 1, AvgCPU: 5.25, MaxTickMS: 2.1},
+		{Time: 1, Users: 20, Replicas: 2, ReadyReplicas: 1, AvgCPU: 10.5, MaxTickMS: 4.25, Violations: 1, Migrations: 3},
+		{Time: 2, Users: 15, Replicas: 2, ReadyReplicas: 2, AvgCPU: 7, MaxTickMS: 3},
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveSession(&buf, sampleStats()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSession(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleStats()
+	if len(got) != len(want) {
+		t.Fatalf("rows = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLoadSessionErrors(t *testing.T) {
+	if _, err := LoadSession(strings.NewReader("")); err == nil {
+		t.Fatal("empty input loaded")
+	}
+	if _, err := LoadSession(strings.NewReader("a,b\n1,2\n")); err == nil {
+		t.Fatal("wrong header loaded")
+	}
+	bad := "time,users,replicas,ready_replicas,avg_cpu,max_tick_ms,violations,migrations\n" +
+		"x,1,1,1,1,1,0,0\n"
+	if _, err := LoadSession(strings.NewReader(bad)); err == nil {
+		t.Fatal("non-numeric row loaded")
+	}
+}
+
+func TestLoadTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveSession(&buf, sampleStats()); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := LoadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.UsersAt(0) != 10 || tr.UsersAt(1) != 20 || tr.UsersAt(2) != 15 {
+		t.Fatalf("trace = %v", tr.Counts)
+	}
+	if tr.Duration() != 3 {
+		t.Fatalf("duration = %g", tr.Duration())
+	}
+}
+
+func TestRecordedSessionReplaysThroughNewPolicy(t *testing.T) {
+	// Record a session under the model-driven manager, then replay its
+	// user-count trace through the static baseline — the capacity
+	// validation loop the package exists for.
+	p := params.RTFDemo()
+	mdl, err := model.New(p, params.UFirstPersonShooter, params.CDefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := sim.NewCluster(sim.Config{Params: p, Model: mdl, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	original := sim.RunSession(c1, rms.NewManager(c1, rms.Config{Model: mdl}),
+		workload.Ramp{From: 0, To: 220, Len: 300})
+
+	var buf bytes.Buffer
+	if err := SaveSession(&buf, original.Stats); err != nil {
+		t.Fatal(err)
+	}
+	trace, err := LoadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := sim.NewCluster(sim.Config{Params: p, Model: mdl, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed := sim.RunSession(c2, &rms.StaticInterval{Cluster: c2, IntervalSec: 60, UpperMS: 32, LowerMS: 8}, trace)
+	if len(replayed.Stats) != len(original.Stats) {
+		t.Fatalf("replay length %d != original %d", len(replayed.Stats), len(original.Stats))
+	}
+	// The user populations must match second by second: same workload,
+	// different policy.
+	for i := range original.Stats {
+		if replayed.Stats[i].Users != original.Stats[i].Users {
+			t.Fatalf("user divergence at %d: %d vs %d",
+				i, replayed.Stats[i].Users, original.Stats[i].Users)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package rms
+
+import "roia/internal/model"
+
+// Admission is a login queue driven by the scalability model: arrivals are
+// admitted only while the zone has capacity headroom, and queue otherwise
+// — the operational complement to the load-balancing actions. Replication
+// enactment takes a provisioning delay; during a flash crowd the paper's
+// 80 % trigger alone cannot prevent the population from blowing past
+// n_max before the new replica is ready. An admission queue absorbs the
+// burst: quality of experience is preserved for everyone inside, and the
+// queue drains as capacity arrives.
+type Admission struct {
+	// Model is the calibrated scalability model.
+	Model *model.Model
+	// AdmitFraction is the share of the group's power-aware capacity the
+	// admitted population may occupy (default 0.95 — slightly above the
+	// 80 % replication trigger, so scaling starts before the doors close).
+	AdmitFraction float64
+
+	queued int
+}
+
+// NewAdmission returns an admission controller. It panics on a nil model
+// (static wiring error).
+func NewAdmission(mdl *model.Model) *Admission {
+	if mdl == nil {
+		panic("rms: Admission needs a model")
+	}
+	return &Admission{Model: mdl, AdmitFraction: 0.95}
+}
+
+// Queued reports the current login-queue length.
+func (a *Admission) Queued() int { return a.queued }
+
+// Step enqueues this second's arrivals and returns how many users (queued
+// first, then fresh arrivals) may be admitted given the ready replica
+// group, the current zone population n and NPC count m.
+//
+// The admission predicate evaluates Eq. (4) per server at the group's
+// CURRENT distribution — not the balanced target — because admitting x
+// users raises the zone-wide n, and with it every server's per-user cost,
+// even on servers that receive none of the arrivals. x users are
+// admissible when every server's predicted tick (with the arrivals landing
+// on the least-loaded replica, the usual lobby policy) stays below
+// AdmitFraction·U.
+func (a *Admission) Step(servers []ServerState, n, m, arrivals int) (admit int) {
+	if arrivals < 0 {
+		arrivals = 0
+	}
+	a.queued += arrivals
+	if a.queued == 0 {
+		return 0
+	}
+	var ready []ServerState
+	for _, s := range servers {
+		if s.Ready && !s.Draining {
+			ready = append(ready, s)
+		}
+	}
+	l := len(ready)
+	if l == 0 {
+		return 0
+	}
+	frac := a.AdmitFraction
+	if frac <= 0 || frac > 1 {
+		frac = 0.95
+	}
+	limit := frac * a.Model.U
+	sink := 0
+	for i, s := range ready {
+		if s.Users < ready[sink].Users {
+			sink = i
+		}
+		_ = i
+	}
+	fits := func(x int) bool {
+		nn := n + x
+		for i, s := range ready {
+			active := s.Users
+			if i == sink {
+				active += x
+			}
+			if a.Model.TickTimeUneven(l, nn, m, active)/power(s) >= limit {
+				return false
+			}
+		}
+		return true
+	}
+	if !fits(0) {
+		return 0 // already beyond the margin: nobody enters
+	}
+	// Binary search the largest admissible count within the queue.
+	lo, hi := 0, a.queued // invariant: fits(lo); hi may or may not fit
+	if fits(hi) {
+		lo = hi
+	}
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		if fits(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	a.queued -= lo
+	return lo
+}
+
+// Abandon removes users from the queue (players giving up), never going
+// below zero. It reports how many actually left.
+func (a *Admission) Abandon(count int) int {
+	if count <= 0 {
+		return 0
+	}
+	if count > a.queued {
+		count = a.queued
+	}
+	a.queued -= count
+	return count
+}

@@ -1,0 +1,125 @@
+package rms
+
+import "testing"
+
+func TestAdmissionAdmitsWithinHeadroom(t *testing.T) {
+	mdl := rtfModel(t)
+	adm := NewAdmission(mdl)
+	servers := []ServerState{{ID: "a", Users: 100, Power: 1, Ready: true}}
+	// Plenty of headroom: 50 arrivals all enter.
+	if got := adm.Step(servers, 100, 0, 50); got != 50 {
+		t.Fatalf("admitted %d, want 50", got)
+	}
+	if adm.Queued() != 0 {
+		t.Fatalf("queued = %d", adm.Queued())
+	}
+}
+
+func TestAdmissionQueuesBeyondCapacity(t *testing.T) {
+	mdl := rtfModel(t)
+	adm := NewAdmission(mdl)
+	servers := []ServerState{{ID: "a", Users: 150, Power: 1, Ready: true}}
+	// A 250-user burst on a single server (margin 0.95·U → ~228 users).
+	admit := adm.Step(servers, 150, 0, 250)
+	if admit <= 0 || admit >= 250 {
+		t.Fatalf("admitted %d, want partial admission", admit)
+	}
+	if adm.Queued() != 250-admit {
+		t.Fatalf("queued = %d, want %d", adm.Queued(), 250-admit)
+	}
+	// Every admitted user keeps the predicted tick under the margin.
+	n := 150 + admit
+	if tick := mdl.TickTimeUneven(1, n, 0, n); tick >= 0.95*mdl.U {
+		t.Fatalf("admitted population violates the margin: %.2f ms", tick)
+	}
+	// And one more would not have fit.
+	if tick := mdl.TickTimeUneven(1, n+1, 0, n+1); tick < 0.95*mdl.U {
+		t.Fatalf("admission left room on the table: %.2f ms at n+1", tick)
+	}
+}
+
+func TestAdmissionDrainsQueueAsCapacityArrives(t *testing.T) {
+	mdl := rtfModel(t)
+	adm := NewAdmission(mdl)
+	one := []ServerState{{ID: "a", Users: 220, Power: 1, Ready: true}}
+	adm.Step(one, 220, 0, 100)
+	queued := adm.Queued()
+	if queued == 0 {
+		t.Fatal("burst not queued")
+	}
+	// A second (balanced) replica comes up: the queue drains.
+	two := []ServerState{
+		{ID: "a", Users: 110, Power: 1, Ready: true},
+		{ID: "b", Users: 110, Power: 1, Ready: true},
+	}
+	admit := adm.Step(two, 220, 0, 0)
+	if admit == 0 {
+		t.Fatal("queue did not drain with new capacity")
+	}
+	if adm.Queued() != queued-admit {
+		t.Fatalf("queue accounting broken: %d", adm.Queued())
+	}
+}
+
+func TestAdmissionIgnoresUnreadyAndDraining(t *testing.T) {
+	mdl := rtfModel(t)
+	adm := NewAdmission(mdl)
+	servers := []ServerState{
+		{ID: "a", Users: 220, Power: 1, Ready: true},
+		{ID: "b", Users: 0, Power: 1, Ready: false},                // provisioning
+		{ID: "c", Users: 0, Power: 1, Ready: true, Draining: true}, // leaving
+	}
+	// Only "a" counts: at 220 users it is near capacity, so most of the
+	// burst queues.
+	admit := adm.Step(servers, 220, 0, 100)
+	if admit > 10 {
+		t.Fatalf("admitted %d against phantom capacity", admit)
+	}
+}
+
+func TestAdmissionNoServers(t *testing.T) {
+	mdl := rtfModel(t)
+	adm := NewAdmission(mdl)
+	if got := adm.Step(nil, 0, 0, 10); got != 0 {
+		t.Fatalf("admitted %d with no servers", got)
+	}
+	if adm.Queued() != 10 {
+		t.Fatalf("queued = %d", adm.Queued())
+	}
+}
+
+func TestAdmissionAbandon(t *testing.T) {
+	mdl := rtfModel(t)
+	adm := NewAdmission(mdl)
+	adm.Step(nil, 0, 0, 10) // all queued
+	if got := adm.Abandon(4); got != 4 {
+		t.Fatalf("abandoned %d", got)
+	}
+	if got := adm.Abandon(100); got != 6 {
+		t.Fatalf("over-abandon returned %d, want 6", got)
+	}
+	if got := adm.Abandon(-1); got != 0 {
+		t.Fatalf("negative abandon returned %d", got)
+	}
+	if adm.Queued() != 0 {
+		t.Fatalf("queued = %d", adm.Queued())
+	}
+}
+
+func TestAdmissionNegativeArrivalsClamped(t *testing.T) {
+	mdl := rtfModel(t)
+	adm := NewAdmission(mdl)
+	servers := []ServerState{{ID: "a", Users: 10, Power: 1, Ready: true}}
+	if got := adm.Step(servers, 10, 0, -5); got != 0 {
+		t.Fatalf("admitted %d from negative arrivals", got)
+	}
+}
+
+func TestNewAdmissionPanicsWithoutModel(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewAdmission(nil)
+}

@@ -1,0 +1,291 @@
+package rms
+
+import "sort"
+
+// This file implements the load-balancing baselines the paper positions
+// itself against (Sections IV and VI). All of them drive the same Cluster
+// interface as the model-driven Manager, so the benchmark harness can swap
+// them in on identical workloads:
+//
+//   - StaticInterval — the "initial implementation of RTF-RMS": replica
+//     changes on a fixed schedule regardless of actual server workload, and
+//     full user equalization every step without migration budgets.
+//   - StaticThreshold — Duong & Zhou [7]: a fixed per-server maximum user
+//     count; excess users move immediately, replication triggers when every
+//     server is at its cap.
+//   - Proportional — Bezerra & Geyer [4]: users are allocated to
+//     heterogeneous servers proportionally to each server's capacity
+//     ("networking bandwidth" in [4]; machine power here), rebalanced fully
+//     every step.
+
+// StaticInterval triggers load-balancing actions in fixed intervals,
+// "without taking into account the exact workload of the application
+// servers" (Section IV). Every IntervalSec it adds a replica if the mean
+// tick duration exceeds UpperMS, removes one if below LowerMS, and in
+// between — every single step — migrates users to equalize counts with no
+// regard for the migration overhead. The unbounded equalization is what
+// the paper's model-driven pacing replaces.
+type StaticInterval struct {
+	Cluster Cluster
+	// IntervalSec is the fixed action schedule (default 60).
+	IntervalSec float64
+	// UpperMS / LowerMS are the static tick-duration thresholds.
+	UpperMS, LowerMS float64
+	// MaxReplicas caps replication (0 = unlimited).
+	MaxReplicas int
+
+	lastCheck float64
+	started   bool
+}
+
+// Step implements Controller.
+func (c *StaticInterval) Step(now float64) []Action {
+	interval := c.IntervalSec
+	if interval <= 0 {
+		interval = 60
+	}
+	var actions []Action
+	servers := c.Cluster.Servers()
+	var ready []ServerState
+	var draining []ServerState
+	provisioning := false
+	for _, s := range servers {
+		switch {
+		case s.Ready && !s.Draining:
+			ready = append(ready, s)
+		case !s.Ready:
+			provisioning = true
+		case s.Users == 0:
+			err := c.Cluster.RemoveReplica(s.ID)
+			actions = append(actions, Action{Kind: ActRemove, Src: s.ID, Err: err})
+		default:
+			draining = append(draining, s)
+		}
+	}
+	if len(ready) == 0 {
+		return actions
+	}
+
+	// Evacuate draining servers wholesale — the static strategy knows no
+	// migration budget.
+	for _, d := range draining {
+		per := d.Users / len(ready)
+		rem := d.Users % len(ready)
+		for i, target := range ready {
+			k := per
+			if i < rem {
+				k++
+			}
+			if k == 0 {
+				continue
+			}
+			if err := c.Cluster.Migrate(d.ID, target.ID, k); err == nil {
+				actions = append(actions, Action{Kind: ActMigrate, Src: d.ID, Dst: target.ID, Users: k})
+			}
+		}
+	}
+
+	if !c.started {
+		// First step: establish the schedule, but defer decisions until
+		// monitoring history exists.
+		c.started = true
+		c.lastCheck = now
+	} else if now-c.lastCheck >= interval {
+		c.lastCheck = now
+		mean := 0.0
+		for _, s := range ready {
+			mean += s.TickMS
+		}
+		mean /= float64(len(ready))
+		switch {
+		case mean > c.UpperMS && !provisioning && (c.MaxReplicas <= 0 || len(ready) < c.MaxReplicas):
+			id, err := c.Cluster.AddReplica()
+			actions = append(actions, Action{Kind: ActReplicate, Dst: id, Err: err})
+		case mean < c.LowerMS && len(ready) > 1 && !provisioning:
+			least := ready[0]
+			for _, s := range ready[1:] {
+				if s.Users < least.Users {
+					least = s
+				}
+			}
+			if err := c.Cluster.SetDraining(least.ID, true); err == nil {
+				actions = append(actions, Action{Kind: ActDrain, Src: least.ID})
+			}
+		}
+	}
+
+	// Unbounded equalization every step (the paper's "user migration was
+	// used in each tick to distribute users equally").
+	actions = append(actions, equalize(c.Cluster, ready)...)
+	return actions
+}
+
+// StaticThreshold assigns every server a fixed maximum user count
+// (MaxUsersPerServer) as in [7]. Users beyond the cap migrate to the
+// least-loaded server immediately; when all servers are within 90 % of the
+// cap a replica is added.
+type StaticThreshold struct {
+	Cluster Cluster
+	// MaxUsersPerServer is the static per-server cap.
+	MaxUsersPerServer int
+	// MaxReplicas caps replication (0 = unlimited).
+	MaxReplicas int
+}
+
+// Step implements Controller.
+func (c *StaticThreshold) Step(now float64) []Action {
+	var actions []Action
+	var ready []ServerState
+	provisioning := false
+	for _, s := range c.Cluster.Servers() {
+		if s.Ready && !s.Draining {
+			ready = append(ready, s)
+		} else if !s.Ready {
+			provisioning = true
+		}
+	}
+	if len(ready) == 0 {
+		return actions
+	}
+	cap := c.MaxUsersPerServer
+	if cap <= 0 {
+		cap = 100
+	}
+	// Scale up when the cluster nears saturation.
+	total := 0
+	for _, s := range ready {
+		total += s.Users
+	}
+	if total >= int(0.9*float64(cap*len(ready))) && !provisioning &&
+		(c.MaxReplicas <= 0 || len(ready) < c.MaxReplicas) {
+		id, err := c.Cluster.AddReplica()
+		actions = append(actions, Action{Kind: ActReplicate, Dst: id, Err: err})
+	}
+	// Move excess above the static cap to the least-loaded servers,
+	// without any migration-rate bound.
+	sort.Slice(ready, func(i, j int) bool { return ready[i].Users > ready[j].Users })
+	for i := 0; i < len(ready); i++ {
+		over := ready[i].Users - cap
+		for j := len(ready) - 1; over > 0 && j > i; j-- {
+			room := cap - ready[j].Users
+			if room <= 0 {
+				continue
+			}
+			k := over
+			if k > room {
+				k = room
+			}
+			if err := c.Cluster.Migrate(ready[i].ID, ready[j].ID, k); err == nil {
+				actions = append(actions, Action{Kind: ActMigrate, Src: ready[i].ID, Dst: ready[j].ID, Users: k})
+				ready[i].Users -= k
+				ready[j].Users += k
+				over -= k
+			}
+		}
+	}
+	return actions
+}
+
+// Proportional rebalances users proportionally to each server's power, as
+// in the bandwidth-proportional allocation of [4], with no migration-rate
+// bound and no replica-set changes (it manages a fixed heterogeneous set).
+type Proportional struct {
+	Cluster Cluster
+}
+
+// Step implements Controller.
+func (c *Proportional) Step(now float64) []Action {
+	var ready []ServerState
+	for _, s := range c.Cluster.Servers() {
+		if s.Ready && !s.Draining {
+			ready = append(ready, s)
+		}
+	}
+	if len(ready) < 2 {
+		return nil
+	}
+	total := 0
+	power := 0.0
+	for _, s := range ready {
+		total += s.Users
+		power += s.Power
+	}
+	if power <= 0 {
+		return nil
+	}
+	// Target share per server, largest remainder to the most powerful.
+	targets := make([]int, len(ready))
+	assigned := 0
+	for i, s := range ready {
+		targets[i] = int(float64(total) * s.Power / power)
+		assigned += targets[i]
+	}
+	order := make([]int, len(ready))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return ready[order[a]].Power > ready[order[b]].Power })
+	for i := 0; assigned < total; i = (i + 1) % len(order) {
+		targets[order[i]]++
+		assigned++
+	}
+	return rebalanceToTargets(c.Cluster, ready, targets)
+}
+
+// equalize fully balances user counts across the given servers (no
+// budgets), the behaviour of the initial RTF-RMS implementation.
+func equalize(cluster Cluster, ready []ServerState) []Action {
+	targets := make([]int, len(ready))
+	total := 0
+	for _, s := range ready {
+		total += s.Users
+	}
+	base, rem := total/len(ready), total%len(ready)
+	for i := range targets {
+		targets[i] = base
+		if i < rem {
+			targets[i]++
+		}
+	}
+	return rebalanceToTargets(cluster, ready, targets)
+}
+
+// rebalanceToTargets emits the migrations that move the servers from their
+// current user counts to the target allocation.
+func rebalanceToTargets(cluster Cluster, ready []ServerState, targets []int) []Action {
+	type delta struct {
+		id   string
+		diff int // positive: surplus to shed
+	}
+	var surpluses, deficits []delta
+	for i, s := range ready {
+		d := s.Users - targets[i]
+		switch {
+		case d > 0:
+			surpluses = append(surpluses, delta{s.ID, d})
+		case d < 0:
+			deficits = append(deficits, delta{s.ID, -d})
+		}
+	}
+	sort.Slice(surpluses, func(i, j int) bool { return surpluses[i].id < surpluses[j].id })
+	sort.Slice(deficits, func(i, j int) bool { return deficits[i].id < deficits[j].id })
+	var actions []Action
+	di := 0
+	for _, s := range surpluses {
+		for s.diff > 0 && di < len(deficits) {
+			k := s.diff
+			if k > deficits[di].diff {
+				k = deficits[di].diff
+			}
+			if err := cluster.Migrate(s.id, deficits[di].id, k); err == nil {
+				actions = append(actions, Action{Kind: ActMigrate, Src: s.id, Dst: deficits[di].id, Users: k})
+			}
+			s.diff -= k
+			deficits[di].diff -= k
+			if deficits[di].diff == 0 {
+				di++
+			}
+		}
+	}
+	return actions
+}

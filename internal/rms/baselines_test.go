@@ -1,0 +1,196 @@
+package rms
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStaticIntervalDefersFirstDecision(t *testing.T) {
+	fc := &fakeCluster{servers: []ServerState{
+		{ID: "a", Users: 100, TickMS: 50, Power: 1, Ready: true},
+	}}
+	c := &StaticInterval{Cluster: fc, IntervalSec: 60, UpperMS: 32, LowerMS: 8}
+	// First step establishes the schedule without scaling, even though
+	// the mean tick is over the threshold.
+	if actions := c.Step(0); hasKind(actions, ActReplicate) {
+		t.Fatalf("scaled on the very first step: %v", kinds(actions))
+	}
+	// After the interval the static threshold fires.
+	actions := c.Step(60)
+	if !hasKind(actions, ActReplicate) {
+		t.Fatalf("no replication after interval: %v", kinds(actions))
+	}
+	if fc.addCalls != 1 {
+		t.Fatalf("addCalls = %d", fc.addCalls)
+	}
+}
+
+func TestStaticIntervalScaleDownAndEqualize(t *testing.T) {
+	fc := &fakeCluster{servers: []ServerState{
+		{ID: "a", Users: 30, TickMS: 2, Power: 1, Ready: true},
+		{ID: "b", Users: 10, TickMS: 1, Power: 1, Ready: true},
+	}}
+	c := &StaticInterval{Cluster: fc, IntervalSec: 30, UpperMS: 32, LowerMS: 8}
+	// First step: schedule only, but equalization runs every step.
+	actions := c.Step(0)
+	if !hasKind(actions, ActMigrate) {
+		t.Fatalf("no equalization: %v", kinds(actions))
+	}
+	if fc.find("a").Users != 20 || fc.find("b").Users != 20 {
+		t.Fatalf("not equalized: %d/%d", fc.find("a").Users, fc.find("b").Users)
+	}
+	// After the interval, mean tick below LowerMS → drain least loaded.
+	actions = c.Step(30)
+	if !hasKind(actions, ActDrain) {
+		t.Fatalf("no drain on low load: %v", kinds(actions))
+	}
+	// Draining server evacuates wholesale, then is removed when empty.
+	for i := 31; i < 40 && len(fc.servers) > 1; i++ {
+		c.Step(float64(i))
+	}
+	if len(fc.servers) != 1 {
+		t.Fatalf("drained server never removed: %d servers", len(fc.servers))
+	}
+	if fc.ZoneUsers() != 40 {
+		t.Fatalf("users lost during baseline drain: %d", fc.ZoneUsers())
+	}
+}
+
+func TestStaticIntervalRespectsMaxReplicasAndProvisioning(t *testing.T) {
+	fc := &fakeCluster{
+		servers:       []ServerState{{ID: "a", Users: 100, TickMS: 60, Power: 1, Ready: true}},
+		notReadyOnAdd: true,
+	}
+	c := &StaticInterval{Cluster: fc, IntervalSec: 10, UpperMS: 32, LowerMS: 8, MaxReplicas: 2}
+	c.Step(0)  // schedule
+	c.Step(10) // replicate (provisioning)
+	if fc.addCalls != 1 {
+		t.Fatalf("addCalls = %d", fc.addCalls)
+	}
+	c.Step(20) // still provisioning: no second add
+	if fc.addCalls != 1 {
+		t.Fatal("scaled while provisioning")
+	}
+	fc.makeReady()
+	fc.servers[0].TickMS = 60
+	c.Step(30) // at MaxReplicas: no third add
+	c.Step(40)
+	if fc.addCalls != 2 && fc.addCalls != 1 {
+		t.Fatalf("addCalls = %d", fc.addCalls)
+	}
+	c.Step(50)
+	if len(fc.servers) > 2 {
+		t.Fatalf("exceeded MaxReplicas: %d servers", len(fc.servers))
+	}
+}
+
+func TestStaticThresholdMovesExcessAndScales(t *testing.T) {
+	fc := &fakeCluster{servers: []ServerState{
+		{ID: "a", Users: 140, Power: 1, Ready: true},
+		{ID: "b", Users: 10, Power: 1, Ready: true},
+	}}
+	c := &StaticThreshold{Cluster: fc, MaxUsersPerServer: 100}
+	actions := c.Step(0)
+	if !hasKind(actions, ActMigrate) {
+		t.Fatalf("excess not moved: %v", kinds(actions))
+	}
+	if fc.find("a").Users != 100 {
+		t.Fatalf("server a at %d, want capped 100", fc.find("a").Users)
+	}
+	if fc.find("b").Users != 50 {
+		t.Fatalf("server b at %d, want 50", fc.find("b").Users)
+	}
+
+	// Near saturation (≥ 90 % of 2×100): replica added.
+	fc.find("a").Users = 95
+	fc.find("b").Users = 90
+	actions = c.Step(1)
+	if !hasKind(actions, ActReplicate) {
+		t.Fatalf("no scale-up near saturation: %v", kinds(actions))
+	}
+}
+
+func TestStaticThresholdDefaultCap(t *testing.T) {
+	fc := &fakeCluster{servers: []ServerState{
+		{ID: "a", Users: 150, Power: 1, Ready: true},
+		{ID: "b", Users: 0, Power: 1, Ready: true},
+	}}
+	c := &StaticThreshold{Cluster: fc} // zero cap → default 100
+	c.Step(0)
+	if fc.find("a").Users != 100 {
+		t.Fatalf("default cap not applied: %d", fc.find("a").Users)
+	}
+}
+
+func TestProportionalRebalancesByPower(t *testing.T) {
+	fc := &fakeCluster{servers: []ServerState{
+		{ID: "weak", Users: 90, Power: 1, Ready: true},
+		{ID: "strong", Users: 30, Power: 3, Ready: true},
+	}}
+	c := &Proportional{Cluster: fc}
+	actions := c.Step(0)
+	if !hasKind(actions, ActMigrate) {
+		t.Fatalf("no rebalance: %v", kinds(actions))
+	}
+	// 120 users split 1:3 → 30/90.
+	if fc.find("weak").Users != 30 || fc.find("strong").Users != 90 {
+		t.Fatalf("split = %d/%d, want 30/90", fc.find("weak").Users, fc.find("strong").Users)
+	}
+	// Balanced: second step is a no-op.
+	if actions := c.Step(1); len(actions) != 0 {
+		t.Fatalf("rebalanced a balanced fleet: %v", actions)
+	}
+}
+
+func TestProportionalSingleServerNoop(t *testing.T) {
+	fc := &fakeCluster{servers: []ServerState{{ID: "a", Users: 50, Power: 1, Ready: true}}}
+	c := &Proportional{Cluster: fc}
+	if actions := c.Step(0); actions != nil {
+		t.Fatalf("single-server rebalance: %v", actions)
+	}
+}
+
+func TestActionStrings(t *testing.T) {
+	cases := map[string]Action{
+		"migrate 5 users a→b": {Kind: ActMigrate, Src: "a", Dst: "b", Users: 5},
+		"replicate → c":       {Kind: ActReplicate, Dst: "c"},
+		"substitute a → d":    {Kind: ActSubstitute, Src: "a", Dst: "d"},
+		"remove a":            {Kind: ActRemove, Src: "a"},
+		"drain a":             {Kind: ActDrain, Src: "a"},
+	}
+	for want, a := range cases {
+		if got := a.String(); got != want {
+			t.Fatalf("Action.String = %q, want %q", got, want)
+		}
+	}
+	if s := (Action{Kind: ActSaturated}).String(); !strings.Contains(s, "redesign") {
+		t.Fatalf("saturated string = %q", s)
+	}
+	for _, k := range []ActionKind{ActMigrate, ActReplicate, ActSubstitute, ActRemove, ActDrain, ActSaturated} {
+		if k.String() == "" || strings.HasPrefix(k.String(), "action(") {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+	if ActionKind(99).String() != "action(99)" {
+		t.Fatal("unknown kind rendering")
+	}
+}
+
+func TestPickSubstitutionTarget(t *testing.T) {
+	// Weakest power first; then busiest; then lexicographic.
+	got := pickSubstitutionTarget([]ServerState{
+		{ID: "b", Power: 2, Users: 100},
+		{ID: "a", Power: 1, Users: 10},
+		{ID: "c", Power: 1, Users: 50},
+	})
+	if got.ID != "c" {
+		t.Fatalf("target = %s, want c (weakest power, busiest)", got.ID)
+	}
+	got = pickSubstitutionTarget([]ServerState{
+		{ID: "y", Power: 1, Users: 50},
+		{ID: "x", Power: 1, Users: 50},
+	})
+	if got.ID != "x" {
+		t.Fatalf("tie-break target = %s, want x", got.ID)
+	}
+}

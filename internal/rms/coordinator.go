@@ -1,0 +1,56 @@
+package rms
+
+import (
+	"sort"
+
+	"roia/internal/rtf/zone"
+)
+
+// Coordinator drives one Manager per zone of a multi-zone world. The
+// paper's RTF-RMS makes its decisions per zone ("for each zone, RTF-RMS
+// determines one server s_max ..."); Coordinator is the thin layer that
+// iterates the zones in deterministic order and aggregates the actions.
+// Users crossing zone boundaries are handled below the coordinator, by
+// the servers' zone handoff (server.Config.World).
+type Coordinator struct {
+	managers map[zone.ID]*Manager
+}
+
+// NewCoordinator returns an empty coordinator.
+func NewCoordinator() *Coordinator {
+	return &Coordinator{managers: make(map[zone.ID]*Manager)}
+}
+
+// Add registers the manager responsible for a zone, replacing any
+// previous one.
+func (c *Coordinator) Add(z zone.ID, mgr *Manager) {
+	c.managers[z] = mgr
+}
+
+// Manager returns the manager of a zone.
+func (c *Coordinator) Manager(z zone.ID) (*Manager, bool) {
+	m, ok := c.managers[z]
+	return m, ok
+}
+
+// Zones returns the managed zones in ascending order.
+func (c *Coordinator) Zones() []zone.ID {
+	out := make([]zone.ID, 0, len(c.managers))
+	for z := range c.managers {
+		out = append(out, z)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Step runs one control-loop iteration on every zone and returns the
+// actions per zone.
+func (c *Coordinator) Step(now float64) map[zone.ID][]Action {
+	out := make(map[zone.ID][]Action, len(c.managers))
+	for _, z := range c.Zones() {
+		if actions := c.managers[z].Step(now); len(actions) > 0 {
+			out[z] = actions
+		}
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+package rms
+
+import (
+	"testing"
+
+	"roia/internal/rtf/zone"
+)
+
+func TestCoordinatorStepsAllZonesInOrder(t *testing.T) {
+	mdl := rtfModel(t)
+	// Zone 7 is overloaded (triggers replication), zone 3 is imbalanced
+	// (triggers migration).
+	fcHot := &fakeCluster{servers: []ServerState{{ID: "h1", Users: 200, Power: 1, Ready: true}}}
+	fcSkew := &fakeCluster{servers: []ServerState{
+		{ID: "k1", Users: 100, Power: 1, Ready: true},
+		{ID: "k2", Users: 20, Power: 1, Ready: true},
+	}}
+	co := NewCoordinator()
+	co.Add(7, NewManager(fcHot, Config{Model: mdl}))
+	co.Add(3, NewManager(fcSkew, Config{Model: mdl}))
+
+	if got := co.Zones(); len(got) != 2 || got[0] != 3 || got[1] != 7 {
+		t.Fatalf("zones = %v", got)
+	}
+	actions := co.Step(0)
+	if !hasKind(actions[7], ActReplicate) {
+		t.Fatalf("hot zone not replicated: %v", kinds(actions[7]))
+	}
+	if !hasKind(actions[3], ActMigrate) {
+		t.Fatalf("skewed zone not balanced: %v", kinds(actions[3]))
+	}
+	if fcHot.addCalls != 1 {
+		t.Fatalf("hot zone addCalls = %d", fcHot.addCalls)
+	}
+	if len(fcSkew.migrations) == 0 {
+		t.Fatal("skewed zone saw no migrations")
+	}
+}
+
+func TestCoordinatorManagerLookupAndReplace(t *testing.T) {
+	mdl := rtfModel(t)
+	co := NewCoordinator()
+	if _, ok := co.Manager(1); ok {
+		t.Fatal("manager found in empty coordinator")
+	}
+	m1 := NewManager(&fakeCluster{}, Config{Model: mdl})
+	m2 := NewManager(&fakeCluster{}, Config{Model: mdl})
+	co.Add(1, m1)
+	co.Add(1, m2) // replace
+	got, ok := co.Manager(1)
+	if !ok || got != m2 {
+		t.Fatal("replacement manager not installed")
+	}
+}
+
+func TestCoordinatorQuietZonesProduceNoEntries(t *testing.T) {
+	mdl := rtfModel(t)
+	quiet := &fakeCluster{servers: []ServerState{{ID: "q1", Users: 10, Power: 1, Ready: true}}}
+	co := NewCoordinator()
+	co.Add(zone.ID(5), NewManager(quiet, Config{Model: mdl}))
+	if actions := co.Step(0); len(actions) != 0 {
+		t.Fatalf("quiet zone produced actions: %v", actions)
+	}
+}

@@ -1,0 +1,39 @@
+package rms_test
+
+import (
+	"fmt"
+
+	"roia/internal/model"
+	"roia/internal/params"
+	"roia/internal/rms"
+)
+
+// Listing 1 of the paper: workload-aware migration from the most loaded
+// replica, bounded by the model's Eq. (5) thresholds.
+func ExamplePlanMigrations() {
+	mdl, _ := model.New(params.RTFDemo(), params.UFirstPersonShooter, params.CDefault)
+	servers := []rms.ServerState{
+		{ID: "replica-1", Users: 180},
+		{ID: "replica-2", Users: 80},
+	}
+	for _, mig := range rms.PlanMigrations(mdl, servers, 260, 0) {
+		fmt.Printf("migrate %d users %s → %s\n", mig.Count, mig.From, mig.To)
+	}
+	// Output:
+	// migrate 3 users replica-1 → replica-2
+}
+
+// Power-weighted targets after resource substitution: the 2× machine
+// carries twice the users.
+func ExampleTargets() {
+	servers := []rms.ServerState{
+		{ID: "standard", Power: 1},
+		{ID: "highcpu", Power: 2},
+	}
+	targets := rms.Targets(servers, 90)
+	fmt.Printf("standard: %d users\n", targets["standard"])
+	fmt.Printf("highcpu:  %d users\n", targets["highcpu"])
+	// Output:
+	// standard: 30 users
+	// highcpu:  60 users
+}

@@ -1,0 +1,290 @@
+package rms
+
+import (
+	"math"
+	"sort"
+
+	"roia/internal/model"
+)
+
+// Config tunes the model-driven Manager.
+type Config struct {
+	// Model is the calibrated scalability model.
+	Model *model.Model
+	// TriggerFraction is the share of n_max(l) at which replication is
+	// enacted; default model.DefaultTriggerFraction (the 80 % rule).
+	TriggerFraction float64
+	// RemoveHeadroom guards resource removal: a replica is drained only
+	// when n is below RemoveHeadroom × the (l−1)-replica trigger, so the
+	// shrunken cluster retains margin before it would have to scale right
+	// back up. Default 0.9.
+	RemoveHeadroom float64
+	// MaxReplicas overrides the model's l_max when positive.
+	MaxReplicas int
+	// CooldownSec is the minimum time between replica-set changes.
+	// Default 15 s.
+	CooldownSec float64
+	// UnpacedMigrations disables the Eq. (5) migration budgets: plans move
+	// the full surplus immediately, as the paper's predecessor model [15]
+	// (which "does not address the additional workload caused by user
+	// migration") would. Ablation switch — benches use it to quantify what
+	// the paper's migration-overhead terms buy.
+	UnpacedMigrations bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.TriggerFraction <= 0 || c.TriggerFraction > 1 {
+		c.TriggerFraction = model.DefaultTriggerFraction
+	}
+	if c.RemoveHeadroom <= 0 || c.RemoveHeadroom > 1 {
+		c.RemoveHeadroom = 0.9
+	}
+	if c.CooldownSec <= 0 {
+		c.CooldownSec = 15
+	}
+	return c
+}
+
+// Manager is the model-driven RTF-RMS controller for one zone.
+type Manager struct {
+	cluster Cluster
+	cfg     Config
+
+	lastScale float64
+	// pendingSubs maps a provisioning replacement server to the server it
+	// substitutes; the old server drains once the replacement is ready.
+	pendingSubs map[string]string
+}
+
+// NewManager returns a Manager driving the cluster with the given
+// configuration. It panics if cfg.Model is nil (static wiring error).
+func NewManager(cluster Cluster, cfg Config) *Manager {
+	if cfg.Model == nil {
+		panic("rms: Config.Model must be set")
+	}
+	return &Manager{
+		cluster:     cluster,
+		cfg:         cfg.withDefaults(),
+		lastScale:   math.Inf(-1),
+		pendingSubs: make(map[string]string),
+	}
+}
+
+// MaxReplicas returns the effective replica cap: the configuration
+// override or the model's l_max (Eq. 3).
+func (mgr *Manager) MaxReplicas(m int) int {
+	if mgr.cfg.MaxReplicas > 0 {
+		return mgr.cfg.MaxReplicas
+	}
+	lmax, _ := mgr.cfg.Model.MaxReplicas(m)
+	return lmax
+}
+
+// Step implements Controller: one control-loop iteration. Call it once
+// per second of session time.
+func (mgr *Manager) Step(now float64) []Action {
+	var actions []Action
+	servers := mgr.cluster.Servers()
+	n := mgr.cluster.ZoneUsers()
+	m := mgr.cluster.NPCCount()
+
+	// Activate pending substitutions whose replacement became ready.
+	for newID, oldID := range mgr.pendingSubs {
+		for _, s := range servers {
+			if s.ID == newID && s.Ready {
+				if err := mgr.cluster.SetDraining(oldID, true); err == nil {
+					actions = append(actions, Action{Kind: ActDrain, Src: oldID})
+				}
+				delete(mgr.pendingSubs, newID)
+			}
+		}
+	}
+	if len(actions) > 0 {
+		servers = mgr.cluster.Servers() // re-snapshot after drains started
+	}
+
+	// Finish drains: empty draining servers are removed.
+	for _, s := range servers {
+		if s.Draining && s.Users == 0 {
+			err := mgr.cluster.RemoveReplica(s.ID)
+			actions = append(actions, Action{Kind: ActRemove, Src: s.ID, Err: err})
+		}
+	}
+
+	servers = mgr.cluster.Servers()
+	var ready, draining []ServerState
+	provisioning := false
+	for _, s := range servers {
+		switch {
+		case !s.Ready:
+			provisioning = true
+		case s.Draining:
+			draining = append(draining, s)
+		default:
+			ready = append(ready, s)
+		}
+	}
+	l := len(ready)
+	if l == 0 {
+		return actions
+	}
+
+	settled := !provisioning && len(draining) == 0 && now-mgr.lastScale >= mgr.cfg.CooldownSec
+	// Power-aware capacity: equals the model's n_max(l) for a homogeneous
+	// baseline fleet and credits stronger machines after substitution.
+	nmax, _ := Capacity(mgr.cfg.Model, ready, m)
+	trigger := model.ReplicationTrigger(nmax, mgr.cfg.TriggerFraction)
+
+	switch {
+	// Replication enactment / resource substitution (scale up).
+	case n >= trigger && settled:
+		if l < mgr.MaxReplicas(m) {
+			id, err := mgr.cluster.AddReplica()
+			actions = append(actions, Action{Kind: ActReplicate, Dst: id, Err: err})
+			if err == nil {
+				mgr.lastScale = now
+			}
+		} else {
+			target := pickSubstitutionTarget(ready)
+			newID, err := mgr.cluster.Substitute(target.ID)
+			if err != nil {
+				actions = append(actions, Action{Kind: ActSaturated, Src: target.ID, Err: err})
+				// Nothing stronger exists; re-alerting every step is
+				// noise, so back off for a cooldown period.
+				mgr.lastScale = now
+			} else {
+				actions = append(actions, Action{Kind: ActSubstitute, Src: target.ID, Dst: newID})
+				mgr.pendingSubs[newID] = target.ID
+				mgr.lastScale = now
+			}
+		}
+
+	// Resource removal (scale down).
+	case l > 1 && settled:
+		least := ready[0]
+		for _, s := range ready[1:] {
+			if s.Users < least.Users || (s.Users == least.Users && s.ID < least.ID) {
+				least = s
+			}
+		}
+		remaining := make([]ServerState, 0, l-1)
+		for _, s := range ready {
+			if s.ID != least.ID {
+				remaining = append(remaining, s)
+			}
+		}
+		nmaxPrev, _ := Capacity(mgr.cfg.Model, remaining, m)
+		triggerPrev := model.ReplicationTrigger(nmaxPrev, mgr.cfg.TriggerFraction)
+		if float64(n) < mgr.cfg.RemoveHeadroom*float64(triggerPrev) {
+			if err := mgr.cluster.SetDraining(least.ID, true); err == nil {
+				actions = append(actions, Action{Kind: ActDrain, Src: least.ID})
+				mgr.lastScale = now
+			}
+		}
+	}
+
+	// User migration, bounded by the model's per-second thresholds.
+	// RTF-RMS "must consider the overall number of concurrent user
+	// migrations" (Section IV): each server participates in at most one
+	// plan per step, so per-server migration charges never stack beyond
+	// the Eq. (5) budgets. Draining servers are evacuated first — one per
+	// step — and Listing-1 balancing runs only in drain-free steps.
+	if len(draining) > 0 {
+		d := draining[0]
+		group := append(append([]ServerState(nil), ready...), d)
+		plan := PlanDrain(mgr.cfg.Model, group, d.ID, n, m)
+		if mgr.cfg.UnpacedMigrations {
+			plan = unpacedDrain(group, d.ID)
+		}
+		for _, mig := range plan {
+			err := mgr.cluster.Migrate(mig.From, mig.To, mig.Count)
+			actions = append(actions, Action{Kind: ActMigrate, Src: mig.From, Dst: mig.To, Users: mig.Count, Err: err})
+		}
+		return actions
+	}
+	plan := PlanMigrations(mgr.cfg.Model, ready, n, m)
+	if mgr.cfg.UnpacedMigrations {
+		plan = unpacedBalance(ready, n)
+	}
+	for _, mig := range plan {
+		err := mgr.cluster.Migrate(mig.From, mig.To, mig.Count)
+		actions = append(actions, Action{Kind: ActMigrate, Src: mig.From, Dst: mig.To, Users: mig.Count, Err: err})
+	}
+	return actions
+}
+
+// unpacedBalance plans a full equalization toward the power-weighted
+// targets in one step, with no migration-rate bounds (the [15]-style
+// ablation).
+func unpacedBalance(ready []ServerState, n int) []Migration {
+	targets := Targets(ready, n)
+	var plan []Migration
+	for _, src := range ready {
+		surplus := src.Users - targets[src.ID]
+		if surplus <= 0 {
+			continue
+		}
+		for _, dst := range ready {
+			if surplus <= 0 {
+				break
+			}
+			deficit := targets[dst.ID] - dst.Users
+			if deficit <= 0 {
+				continue
+			}
+			k := surplus
+			if k > deficit {
+				k = deficit
+			}
+			plan = append(plan, Migration{From: src.ID, To: dst.ID, Count: k})
+			surplus -= k
+		}
+	}
+	return plan
+}
+
+// unpacedDrain evacuates a draining server in one step.
+func unpacedDrain(group []ServerState, drainID string) []Migration {
+	var src *ServerState
+	var targets []ServerState
+	for i := range group {
+		if group[i].ID == drainID {
+			src = &group[i]
+		} else {
+			targets = append(targets, group[i])
+		}
+	}
+	if src == nil || src.Users == 0 || len(targets) == 0 {
+		return nil
+	}
+	per := src.Users / len(targets)
+	rem := src.Users % len(targets)
+	var plan []Migration
+	for i, t := range targets {
+		k := per
+		if i < rem {
+			k++
+		}
+		if k > 0 {
+			plan = append(plan, Migration{From: drainID, To: t.ID, Count: k})
+		}
+	}
+	return plan
+}
+
+// pickSubstitutionTarget chooses which server to replace with a stronger
+// resource: the weakest class first (biggest upgrade win), then the
+// busiest, with ID tie-breaks for determinism.
+func pickSubstitutionTarget(ready []ServerState) ServerState {
+	sorted := append([]ServerState(nil), ready...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Power != sorted[j].Power {
+			return sorted[i].Power < sorted[j].Power
+		}
+		if sorted[i].Users != sorted[j].Users {
+			return sorted[i].Users > sorted[j].Users
+		}
+		return sorted[i].ID < sorted[j].ID
+	})
+	return sorted[0]
+}

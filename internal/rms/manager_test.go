@@ -1,0 +1,327 @@
+package rms
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"roia/internal/cloud"
+)
+
+// fakeCluster is a scriptable in-memory Cluster for controller tests.
+type fakeCluster struct {
+	servers []ServerState
+	npcs    int
+
+	migrations  []Migration
+	addCalls    int
+	addErr      error
+	subErr      error
+	removed     []string
+	substituted []string
+	nextID      int
+	// startupDelay > 0 makes new replicas appear as not-Ready; tests call
+	// makeReady to finish provisioning.
+	notReadyOnAdd bool
+}
+
+func (f *fakeCluster) Servers() []ServerState { return append([]ServerState(nil), f.servers...) }
+
+func (f *fakeCluster) ZoneUsers() int {
+	n := 0
+	for _, s := range f.servers {
+		n += s.Users
+	}
+	return n
+}
+
+func (f *fakeCluster) NPCCount() int { return f.npcs }
+
+func (f *fakeCluster) find(id string) *ServerState {
+	for i := range f.servers {
+		if f.servers[i].ID == id {
+			return &f.servers[i]
+		}
+	}
+	return nil
+}
+
+func (f *fakeCluster) Migrate(src, dst string, count int) error {
+	s, d := f.find(src), f.find(dst)
+	if s == nil || d == nil {
+		return errors.New("unknown server")
+	}
+	if count > s.Users {
+		count = s.Users
+	}
+	s.Users -= count
+	d.Users += count
+	f.migrations = append(f.migrations, Migration{From: src, To: dst, Count: count})
+	return nil
+}
+
+func (f *fakeCluster) AddReplica() (string, error) {
+	if f.addErr != nil {
+		return "", f.addErr
+	}
+	f.addCalls++
+	f.nextID++
+	id := fmt.Sprintf("new-%d", f.nextID)
+	f.servers = append(f.servers, ServerState{ID: id, Power: 1, Class: "standard", Ready: !f.notReadyOnAdd})
+	return id, nil
+}
+
+func (f *fakeCluster) RemoveReplica(id string) error {
+	for i := range f.servers {
+		if f.servers[i].ID == id {
+			f.servers = append(f.servers[:i], f.servers[i+1:]...)
+			f.removed = append(f.removed, id)
+			return nil
+		}
+	}
+	return errors.New("unknown server")
+}
+
+func (f *fakeCluster) SetDraining(id string, on bool) error {
+	s := f.find(id)
+	if s == nil {
+		return errors.New("unknown server")
+	}
+	s.Draining = on
+	return nil
+}
+
+func (f *fakeCluster) Substitute(id string) (string, error) {
+	if f.subErr != nil {
+		return "", f.subErr
+	}
+	f.substituted = append(f.substituted, id)
+	f.nextID++
+	nid := fmt.Sprintf("sub-%d", f.nextID)
+	f.servers = append(f.servers, ServerState{ID: nid, Power: 2, Class: "highcpu", Ready: !f.notReadyOnAdd})
+	return nid, nil
+}
+
+func (f *fakeCluster) makeReady() {
+	for i := range f.servers {
+		f.servers[i].Ready = true
+	}
+}
+
+func kinds(actions []Action) []ActionKind {
+	out := make([]ActionKind, len(actions))
+	for i, a := range actions {
+		out[i] = a.Kind
+	}
+	return out
+}
+
+func hasKind(actions []Action, k ActionKind) bool {
+	for _, a := range actions {
+		if a.Kind == k {
+			return true
+		}
+	}
+	return false
+}
+
+func TestManagerReplicatesAtTrigger(t *testing.T) {
+	mdl := rtfModel(t)
+	// n_max(1)=235, trigger = 188.
+	fc := &fakeCluster{servers: []ServerState{{ID: "s1", Users: 188, Power: 1, Ready: true}}}
+	mgr := NewManager(fc, Config{Model: mdl})
+	actions := mgr.Step(0)
+	if !hasKind(actions, ActReplicate) {
+		t.Fatalf("no replication at trigger: %v", kinds(actions))
+	}
+	if fc.addCalls != 1 {
+		t.Fatalf("addCalls = %d", fc.addCalls)
+	}
+}
+
+func TestManagerNoReplicationBelowTrigger(t *testing.T) {
+	mdl := rtfModel(t)
+	fc := &fakeCluster{servers: []ServerState{{ID: "s1", Users: 187, Power: 1, Ready: true}}}
+	mgr := NewManager(fc, Config{Model: mdl})
+	if actions := mgr.Step(0); hasKind(actions, ActReplicate) {
+		t.Fatalf("replicated below the 80%% trigger: %v", kinds(actions))
+	}
+}
+
+func TestManagerCooldownPreventsThrashing(t *testing.T) {
+	mdl := rtfModel(t)
+	fc := &fakeCluster{servers: []ServerState{{ID: "s1", Users: 200, Power: 1, Ready: true}}}
+	mgr := NewManager(fc, Config{Model: mdl, CooldownSec: 30})
+	mgr.Step(0)
+	if fc.addCalls != 1 {
+		t.Fatalf("addCalls = %d", fc.addCalls)
+	}
+	// Load still above the 2-replica trigger? n=200 < trigger(2)=265, so
+	// no second replica is wanted anyway; force the situation by piling
+	// users on.
+	fc.servers[0].Users = 300
+	mgr.Step(10) // within cooldown
+	if fc.addCalls != 1 {
+		t.Fatal("replicated during cooldown")
+	}
+	mgr.Step(31) // cooldown expired
+	if fc.addCalls != 2 {
+		t.Fatalf("addCalls after cooldown = %d, want 2", fc.addCalls)
+	}
+}
+
+func TestManagerWaitsForProvisioning(t *testing.T) {
+	mdl := rtfModel(t)
+	fc := &fakeCluster{
+		servers:       []ServerState{{ID: "s1", Users: 300, Power: 1, Ready: true}},
+		notReadyOnAdd: true,
+	}
+	mgr := NewManager(fc, Config{Model: mdl, CooldownSec: 1})
+	mgr.Step(0)
+	if fc.addCalls != 1 {
+		t.Fatalf("addCalls = %d", fc.addCalls)
+	}
+	// Replica still provisioning: no further scale-up even after cooldown.
+	mgr.Step(10)
+	if fc.addCalls != 1 {
+		t.Fatal("scaled up while a replica was provisioning")
+	}
+	// Once ready, the Listing-1 balancing moves users toward it.
+	fc.makeReady()
+	actions := mgr.Step(20)
+	if !hasKind(actions, ActMigrate) {
+		t.Fatalf("no migrations to the fresh replica: %v", kinds(actions))
+	}
+	fresh := fc.find("new-1")
+	if fresh.Users == 0 {
+		t.Fatal("fresh replica received no users")
+	}
+}
+
+func TestManagerMigrationsBounded(t *testing.T) {
+	mdl := rtfModel(t)
+	fc := &fakeCluster{servers: []ServerState{
+		{ID: "a", Users: 180, Power: 1, Ready: true},
+		{ID: "b", Users: 80, Power: 1, Ready: true},
+	}}
+	mgr := NewManager(fc, Config{Model: mdl})
+	mgr.Step(0)
+	moved := 0
+	for _, m := range fc.migrations {
+		moved += m.Count
+	}
+	if moved == 0 {
+		t.Fatal("no balancing migrations")
+	}
+	if xini := mdl.MaxMigrationsIni(2, 260, 0, 180); moved > xini {
+		t.Fatalf("moved %d users in one step, model budget is %d", moved, xini)
+	}
+}
+
+func TestManagerSubstitutesAtReplicaCap(t *testing.T) {
+	mdl := rtfModel(t)
+	fc := &fakeCluster{servers: []ServerState{{ID: "s1", Users: 230, Power: 1, Ready: true}}}
+	mgr := NewManager(fc, Config{Model: mdl, MaxReplicas: 1})
+	actions := mgr.Step(0)
+	if !hasKind(actions, ActSubstitute) {
+		t.Fatalf("no substitution at the replica cap: %v", kinds(actions))
+	}
+	if len(fc.substituted) != 1 || fc.substituted[0] != "s1" {
+		t.Fatalf("substituted = %v", fc.substituted)
+	}
+	// The replacement is ready immediately here, so the next step drains
+	// the old server and migrates users off it.
+	actions = mgr.Step(20)
+	if !hasKind(actions, ActDrain) {
+		t.Fatalf("old server not drained: %v", kinds(actions))
+	}
+	if !fc.find("s1").Draining {
+		t.Fatal("s1 not marked draining")
+	}
+	// Keep stepping: drain migrations flow, and once empty, removal.
+	for i := 0; i < 400 && fc.find("s1") != nil; i++ {
+		mgr.Step(float64(40 + i))
+	}
+	if fc.find("s1") != nil {
+		t.Fatalf("substituted server never removed (users left: %d)", fc.find("s1").Users)
+	}
+	if fc.find("sub-1") == nil {
+		t.Fatal("replacement disappeared")
+	}
+}
+
+func TestManagerReportsSaturation(t *testing.T) {
+	mdl := rtfModel(t)
+	fc := &fakeCluster{
+		servers: []ServerState{{ID: "s1", Users: 230, Power: 1, Class: "huge", Ready: true}},
+		subErr:  cloud.ErrNoStrongerClass,
+	}
+	mgr := NewManager(fc, Config{Model: mdl, MaxReplicas: 1, CooldownSec: 30})
+	actions := mgr.Step(0)
+	if !hasKind(actions, ActSaturated) {
+		t.Fatalf("saturation not reported: %v", kinds(actions))
+	}
+	// Saturation backs off for a cooldown instead of re-alerting hot.
+	if actions = mgr.Step(1); hasKind(actions, ActSaturated) {
+		t.Fatal("saturation re-alerted within cooldown")
+	}
+	if actions = mgr.Step(31); !hasKind(actions, ActSaturated) {
+		t.Fatalf("saturation not re-alerted after cooldown: %v", kinds(actions))
+	}
+}
+
+func TestManagerCapacityAwareOfPower(t *testing.T) {
+	mdl := rtfModel(t)
+	// A 4x machine at 230 users is far from ITS capacity: no scale-up.
+	fc := &fakeCluster{
+		servers: []ServerState{{ID: "s1", Users: 230, Power: 4, Class: "huge", Ready: true}},
+	}
+	mgr := NewManager(fc, Config{Model: mdl, MaxReplicas: 1})
+	if actions := mgr.Step(0); hasKind(actions, ActSaturated) || hasKind(actions, ActReplicate) {
+		t.Fatalf("power-aware capacity ignored: %v", kinds(actions))
+	}
+}
+
+func TestManagerScalesDown(t *testing.T) {
+	mdl := rtfModel(t)
+	// Two replicas, few users: n=40 is far below 0.9·trigger(1)=169.
+	fc := &fakeCluster{servers: []ServerState{
+		{ID: "a", Users: 20, Power: 1, Ready: true},
+		{ID: "b", Users: 20, Power: 1, Ready: true},
+	}}
+	mgr := NewManager(fc, Config{Model: mdl})
+	actions := mgr.Step(0)
+	if !hasKind(actions, ActDrain) {
+		t.Fatalf("no drain on underutilization: %v", kinds(actions))
+	}
+	for i := 0; i < 200 && len(fc.servers) > 1; i++ {
+		mgr.Step(float64(1 + i))
+	}
+	if len(fc.servers) != 1 {
+		t.Fatalf("underutilized replica never removed: %d servers", len(fc.servers))
+	}
+	if got := fc.ZoneUsers(); got != 40 {
+		t.Fatalf("users lost during scale down: %d", got)
+	}
+}
+
+func TestManagerNeverDrainsLastReplica(t *testing.T) {
+	mdl := rtfModel(t)
+	fc := &fakeCluster{servers: []ServerState{{ID: "a", Users: 5, Power: 1, Ready: true}}}
+	mgr := NewManager(fc, Config{Model: mdl})
+	for i := 0; i < 50; i++ {
+		mgr.Step(float64(i))
+	}
+	if len(fc.servers) != 1 || fc.servers[0].Draining {
+		t.Fatal("manager drained the last replica")
+	}
+}
+
+func TestManagerPanicsWithoutModel(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for nil model")
+		}
+	}()
+	NewManager(&fakeCluster{}, Config{})
+}

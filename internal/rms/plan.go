@@ -1,0 +1,295 @@
+package rms
+
+import (
+	"sort"
+
+	"roia/internal/model"
+)
+
+// Migration is one planned user transfer.
+type Migration struct {
+	From, To string
+	Count    int
+}
+
+// Targets computes the per-server target user allocation: each server's
+// share of the n users proportional to its resource power, distributed by
+// largest remainder (deterministic: ties resolved toward more powerful,
+// then lexicographically smaller servers). For a homogeneous replica
+// group this reduces to the plain average of the paper's Listing 1; after
+// resource substitution the fleet is heterogeneous and stronger machines
+// take proportionally more users — the allocation principle of Bezerra &
+// Geyer [4] applied to machine power.
+func Targets(servers []ServerState, n int) map[string]int {
+	targets := make(map[string]int, len(servers))
+	if len(servers) == 0 {
+		return targets
+	}
+	totalPower := 0.0
+	for _, s := range servers {
+		targets[s.ID] = 0
+		totalPower += power(s)
+	}
+	if totalPower <= 0 {
+		return targets
+	}
+	type rem struct {
+		id   string
+		pow  float64
+		frac float64
+	}
+	assigned := 0
+	rems := make([]rem, 0, len(servers))
+	for _, s := range servers {
+		exact := float64(n) * power(s) / totalPower
+		base := int(exact)
+		targets[s.ID] = base
+		assigned += base
+		rems = append(rems, rem{id: s.ID, pow: power(s), frac: exact - float64(base)})
+	}
+	sort.Slice(rems, func(i, j int) bool {
+		if rems[i].frac != rems[j].frac {
+			return rems[i].frac > rems[j].frac
+		}
+		if rems[i].pow != rems[j].pow {
+			return rems[i].pow > rems[j].pow
+		}
+		return rems[i].id < rems[j].id
+	})
+	for i := 0; assigned < n; i = (i + 1) % len(rems) {
+		targets[rems[i].id]++
+		assigned++
+	}
+	return targets
+}
+
+func power(s ServerState) float64 {
+	if s.Power <= 0 {
+		return 1
+	}
+	return s.Power
+}
+
+// Capacity returns the maximum zone user count the given replica group
+// can serve with every server's tick below U, assuming the power-weighted
+// allocation of Targets and scaling each server's Eq. (4) tick time by its
+// resource power. For a homogeneous power-1 group this equals Eq. (2)'s
+// n_max(l) (up to integer rounding of the shares); after resource
+// substitution it credits the stronger machines — the "modern server
+// hardware" extension of the paper's future work. ok is false if the
+// group serves the model's entire search cap.
+func Capacity(mdl *model.Model, servers []ServerState, m int) (int, bool) {
+	l := len(servers)
+	if l == 0 {
+		return 0, false
+	}
+	fits := func(n int) bool {
+		targets := Targets(servers, n)
+		for _, s := range servers {
+			if mdl.TickTimeUneven(l, n, m, targets[s.ID])/power(s) >= mdl.U {
+				return false
+			}
+		}
+		return true
+	}
+	cap := mdl.UserCap
+	if cap <= 0 {
+		cap = model.DefaultUserCap
+	}
+	if fits(cap) {
+		return cap, false
+	}
+	lo, hi := 0, cap // invariant: fits(lo), !fits(hi)
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		if fits(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, true
+}
+
+// PlanMigrations implements Listing 1 of the paper: workload-aware user
+// migration from the most loaded replica toward the target allocation,
+// bounded by the scalability model's thresholds.
+//
+// For the zone's n users and m NPCs on the given replicas it:
+//
+//	(i)   computes each server's deviation from its target share
+//	      (the plain average for homogeneous fleets, power-weighted after
+//	      resource substitution),
+//	(ii)  computes x_max_ini for the server s_max with the highest
+//	      surplus (Eq. 5 over Eq. 4's tick time at s_max's active count),
+//	(iii) computes x_max_rcv for every under-target server,
+//
+// and plans min{d[i], x_max_rcv[i], remaining ini budget} migrations from
+// s_max to each, never moving s_max below its own target. The total
+// planned count is a per-second migration rate; the caller applies one
+// plan per second.
+//
+// Two engineering extensions beyond the paper's pseudocode (documented in
+// DESIGN.md §7):
+//
+//   - overload recovery: Eq. (5) yields a zero budget once a server
+//     already violates U, yet migration is then the only path back below
+//     the threshold. An overloaded source budgets as if it were at its
+//     target load; if even that is zero (the whole group violates), the
+//     plan moves at full surplus speed — quality of experience is already
+//     violated everywhere and convergence dominates;
+//   - a receiver that is itself past U (same situation) accepts up to its
+//     deficit instead of Eq. (5)'s zero.
+//
+// Servers still provisioning or draining must be filtered out by the
+// caller. The input slice is not modified.
+func PlanMigrations(mdl *model.Model, servers []ServerState, n, m int) []Migration {
+	if len(servers) < 2 {
+		return nil
+	}
+	l := len(servers)
+	targets := Targets(servers, n)
+
+	// (i) + s_max: highest surplus, ties broken by ID for determinism.
+	srv := append([]ServerState(nil), servers...)
+	surplusOf := func(s ServerState) int { return s.Users - targets[s.ID] }
+	sort.Slice(srv, func(i, j int) bool {
+		si, sj := surplusOf(srv[i]), surplusOf(srv[j])
+		if si != sj {
+			return si > sj
+		}
+		return srv[i].ID < srv[j].ID
+	})
+	smax := srv[0]
+	surplus := surplusOf(smax)
+	if surplus <= 0 {
+		return nil
+	}
+
+	// (ii) budget of the initiator, with the overload recovery ladder. The
+	// ladder engages only when the source actually violates U — a zero
+	// budget on a server that is merely near the threshold means exactly
+	// what Eq. (5) says: this second has no migration headroom.
+	budget := mdl.MaxMigrationsIni(l, n, m, smax.Users)
+	if budget <= 0 {
+		if mdl.TickTimeUneven(l, n, m, smax.Users) < mdl.U {
+			return nil
+		}
+		budget = mdl.MaxMigrationsIni(l, n, m, targets[smax.ID])
+		if budget <= 0 {
+			budget = surplus // full-group overload: converge at full speed
+		}
+	}
+	if budget > surplus {
+		budget = surplus
+	}
+
+	// (iii) fill the most underloaded servers first.
+	order := append([]ServerState(nil), srv[1:]...)
+	sort.Slice(order, func(i, j int) bool {
+		di, dj := targets[order[i].ID]-order[i].Users, targets[order[j].ID]-order[j].Users
+		if di != dj {
+			return di > dj
+		}
+		return order[i].ID < order[j].ID
+	})
+	var plan []Migration
+	for _, s := range order {
+		if budget <= 0 {
+			break
+		}
+		d := targets[s.ID] - s.Users
+		if d <= 0 {
+			continue
+		}
+		k := d
+		rcv := mdl.MaxMigrationsRcv(l, n, m, s.Users)
+		if rcv <= 0 && mdl.TickTimeUneven(l, n, m, s.Users) >= mdl.U {
+			rcv = d // receiver already violating: accept the deficit
+		}
+		if k > rcv {
+			k = rcv
+		}
+		if k > budget {
+			k = budget
+		}
+		if k <= 0 {
+			continue
+		}
+		plan = append(plan, Migration{From: smax.ID, To: s.ID, Count: k})
+		budget -= k
+	}
+	return plan
+}
+
+// PlanDrain plans the evacuation of one server (for resource removal and
+// substitution): its users move to the remaining replicas, bounded by the
+// drain source's x_max_ini and each target's x_max_rcv, filling the
+// targets with the most headroom (relative to their power-weighted share)
+// first. Both removal and substitution "also involve user migration"
+// (Section IV), so they respect the same model thresholds — with the same
+// overload-recovery ladder as PlanMigrations, since a drain ordered while
+// the group violates U (the substitution-under-pressure case) must still
+// make progress.
+func PlanDrain(mdl *model.Model, servers []ServerState, drainID string, n, m int) []Migration {
+	l := len(servers)
+	if l < 2 {
+		return nil
+	}
+	var src *ServerState
+	targets := make([]ServerState, 0, l-1)
+	for i := range servers {
+		if servers[i].ID == drainID {
+			src = &servers[i]
+		} else {
+			targets = append(targets, servers[i])
+		}
+	}
+	if src == nil || src.Users == 0 {
+		return nil
+	}
+	shares := Targets(targets, n)
+
+	budget := mdl.MaxMigrationsIni(l, n, m, src.Users)
+	if budget <= 0 {
+		// Recovery ladder, gated on actual overload as in PlanMigrations:
+		// a near-threshold drain source simply pauses for this second.
+		if mdl.TickTimeUneven(l, n, m, src.Users) < mdl.U {
+			return nil
+		}
+		budget = mdl.MaxMigrationsIni(l, n, m, n/l)
+		if budget <= 0 {
+			budget = src.Users // full-group overload: evacuate at full speed
+		}
+	}
+	if budget > src.Users {
+		budget = src.Users
+	}
+
+	sort.Slice(targets, func(i, j int) bool {
+		hi := shares[targets[i].ID] - targets[i].Users
+		hj := shares[targets[j].ID] - targets[j].Users
+		if hi != hj {
+			return hi > hj
+		}
+		return targets[i].ID < targets[j].ID
+	})
+	var plan []Migration
+	for ti := 0; budget > 0 && ti < len(targets); ti++ {
+		t := targets[ti]
+		k := mdl.MaxMigrationsRcv(l, n, m, t.Users)
+		if k <= 0 && mdl.TickTimeUneven(l, n, m, t.Users) >= mdl.U {
+			// Receiver violating anyway: take a proportional share.
+			k = (budget + len(targets) - 1) / len(targets)
+		}
+		if k > budget {
+			k = budget
+		}
+		if k <= 0 {
+			continue
+		}
+		plan = append(plan, Migration{From: drainID, To: t.ID, Count: k})
+		budget -= k
+	}
+	return plan
+}

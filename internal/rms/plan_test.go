@@ -1,0 +1,297 @@
+package rms
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"roia/internal/model"
+	"roia/internal/params"
+)
+
+func rtfModel(t *testing.T) *model.Model {
+	t.Helper()
+	mdl, err := model.New(params.RTFDemo(), params.UFirstPersonShooter, params.CDefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mdl
+}
+
+func TestPlanMigrationsMovesFromMostLoaded(t *testing.T) {
+	mdl := rtfModel(t)
+	servers := []ServerState{
+		{ID: "a", Users: 180},
+		{ID: "b", Users: 80},
+	}
+	plan := PlanMigrations(mdl, servers, 260, 0)
+	if len(plan) == 0 {
+		t.Fatal("no migrations planned for imbalanced servers")
+	}
+	total := 0
+	for _, mig := range plan {
+		if mig.From != "a" || mig.To != "b" {
+			t.Fatalf("wrong direction: %+v", mig)
+		}
+		if mig.Count <= 0 {
+			t.Fatalf("non-positive count: %+v", mig)
+		}
+		total += mig.Count
+	}
+	// Never moves the source below the average (130).
+	if total > 50 {
+		t.Fatalf("moved %d users, surplus is only 50", total)
+	}
+	// Bounded by the model's x_max_ini for the source.
+	if xini := mdl.MaxMigrationsIni(2, 260, 0, 180); total > xini {
+		t.Fatalf("moved %d > x_max_ini %d", total, xini)
+	}
+}
+
+func TestPlanMigrationsBalancedIsEmpty(t *testing.T) {
+	mdl := rtfModel(t)
+	servers := []ServerState{{ID: "a", Users: 100}, {ID: "b", Users: 100}}
+	if plan := PlanMigrations(mdl, servers, 200, 0); plan != nil {
+		t.Fatalf("plan for balanced servers: %v", plan)
+	}
+}
+
+func TestPlanMigrationsSingleServerIsEmpty(t *testing.T) {
+	mdl := rtfModel(t)
+	if plan := PlanMigrations(mdl, []ServerState{{ID: "a", Users: 50}}, 50, 0); plan != nil {
+		t.Fatalf("plan for single server: %v", plan)
+	}
+}
+
+func TestPlanMigrationsOverloadRecovery(t *testing.T) {
+	mdl := rtfModel(t)
+	// 400 users on one server: its Eq.(4) tick exceeds U=40ms and even the
+	// post-balance average (200) still violates, so Eq.(5) gives a zero
+	// budget at every rung of the ladder. The recovery extension then
+	// migrates at full surplus speed, bounded by the receiver's budget —
+	// the only path back below the threshold.
+	servers := []ServerState{{ID: "a", Users: 400}, {ID: "b", Users: 0}}
+	plan := PlanMigrations(mdl, servers, 400, 0)
+	if len(plan) == 0 {
+		t.Fatal("overloaded group planned no recovery migrations")
+	}
+	total := 0
+	for _, mig := range plan {
+		if mig.From != "a" || mig.To != "b" {
+			t.Fatalf("wrong direction: %+v", mig)
+		}
+		total += mig.Count
+	}
+	if total > 200 {
+		t.Fatalf("moved %d users past the target share of 200", total)
+	}
+	// The receiver at 0 users is NOT violating (shadow cost only), so its
+	// Eq.(5) budget still applies — recovery must not dump everything.
+	if rcv := mdl.MaxMigrationsRcv(2, 400, 0, 0); total > rcv {
+		t.Fatalf("moved %d > receiver budget %d", total, rcv)
+	}
+}
+
+func TestPlanMigrationsHeterogeneousTargets(t *testing.T) {
+	mdl := rtfModel(t)
+	// A 2x machine should end up with twice the users: targets 40/80.
+	servers := []ServerState{
+		{ID: "weak", Users: 90, Power: 1},
+		{ID: "strong", Users: 30, Power: 2},
+	}
+	plan := PlanMigrations(mdl, servers, 120, 0)
+	if len(plan) == 0 {
+		t.Fatal("no plan for heterogeneous imbalance")
+	}
+	total := 0
+	for _, mig := range plan {
+		if mig.From != "weak" || mig.To != "strong" {
+			t.Fatalf("wrong direction: %+v", mig)
+		}
+		total += mig.Count
+	}
+	if total > 50 {
+		t.Fatalf("moved %d, surplus above weighted target is 50", total)
+	}
+}
+
+func TestTargetsPowerWeighted(t *testing.T) {
+	servers := []ServerState{
+		{ID: "a", Power: 1},
+		{ID: "b", Power: 2},
+		{ID: "c", Power: 1},
+	}
+	got := Targets(servers, 100)
+	if got["a"]+got["b"]+got["c"] != 100 {
+		t.Fatalf("targets don't sum to n: %v", got)
+	}
+	if got["b"] != 50 || got["a"] != 25 || got["c"] != 25 {
+		t.Fatalf("weighted targets = %v, want a=25 b=50 c=25", got)
+	}
+	// Homogeneous: plain averages with largest-remainder distribution.
+	hom := Targets([]ServerState{{ID: "x"}, {ID: "y"}, {ID: "z"}}, 10)
+	if hom["x"]+hom["y"]+hom["z"] != 10 {
+		t.Fatalf("homogeneous targets don't sum: %v", hom)
+	}
+	for _, v := range hom {
+		if v < 3 || v > 4 {
+			t.Fatalf("homogeneous share %d outside 3..4: %v", v, hom)
+		}
+	}
+	if len(Targets(nil, 5)) != 0 {
+		t.Fatal("targets for empty group")
+	}
+}
+
+func TestPlanMigrationsFillsMostUnderloadedFirst(t *testing.T) {
+	mdl := rtfModel(t)
+	servers := []ServerState{
+		{ID: "hot", Users: 90},
+		{ID: "mid", Users: 40},
+		{ID: "cold", Users: 5},
+	}
+	plan := PlanMigrations(mdl, servers, 135, 0)
+	if len(plan) == 0 {
+		t.Fatal("no plan")
+	}
+	if plan[0].To != "cold" {
+		t.Fatalf("first target = %q, want cold", plan[0].To)
+	}
+}
+
+func TestPlanMigrationsDeterministicTieBreak(t *testing.T) {
+	mdl := rtfModel(t)
+	servers := []ServerState{
+		{ID: "b", Users: 60},
+		{ID: "a", Users: 60},
+		{ID: "c", Users: 0},
+	}
+	p1 := PlanMigrations(mdl, servers, 120, 0)
+	p2 := PlanMigrations(mdl, []ServerState{servers[1], servers[0], servers[2]}, 120, 0)
+	if len(p1) == 0 || len(p2) == 0 {
+		t.Fatal("no plan")
+	}
+	if p1[0].From != "a" || p2[0].From != "a" {
+		t.Fatalf("tie-break not deterministic: %v vs %v", p1, p2)
+	}
+}
+
+func TestPlanMigrationsInvariantsProperty(t *testing.T) {
+	mdl := rtfModel(t)
+	prop := func(seed int64, count8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nServers := int(count8%6) + 2
+		servers := make([]ServerState, nServers)
+		n := 0
+		for i := range servers {
+			u := rng.Intn(120)
+			servers[i] = ServerState{ID: string(rune('a' + i)), Users: u}
+			n += u
+		}
+		plan := PlanMigrations(mdl, servers, n, 0)
+		targets := Targets(servers, n)
+		// Identify s_max (highest surplus) as the planner does.
+		smax, best := "", -1<<30
+		for _, s := range servers {
+			if sp := s.Users - targets[s.ID]; sp > best || (sp == best && s.ID < smax) {
+				smax, best = s.ID, sp
+			}
+		}
+		users := make(map[string]int, nServers)
+		for _, s := range servers {
+			users[s.ID] = s.Users
+		}
+		total := 0
+		for _, mig := range plan {
+			if mig.From != smax || mig.Count <= 0 {
+				return false
+			}
+			if users[mig.To] >= targets[mig.To] {
+				return false // target was not under its share
+			}
+			if users[mig.To]+mig.Count > targets[mig.To] {
+				return false // target overfilled beyond its share
+			}
+			users[mig.To] += mig.Count
+			total += mig.Count
+		}
+		return total <= best || best <= 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCapacityHomogeneousMatchesModel(t *testing.T) {
+	mdl := rtfModel(t)
+	// One power-1 server: identical to Eq. (2).
+	got, ok := Capacity(mdl, []ServerState{{ID: "a", Power: 1}}, 0)
+	if !ok || got != 235 {
+		t.Fatalf("capacity(1×1.0) = %d ok=%v, want 235", got, ok)
+	}
+	// Two power-1 servers: within rounding of n_max(2) = 332 (the integer
+	// share split makes the group allocation slightly conservative).
+	got, ok = Capacity(mdl, []ServerState{{ID: "a", Power: 1}, {ID: "b", Power: 1}}, 0)
+	want, _ := mdl.MaxUsers(2, 0)
+	if !ok || got < want-2 || got > want {
+		t.Fatalf("capacity(2×1.0) = %d, want ≈%d", got, want)
+	}
+}
+
+func TestCapacityCreditsStrongerMachines(t *testing.T) {
+	mdl := rtfModel(t)
+	base, _ := Capacity(mdl, []ServerState{{ID: "a", Power: 1}}, 0)
+	boosted, _ := Capacity(mdl, []ServerState{{ID: "a", Power: 4}}, 0)
+	if boosted <= base {
+		t.Fatalf("4x machine capacity %d not above baseline %d", boosted, base)
+	}
+	mixed, _ := Capacity(mdl, []ServerState{{ID: "a", Power: 1}, {ID: "b", Power: 4}}, 0)
+	pair, _ := Capacity(mdl, []ServerState{{ID: "a", Power: 1}, {ID: "b", Power: 1}}, 0)
+	if mixed <= pair {
+		t.Fatalf("mixed fleet capacity %d not above homogeneous %d", mixed, pair)
+	}
+	if _, ok := Capacity(mdl, nil, 0); ok {
+		t.Fatal("capacity of empty group reported ok")
+	}
+}
+
+func TestPlanDrainEvacuates(t *testing.T) {
+	mdl := rtfModel(t)
+	servers := []ServerState{
+		{ID: "stay1", Users: 50},
+		{ID: "stay2", Users: 90},
+		{ID: "gone", Users: 30, Draining: true},
+	}
+	plan := PlanDrain(mdl, servers, "gone", 170, 0)
+	if len(plan) == 0 {
+		t.Fatal("no drain plan")
+	}
+	total := 0
+	for _, mig := range plan {
+		if mig.From != "gone" {
+			t.Fatalf("drain from wrong server: %+v", mig)
+		}
+		total += mig.Count
+	}
+	if total > 30 {
+		t.Fatalf("drained %d users, server only had 30", total)
+	}
+	// Least-loaded target is filled first.
+	if plan[0].To != "stay1" {
+		t.Fatalf("first drain target = %q, want stay1", plan[0].To)
+	}
+}
+
+func TestPlanDrainEdgeCases(t *testing.T) {
+	mdl := rtfModel(t)
+	if plan := PlanDrain(mdl, []ServerState{{ID: "only", Users: 10}}, "only", 10, 0); plan != nil {
+		t.Fatal("drain planned with no targets")
+	}
+	servers := []ServerState{{ID: "a", Users: 0}, {ID: "b", Users: 10}}
+	if plan := PlanDrain(mdl, servers, "a", 10, 0); plan != nil {
+		t.Fatal("drain planned for empty server")
+	}
+	if plan := PlanDrain(mdl, servers, "ghost", 10, 0); plan != nil {
+		t.Fatal("drain planned for unknown server")
+	}
+}

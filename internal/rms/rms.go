@@ -1,0 +1,153 @@
+// Package rms implements RTF-RMS, the paper's dynamic resource management
+// system (Section IV), driven by the scalability model of internal/model.
+//
+// The Manager watches one zone's replica group through the Cluster
+// interface and chooses among the four load-balancing actions of Fig. 3:
+//
+//   - user migration      — bounded by the model's x_max thresholds (Eq. 5),
+//     planned per Listing 1;
+//   - replication enactment — triggered at 80 % of the model's n_max
+//     (Eq. 2) while below the model's l_max (Eq. 3);
+//   - resource substitution — when l_max is reached, replace a server with
+//     a more powerful resource class;
+//   - resource removal    — when the load fits comfortably on fewer
+//     replicas, drain and release a server.
+//
+// The same Manager code runs against the deterministic simulator
+// (internal/sim) and against a live RTF cluster, because both implement
+// Cluster.
+package rms
+
+import "fmt"
+
+// ServerState is a monitoring snapshot of one replica, the per-server
+// input to every load-balancing decision.
+type ServerState struct {
+	// ID identifies the server.
+	ID string
+	// Users is the number of users connected to this server (the model's
+	// active-entity count a).
+	Users int
+	// TickMS is the recent mean tick duration in milliseconds, the
+	// quality-of-experience signal the provider thresholds.
+	TickMS float64
+	// Power is the relative computational power of the underlying
+	// resource (1.0 = baseline class).
+	Power float64
+	// Class is the resource class name (for substitution decisions).
+	Class string
+	// Ready reports whether provisioning has finished.
+	Ready bool
+	// Draining marks a server being emptied for removal/substitution.
+	Draining bool
+}
+
+// Cluster is the control surface RTF-RMS drives. Implementations: the
+// virtual-clock simulator (internal/sim) and the live-RTF adapter.
+type Cluster interface {
+	// Servers returns a snapshot of every replica of the zone, including
+	// ones still provisioning.
+	Servers() []ServerState
+	// ZoneUsers returns the zone-wide user count n.
+	ZoneUsers() int
+	// NPCCount returns the zone-wide NPC count m.
+	NPCCount() int
+	// Migrate orders the migration of count users from src to dst. The
+	// caller is responsible for keeping count within the model's
+	// migration budgets.
+	Migrate(src, dst string, count int) error
+	// AddReplica provisions a new server for the zone and returns its ID.
+	// The server becomes Ready after its class's startup delay.
+	AddReplica() (string, error)
+	// RemoveReplica shuts down an (empty) server and releases its
+	// resource.
+	RemoveReplica(id string) error
+	// SetDraining marks a server as draining: it stops accepting new
+	// users while the manager migrates its load away.
+	SetDraining(id string, on bool) error
+	// Substitute provisions a more powerful replacement for the given
+	// server and returns the new server's ID. The old server keeps
+	// serving until drained. It fails with a cloud.ErrNoStrongerClass-
+	// wrapped error when the application has hit the critical density the
+	// paper says requires redesign.
+	Substitute(id string) (string, error)
+}
+
+// ActionKind enumerates RTF-RMS decisions, for logging and evaluation.
+type ActionKind int
+
+// The action kinds.
+const (
+	// ActMigrate is a bounded user migration between two replicas.
+	ActMigrate ActionKind = iota
+	// ActReplicate is a replication enactment (new replica leased).
+	ActReplicate
+	// ActSubstitute is a resource substitution (stronger replica leased).
+	ActSubstitute
+	// ActRemove is a resource removal (replica released).
+	ActRemove
+	// ActDrain marks a server as draining ahead of removal/substitution.
+	ActDrain
+	// ActSaturated reports that no stronger resource exists: the paper's
+	// critical-user-density condition.
+	ActSaturated
+)
+
+// String implements fmt.Stringer.
+func (k ActionKind) String() string {
+	switch k {
+	case ActMigrate:
+		return "migrate"
+	case ActReplicate:
+		return "replicate"
+	case ActSubstitute:
+		return "substitute"
+	case ActRemove:
+		return "remove"
+	case ActDrain:
+		return "drain"
+	case ActSaturated:
+		return "saturated"
+	default:
+		return fmt.Sprintf("action(%d)", int(k))
+	}
+}
+
+// Action is one executed (or failed) load-balancing decision.
+type Action struct {
+	Kind ActionKind
+	// Src and Dst are the involved servers (migration: from/to; replica
+	// changes: the affected server in Src, a replacement in Dst).
+	Src, Dst string
+	// Users is the migration count, when applicable.
+	Users int
+	// Err records an execution failure.
+	Err error
+}
+
+// String implements fmt.Stringer.
+func (a Action) String() string {
+	switch a.Kind {
+	case ActMigrate:
+		return fmt.Sprintf("migrate %d users %s→%s", a.Users, a.Src, a.Dst)
+	case ActReplicate:
+		return fmt.Sprintf("replicate → %s", a.Dst)
+	case ActSubstitute:
+		return fmt.Sprintf("substitute %s → %s", a.Src, a.Dst)
+	case ActRemove:
+		return fmt.Sprintf("remove %s", a.Src)
+	case ActDrain:
+		return fmt.Sprintf("drain %s", a.Src)
+	case ActSaturated:
+		return "saturated: no stronger resource class (application redesign required)"
+	default:
+		return a.Kind.String()
+	}
+}
+
+// Controller is a load-balancing strategy stepped once per control
+// interval (one second in the experiments). The model-driven Manager and
+// every baseline implement it, so they are interchangeable in benches.
+type Controller interface {
+	Step(now float64) []Action
+}

@@ -1,0 +1,216 @@
+// Package client implements the RTF client runtime used by bots, examples
+// and the load-generator command: it connects a user to an application
+// server, sends inputs, receives area-of-interest-filtered state updates,
+// and transparently follows user migrations between servers.
+package client
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"roia/internal/rtf/entity"
+	"roia/internal/rtf/proto"
+	"roia/internal/rtf/transport"
+	"roia/internal/rtf/wire"
+)
+
+// ErrNotJoined is returned by input sends before a join is acknowledged.
+var ErrNotJoined = errors.New("client: not joined")
+
+// Client is one user connection.
+type Client struct {
+	node transport.Node
+
+	mu         sync.Mutex
+	server     string
+	avatar     entity.ID
+	joined     bool
+	inputSeq   uint64
+	lastUpdate *proto.StateUpdate
+	world      map[entity.ID]entity.Entity
+	events     [][]byte
+	updates    uint64
+	migrations int
+	w          *wire.Writer
+}
+
+// New wraps an attached transport node into a client that will talk to the
+// given server.
+func New(node transport.Node, server string) *Client {
+	return &Client{node: node, server: server, w: wire.NewWriter(256)}
+}
+
+// ID returns the client's node ID (its user identity).
+func (c *Client) ID() string { return c.node.ID() }
+
+// Server returns the server the client is currently connected to.
+func (c *Client) Server() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.server
+}
+
+// Joined reports whether the server has acknowledged the join.
+func (c *Client) Joined() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.joined
+}
+
+// Avatar returns the entity ID assigned at join.
+func (c *Client) Avatar() entity.ID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.avatar
+}
+
+// Updates reports how many state updates have been received.
+func (c *Client) Updates() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.updates
+}
+
+// Migrations reports how many times the client followed a user migration.
+func (c *Client) Migrations() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.migrations
+}
+
+// LastUpdate returns the most recent state update, or nil.
+func (c *Client) LastUpdate() *proto.StateUpdate {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastUpdate
+}
+
+// World returns the client's view of nearby entities (everything received
+// in state updates and not yet reported gone, excluding its own avatar),
+// in ID order. Under delta updates (see server.Config.DeltaUpdates) this
+// cache is the authoritative client view; under full updates it is the
+// union of recently visible entities.
+func (c *Client) World() []entity.Entity {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]entity.Entity, 0, len(c.world))
+	for id, e := range c.world {
+		if id == c.avatar {
+			continue
+		}
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// DrainEvents returns and clears the application events accumulated from
+// state updates since the last call.
+func (c *Client) DrainEvents() [][]byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ev := c.events
+	c.events = nil
+	return ev
+}
+
+// Join requests entry into a zone at the given position. The server's
+// acknowledgement arrives asynchronously via Poll.
+func (c *Client) Join(zoneID uint32, pos entity.Vec2, name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sendLocked(&proto.Join{UserName: name, Zone: zoneID, Pos: pos})
+}
+
+// Leave announces a clean disconnect.
+func (c *Client) Leave() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.joined = false
+	return c.sendLocked(&proto.Leave{})
+}
+
+// SendInput transmits one application-encoded command.
+func (c *Client) SendInput(payload []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.joined {
+		return ErrNotJoined
+	}
+	c.inputSeq++
+	return c.sendLocked(&proto.Input{Seq: c.inputSeq, Payload: payload})
+}
+
+func (c *Client) sendLocked(msg wire.Message) error {
+	payload := proto.Registry.Encode(c.w, msg)
+	return c.node.Send(c.server, payload)
+}
+
+// Poll drains and processes all pending server traffic: join acks update
+// the avatar binding, state updates are retained (the latest wins), and
+// migration notices re-point the client at its new server — the
+// "switching user connections between servers" of Section III-B. It
+// returns the number of state updates processed.
+func (c *Client) Poll() int {
+	frames := transport.Drain(c.node, 0)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	seen := 0
+	for _, f := range frames {
+		if len(f.Payload) < 2 {
+			continue
+		}
+		switch wire.Kind(binary.BigEndian.Uint16(f.Payload)) {
+		case proto.KindJoinAck:
+			msg, err := proto.Registry.Decode(f.Payload)
+			if err != nil {
+				continue
+			}
+			ack := msg.(*proto.JoinAck)
+			c.avatar = ack.Entity
+			c.joined = true
+		case proto.KindStateUpdate:
+			msg, err := proto.Registry.Decode(f.Payload)
+			if err != nil {
+				continue
+			}
+			upd := msg.(*proto.StateUpdate)
+			c.lastUpdate = upd
+			if c.world == nil {
+				c.world = make(map[entity.ID]entity.Entity, len(upd.Visible)+1)
+			}
+			c.world[upd.Self.ID] = upd.Self
+			for _, e := range upd.Visible {
+				c.world[e.ID] = e
+			}
+			for _, id := range upd.Gone {
+				delete(c.world, id)
+			}
+			if len(upd.Events) > 0 {
+				c.events = append(c.events, upd.Events)
+			}
+			c.updates++
+			seen++
+		case proto.KindMigrateNotice:
+			msg, err := proto.Registry.Decode(f.Payload)
+			if err != nil {
+				continue
+			}
+			c.server = msg.(*proto.MigrateNotice).NewServer
+			c.migrations++
+		}
+	}
+	return seen
+}
+
+// Close detaches the client from the network.
+func (c *Client) Close() error { return c.node.Close() }
+
+func (c *Client) String() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return fmt.Sprintf("client(%s → %s joined=%v)", c.node.ID(), c.server, c.joined)
+}

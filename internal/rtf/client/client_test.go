@@ -1,0 +1,152 @@
+package client
+
+import (
+	"errors"
+	"testing"
+
+	"roia/internal/rtf/entity"
+	"roia/internal/rtf/proto"
+	"roia/internal/rtf/transport"
+)
+
+// fakeServer lets tests hand-feed protocol frames to a client.
+type fakeServer struct {
+	node transport.Node
+}
+
+func setup(t *testing.T) (*Client, *fakeServer) {
+	t.Helper()
+	net := transport.NewLoopback()
+	t.Cleanup(func() { net.Close() })
+	sn, err := net.Attach("srv", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn, err := net.Attach("cli", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(cn, "srv"), &fakeServer{node: sn}
+}
+
+func (f *fakeServer) send(t *testing.T, to string, payload []byte) {
+	t.Helper()
+	if err := f.node.Send(to, payload); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendInputBeforeJoinFails(t *testing.T) {
+	c, _ := setup(t)
+	if err := c.SendInput([]byte{1}); !errors.Is(err, ErrNotJoined) {
+		t.Fatalf("err = %v, want ErrNotJoined", err)
+	}
+}
+
+func TestJoinAckBindsAvatar(t *testing.T) {
+	c, srv := setup(t)
+	if err := c.Join(1, entity.Vec2{X: 5, Y: 5}, "tester"); err != nil {
+		t.Fatal(err)
+	}
+	// The server received the join frame.
+	frames := transport.Drain(srv.node, 0)
+	if len(frames) != 1 {
+		t.Fatalf("server saw %d frames", len(frames))
+	}
+	msg, err := proto.Registry.Decode(frames[0].Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j := msg.(*proto.Join); j.UserName != "tester" || j.Zone != 1 {
+		t.Fatalf("join = %+v", j)
+	}
+	srv.send(t, "cli", proto.Registry.EncodeToBytes(&proto.JoinAck{Entity: 42, Tick: 3}))
+	c.Poll()
+	if !c.Joined() || c.Avatar() != 42 {
+		t.Fatalf("joined=%v avatar=%d", c.Joined(), c.Avatar())
+	}
+	// Inputs now flow and carry increasing sequence numbers.
+	if err := c.SendInput([]byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SendInput([]byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	in1, _ := proto.Registry.Decode(transport.Drain(srv.node, 0)[0].Payload)
+	if in1.(*proto.Input).Seq != 1 {
+		t.Fatalf("first input seq = %d", in1.(*proto.Input).Seq)
+	}
+}
+
+func TestPollRetainsLatestUpdateAndAccumulatesEvents(t *testing.T) {
+	c, srv := setup(t)
+	srv.send(t, "cli", proto.Registry.EncodeToBytes(&proto.JoinAck{Entity: 1}))
+	srv.send(t, "cli", proto.Registry.EncodeToBytes(&proto.StateUpdate{
+		Tick: 1, Self: entity.Entity{ID: 1}, Events: []byte("hit"),
+	}))
+	srv.send(t, "cli", proto.Registry.EncodeToBytes(&proto.StateUpdate{
+		Tick: 2, Self: entity.Entity{ID: 1},
+	}))
+	if got := c.Poll(); got != 2 {
+		t.Fatalf("Poll processed %d updates, want 2", got)
+	}
+	if c.LastUpdate().Tick != 2 {
+		t.Fatalf("latest tick = %d", c.LastUpdate().Tick)
+	}
+	if c.Updates() != 2 {
+		t.Fatalf("updates = %d", c.Updates())
+	}
+	ev := c.DrainEvents()
+	if len(ev) != 1 || string(ev[0]) != "hit" {
+		t.Fatalf("events = %q", ev)
+	}
+	if got := c.DrainEvents(); got != nil {
+		t.Fatal("events not cleared")
+	}
+}
+
+func TestMigrateNoticeSwitchesServer(t *testing.T) {
+	c, srv := setup(t)
+	srv.send(t, "cli", proto.Registry.EncodeToBytes(&proto.JoinAck{Entity: 1}))
+	srv.send(t, "cli", proto.Registry.EncodeToBytes(&proto.MigrateNotice{NewServer: "srv2"}))
+	c.Poll()
+	if got := c.Server(); got != "srv2" {
+		t.Fatalf("server = %q, want srv2", got)
+	}
+	if c.Migrations() != 1 {
+		t.Fatalf("migrations = %d", c.Migrations())
+	}
+	// Still joined: migration keeps the session alive.
+	if !c.Joined() {
+		t.Fatal("migration dropped the session")
+	}
+}
+
+func TestPollIgnoresJunkFrames(t *testing.T) {
+	c, srv := setup(t)
+	srv.send(t, "cli", []byte{})           // empty
+	srv.send(t, "cli", []byte{0xFF})       // too short
+	srv.send(t, "cli", []byte{0xFF, 0xFF}) // unknown kind
+	srv.send(t, "cli", []byte{0, 2, 1})    // KindJoinAck but truncated
+	if got := c.Poll(); got != 0 {
+		t.Fatalf("Poll = %d on junk", got)
+	}
+	if c.Joined() {
+		t.Fatal("junk made the client joined")
+	}
+}
+
+func TestLeaveResetsJoined(t *testing.T) {
+	c, srv := setup(t)
+	srv.send(t, "cli", proto.Registry.EncodeToBytes(&proto.JoinAck{Entity: 1}))
+	c.Poll()
+	if err := c.Leave(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Joined() {
+		t.Fatal("still joined after leave")
+	}
+	if err := c.SendInput([]byte{1}); !errors.Is(err, ErrNotJoined) {
+		t.Fatal("input accepted after leave")
+	}
+}

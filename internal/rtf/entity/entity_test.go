@@ -1,0 +1,193 @@
+package entity
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"roia/internal/rtf/wire"
+)
+
+func TestVec2Ops(t *testing.T) {
+	a := Vec2{1, 2}
+	b := Vec2{4, 6}
+	if got := a.Add(b); got != (Vec2{5, 8}) {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := b.Sub(a); got != (Vec2{3, 4}) {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != (Vec2{2, 4}) {
+		t.Fatalf("Scale = %v", got)
+	}
+	if got := a.Dist(b); got != 5 {
+		t.Fatalf("Dist = %g, want 5", got)
+	}
+	if got := a.Dist2(b); got != 25 {
+		t.Fatalf("Dist2 = %g, want 25", got)
+	}
+}
+
+func TestVec2Clamp(t *testing.T) {
+	v := Vec2{-5, 150}
+	if got := v.Clamp(0, 100); got != (Vec2{0, 100}) {
+		t.Fatalf("Clamp = %v", got)
+	}
+	if got := (Vec2{50, 50}).Clamp(0, 100); got != (Vec2{50, 50}) {
+		t.Fatalf("Clamp identity = %v", got)
+	}
+}
+
+func TestDist2MatchesDistSquared(t *testing.T) {
+	prop := func(ax, ay, bx, by float64) bool {
+		ax, ay = math.Mod(ax, 1e6), math.Mod(ay, 1e6)
+		bx, by = math.Mod(bx, 1e6), math.Mod(by, 1e6)
+		a, b := Vec2{ax, ay}, Vec2{bx, by}
+		d := a.Dist(b)
+		return math.Abs(d*d-a.Dist2(b)) <= 1e-6*math.Max(1, a.Dist2(b))
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Avatar.String() != "avatar" || NPC.String() != "npc" {
+		t.Fatal("kind strings wrong")
+	}
+	if Kind(9).String() == "" {
+		t.Fatal("unknown kind renders empty")
+	}
+}
+
+func TestEntityWireRoundTrip(t *testing.T) {
+	e := &Entity{
+		ID: 42, Kind: NPC, Pos: Vec2{1.5, -2.5}, Health: -7,
+		Zone: 3, Owner: "server-2", Seq: 99,
+	}
+	w := wire.NewWriter(0)
+	e.MarshalWire(w)
+	var got Entity
+	if err := got.UnmarshalWire(wire.NewReader(w.Bytes())); err != nil {
+		t.Fatalf("UnmarshalWire: %v", err)
+	}
+	if got != *e {
+		t.Fatalf("round trip: got %+v, want %+v", got, *e)
+	}
+}
+
+func TestEntityWireTruncated(t *testing.T) {
+	e := &Entity{ID: 1, Owner: "s"}
+	w := wire.NewWriter(0)
+	e.MarshalWire(w)
+	var got Entity
+	if err := got.UnmarshalWire(wire.NewReader(w.Bytes()[:5])); err == nil {
+		t.Fatal("truncated entity decoded")
+	}
+}
+
+func TestActiveOnAndClone(t *testing.T) {
+	e := &Entity{ID: 1, Owner: "s1"}
+	if !e.ActiveOn("s1") || e.ActiveOn("s2") {
+		t.Fatal("ActiveOn wrong")
+	}
+	c := e.Clone()
+	c.Owner = "s2"
+	if e.Owner != "s1" {
+		t.Fatal("Clone aliased original")
+	}
+}
+
+func TestStoreBasics(t *testing.T) {
+	s := NewStore()
+	if s.Len() != 0 {
+		t.Fatal("fresh store not empty")
+	}
+	s.Put(&Entity{ID: 2, Owner: "a"})
+	s.Put(&Entity{ID: 1, Owner: "b"})
+	s.Put(&Entity{ID: 3, Owner: "a", Kind: NPC})
+	if s.Len() != 3 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if _, ok := s.Get(2); !ok {
+		t.Fatal("Get(2) missing")
+	}
+	all := s.All()
+	if all[0].ID != 1 || all[1].ID != 2 || all[2].ID != 3 {
+		t.Fatalf("All not in ID order: %v", []ID{all[0].ID, all[1].ID, all[2].ID})
+	}
+	if !s.Remove(2) || s.Remove(2) {
+		t.Fatal("Remove semantics wrong")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("len after remove = %d", s.Len())
+	}
+}
+
+func TestStorePartitions(t *testing.T) {
+	s := NewStore()
+	s.Put(&Entity{ID: 1, Owner: "a", Kind: Avatar})
+	s.Put(&Entity{ID: 2, Owner: "a", Kind: NPC})
+	s.Put(&Entity{ID: 3, Owner: "b", Kind: Avatar})
+
+	if got := s.Active("a", -1); len(got) != 2 {
+		t.Fatalf("Active(a, all) = %d entities", len(got))
+	}
+	if got := s.Active("a", int(Avatar)); len(got) != 1 || got[0].ID != 1 {
+		t.Fatalf("Active(a, avatar) wrong: %v", got)
+	}
+	if got := s.Shadows("a"); len(got) != 1 || got[0].ID != 3 {
+		t.Fatalf("Shadows(a) wrong")
+	}
+	if got := s.CountActive("a", int(NPC)); got != 1 {
+		t.Fatalf("CountActive(a, npc) = %d", got)
+	}
+	if got := s.CountActive("b", -1); got != 1 {
+		t.Fatalf("CountActive(b) = %d", got)
+	}
+}
+
+func TestApplyShadowUpdate(t *testing.T) {
+	s := NewStore()
+	// Unknown entity: inserted.
+	upd := &Entity{ID: 5, Owner: "remote", Seq: 1, Health: 100}
+	if !s.ApplyShadowUpdate("local", upd) {
+		t.Fatal("new shadow not applied")
+	}
+	// The stored copy must not alias the update.
+	upd.Health = 1
+	if e, _ := s.Get(5); e.Health != 100 {
+		t.Fatal("shadow update aliased")
+	}
+	// Stale sequence: ignored.
+	if s.ApplyShadowUpdate("local", &Entity{ID: 5, Owner: "remote", Seq: 1, Health: 50}) {
+		t.Fatal("stale update applied")
+	}
+	// Newer sequence: applied in place.
+	if !s.ApplyShadowUpdate("local", &Entity{ID: 5, Owner: "remote", Seq: 2, Health: 80}) {
+		t.Fatal("newer update not applied")
+	}
+	if e, _ := s.Get(5); e.Health != 80 {
+		t.Fatalf("health = %d, want 80", e.Health)
+	}
+	// Never overwrite an entity the local server owns.
+	s.Put(&Entity{ID: 9, Owner: "local", Seq: 1})
+	if s.ApplyShadowUpdate("local", &Entity{ID: 9, Owner: "remote", Seq: 10}) {
+		t.Fatal("update overwrote locally-owned entity")
+	}
+}
+
+func TestStoreOrderCacheInvalidation(t *testing.T) {
+	s := NewStore()
+	s.Put(&Entity{ID: 2})
+	_ = s.All()
+	s.Put(&Entity{ID: 1})
+	all := s.All()
+	if len(all) != 2 || all[0].ID != 1 {
+		t.Fatalf("order cache stale: %v", all)
+	}
+	s.Remove(1)
+	if all := s.All(); len(all) != 1 || all[0].ID != 2 {
+		t.Fatalf("order cache stale after remove: %v", all)
+	}
+}

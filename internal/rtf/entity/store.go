@@ -1,0 +1,113 @@
+package entity
+
+import "sort"
+
+// Store holds a server's full replica of one zone's entity set, with fast
+// partitions into active and shadow subsets. Store is not safe for
+// concurrent use; the real-time loop owns it exclusively.
+type Store struct {
+	byID map[ID]*Entity
+	// order caches the sorted iteration order; nil when dirty.
+	order []*Entity
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{byID: make(map[ID]*Entity)}
+}
+
+// Put inserts or replaces an entity.
+func (s *Store) Put(e *Entity) {
+	s.byID[e.ID] = e
+	s.order = nil
+}
+
+// Get looks up an entity by ID.
+func (s *Store) Get(id ID) (*Entity, bool) {
+	e, ok := s.byID[id]
+	return e, ok
+}
+
+// Remove deletes an entity, reporting whether it existed.
+func (s *Store) Remove(id ID) bool {
+	if _, ok := s.byID[id]; !ok {
+		return false
+	}
+	delete(s.byID, id)
+	s.order = nil
+	return true
+}
+
+// Len reports the number of stored entities.
+func (s *Store) Len() int { return len(s.byID) }
+
+// All returns every entity in deterministic (ID) order. The returned slice
+// is shared and must not be modified; it is invalidated by Put/Remove.
+// Deterministic order keeps simulation runs reproducible across executions,
+// which the experiment harness depends on.
+func (s *Store) All() []*Entity {
+	if s.order == nil {
+		s.order = make([]*Entity, 0, len(s.byID))
+		for _, e := range s.byID {
+			s.order = append(s.order, e)
+		}
+		sort.Slice(s.order, func(i, j int) bool { return s.order[i].ID < s.order[j].ID })
+	}
+	return s.order
+}
+
+// Active returns the entities owned by serverID of the given kind
+// (pass kind < 0 for all kinds), in ID order.
+func (s *Store) Active(serverID string, kind int) []*Entity {
+	var out []*Entity
+	for _, e := range s.All() {
+		if e.Owner == serverID && (kind < 0 || Kind(kind) == e.Kind) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Shadows returns the entities NOT owned by serverID, in ID order.
+func (s *Store) Shadows(serverID string) []*Entity {
+	var out []*Entity
+	for _, e := range s.All() {
+		if e.Owner != serverID {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// CountActive reports how many entities of the given kind serverID owns
+// (kind < 0 counts all kinds).
+func (s *Store) CountActive(serverID string, kind int) int {
+	n := 0
+	for _, e := range s.byID {
+		if e.Owner == serverID && (kind < 0 || Kind(kind) == e.Kind) {
+			n++
+		}
+	}
+	return n
+}
+
+// ApplyShadowUpdate merges a replicated entity state received from the
+// owning server. Stale updates (sequence number not newer than the stored
+// one) are ignored, and an update never overwrites an entity the receiving
+// server itself owns — ownership changes only through the migration
+// protocol. It reports whether the update was applied.
+func (s *Store) ApplyShadowUpdate(serverID string, upd *Entity) bool {
+	cur, ok := s.byID[upd.ID]
+	if !ok {
+		s.Put(upd.Clone())
+		return true
+	}
+	if cur.Owner == serverID {
+		return false
+	}
+	if upd.Seq <= cur.Seq {
+		return false
+	}
+	*cur = *upd
+	return true
+}

@@ -1,0 +1,162 @@
+// Package instance implements RTF's instancing distribution method at
+// runtime: independent copies of a zone template, each processed by its
+// own replica group, with users routed to a copy at join time ("instancing
+// creates separate independent copies of a particular zone; each copy is
+// processed by a different server", Section II).
+//
+// Instancing complements replication: replication lets several servers
+// cooperate on ONE shared world state, while instancing opens additional
+// disjoint worlds once a copy is full — the standard dungeon/lobby pattern
+// of online games. An Instancer can host replicated instances: each
+// instance owns a fleet, and a resource manager may still replicate within
+// the instance.
+package instance
+
+import (
+	"errors"
+	"fmt"
+
+	"roia/internal/rtf/fleet"
+	"roia/internal/rtf/server"
+	"roia/internal/rtf/transport"
+	"roia/internal/rtf/zone"
+)
+
+// ErrInstancesExhausted is returned by Route when every instance is full
+// and the instance cap has been reached.
+var ErrInstancesExhausted = errors.New("instance: all instances full and MaxInstances reached")
+
+// Config assembles an Instancer.
+type Config struct {
+	// Network attaches the instances' server nodes.
+	Network transport.Network
+	// Assignment is the shared zone→replica map (instances register their
+	// synthetic zones here).
+	Assignment *zone.Assignment
+	// Template is the zone being instanced.
+	Template zone.ID
+	// NewApp builds the application logic for each spawned server.
+	NewApp func() server.Application
+	// CapacityPerInstance caps users per instance before a new copy
+	// opens. Providers derive it from the scalability model (e.g. the
+	// replication trigger of the instance's replica group).
+	CapacityPerInstance int
+	// MaxInstances bounds the number of copies (0 = unlimited).
+	MaxInstances int
+	// Seed bases the per-instance deterministic seeds.
+	Seed int64
+}
+
+// Instance is one independent copy of the template zone.
+type Instance struct {
+	// Name is the instance session name (from zone.Assignment).
+	Name string
+	// Zone is the synthetic zone ID of this copy.
+	Zone zone.ID
+	// Fleet is the replica group processing the copy.
+	Fleet *fleet.Fleet
+}
+
+// Users reports the instance's current population.
+func (i *Instance) Users() int { return i.Fleet.ZoneUsers() }
+
+// Entry returns the server ID a joining user should connect to (the
+// least-loaded replica of the instance).
+func (i *Instance) Entry() string {
+	best, bestUsers := "", 1<<30
+	for _, s := range i.Fleet.Servers() {
+		if s.Draining || !s.Ready {
+			continue
+		}
+		if s.Users < bestUsers {
+			best, bestUsers = s.ID, s.Users
+		}
+	}
+	return best
+}
+
+// Instancer manages the instance set of one zone template.
+type Instancer struct {
+	cfg       Config
+	instances []*Instance
+}
+
+// New validates the configuration and returns an Instancer with no open
+// instances; the first Route call opens the first copy.
+func New(cfg Config) (*Instancer, error) {
+	if cfg.Network == nil || cfg.Assignment == nil || cfg.NewApp == nil {
+		return nil, errors.New("instance: Network, Assignment and NewApp are required")
+	}
+	if cfg.CapacityPerInstance <= 0 {
+		return nil, errors.New("instance: CapacityPerInstance must be positive")
+	}
+	return &Instancer{cfg: cfg}, nil
+}
+
+// Instances returns the open instances in creation order.
+func (ir *Instancer) Instances() []*Instance {
+	return append([]*Instance(nil), ir.instances...)
+}
+
+// TotalUsers reports the population across all instances.
+func (ir *Instancer) TotalUsers() int {
+	n := 0
+	for _, inst := range ir.instances {
+		n += inst.Users()
+	}
+	return n
+}
+
+// Route returns the instance a new user should join: the least-loaded
+// copy with spare capacity, or a freshly opened copy when all are full.
+func (ir *Instancer) Route() (*Instance, error) {
+	var best *Instance
+	bestUsers := 1 << 30
+	for _, inst := range ir.instances {
+		if u := inst.Users(); u < ir.cfg.CapacityPerInstance && u < bestUsers {
+			best, bestUsers = inst, u
+		}
+	}
+	if best != nil {
+		return best, nil
+	}
+	return ir.open()
+}
+
+// open creates a new instance copy with one replica.
+func (ir *Instancer) open() (*Instance, error) {
+	if ir.cfg.MaxInstances > 0 && len(ir.instances) >= ir.cfg.MaxInstances {
+		return nil, fmt.Errorf("%w: %d instances of zone %d",
+			ErrInstancesExhausted, len(ir.instances), ir.cfg.Template)
+	}
+	idx := len(ir.instances) + 1
+	// Synthetic zone ID: template in the low 16 bits, copy index above —
+	// instances never collide with real zones (which use small IDs).
+	instZone := zone.ID(uint32(ir.cfg.Template) | uint32(idx)<<16)
+	name := ir.cfg.Assignment.AddInstance(ir.cfg.Template)
+	fl, err := fleet.New(fleet.Config{
+		Network:    ir.cfg.Network,
+		Zone:       instZone,
+		Assignment: ir.cfg.Assignment,
+		NewApp:     ir.cfg.NewApp,
+		NamePrefix: name,
+		IDBase:     uint16(idx * 256),
+		Seed:       ir.cfg.Seed + int64(idx),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fl.AddReplica(); err != nil {
+		return nil, err
+	}
+	inst := &Instance{Name: name, Zone: instZone, Fleet: fl}
+	ir.instances = append(ir.instances, inst)
+	return inst, nil
+}
+
+// TickAll advances every replica of every instance by one tick.
+func (ir *Instancer) TickAll() {
+	for _, inst := range ir.instances {
+		inst.Fleet.TickAll()
+	}
+}

@@ -1,0 +1,159 @@
+package instance_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"roia/internal/game"
+	"roia/internal/rtf/client"
+	"roia/internal/rtf/entity"
+	"roia/internal/rtf/instance"
+	"roia/internal/rtf/server"
+	"roia/internal/rtf/transport"
+	"roia/internal/rtf/zone"
+)
+
+func newInstancer(t *testing.T, capacity, maxInstances int) (*instance.Instancer, *transport.Loopback) {
+	t.Helper()
+	net := transport.NewLoopback()
+	t.Cleanup(func() { net.Close() })
+	ir, err := instance.New(instance.Config{
+		Network:             net,
+		Assignment:          zone.NewAssignment(),
+		Template:            7,
+		NewApp:              func() server.Application { return game.New(game.DefaultConfig()) },
+		CapacityPerInstance: capacity,
+		MaxInstances:        maxInstances,
+		Seed:                1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ir, net
+}
+
+// joinVia routes a client through the instancer and completes the join.
+func joinVia(t *testing.T, ir *instance.Instancer, net *transport.Loopback, name string) (*client.Client, *instance.Instance) {
+	t.Helper()
+	inst, err := ir.Route()
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := net.Attach(name, 1<<14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := client.New(node, inst.Entry())
+	if err := cl.Join(uint32(inst.Zone), entity.Vec2{X: 100, Y: 100}, name); err != nil {
+		t.Fatal(err)
+	}
+	ir.TickAll()
+	cl.Poll()
+	if !cl.Joined() {
+		t.Fatalf("client %s never joined instance %s", name, inst.Name)
+	}
+	return cl, inst
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := instance.New(instance.Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	net := transport.NewLoopback()
+	defer net.Close()
+	if _, err := instance.New(instance.Config{
+		Network:    net,
+		Assignment: zone.NewAssignment(),
+		NewApp:     func() server.Application { return game.New(game.DefaultConfig()) },
+	}); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+}
+
+func TestRouteOpensInstancesAsTheyFill(t *testing.T) {
+	ir, net := newInstancer(t, 3, 0)
+	clients := make([]*client.Client, 0, 7)
+	for i := 0; i < 7; i++ {
+		cl, _ := joinVia(t, ir, net, fmt.Sprintf("c%d", i+1))
+		clients = append(clients, cl)
+	}
+	insts := ir.Instances()
+	if len(insts) != 3 {
+		t.Fatalf("instances = %d, want 3 (7 users at capacity 3)", len(insts))
+	}
+	if got := ir.TotalUsers(); got != 7 {
+		t.Fatalf("total users = %d", got)
+	}
+	// Population: 3 + 3 + 1.
+	if insts[0].Users() != 3 || insts[1].Users() != 3 || insts[2].Users() != 1 {
+		t.Fatalf("populations = %d/%d/%d", insts[0].Users(), insts[1].Users(), insts[2].Users())
+	}
+	// Every client plays in its own copy.
+	for _, cl := range clients {
+		if cl.Avatar() == 0 {
+			t.Fatal("client has no avatar")
+		}
+	}
+}
+
+func TestInstancesAreIsolatedWorlds(t *testing.T) {
+	ir, net := newInstancer(t, 1, 0) // one user per copy
+	a, instA := joinVia(t, ir, net, "a")
+	b, instB := joinVia(t, ir, net, "b")
+	if instA == instB {
+		t.Fatal("both users routed to the same instance")
+	}
+	// Several ticks: state updates flow.
+	for i := 0; i < 5; i++ {
+		ir.TickAll()
+		a.Poll()
+		b.Poll()
+	}
+	// Both stand at (100,100) — but in different copies, so neither sees
+	// the other in its area of interest.
+	for name, cl := range map[string]*client.Client{"a": a, "b": b} {
+		upd := cl.LastUpdate()
+		if upd == nil {
+			t.Fatalf("client %s got no update", name)
+		}
+		if len(upd.Visible) != 0 {
+			t.Fatalf("client %s sees %d entities across instance boundaries", name, len(upd.Visible))
+		}
+	}
+}
+
+func TestRouteReusesFreedCapacity(t *testing.T) {
+	ir, net := newInstancer(t, 1, 2)
+	a, _ := joinVia(t, ir, net, "a")
+	joinVia(t, ir, net, "b")
+	// Both copies full: a third user cannot be placed.
+	if _, err := ir.Route(); !errors.Is(err, instance.ErrInstancesExhausted) {
+		t.Fatalf("err = %v, want ErrInstancesExhausted", err)
+	}
+	// One user leaves; capacity frees up.
+	if err := a.Leave(); err != nil {
+		t.Fatal(err)
+	}
+	ir.TickAll()
+	inst, err := ir.Route()
+	if err != nil {
+		t.Fatalf("route after leave: %v", err)
+	}
+	if inst.Users() != 0 {
+		t.Fatalf("routed to a full instance (%d users)", inst.Users())
+	}
+}
+
+func TestInstanceZoneIDsDistinct(t *testing.T) {
+	ir, net := newInstancer(t, 1, 0)
+	joinVia(t, ir, net, "a")
+	joinVia(t, ir, net, "b")
+	insts := ir.Instances()
+	if insts[0].Zone == insts[1].Zone {
+		t.Fatal("instance zones collide")
+	}
+	if insts[0].Name == insts[1].Name {
+		t.Fatal("instance names collide")
+	}
+}

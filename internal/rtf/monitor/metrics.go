@@ -1,0 +1,105 @@
+package monitor
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// WriteMetrics writes the monitor's current state in the Prometheus text
+// exposition format (stdlib only), so a standard monitoring stack can
+// scrape a live RTF server. labels is an optional comma-separated label
+// set rendered into every sample (e.g. `server="s1",zone="1"`).
+//
+// Exported families:
+//
+//	roia_ticks_total                     counter, processed ticks
+//	roia_tick_duration_ms{stat=...}      mean/p50/p95/p99/max of recent ticks
+//	roia_task_ms{task=...,stat=...}      per-item cost of each model parameter
+//	roia_zone_users / roia_active_users  the model's n and a
+//	roia_npcs / roia_replicas            the model's m and l
+//	roia_tick_bytes{direction=...}       wire bytes of the last tick
+func (m *Monitor) WriteMetrics(w io.Writer, labels string) error {
+	m.mu.Lock()
+	ticks := m.ticks
+	tickSummary := m.tickTotals.Summary()
+	last := m.lastBreak
+	type taskStat struct {
+		task Task
+		sum  struct{ mean, p95 float64 }
+		n    int
+	}
+	var tasks []taskStat
+	for t := Task(0); t < numTasks; t++ {
+		s := m.perTask[t].Summary()
+		if s.Count == 0 {
+			continue
+		}
+		ts := taskStat{task: t, n: s.Count}
+		ts.sum.mean, ts.sum.p95 = s.Mean, s.P95
+		tasks = append(tasks, ts)
+	}
+	m.mu.Unlock()
+
+	lbl := func(extra string) string {
+		parts := make([]string, 0, 2)
+		if labels != "" {
+			parts = append(parts, labels)
+		}
+		if extra != "" {
+			parts = append(parts, extra)
+		}
+		if len(parts) == 0 {
+			return ""
+		}
+		return "{" + strings.Join(parts, ",") + "}"
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "# TYPE roia_ticks_total counter\n")
+	fmt.Fprintf(&b, "roia_ticks_total%s %d\n", lbl(""), ticks)
+
+	fmt.Fprintf(&b, "# TYPE roia_tick_duration_ms gauge\n")
+	for _, st := range []struct {
+		name string
+		v    float64
+	}{
+		{"mean", tickSummary.Mean}, {"p50", tickSummary.P50},
+		{"p95", tickSummary.P95}, {"p99", tickSummary.P99}, {"max", tickSummary.Max},
+	} {
+		fmt.Fprintf(&b, "roia_tick_duration_ms%s %g\n", lbl(fmt.Sprintf("stat=%q", st.name)), st.v)
+	}
+
+	fmt.Fprintf(&b, "# TYPE roia_task_ms gauge\n")
+	sort.Slice(tasks, func(i, j int) bool { return tasks[i].task < tasks[j].task })
+	for _, ts := range tasks {
+		fmt.Fprintf(&b, "roia_task_ms%s %g\n",
+			lbl(fmt.Sprintf("task=%q,stat=\"mean\"", ts.task)), ts.sum.mean)
+		fmt.Fprintf(&b, "roia_task_ms%s %g\n",
+			lbl(fmt.Sprintf("task=%q,stat=\"p95\"", ts.task)), ts.sum.p95)
+	}
+
+	fmt.Fprintf(&b, "# TYPE roia_zone_users gauge\nroia_zone_users%s %d\n", lbl(""), last.Users)
+	fmt.Fprintf(&b, "# TYPE roia_active_users gauge\nroia_active_users%s %d\n", lbl(""), last.ActiveUsers)
+	fmt.Fprintf(&b, "# TYPE roia_npcs gauge\nroia_npcs%s %d\n", lbl(""), last.NPCs)
+	fmt.Fprintf(&b, "# TYPE roia_replicas gauge\nroia_replicas%s %d\n", lbl(""), last.Replicas)
+	fmt.Fprintf(&b, "# TYPE roia_tick_bytes gauge\n")
+	fmt.Fprintf(&b, "roia_tick_bytes%s %d\n", lbl(`direction="in"`), last.BytesIn)
+	fmt.Fprintf(&b, "roia_tick_bytes%s %d\n", lbl(`direction="out"`), last.BytesOut)
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// MetricsHandler serves WriteMetrics over HTTP, for a /metrics endpoint on
+// a live server (see cmd/roiaserver -metrics).
+func MetricsHandler(m *Monitor, labels string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		if err := m.WriteMetrics(w, labels); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}

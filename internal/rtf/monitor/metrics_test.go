@@ -1,0 +1,87 @@
+package monitor
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func seededMonitor() *Monitor {
+	m := New()
+	var b Breakdown
+	b.Users = 120
+	b.ActiveUsers = 60
+	b.NPCs = 10
+	b.Replicas = 2
+	b.BytesIn = 512
+	b.BytesOut = 4096
+	b.Add(UA, 6.0, 60)
+	b.Add(AOI, 3.0, 60)
+	m.RecordTick(b)
+	return m
+}
+
+func TestWriteMetricsExposition(t *testing.T) {
+	m := seededMonitor()
+	var sb strings.Builder
+	if err := m.WriteMetrics(&sb, `server="s1"`); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`roia_ticks_total{server="s1"} 1`,
+		`roia_tick_duration_ms{server="s1",stat="mean"} 9`,
+		`roia_task_ms{server="s1",task="t_ua",stat="mean"} 0.1`,
+		`roia_task_ms{server="s1",task="t_aoi",stat="mean"} 0.05`,
+		`roia_zone_users{server="s1"} 120`,
+		`roia_active_users{server="s1"} 60`,
+		`roia_npcs{server="s1"} 10`,
+		`roia_replicas{server="s1"} 2`,
+		`roia_tick_bytes{server="s1",direction="in"} 512`,
+		`roia_tick_bytes{server="s1",direction="out"} 4096`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, out)
+		}
+	}
+	// Prometheus exposition needs TYPE headers.
+	if !strings.Contains(out, "# TYPE roia_tick_duration_ms gauge") {
+		t.Fatal("missing TYPE header")
+	}
+}
+
+func TestWriteMetricsNoLabels(t *testing.T) {
+	m := seededMonitor()
+	var sb strings.Builder
+	if err := m.WriteMetrics(&sb, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "roia_ticks_total 1") {
+		t.Fatalf("unlabeled sample missing:\n%s", sb.String())
+	}
+}
+
+func TestMetricsHandler(t *testing.T) {
+	m := seededMonitor()
+	srv := httptest.NewServer(MetricsHandler(m, `zone="1"`))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), `roia_zone_users{zone="1"} 120`) {
+		t.Fatalf("handler body:\n%s", body)
+	}
+}

@@ -1,0 +1,265 @@
+// Package monitor implements RTF's monitoring and distribution-handling
+// hooks: per-tick timing of the four computational tasks of the real-time
+// loop, plus migration overheads. These are exactly the quantities the
+// scalability model is parameterized with (t_ua_dser, t_ua, t_fa_dser,
+// t_fa, t_npc, t_aoi, t_su, t_mig_ini, t_mig_rcv), measured inside the
+// middleware regardless of the application logic (Section III-C).
+//
+// The calibration pipeline (internal/calibrate) consumes Samples recorded
+// here and fits the model's approximation functions to them.
+package monitor
+
+import (
+	"sync"
+
+	"roia/internal/stats"
+)
+
+// Task identifies one timed portion of the real-time loop.
+type Task int
+
+// The timed tasks, in loop order.
+const (
+	// UADeser is reception + deserialization of connected users' inputs.
+	UADeser Task = iota
+	// UA is validation + application of user inputs.
+	UA
+	// FADeser is reception + deserialization of forwarded inputs.
+	FADeser
+	// FA is application of forwarded inputs.
+	FA
+	// NPC is the NPC update.
+	NPC
+	// AOI is area-of-interest computation.
+	AOI
+	// SU is state-update computation + serialization.
+	SU
+	// MigIni is initiation of user migrations.
+	MigIni
+	// MigRcv is reception of user migrations.
+	MigRcv
+	numTasks
+)
+
+// String implements fmt.Stringer with the paper's parameter names.
+func (t Task) String() string {
+	names := [...]string{"t_ua_dser", "t_ua", "t_fa_dser", "t_fa", "t_npc", "t_aoi", "t_su", "t_mig_ini", "t_mig_rcv"}
+	if int(t) < len(names) {
+		return names[t]
+	}
+	return "t_unknown"
+}
+
+// Tasks returns every task in loop order, for iteration.
+func Tasks() []Task {
+	out := make([]Task, numTasks)
+	for i := range out {
+		out[i] = Task(i)
+	}
+	return out
+}
+
+// Breakdown is the timing of one tick, in milliseconds per task, together
+// with the per-task item counts needed to derive per-item costs.
+type Breakdown struct {
+	// TimeMS[t] is the total CPU time spent in task t this tick.
+	TimeMS [numTasks]float64
+	// Items[t] is how many items task t processed (inputs deserialized,
+	// users updated, NPCs stepped, migrations handled, ...).
+	Items [numTasks]int
+	// Users is the zone-wide user count n during the tick.
+	Users int
+	// ActiveUsers is the number of users active on this server (a).
+	ActiveUsers int
+	// NPCs is the zone-wide NPC count m.
+	NPCs int
+	// Replicas is the zone's replica count l.
+	Replicas int
+	// BytesIn / BytesOut count the wire payload bytes received and sent
+	// this tick. The paper names bandwidth analysis as future work and
+	// cites the in/out asymmetry of game traffic (Kim et al.); these
+	// counters feed the traffic model in internal/traffic.
+	BytesIn, BytesOut int
+}
+
+// Add accumulates time and item count for a task.
+func (b *Breakdown) Add(t Task, ms float64, items int) {
+	b.TimeMS[t] += ms
+	b.Items[t] += items
+}
+
+// Total returns the tick duration: the sum over all tasks.
+func (b *Breakdown) Total() float64 {
+	sum := 0.0
+	for _, v := range b.TimeMS {
+		sum += v
+	}
+	return sum
+}
+
+// PerItem returns the average per-item time of a task in this tick and
+// whether any items were processed.
+func (b *Breakdown) PerItem(t Task) (float64, bool) {
+	if b.Items[t] == 0 {
+		return 0, false
+	}
+	return b.TimeMS[t] / float64(b.Items[t]), true
+}
+
+// Sample is one calibration data point: the per-item cost of a task
+// observed at a given workload.
+type Sample struct {
+	Task Task
+	// X is the workload coordinate the model's curves are functions of
+	// (the zone-wide user count n).
+	X float64
+	// Y is the measured per-item CPU time in ms.
+	Y float64
+}
+
+// Monitor aggregates tick breakdowns for one server. It keeps a bounded
+// recent history (for threshold decisions by the resource manager) and an
+// unbounded calibration sample log (enabled on demand). Monitor is safe
+// for concurrent use: the real-time loop records while the resource
+// manager reads.
+type Monitor struct {
+	mu sync.Mutex
+
+	tickTotals *stats.Reservoir
+	perTask    [numTasks]*stats.Reservoir
+
+	collect bool
+	samples []Sample
+	// traffic holds (users, bytesIn, bytesOut) per tick while collecting.
+	traffic []TrafficSample
+
+	ticks     uint64
+	lastUsers int
+	lastBreak Breakdown
+}
+
+// TrafficSample is one tick's bandwidth observation.
+type TrafficSample struct {
+	// Users is the zone-wide user count during the tick.
+	Users int
+	// BytesIn / BytesOut are the tick's wire payload bytes.
+	BytesIn, BytesOut int
+}
+
+// HistorySize is the bounded per-server tick history.
+const HistorySize = 512
+
+// New returns a Monitor with bounded history.
+func New() *Monitor {
+	m := &Monitor{tickTotals: stats.NewReservoir(HistorySize)}
+	for i := range m.perTask {
+		m.perTask[i] = stats.NewReservoir(HistorySize)
+	}
+	return m
+}
+
+// SetCollecting toggles calibration sample collection (off by default:
+// the sample log grows without bound while enabled).
+func (m *Monitor) SetCollecting(on bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.collect = on
+}
+
+// RecordTick ingests one tick's breakdown.
+func (m *Monitor) RecordTick(b Breakdown) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ticks++
+	m.lastUsers = b.Users
+	m.lastBreak = b
+	m.tickTotals.Add(b.Total())
+	for t := Task(0); t < numTasks; t++ {
+		if per, ok := b.PerItem(t); ok {
+			m.perTask[t].Add(per)
+			if m.collect {
+				m.samples = append(m.samples, Sample{Task: t, X: float64(b.Users), Y: per})
+			}
+		}
+	}
+	if m.collect && (b.BytesIn > 0 || b.BytesOut > 0) {
+		m.traffic = append(m.traffic, TrafficSample{Users: b.Users, BytesIn: b.BytesIn, BytesOut: b.BytesOut})
+	}
+}
+
+// TrafficSamples returns a copy of the per-tick bandwidth log (collected
+// while SetCollecting is on).
+func (m *Monitor) TrafficSamples() []TrafficSample {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]TrafficSample(nil), m.traffic...)
+}
+
+// Ticks reports how many ticks have been recorded.
+func (m *Monitor) Ticks() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ticks
+}
+
+// LastBreakdown returns the most recent tick breakdown.
+func (m *Monitor) LastBreakdown() Breakdown {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lastBreak
+}
+
+// TickSummary summarizes recent tick durations (ms).
+func (m *Monitor) TickSummary() stats.Summary {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.tickTotals.Summary()
+}
+
+// MeanTick returns the mean recent tick duration (ms), the runtime signal
+// RTF-RMS compares against the provider's thresholds.
+func (m *Monitor) MeanTick() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.tickTotals.Mean()
+}
+
+// TaskSummary summarizes the recent per-item cost of one task.
+func (m *Monitor) TaskSummary(t Task) stats.Summary {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.perTask[t].Summary()
+}
+
+// Samples returns a copy of the calibration sample log.
+func (m *Monitor) Samples() []Sample {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Sample(nil), m.samples...)
+}
+
+// SamplesFor returns a copy of the calibration samples of one task.
+func (m *Monitor) SamplesFor(t Task) []Sample {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []Sample
+	for _, s := range m.samples {
+		if s.Task == t {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Reset clears all history and samples.
+func (m *Monitor) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ticks = 0
+	m.samples = nil
+	m.traffic = nil
+	m.tickTotals = stats.NewReservoir(HistorySize)
+	for i := range m.perTask {
+		m.perTask[i] = stats.NewReservoir(HistorySize)
+	}
+}

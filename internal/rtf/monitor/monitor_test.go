@@ -1,0 +1,133 @@
+package monitor
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestTaskNamesMatchPaper(t *testing.T) {
+	want := map[Task]string{
+		UADeser: "t_ua_dser", UA: "t_ua", FADeser: "t_fa_dser", FA: "t_fa",
+		NPC: "t_npc", AOI: "t_aoi", SU: "t_su", MigIni: "t_mig_ini", MigRcv: "t_mig_rcv",
+	}
+	for task, name := range want {
+		if task.String() != name {
+			t.Fatalf("%d.String() = %q, want %q", task, task.String(), name)
+		}
+	}
+	if Task(99).String() != "t_unknown" {
+		t.Fatal("unknown task name")
+	}
+	if len(Tasks()) != int(numTasks) {
+		t.Fatalf("Tasks() returned %d, want %d", len(Tasks()), numTasks)
+	}
+}
+
+func TestBreakdownTotals(t *testing.T) {
+	var b Breakdown
+	b.Add(UA, 2.0, 10)
+	b.Add(UA, 1.0, 5)
+	b.Add(AOI, 3.0, 15)
+	if got := b.Total(); got != 6.0 {
+		t.Fatalf("Total = %g, want 6", got)
+	}
+	per, ok := b.PerItem(UA)
+	if !ok || per != 0.2 {
+		t.Fatalf("PerItem(UA) = %g ok=%v, want 0.2 true", per, ok)
+	}
+	if _, ok := b.PerItem(SU); ok {
+		t.Fatal("PerItem with zero items reported ok")
+	}
+}
+
+func TestMonitorRecordAndSummaries(t *testing.T) {
+	m := New()
+	for i := 1; i <= 3; i++ {
+		var b Breakdown
+		b.Users = 100 * i
+		b.Add(UA, float64(i), i) // per-item cost always 1.0
+		b.Add(SU, 2*float64(i), i)
+		m.RecordTick(b)
+	}
+	if m.Ticks() != 3 {
+		t.Fatalf("ticks = %d", m.Ticks())
+	}
+	if got := m.MeanTick(); got != (3.0+6.0+9.0)/3 {
+		t.Fatalf("MeanTick = %g", got)
+	}
+	if s := m.TaskSummary(UA); s.Count != 3 || s.Mean != 1.0 {
+		t.Fatalf("TaskSummary(UA) = %+v", s)
+	}
+	if lb := m.LastBreakdown(); lb.Users != 300 {
+		t.Fatalf("LastBreakdown.Users = %d", lb.Users)
+	}
+}
+
+func TestMonitorSampleCollection(t *testing.T) {
+	m := New()
+	var b Breakdown
+	b.Users = 50
+	b.Add(UA, 5, 10)
+	m.RecordTick(b) // collection off: no samples
+	if got := m.Samples(); len(got) != 0 {
+		t.Fatalf("samples recorded while disabled: %v", got)
+	}
+	m.SetCollecting(true)
+	m.RecordTick(b)
+	samples := m.Samples()
+	if len(samples) != 1 {
+		t.Fatalf("samples = %v", samples)
+	}
+	if s := samples[0]; s.Task != UA || s.X != 50 || s.Y != 0.5 {
+		t.Fatalf("sample = %+v", s)
+	}
+	if got := m.SamplesFor(SU); len(got) != 0 {
+		t.Fatal("SamplesFor returned wrong task samples")
+	}
+	if got := m.SamplesFor(UA); len(got) != 1 {
+		t.Fatal("SamplesFor missed UA sample")
+	}
+}
+
+func TestMonitorReset(t *testing.T) {
+	m := New()
+	m.SetCollecting(true)
+	var b Breakdown
+	b.Add(UA, 1, 1)
+	m.RecordTick(b)
+	m.Reset()
+	if m.Ticks() != 0 || len(m.Samples()) != 0 || m.MeanTick() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestMonitorConcurrentAccess(t *testing.T) {
+	m := New()
+	m.SetCollecting(true)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				var b Breakdown
+				b.Users = i
+				b.Add(UA, 1, 1)
+				m.RecordTick(b)
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_ = m.MeanTick()
+				_ = m.TickSummary()
+				_ = m.LastBreakdown()
+			}
+		}()
+	}
+	wg.Wait()
+	if m.Ticks() != 800 {
+		t.Fatalf("ticks = %d, want 800", m.Ticks())
+	}
+}

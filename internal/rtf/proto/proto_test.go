@@ -1,0 +1,145 @@
+package proto
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"roia/internal/rtf/entity"
+	"roia/internal/rtf/wire"
+)
+
+func roundTrip(t *testing.T, msg wire.Message) wire.Message {
+	t.Helper()
+	payload := Registry.EncodeToBytes(msg)
+	got, err := Registry.Decode(payload)
+	if err != nil {
+		t.Fatalf("decode %T: %v", msg, err)
+	}
+	if got.WireKind() != msg.WireKind() {
+		t.Fatalf("kind changed: %d -> %d", msg.WireKind(), got.WireKind())
+	}
+	return got
+}
+
+func TestJoinRoundTrip(t *testing.T) {
+	m := roundTrip(t, &Join{UserName: "bot-1", Zone: 3, Pos: entity.Vec2{X: 1, Y: 2}}).(*Join)
+	if m.UserName != "bot-1" || m.Zone != 3 || m.Pos != (entity.Vec2{X: 1, Y: 2}) {
+		t.Fatalf("join = %+v", m)
+	}
+}
+
+func TestJoinAckLeaveRoundTrip(t *testing.T) {
+	a := roundTrip(t, &JoinAck{Entity: 77, Tick: 12}).(*JoinAck)
+	if a.Entity != 77 || a.Tick != 12 {
+		t.Fatalf("ack = %+v", a)
+	}
+	roundTrip(t, &Leave{})
+}
+
+func TestInputRoundTrip(t *testing.T) {
+	m := roundTrip(t, &Input{Seq: 5, Payload: []byte{9, 8, 7}}).(*Input)
+	if m.Seq != 5 || !bytes.Equal(m.Payload, []byte{9, 8, 7}) {
+		t.Fatalf("input = %+v", m)
+	}
+}
+
+func TestStateUpdateRoundTrip(t *testing.T) {
+	in := &StateUpdate{
+		Tick: 100,
+		Self: entity.Entity{ID: 1, Owner: "s1", Health: 95, Pos: entity.Vec2{X: 4, Y: 5}},
+		Visible: []entity.Entity{
+			{ID: 2, Owner: "s1", Seq: 3},
+			{ID: 3, Owner: "s2", Kind: entity.NPC},
+		},
+		Events: []byte("hit:2"),
+	}
+	m := roundTrip(t, in).(*StateUpdate)
+	if m.Tick != 100 || m.Self != in.Self || len(m.Visible) != 2 {
+		t.Fatalf("update = %+v", m)
+	}
+	if m.Visible[0] != in.Visible[0] || m.Visible[1] != in.Visible[1] {
+		t.Fatalf("visible = %+v", m.Visible)
+	}
+	if string(m.Events) != "hit:2" {
+		t.Fatalf("events = %q", m.Events)
+	}
+}
+
+func TestStateUpdateEmptyVisible(t *testing.T) {
+	m := roundTrip(t, &StateUpdate{Tick: 1, Self: entity.Entity{ID: 9}}).(*StateUpdate)
+	if len(m.Visible) != 0 || len(m.Events) != 0 {
+		t.Fatalf("empty update = %+v", m)
+	}
+}
+
+func TestShadowUpdateRoundTrip(t *testing.T) {
+	in := &ShadowUpdate{Tick: 7, Entities: []entity.Entity{{ID: 4, Seq: 9, Owner: "s2"}}}
+	m := roundTrip(t, in).(*ShadowUpdate)
+	if m.Tick != 7 || len(m.Entities) != 1 || m.Entities[0] != in.Entities[0] {
+		t.Fatalf("shadow = %+v", m)
+	}
+}
+
+func TestForwardedRoundTrip(t *testing.T) {
+	m := roundTrip(t, &Forwarded{Actor: 10, Target: 20, Payload: []byte{1}}).(*Forwarded)
+	if m.Actor != 10 || m.Target != 20 || len(m.Payload) != 1 {
+		t.Fatalf("forwarded = %+v", m)
+	}
+}
+
+func TestMigrationMessagesRoundTrip(t *testing.T) {
+	mi := roundTrip(t, &MigrateInit{
+		User:     "client-9",
+		Avatar:   entity.Entity{ID: 33, Owner: "s1", Health: 50},
+		AppState: []byte("ammo=7"),
+	}).(*MigrateInit)
+	if mi.User != "client-9" || mi.Avatar.ID != 33 || string(mi.AppState) != "ammo=7" {
+		t.Fatalf("migrate init = %+v", mi)
+	}
+	ack := roundTrip(t, &MigrateAck{User: "client-9", Avatar: 33}).(*MigrateAck)
+	if ack.User != "client-9" || ack.Avatar != 33 {
+		t.Fatalf("migrate ack = %+v", ack)
+	}
+	n := roundTrip(t, &MigrateNotice{NewServer: "server-2"}).(*MigrateNotice)
+	if n.NewServer != "server-2" {
+		t.Fatalf("notice = %+v", n)
+	}
+}
+
+func TestDecodeRejectsCorruptStateUpdate(t *testing.T) {
+	payload := Registry.EncodeToBytes(&StateUpdate{
+		Tick:    1,
+		Self:    entity.Entity{ID: 1},
+		Visible: []entity.Entity{{ID: 2}, {ID: 3}},
+	})
+	// Truncate mid-entity.
+	if _, err := Registry.Decode(payload[:len(payload)-10]); err == nil {
+		t.Fatal("truncated state update decoded")
+	}
+}
+
+func TestDecodeRejectsHostileEntityCount(t *testing.T) {
+	// Hand-craft a ShadowUpdate declaring 2^40 entities.
+	w := wire.NewWriter(0)
+	w.Uint16(uint16(KindShadowUpdate))
+	w.Uint64(1)        // tick
+	w.Uvarint(1 << 40) // entity count
+	if _, err := Registry.Decode(w.Bytes()); err == nil {
+		t.Fatal("hostile entity count decoded (would allocate 2^40 entities)")
+	}
+}
+
+func TestInputRoundTripProperty(t *testing.T) {
+	prop := func(seq uint64, payload []byte) bool {
+		got, err := Registry.Decode(Registry.EncodeToBytes(&Input{Seq: seq, Payload: payload}))
+		if err != nil {
+			return false
+		}
+		in := got.(*Input)
+		return in.Seq == seq && bytes.Equal(in.Payload, payload)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,118 @@
+package server_test
+
+import (
+	"testing"
+
+	"roia/internal/game"
+	"roia/internal/rtf/client"
+	"roia/internal/rtf/entity"
+	"roia/internal/rtf/server"
+	"roia/internal/rtf/transport"
+	"roia/internal/rtf/zone"
+)
+
+// evictionCluster builds two replicas with a short idle timeout.
+func evictionCluster(t *testing.T, timeout uint64) (*transport.Loopback, []*server.Server) {
+	t.Helper()
+	net := transport.NewLoopback()
+	t.Cleanup(func() { net.Close() })
+	asg := zone.NewAssignment()
+	servers := make([]*server.Server, 2)
+	for i := range servers {
+		node, err := net.Attach([]string{"e1", "e2"}[i], 1<<14)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := server.New(server.Config{
+			Node:             node,
+			Zone:             1,
+			Assignment:       asg,
+			App:              game.New(game.DefaultConfig()),
+			IDPrefix:         uint16(i + 1),
+			Seed:             int64(i + 1),
+			IdleTimeoutTicks: timeout,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.Start()
+		servers[i] = srv
+	}
+	return net, servers
+}
+
+func TestIdleClientEvicted(t *testing.T) {
+	net, servers := evictionCluster(t, 10)
+	node, _ := net.Attach("quiet", 1<<14)
+	quiet := client.New(node, "e1")
+	_ = quiet.Join(1, entity.Vec2{X: 10, Y: 10}, "quiet")
+
+	node2, _ := net.Attach("chatty", 1<<14)
+	chatty := client.New(node2, "e1")
+	_ = chatty.Join(1, entity.Vec2{X: 20, Y: 20}, "chatty")
+
+	step := func() {
+		servers[0].Tick()
+		servers[1].Tick()
+		quiet.Poll()
+		chatty.Poll()
+	}
+	step()
+	if !quiet.Joined() || !chatty.Joined() {
+		t.Fatal("joins failed")
+	}
+	quietAvatar := quiet.Avatar()
+
+	// The chatty client keeps sending; the quiet one goes silent.
+	for i := 0; i < 25; i++ {
+		_ = chatty.SendInput(game.Commands.EncodeToBytes(&game.Move{DX: 1, DY: 0}))
+		step()
+	}
+	if got := servers[0].UserCount(); got != 1 {
+		t.Fatalf("server has %d users, want only the chatty one", got)
+	}
+	if _, ok := servers[0].Entity(quietAvatar); ok {
+		t.Fatal("idle avatar not removed")
+	}
+	// The eviction propagated to the peer replica.
+	if _, ok := servers[1].Entity(quietAvatar); ok {
+		t.Fatal("idle avatar still shadowed on peer")
+	}
+	// The chatty client is untouched.
+	if _, ok := servers[0].Entity(chatty.Avatar()); !ok {
+		t.Fatal("active client was evicted")
+	}
+}
+
+func TestEvictionDisabledByDefault(t *testing.T) {
+	net, servers := evictionCluster(t, 0)
+	node, _ := net.Attach("quiet", 1<<14)
+	quiet := client.New(node, "e1")
+	_ = quiet.Join(1, entity.Vec2{X: 10, Y: 10}, "quiet")
+	for i := 0; i < 40; i++ {
+		servers[0].Tick()
+	}
+	if got := servers[0].UserCount(); got != 1 {
+		t.Fatalf("user evicted with eviction disabled: %d users", got)
+	}
+}
+
+func TestInputsResetIdleTimer(t *testing.T) {
+	net, servers := evictionCluster(t, 10)
+	node, _ := net.Attach("c", 1<<14)
+	cl := client.New(node, "e1")
+	_ = cl.Join(1, entity.Vec2{X: 10, Y: 10}, "c")
+	servers[0].Tick()
+	cl.Poll()
+	// Send one input every 8 ticks — always inside the 10-tick window.
+	for i := 0; i < 50; i++ {
+		if i%8 == 0 {
+			_ = cl.SendInput(game.Commands.EncodeToBytes(&game.Move{DX: 1, DY: 0}))
+		}
+		servers[0].Tick()
+		cl.Poll()
+	}
+	if got := servers[0].UserCount(); got != 1 {
+		t.Fatal("sporadically-active client was evicted")
+	}
+}

@@ -1,0 +1,143 @@
+package server_test
+
+import (
+	"fmt"
+	"testing"
+
+	"roia/internal/game"
+	"roia/internal/rtf/client"
+	"roia/internal/rtf/entity"
+	"roia/internal/rtf/server"
+	"roia/internal/rtf/transport"
+	"roia/internal/rtf/zone"
+)
+
+// lossyCluster builds a two-server replica group whose inter-node links
+// drop the given fraction of frames.
+func lossyCluster(t *testing.T, rate float64) (*transport.Loopback, []*server.Server, *zone.Assignment) {
+	t.Helper()
+	net := transport.NewLoopback()
+	t.Cleanup(func() { net.Close() })
+	asg := zone.NewAssignment()
+	servers := make([]*server.Server, 2)
+	for i := range servers {
+		raw, err := net.Attach(fmt.Sprintf("s%d", i+1), 1<<16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		node := transport.NewLossy(raw, rate, int64(100+i))
+		srv, err := server.New(server.Config{
+			Node:       node,
+			Zone:       1,
+			Assignment: asg,
+			App:        game.New(game.DefaultConfig()),
+			IDPrefix:   uint16(i + 1),
+			Seed:       int64(i + 1),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.Start()
+		servers[i] = srv
+	}
+	return net, servers, asg
+}
+
+func TestShadowStateConvergesDespiteFrameLoss(t *testing.T) {
+	// 30 % of every server's outbound frames vanish. Because shadow
+	// updates are full-state refreshes guarded by sequence numbers, the
+	// replicas must still converge on entity positions.
+	net, servers, _ := lossyCluster(t, 0.3)
+	node, err := net.Attach("c1", 1<<14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := client.New(node, "s1")
+	if err := cl.Join(1, entity.Vec2{X: 100, Y: 100}, "c1"); err != nil {
+		t.Fatal(err)
+	}
+	// Joins may be dropped too: retry until acknowledged.
+	for i := 0; i < 100 && !cl.Joined(); i++ {
+		servers[0].Tick()
+		servers[1].Tick()
+		cl.Poll()
+		if !cl.Joined() && i%10 == 9 {
+			_ = cl.Join(1, entity.Vec2{X: 100, Y: 100}, "c1")
+		}
+	}
+	if !cl.Joined() {
+		t.Fatal("client never joined through the lossy link")
+	}
+
+	// Move repeatedly; both replicas must track the final position.
+	for i := 0; i < 60; i++ {
+		_ = cl.SendInput(game.Commands.EncodeToBytes(&game.Move{DX: 2, DY: 0}))
+		servers[0].Tick()
+		servers[1].Tick()
+		cl.Poll()
+	}
+	// Quiesce: no new inputs, let refreshes flow through the lossy link.
+	for i := 0; i < 50; i++ {
+		servers[0].Tick()
+		servers[1].Tick()
+	}
+	authoritative, ok := servers[0].Entity(cl.Avatar())
+	if !ok {
+		t.Fatal("avatar missing on its server")
+	}
+	if authoritative.Pos.X <= 100 {
+		t.Fatal("moves were all lost — loss rate too destructive for the test")
+	}
+	shadow, ok := servers[1].Entity(cl.Avatar())
+	if !ok {
+		t.Fatal("shadow copy never arrived through the lossy link")
+	}
+	if shadow.Pos != authoritative.Pos {
+		t.Fatalf("replicas diverged: authoritative %v vs shadow %v", authoritative.Pos, shadow.Pos)
+	}
+}
+
+func TestLossyDropAccounting(t *testing.T) {
+	net := transport.NewLoopback()
+	defer net.Close()
+	raw, _ := net.Attach("a", 16)
+	_, _ = net.Attach("b", 1<<12)
+	l := transport.NewLossy(raw, 0.5, 42)
+	for i := 0; i < 200; i++ {
+		if err := l.Send("b", []byte{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dropped, sent := l.Stats()
+	if dropped+sent != 200 {
+		t.Fatalf("accounting broken: %d + %d", dropped, sent)
+	}
+	if dropped < 60 || dropped > 140 {
+		t.Fatalf("drop rate implausible for p=0.5: %d/200", dropped)
+	}
+	if l.ID() != "a" {
+		t.Fatal("ID not forwarded")
+	}
+}
+
+func TestLossyRateClamping(t *testing.T) {
+	net := transport.NewLoopback()
+	defer net.Close()
+	raw, _ := net.Attach("a", 16)
+	_, _ = net.Attach("b", 1<<12)
+	never := transport.NewLossy(raw, -1, 1)
+	for i := 0; i < 50; i++ {
+		_ = never.Send("b", []byte{1})
+	}
+	if d, _ := never.Stats(); d != 0 {
+		t.Fatalf("rate<0 dropped %d frames", d)
+	}
+	raw2, _ := net.Attach("c", 16)
+	always := transport.NewLossy(raw2, 2, 1)
+	for i := 0; i < 50; i++ {
+		_ = always.Send("b", []byte{1})
+	}
+	if _, s := always.Stats(); s != 0 {
+		t.Fatalf("rate>1 delivered %d frames", s)
+	}
+}

@@ -1,0 +1,338 @@
+// Package server implements the RTF application server: the real-time loop
+// (receive inputs → compute state → send updates), replication with shadow
+// entities and forwarded interactions, user migration, and the per-task
+// monitoring hooks that feed the scalability model.
+//
+// A Server processes one zone. Multiple servers replicating the same zone
+// coordinate through a shared zone.Assignment and exchange shadow updates
+// and forwarded inputs over a transport.Network — the architecture of
+// Fig. 1 in the paper.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"roia/internal/rtf/aoi"
+	"roia/internal/rtf/entity"
+	"roia/internal/rtf/monitor"
+	"roia/internal/rtf/proto"
+	"roia/internal/rtf/transport"
+	"roia/internal/rtf/wire"
+	"roia/internal/rtf/zone"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Node is this server's attached network endpoint; its ID is the
+	// server's identity.
+	Node transport.Node
+	// Zone is the zone this server processes.
+	Zone zone.ID
+	// Assignment is the shared zone→replica mapping; the server registers
+	// itself on Start and consults it for its peer replicas.
+	Assignment *zone.Assignment
+	// World optionally describes the zone layout. When set, avatars whose
+	// position leaves this server's zone are handed off to a replica of
+	// the destination zone (the zoning distribution method); when nil the
+	// zone is unbounded.
+	World *zone.World
+	// App is the application logic.
+	App Application
+	// AOI computes areas of interest; nil defaults to the Euclidean
+	// Distance Algorithm with radius 50 (RTFDemo's interest management).
+	AOI aoi.Manager
+	// IDPrefix makes entity IDs allocated by this server globally unique;
+	// give every server in a session a distinct prefix.
+	IDPrefix uint16
+	// Seed seeds the server's deterministic random source.
+	Seed int64
+	// TickInterval is the tick period for Run (default 40 ms — 25 Hz, the
+	// first-person-shooter rate of Section V).
+	TickInterval time.Duration
+	// DeltaUpdates enables RTF's bandwidth optimization for client state
+	// updates: each tick sends only entities whose state changed since the
+	// client's previous update plus a removal list for entities that left
+	// its area of interest, instead of the full visible set. The client
+	// maintains a world cache (client.World). Server-to-server shadow
+	// updates remain full refreshes so replicas stay loss-tolerant.
+	DeltaUpdates bool
+	// IdleTimeoutTicks evicts users that have not sent any input for this
+	// many ticks — the cleanup path for crashed or vanished clients, whose
+	// avatars would otherwise haunt the zone forever. 0 disables eviction.
+	// At 25 Hz, 250 ticks ≈ 10 s of silence.
+	IdleTimeoutTicks uint64
+}
+
+// DefaultAOIRadius is the visibility radius used when Config.AOI is nil.
+const DefaultAOIRadius = 50
+
+// user is one connected client.
+type user struct {
+	id     string
+	avatar entity.ID
+	seq    uint64 // last input sequence seen
+	// lastInput is the tick of the user's most recent input (or join),
+	// for idle eviction.
+	lastInput uint64
+	// known tracks, under delta updates, the entity sequence numbers the
+	// client has already received; entities whose Seq is unchanged are
+	// omitted from its next state update.
+	known map[entity.ID]uint64
+}
+
+// migrationOrder is an instruction (from the resource manager) to move
+// users to a target replica.
+type migrationOrder struct {
+	target string
+	count  int
+}
+
+// Server is one RTF application server.
+type Server struct {
+	cfg Config
+
+	mu       sync.Mutex
+	store    *entity.Store
+	users    map[string]*user
+	orders   []migrationOrder
+	mon      *monitor.Monitor
+	env      *Env
+	tick     uint64
+	nextID   uint32
+	stopped  bool
+	draining bool // true while shutting down: reject joins
+
+	w *wire.Writer // reusable serialization buffer (tick goroutine only)
+	// tickBytesOut accumulates sent payload bytes within the current tick
+	// for the monitor's traffic counters.
+	tickBytesOut int
+	// handoffs lists entities whose ownership was just transferred away;
+	// they ride along in the next shadow update (they are no longer
+	// "active" here, but the new owner must learn of the transfer).
+	handoffs []entity.ID
+}
+
+// New assembles a server from the configuration. The server is inert until
+// Start (or manual Tick calls in tests).
+func New(cfg Config) (*Server, error) {
+	if cfg.Node == nil {
+		return nil, errors.New("server: config needs a transport node")
+	}
+	if cfg.App == nil {
+		return nil, errors.New("server: config needs an application")
+	}
+	if cfg.Assignment == nil {
+		return nil, errors.New("server: config needs a zone assignment")
+	}
+	if cfg.AOI == nil {
+		cfg.AOI = aoi.NewEuclid(DefaultAOIRadius)
+	}
+	if cfg.TickInterval <= 0 {
+		cfg.TickInterval = 40 * time.Millisecond
+	}
+	s := &Server{
+		cfg:   cfg,
+		store: entity.NewStore(),
+		users: make(map[string]*user),
+		mon:   monitor.New(),
+		w:     wire.NewWriter(4 << 10),
+	}
+	s.env = &Env{
+		ServerID: cfg.Node.ID(),
+		Store:    s.store,
+		Rand:     rand.New(rand.NewSource(cfg.Seed)),
+	}
+	return s, nil
+}
+
+// ID returns the server's node ID.
+func (s *Server) ID() string { return s.cfg.Node.ID() }
+
+// Zone returns the zone this server processes.
+func (s *Server) Zone() zone.ID { return s.cfg.Zone }
+
+// Monitor exposes the server's timing monitor.
+func (s *Server) Monitor() *monitor.Monitor { return s.mon }
+
+// Start registers the server as a replica of its zone. It is idempotent.
+func (s *Server) Start() {
+	s.cfg.Assignment.AddReplica(s.cfg.Zone, s.ID())
+}
+
+// Run starts the real-time loop at the configured tick rate until the
+// context is cancelled.
+func (s *Server) Run(ctx context.Context) error {
+	s.Start()
+	ticker := time.NewTicker(s.cfg.TickInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+			s.Tick()
+		}
+	}
+}
+
+// UserCount reports the number of users connected to this server (its
+// active avatars, the model's a).
+func (s *Server) UserCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.users)
+}
+
+// ZoneUserCount reports the zone-wide user count n: connected users plus
+// shadow avatars replicated from peers.
+func (s *Server) ZoneUserCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.zoneUsersLocked()
+}
+
+func (s *Server) zoneUsersLocked() int {
+	n := 0
+	for _, e := range s.store.All() {
+		if e.Kind == entity.Avatar {
+			n++
+		}
+	}
+	return n
+}
+
+// Users returns the connected user IDs in deterministic order.
+func (s *Server) Users() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.users))
+	for id := range s.users {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Entity returns a copy of an entity's current state.
+func (s *Server) Entity(id entity.ID) (entity.Entity, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.store.Get(id)
+	if !ok {
+		return entity.Entity{}, false
+	}
+	return *e, true
+}
+
+// SpawnNPC creates an NPC owned by this server at the given position and
+// returns its ID. NPCs spread over replicas via ownership, matching the
+// model's assumption that the zone's m NPCs are distributed equally.
+func (s *Server) SpawnNPC(pos entity.Vec2) entity.ID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.allocIDLocked()
+	s.store.Put(&entity.Entity{
+		ID: id, Kind: entity.NPC, Pos: pos, Health: 100,
+		Zone: uint32(s.cfg.Zone), Owner: s.ID(), Seq: 1,
+	})
+	return id
+}
+
+// TransferNPCs reassigns up to count locally-owned NPCs to the target
+// replica and reports how many moved. The scalability model assumes the
+// zone's m NPCs are distributed equally over the l replicas (the m/l term
+// of Eq. 1); the resource manager calls this after replica-set changes to
+// keep that assumption true. Ownership propagates with the next shadow
+// update.
+func (s *Server) TransferNPCs(target string, count int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if count <= 0 || target == s.ID() || !s.cfg.Assignment.IsReplica(s.cfg.Zone, target) {
+		return 0
+	}
+	moved := 0
+	for _, npc := range s.store.Active(s.ID(), int(entity.NPC)) {
+		if moved >= count {
+			break
+		}
+		npc.Owner = target
+		npc.Seq++
+		s.handoffs = append(s.handoffs, npc.ID)
+		moved++
+	}
+	return moved
+}
+
+// NPCCount reports the number of NPCs this server actively processes.
+func (s *Server) NPCCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.store.CountActive(s.ID(), int(entity.NPC))
+}
+
+// MigrateUsers orders the server to hand off count users to the target
+// replica. The handoffs are executed during subsequent ticks; the resource
+// manager caps count per second using the scalability model's x_max
+// thresholds (Eq. 5).
+func (s *Server) MigrateUsers(target string, count int) {
+	if count <= 0 || target == s.ID() {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.orders = append(s.orders, migrationOrder{target: target, count: count})
+}
+
+// SetDraining marks the server as shutting down: new joins are rejected
+// while remaining users migrate away (used by the resource-removal and
+// substitution actions).
+func (s *Server) SetDraining(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.draining = on
+}
+
+// Draining reports whether the server is refusing new joins.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Stop detaches the server from the replica group and closes its node.
+func (s *Server) Stop() error {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return nil
+	}
+	s.stopped = true
+	s.mu.Unlock()
+	s.cfg.Assignment.RemoveReplica(s.cfg.Zone, s.ID())
+	return s.cfg.Node.Close()
+}
+
+// allocIDLocked returns a fresh globally-unique entity ID.
+func (s *Server) allocIDLocked() entity.ID {
+	s.nextID++
+	return entity.ID(uint64(s.cfg.IDPrefix)<<32 | uint64(s.nextID))
+}
+
+// send serializes and sends one protocol message. Errors are swallowed:
+// RTF transmits asynchronously and a lost frame is repaired by the next
+// tick's update.
+func (s *Server) send(to string, msg wire.Message) {
+	payload := proto.Registry.Encode(s.w, msg)
+	s.tickBytesOut += len(payload)
+	_ = s.cfg.Node.Send(to, payload)
+}
+
+func (s *Server) String() string {
+	return fmt.Sprintf("server(%s zone=%d users=%d)", s.ID(), s.cfg.Zone, s.UserCount())
+}

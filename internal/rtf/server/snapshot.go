@@ -1,0 +1,97 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+
+	"roia/internal/rtf/entity"
+	"roia/internal/rtf/wire"
+)
+
+// snapshotMagic guards against restoring arbitrary payloads.
+const snapshotMagic = uint32(0x52544653) // "RTFS"
+
+// Snapshot serializes this server's full replica of the zone state — every
+// entity plus the tick counter — for crash recovery or for moving a zone
+// to a fresh process. Because replication keeps a complete copy of the
+// zone on every replica, any replica's snapshot can restore the whole
+// zone.
+func (s *Server) Snapshot() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w := wire.NewWriter(4 << 10)
+	w.Uint32(snapshotMagic)
+	w.Uint64(s.tick)
+	w.Uint32(uint32(s.cfg.Zone))
+	all := s.store.All()
+	w.Uvarint(uint64(len(all)))
+	for _, e := range all {
+		e.MarshalWire(w)
+	}
+	return append([]byte(nil), w.Bytes()...)
+}
+
+// RestoreSnapshot installs a snapshot into this (fresh) server: the tick
+// counter resumes past the snapshot's and all entities are adopted into
+// the local store with their recorded owners. Call AdoptEntities
+// afterwards to take over the entities a failed server owned. Restoring
+// into a server that already holds state is refused.
+func (s *Server) RestoreSnapshot(data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.store.Len() > 0 || len(s.users) > 0 {
+		return errors.New("server: restore into a non-empty server")
+	}
+	r := wire.NewReader(data)
+	if r.Uint32() != snapshotMagic {
+		return errors.New("server: not a snapshot payload")
+	}
+	tick := r.Uint64()
+	zoneID := r.Uint32()
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("server: snapshot header: %w", err)
+	}
+	if zoneID != uint32(s.cfg.Zone) {
+		return fmt.Errorf("server: snapshot is for zone %d, this server processes zone %d", zoneID, s.cfg.Zone)
+	}
+	count := r.Uvarint()
+	if r.Err() != nil {
+		return fmt.Errorf("server: snapshot count: %w", r.Err())
+	}
+	if count > uint64(r.Remaining()) {
+		return errors.New("server: snapshot declares more entities than payload holds")
+	}
+	for i := uint64(0); i < count; i++ {
+		var e entity.Entity
+		if err := e.UnmarshalWire(r); err != nil {
+			return fmt.Errorf("server: snapshot entity %d: %w", i, err)
+		}
+		s.store.Put(e.Clone())
+	}
+	if tick >= s.tick {
+		s.tick = tick + 1
+	}
+	return nil
+}
+
+// AdoptEntities takes ownership of every entity owned by failedID — the
+// recovery step after a replica crash: a surviving (or freshly restored)
+// replica adopts the dead server's active entities so they keep being
+// processed. Adopted avatars have no connection; their users re-join (or
+// idle eviction reaps them). It returns the number of adopted entities.
+func (s *Server) AdoptEntities(failedID string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if failedID == s.ID() {
+		return 0
+	}
+	adopted := 0
+	for _, e := range s.store.All() {
+		if e.Owner == failedID {
+			e.Owner = s.ID()
+			e.Seq++
+			adopted++
+		}
+	}
+	return adopted
+}

@@ -1,0 +1,465 @@
+package server
+
+import (
+	"encoding/binary"
+	"sort"
+	"time"
+
+	"roia/internal/rtf/entity"
+	"roia/internal/rtf/monitor"
+	"roia/internal/rtf/proto"
+	"roia/internal/rtf/transport"
+	"roia/internal/rtf/wire"
+)
+
+// msSince converts a wall-clock delta into the model's millisecond unit.
+func msSince(t0 time.Time) float64 {
+	return float64(time.Since(t0).Nanoseconds()) / 1e6
+}
+
+// decodedInput is a deserialized user input awaiting application.
+type decodedInput struct {
+	from string
+	msg  *proto.Input
+}
+
+// Tick executes one iteration of the real-time loop:
+//
+//  1. receive and deserialize inputs from connected users, forwarded
+//     inputs and shadow updates from peer replicas, and migration traffic;
+//  2. compute the new application state (apply user inputs, apply
+//     forwarded inputs, update NPCs);
+//  3. send the newly computed state to connected users (area-of-interest
+//     filtered) and to the other replicas of the zone.
+//
+// Every task is timed into the paper's model parameters via the Monitor:
+// t_ua_dser/t_ua for user inputs, t_fa_dser/t_fa for forwarded inputs and
+// per-shadow-entity replication traffic, t_npc for NPC updates, t_aoi/t_su
+// for interest management and state updates, and t_mig_ini/t_mig_rcv for
+// the migration handshake.
+func (s *Server) Tick() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped {
+		return
+	}
+	s.tick++
+	s.env.Tick = s.tick
+	s.tickBytesOut = 0
+	var br monitor.Breakdown
+
+	// --- Step 1: receive ---
+	frames := transport.Drain(s.cfg.Node, 0)
+	for _, f := range frames {
+		br.BytesIn += len(f.Payload)
+	}
+	inputs := make([]decodedInput, 0, len(frames))
+	var forwards []*proto.Forwarded
+	var removed []entity.ID
+	for _, f := range frames {
+		if len(f.Payload) < 2 {
+			continue
+		}
+		switch wire.Kind(binary.BigEndian.Uint16(f.Payload)) {
+		case proto.KindInput:
+			t0 := time.Now()
+			msg, err := proto.Registry.Decode(f.Payload)
+			br.Add(monitor.UADeser, msSince(t0), 1)
+			if err == nil {
+				inputs = append(inputs, decodedInput{from: f.From, msg: msg.(*proto.Input)})
+			}
+		case proto.KindForwarded:
+			t0 := time.Now()
+			msg, err := proto.Registry.Decode(f.Payload)
+			br.Add(monitor.FADeser, msSince(t0), 1)
+			if err == nil {
+				forwards = append(forwards, msg.(*proto.Forwarded))
+			}
+		case proto.KindShadowUpdate:
+			// Per-shadow-entity replication traffic: the model charges
+			// each of the zone's (n − n/l) shadow entities a per-tick
+			// deserialization + application cost, which is exactly this
+			// message's per-entity work.
+			t0 := time.Now()
+			msg, err := proto.Registry.Decode(f.Payload)
+			if err != nil {
+				br.Add(monitor.FADeser, msSince(t0), 0)
+				continue
+			}
+			su := msg.(*proto.ShadowUpdate)
+			br.Add(monitor.FADeser, msSince(t0), len(su.Entities))
+			t1 := time.Now()
+			for i := range su.Entities {
+				s.store.ApplyShadowUpdate(s.ID(), &su.Entities[i])
+			}
+			for _, id := range su.Removed {
+				if e, ok := s.store.Get(id); ok && e.Owner != s.ID() {
+					s.store.Remove(id)
+				}
+			}
+			br.Add(monitor.FA, msSince(t1), len(su.Entities))
+		case proto.KindMigrateInit:
+			t0 := time.Now()
+			msg, err := proto.Registry.Decode(f.Payload)
+			if err != nil {
+				continue
+			}
+			mi := msg.(*proto.MigrateInit)
+			s.receiveMigration(mi)
+			br.Add(monitor.MigRcv, msSince(t0), 1)
+		case proto.KindMigrateAck:
+			// Ownership already handed off optimistically at initiation;
+			// the ack is informational.
+		case proto.KindJoin:
+			if msg, err := proto.Registry.Decode(f.Payload); err == nil {
+				s.handleJoin(f.From, msg.(*proto.Join))
+			}
+		case proto.KindLeave:
+			if id, ok := s.removeUser(f.From); ok {
+				removed = append(removed, id)
+			}
+		}
+	}
+
+	// --- Step 2a: apply user inputs ---
+	for _, in := range inputs {
+		u, ok := s.users[in.from]
+		if !ok {
+			continue // disconnected or migrated away
+		}
+		if in.msg.Seq <= u.seq && in.msg.Seq != 0 {
+			continue // duplicate
+		}
+		u.seq = in.msg.Seq
+		u.lastInput = s.tick
+		actor, ok := s.store.Get(u.avatar)
+		if !ok {
+			continue
+		}
+		t0 := time.Now()
+		fwds, err := s.cfg.App.ApplyInput(s.env, actor, in.msg.Payload)
+		br.Add(monitor.UA, msSince(t0), 1)
+		if err != nil {
+			continue
+		}
+		actor.Seq++
+		for _, fw := range fwds {
+			target, ok := s.store.Get(fw.Target)
+			if !ok {
+				continue
+			}
+			if target.Owner == s.ID() {
+				// Local interaction: apply directly. The time still
+				// belongs to input application (t_ua), not to forwarded
+				// inputs — no items are added so the per-item cost of
+				// t_ua absorbs it.
+				t1 := time.Now()
+				if s.cfg.App.ApplyForwarded(s.env, actor.ID, target, fw.Payload) == nil {
+					target.Seq++
+				}
+				br.Add(monitor.UA, msSince(t1), 0)
+			} else {
+				s.send(target.Owner, &proto.Forwarded{Actor: actor.ID, Target: fw.Target, Payload: fw.Payload})
+			}
+		}
+	}
+
+	// --- Step 2b: apply forwarded inputs ---
+	for _, fw := range forwards {
+		target, ok := s.store.Get(fw.Target)
+		if !ok {
+			continue
+		}
+		if target.Owner != s.ID() {
+			// The target migrated since the sender forwarded: re-forward
+			// to the current owner.
+			s.send(target.Owner, fw)
+			continue
+		}
+		t0 := time.Now()
+		if s.cfg.App.ApplyForwarded(s.env, fw.Actor, target, fw.Payload) == nil {
+			target.Seq++
+		}
+		br.Add(monitor.FA, msSince(t0), 1)
+	}
+
+	// --- Step 2c: update NPCs ---
+	for _, npc := range s.store.Active(s.ID(), int(entity.NPC)) {
+		t0 := time.Now()
+		fwds := s.cfg.App.UpdateNPC(s.env, npc)
+		for _, fw := range fwds {
+			target, ok := s.store.Get(fw.Target)
+			if !ok {
+				continue
+			}
+			if target.Owner == s.ID() {
+				if s.cfg.App.ApplyForwarded(s.env, npc.ID, target, fw.Payload) == nil {
+					target.Seq++
+				}
+			} else {
+				s.send(target.Owner, &proto.Forwarded{Actor: npc.ID, Target: fw.Target, Payload: fw.Payload})
+			}
+		}
+		br.Add(monitor.NPC, msSince(t0), 1)
+		npc.Seq++
+	}
+
+	// --- Idle eviction: drop users whose clients went silent ---
+	if s.cfg.IdleTimeoutTicks > 0 {
+		for _, uid := range s.sortedUserIDs() {
+			u := s.users[uid]
+			if s.tick-u.lastInput > s.cfg.IdleTimeoutTicks {
+				if id, ok := s.removeUser(uid); ok {
+					removed = append(removed, id)
+				}
+			}
+		}
+	}
+
+	// --- Zone handoffs (zoning distribution) ---
+	if s.cfg.World != nil {
+		s.processZoneTransfers(&br, &removed)
+	}
+
+	// --- Migrations ordered by the resource manager ---
+	s.processMigrationOrders(&br)
+
+	// --- Step 3a: state updates to connected users ---
+	world := s.store.All()
+	s.cfg.AOI.Build(world)
+	var visBuf []entity.ID
+	for _, uid := range s.sortedUserIDs() {
+		u := s.users[uid]
+		av, ok := s.store.Get(u.avatar)
+		if !ok {
+			continue
+		}
+		t0 := time.Now()
+		visBuf = s.cfg.AOI.Visible(visBuf[:0], av.ID, av.Pos, world)
+		br.Add(monitor.AOI, msSince(t0), 1)
+
+		t1 := time.Now()
+		upd := proto.StateUpdate{Tick: s.tick, Self: *av, Events: s.cfg.App.DrainEvents(s.env, av.ID)}
+		if s.cfg.DeltaUpdates {
+			s.fillDeltaUpdate(u, visBuf, &upd)
+		} else if len(visBuf) > 0 {
+			upd.Visible = make([]entity.Entity, 0, len(visBuf))
+			for _, id := range visBuf {
+				if e, ok := s.store.Get(id); ok {
+					upd.Visible = append(upd.Visible, *e)
+				}
+			}
+		}
+		s.send(uid, &upd)
+		br.Add(monitor.SU, msSince(t1), 1)
+	}
+
+	// --- Step 3b: shadow updates to peer replicas ---
+	peers := s.cfg.Assignment.Peers(s.cfg.Zone, s.ID())
+	if len(peers) > 0 {
+		actives := s.store.Active(s.ID(), -1)
+		su := proto.ShadowUpdate{Tick: s.tick, Removed: removed}
+		su.Entities = make([]entity.Entity, len(actives), len(actives)+len(s.handoffs))
+		for i, e := range actives {
+			su.Entities[i] = *e
+		}
+		// Entities handed off this tick ride along once more so the new
+		// owner learns of the transfer.
+		for _, id := range s.handoffs {
+			if e, ok := s.store.Get(id); ok {
+				su.Entities = append(su.Entities, *e)
+			}
+		}
+		for _, p := range peers {
+			s.send(p, &su)
+		}
+	}
+	s.handoffs = nil
+
+	// --- Bookkeeping ---
+	br.Users = s.zoneUsersLocked()
+	br.ActiveUsers = len(s.users)
+	for _, e := range s.store.All() {
+		if e.Kind == entity.NPC {
+			br.NPCs++
+		}
+	}
+	br.Replicas = s.cfg.Assignment.ReplicaCount(s.cfg.Zone)
+	br.BytesOut = s.tickBytesOut
+	s.mon.RecordTick(br)
+}
+
+// fillDeltaUpdate populates a state update with only the changes since the
+// user's previous update: entities whose sequence number advanced (or that
+// newly entered the area of interest) plus a removal list for entities that
+// left it — RTF's bandwidth optimization.
+func (s *Server) fillDeltaUpdate(u *user, visible []entity.ID, upd *proto.StateUpdate) {
+	if u.known == nil {
+		u.known = make(map[entity.ID]uint64, len(visible))
+	}
+	inView := make(map[entity.ID]bool, len(visible))
+	for _, id := range visible {
+		e, ok := s.store.Get(id)
+		if !ok {
+			continue
+		}
+		inView[id] = true
+		if last, seen := u.known[id]; !seen || e.Seq > last {
+			upd.Visible = append(upd.Visible, *e)
+			u.known[id] = e.Seq
+		}
+	}
+	for id := range u.known {
+		if !inView[id] {
+			upd.Gone = append(upd.Gone, id)
+			delete(u.known, id)
+		}
+	}
+	// Deterministic wire output: map iteration scrambles Gone.
+	sort.Slice(upd.Gone, func(i, j int) bool { return upd.Gone[i] < upd.Gone[j] })
+}
+
+// sortedUserIDs returns connected user IDs in deterministic order.
+func (s *Server) sortedUserIDs() []string {
+	ids := make([]string, 0, len(s.users))
+	for id := range s.users {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// handleJoin admits a new user: spawn an avatar, register the connection,
+// acknowledge.
+func (s *Server) handleJoin(from string, j *proto.Join) {
+	if s.draining {
+		return // shutting down: the client will retry elsewhere
+	}
+	if _, dup := s.users[from]; dup {
+		return
+	}
+	id := s.allocIDLocked()
+	av := s.cfg.App.SpawnAvatar(s.env, id, j.Pos, uint32(s.cfg.Zone))
+	av.ID = id
+	av.Kind = entity.Avatar
+	av.Zone = uint32(s.cfg.Zone)
+	av.Owner = s.ID()
+	if av.Seq == 0 {
+		av.Seq = 1
+	}
+	s.store.Put(av)
+	s.users[from] = &user{id: from, avatar: id, lastInput: s.tick}
+	s.send(from, &proto.JoinAck{Entity: id, Tick: s.tick})
+}
+
+// removeUser disconnects a user and deletes its avatar, returning the
+// avatar ID for removal propagation.
+func (s *Server) removeUser(uid string) (entity.ID, bool) {
+	u, ok := s.users[uid]
+	if !ok {
+		return 0, false
+	}
+	delete(s.users, uid)
+	s.store.Remove(u.avatar)
+	return u.avatar, true
+}
+
+// receiveMigration installs a user handed off by a peer replica.
+func (s *Server) receiveMigration(mi *proto.MigrateInit) {
+	av := mi.Avatar
+	av.Owner = s.ID()
+	av.Seq++
+	if cur, ok := s.store.Get(av.ID); ok {
+		*cur = av
+	} else {
+		s.store.Put(av.Clone())
+	}
+	s.users[mi.User] = &user{id: mi.User, avatar: av.ID, lastInput: s.tick}
+	s.cfg.App.ApplyUserState(s.env, av.ID, mi.AppState)
+	s.send(mi.Avatar.Owner, &proto.MigrateAck{User: mi.User, Avatar: av.ID})
+}
+
+// processZoneTransfers hands off users whose avatars moved into another
+// zone of the world: the avatar state migrates to a replica of the
+// destination zone (removal propagates to this zone's peers), and the
+// client is re-pointed at its new server. Zone transfers reuse the
+// user-migration machinery, so their overhead lands in t_mig_ini like any
+// other migration.
+func (s *Server) processZoneTransfers(br *monitor.Breakdown, removed *[]entity.ID) {
+	for _, uid := range s.sortedUserIDs() {
+		u := s.users[uid]
+		av, ok := s.store.Get(u.avatar)
+		if !ok {
+			continue
+		}
+		dest, ok := s.cfg.World.Locate(av.Pos)
+		if !ok || dest.ID == s.cfg.Zone {
+			continue
+		}
+		targets := s.cfg.Assignment.Replicas(dest.ID)
+		if len(targets) == 0 {
+			// The destination zone is unstaffed; keep serving the user
+			// here rather than dropping the session.
+			continue
+		}
+		target := targets[0]
+		t0 := time.Now()
+		handoff := *av
+		handoff.Zone = uint32(dest.ID)
+		mi := &proto.MigrateInit{
+			User:     uid,
+			Avatar:   handoff,
+			AppState: s.cfg.App.EncodeUserState(s.env, av.ID),
+		}
+		s.send(target, mi)
+		br.Add(monitor.MigIni, msSince(t0), 1)
+
+		s.send(uid, &proto.MigrateNotice{NewServer: target})
+		delete(s.users, uid)
+		s.store.Remove(av.ID)
+		*removed = append(*removed, av.ID)
+	}
+}
+
+// processMigrationOrders executes the pending migration orders, handing
+// off users to target replicas. Each handoff serializes the user's avatar
+// and application state (t_mig_ini), transfers responsibility, and points
+// the client at its new server.
+func (s *Server) processMigrationOrders(br *monitor.Breakdown) {
+	if len(s.orders) == 0 {
+		return
+	}
+	orders := s.orders
+	s.orders = nil
+	uids := s.sortedUserIDs()
+	next := 0
+	for _, ord := range orders {
+		if !s.cfg.Assignment.IsReplica(s.cfg.Zone, ord.target) {
+			continue // target disappeared (e.g. removed by the RMS)
+		}
+		for moved := 0; moved < ord.count && next < len(uids); next++ {
+			uid := uids[next]
+			u, ok := s.users[uid]
+			if !ok {
+				continue
+			}
+			av, ok := s.store.Get(u.avatar)
+			if !ok {
+				delete(s.users, uid)
+				continue
+			}
+			t0 := time.Now()
+			appState := s.cfg.App.EncodeUserState(s.env, av.ID)
+			mi := &proto.MigrateInit{User: uid, Avatar: *av, AppState: appState}
+			s.send(ord.target, mi)
+			br.Add(monitor.MigIni, msSince(t0), 1)
+
+			// Optimistic ownership handoff: the target assumes control on
+			// receipt; locally the entity becomes a shadow.
+			av.Owner = ord.target
+			delete(s.users, uid)
+			s.send(uid, &proto.MigrateNotice{NewServer: ord.target})
+			moved++
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package transport
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// Lossy wraps a Node and silently drops a deterministic fraction of
+// outbound payloads — a failure-injection harness for the protocol's
+// robustness claims. RTF's state replication is refresh-based (every tick
+// resends full entity states, stale shadow updates are discarded by
+// sequence number), so the application must converge despite drops; tests
+// use Lossy to prove it.
+type Lossy struct {
+	node Node
+	rate float64
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	dropped, sent int
+}
+
+// NewLossy wraps node, dropping each Send with probability rate (0..1),
+// driven by a deterministic seed.
+func NewLossy(node Node, rate float64, seed int64) *Lossy {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	return &Lossy{node: node, rate: rate, rng: rand.New(rand.NewSource(seed))}
+}
+
+// ID implements Node.
+func (l *Lossy) ID() string { return l.node.ID() }
+
+// Inbox implements Node.
+func (l *Lossy) Inbox() <-chan Frame { return l.node.Inbox() }
+
+// Close implements Node.
+func (l *Lossy) Close() error { return l.node.Close() }
+
+// Send implements Node, dropping the payload with the configured
+// probability. A dropped send reports success — exactly how a lost UDP
+// datagram or an overflowed async queue looks to the sender.
+func (l *Lossy) Send(to string, payload []byte) error {
+	l.mu.Lock()
+	drop := l.rng.Float64() < l.rate
+	if drop {
+		l.dropped++
+	} else {
+		l.sent++
+	}
+	l.mu.Unlock()
+	if drop {
+		return nil
+	}
+	return l.node.Send(to, payload)
+}
+
+// Stats reports how many sends were dropped and delivered.
+func (l *Lossy) Stats() (dropped, sent int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped, l.sent
+}

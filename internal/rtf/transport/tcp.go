@@ -1,0 +1,257 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"roia/internal/rtf/wire"
+)
+
+// MaxFrameSize bounds a single TCP frame; larger declared lengths indicate
+// a corrupt or hostile stream and abort the connection.
+const MaxFrameSize = 16 << 20
+
+// TCPNetwork is a Network whose nodes communicate over framed TCP
+// connections. Node addresses are resolved through a directory that maps
+// node IDs to listen addresses; nodes attached in-process self-register,
+// and peers in other processes are added with Register.
+type TCPNetwork struct {
+	mu        sync.RWMutex
+	directory map[string]string
+}
+
+// NewTCP returns an empty TCP network.
+func NewTCP() *TCPNetwork {
+	return &TCPNetwork{directory: make(map[string]string)}
+}
+
+// Register adds (or replaces) a remote peer's address in the directory.
+func (t *TCPNetwork) Register(id, addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.directory[id] = addr
+}
+
+// Lookup resolves a node ID to its address.
+func (t *TCPNetwork) Lookup(id string) (string, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	addr, ok := t.directory[id]
+	return addr, ok
+}
+
+// Attach implements Network, listening on an ephemeral localhost port.
+func (t *TCPNetwork) Attach(id string, inboxSize int) (Node, error) {
+	return t.AttachListener(id, "127.0.0.1:0", inboxSize)
+}
+
+// AttachListener attaches a node listening on the given address.
+func (t *TCPNetwork) AttachListener(id, addr string, inboxSize int) (Node, error) {
+	if inboxSize <= 0 {
+		inboxSize = 1024
+	}
+	t.mu.Lock()
+	if _, dup := t.directory[id]; dup {
+		t.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrDuplicateID, id)
+	}
+	t.mu.Unlock()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	n := &tcpNode{
+		net:     t,
+		id:      id,
+		ln:      ln,
+		inbox:   make(chan Frame, inboxSize),
+		conns:   make(map[string]*tcpConn),
+		inbound: make(map[net.Conn]struct{}),
+		closed:  make(chan struct{}),
+	}
+	t.Register(id, ln.Addr().String())
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+type tcpNode struct {
+	net    *TCPNetwork
+	id     string
+	ln     net.Listener
+	inbox  chan Frame
+	closed chan struct{}
+	once   sync.Once
+	wg     sync.WaitGroup
+
+	mu      sync.Mutex
+	conns   map[string]*tcpConn   // outbound, keyed by target ID
+	inbound map[net.Conn]struct{} // accepted connections, closed on Close
+}
+
+type tcpConn struct {
+	mu   sync.Mutex // serializes writes
+	conn net.Conn
+	w    *wire.Writer
+}
+
+func (n *tcpNode) ID() string          { return n.id }
+func (n *tcpNode) Inbox() <-chan Frame { return n.inbox }
+
+func (n *tcpNode) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.mu.Lock()
+		select {
+		case <-n.closed:
+			n.mu.Unlock()
+			conn.Close()
+			return
+		default:
+		}
+		n.inbound[conn] = struct{}{}
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go n.readLoop(conn)
+	}
+}
+
+// readLoop decodes inbound frames from one connection into the inbox.
+func (n *tcpNode) readLoop(conn net.Conn) {
+	defer n.wg.Done()
+	defer func() {
+		conn.Close()
+		n.mu.Lock()
+		delete(n.inbound, conn)
+		n.mu.Unlock()
+	}()
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+			return
+		}
+		size := binary.BigEndian.Uint32(lenBuf[:])
+		if size == 0 || size > MaxFrameSize {
+			return
+		}
+		body := make([]byte, size)
+		if _, err := io.ReadFull(conn, body); err != nil {
+			return
+		}
+		r := wire.NewReader(body)
+		frame := Frame{From: r.String(), To: r.String(), Payload: r.Blob()}
+		if r.Err() != nil {
+			return
+		}
+		select {
+		case n.inbox <- frame:
+		case <-n.closed:
+			return
+		default:
+			// Inbox saturated: drop the frame. RTF's state updates are
+			// refreshed every tick, so dropping under overload is safer
+			// than stalling the peer's send path.
+		}
+	}
+}
+
+// Send implements Node. The first send to a target dials and caches a
+// connection; concurrent sends to the same target serialize on it.
+func (n *tcpNode) Send(to string, payload []byte) error {
+	select {
+	case <-n.closed:
+		return ErrClosed
+	default:
+	}
+	c, err := n.conn(to)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.w.Reset()
+	c.w.Uint32(0) // length placeholder
+	c.w.String(n.id)
+	c.w.String(to)
+	c.w.Blob(payload)
+	buf := c.w.Bytes()
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(buf)-4))
+	if _, err := c.conn.Write(buf); err != nil {
+		// Connection broke: drop it so the next send re-dials.
+		n.mu.Lock()
+		if n.conns[to] == c {
+			delete(n.conns, to)
+		}
+		n.mu.Unlock()
+		c.conn.Close()
+		return fmt.Errorf("transport: send to %s: %w", to, err)
+	}
+	return nil
+}
+
+func (n *tcpNode) conn(to string) (*tcpConn, error) {
+	n.mu.Lock()
+	if c, ok := n.conns[to]; ok {
+		n.mu.Unlock()
+		return c, nil
+	}
+	n.mu.Unlock()
+
+	addr, ok := n.net.Lookup(to)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownTarget, to)
+	}
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s (%s): %w", to, addr, err)
+	}
+	c := &tcpConn{conn: raw, w: wire.NewWriter(256)}
+
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if existing, ok := n.conns[to]; ok {
+		// Lost the race: keep the first connection.
+		raw.Close()
+		return existing, nil
+	}
+	select {
+	case <-n.closed:
+		raw.Close()
+		return nil, ErrClosed
+	default:
+	}
+	n.conns[to] = c
+	return c, nil
+}
+
+// Close implements Node: stops the listener, closes every connection,
+// waits for reader goroutines, then closes the inbox.
+func (n *tcpNode) Close() error {
+	n.once.Do(func() {
+		close(n.closed)
+		n.ln.Close()
+		n.mu.Lock()
+		for _, c := range n.conns {
+			c.conn.Close()
+		}
+		n.conns = make(map[string]*tcpConn)
+		for conn := range n.inbound {
+			conn.Close()
+		}
+		n.mu.Unlock()
+		n.wg.Wait()
+		close(n.inbox)
+		n.net.mu.Lock()
+		delete(n.net.directory, n.id)
+		n.net.mu.Unlock()
+	})
+	return nil
+}

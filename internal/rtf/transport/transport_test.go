@@ -1,0 +1,319 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLoopbackDelivery(t *testing.T) {
+	net := NewLoopback()
+	defer net.Close()
+	a, err := net.Attach("a", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := net.Attach("b", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("b", []byte("hello")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	f := <-b.Inbox()
+	if f.From != "a" || f.To != "b" || string(f.Payload) != "hello" {
+		t.Fatalf("frame = %+v", f)
+	}
+}
+
+func TestLoopbackPayloadIsCopied(t *testing.T) {
+	net := NewLoopback()
+	defer net.Close()
+	a, _ := net.Attach("a", 8)
+	b, _ := net.Attach("b", 8)
+	buf := []byte("abc")
+	if err := a.Send("b", buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 'X' // sender reuses its buffer
+	f := <-b.Inbox()
+	if string(f.Payload) != "abc" {
+		t.Fatalf("payload aliased sender buffer: %q", f.Payload)
+	}
+}
+
+func TestLoopbackUnknownTarget(t *testing.T) {
+	net := NewLoopback()
+	defer net.Close()
+	a, _ := net.Attach("a", 8)
+	if err := a.Send("ghost", []byte("x")); !errors.Is(err, ErrUnknownTarget) {
+		t.Fatalf("err = %v, want ErrUnknownTarget", err)
+	}
+}
+
+func TestLoopbackDuplicateID(t *testing.T) {
+	net := NewLoopback()
+	defer net.Close()
+	if _, err := net.Attach("a", 8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Attach("a", 8); !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("err = %v, want ErrDuplicateID", err)
+	}
+}
+
+func TestLoopbackInboxFullNonBlocking(t *testing.T) {
+	net := NewLoopback()
+	defer net.Close()
+	a, _ := net.Attach("a", 8)
+	_, _ = net.Attach("b", 1)
+	if err := a.Send("b", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("b", []byte("2")); !errors.Is(err, ErrInboxFull) {
+		t.Fatalf("err = %v, want ErrInboxFull", err)
+	}
+}
+
+func TestLoopbackClosedNode(t *testing.T) {
+	net := NewLoopback()
+	defer net.Close()
+	a, _ := net.Attach("a", 8)
+	b, _ := net.Attach("b", 8)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("b", []byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send from closed node: err = %v, want ErrClosed", err)
+	}
+	if err := b.Send("a", []byte("x")); !errors.Is(err, ErrUnknownTarget) {
+		t.Fatalf("send to detached node: err = %v, want ErrUnknownTarget", err)
+	}
+	if _, ok := <-a.Inbox(); ok {
+		t.Fatal("inbox not closed")
+	}
+	// Closing twice is safe.
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoopbackNetworkClose(t *testing.T) {
+	net := NewLoopback()
+	a, _ := net.Attach("a", 8)
+	if err := net.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := <-a.Inbox(); ok {
+		t.Fatal("inbox not closed by network close")
+	}
+	if _, err := net.Attach("c", 8); !errors.Is(err, ErrClosed) {
+		t.Fatalf("attach after close: err = %v, want ErrClosed", err)
+	}
+}
+
+func TestDrain(t *testing.T) {
+	net := NewLoopback()
+	defer net.Close()
+	a, _ := net.Attach("a", 8)
+	b, _ := net.Attach("b", 64)
+	for i := 0; i < 10; i++ {
+		if err := a.Send("b", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := Drain(b, 4); len(got) != 4 {
+		t.Fatalf("Drain(4) returned %d frames", len(got))
+	}
+	rest := Drain(b, 0)
+	if len(rest) != 6 {
+		t.Fatalf("Drain(all) returned %d frames, want 6", len(rest))
+	}
+	// In-order delivery per sender.
+	if rest[0].Payload[0] != 4 || rest[5].Payload[0] != 9 {
+		t.Fatalf("out of order: %v", rest)
+	}
+	if got := Drain(b, 0); len(got) != 0 {
+		t.Fatalf("Drain on empty inbox returned %d frames", len(got))
+	}
+}
+
+func TestLoopbackConcurrentSenders(t *testing.T) {
+	net := NewLoopback()
+	net.Block = true
+	defer net.Close()
+	dst, _ := net.Attach("dst", 16)
+	const senders, perSender = 8, 100
+
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		node, err := net.Attach(fmt.Sprintf("s%d", s), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(n Node) {
+			defer wg.Done()
+			for i := 0; i < perSender; i++ {
+				if err := n.Send("dst", []byte{1}); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}(node)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+
+	got := 0
+	timeout := time.After(5 * time.Second)
+	for got < senders*perSender {
+		select {
+		case <-dst.Inbox():
+			got++
+		case <-timeout:
+			t.Fatalf("received %d of %d frames", got, senders*perSender)
+		}
+	}
+	<-done
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	net := NewTCP()
+	a, err := net.Attach("a", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := net.Attach("b", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	if err := a.Send("b", []byte("over tcp")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	select {
+	case f := <-b.Inbox():
+		if f.From != "a" || f.To != "b" || string(f.Payload) != "over tcp" {
+			t.Fatalf("frame = %+v", f)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("frame not delivered")
+	}
+
+	// And the reverse direction (separate connection).
+	if err := b.Send("a", []byte("reply")); err != nil {
+		t.Fatalf("Send reply: %v", err)
+	}
+	select {
+	case f := <-a.Inbox():
+		if string(f.Payload) != "reply" {
+			t.Fatalf("reply frame = %+v", f)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("reply not delivered")
+	}
+}
+
+func TestTCPManyFramesInOrder(t *testing.T) {
+	net := NewTCP()
+	a, _ := net.Attach("a", 8)
+	defer a.Close()
+	b, _ := net.Attach("b", 4096)
+	defer b.Close()
+
+	const count = 500
+	for i := 0; i < count; i++ {
+		if err := a.Send("b", []byte{byte(i), byte(i >> 8)}); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	for i := 0; i < count; i++ {
+		select {
+		case f := <-b.Inbox():
+			got := int(f.Payload[0]) | int(f.Payload[1])<<8
+			if got != i {
+				t.Fatalf("frame %d out of order: got %d", i, got)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("missing frame %d", i)
+		}
+	}
+}
+
+func TestTCPUnknownTarget(t *testing.T) {
+	net := NewTCP()
+	a, _ := net.Attach("a", 8)
+	defer a.Close()
+	if err := a.Send("nowhere", []byte("x")); !errors.Is(err, ErrUnknownTarget) {
+		t.Fatalf("err = %v, want ErrUnknownTarget", err)
+	}
+}
+
+func TestTCPDuplicateID(t *testing.T) {
+	net := NewTCP()
+	a, _ := net.Attach("a", 8)
+	defer a.Close()
+	if _, err := net.Attach("a", 8); !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("err = %v, want ErrDuplicateID", err)
+	}
+}
+
+func TestTCPCloseReleasesID(t *testing.T) {
+	net := NewTCP()
+	a, _ := net.Attach("a", 8)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := net.Lookup("a"); ok {
+		t.Fatal("closed node still in directory")
+	}
+	b, err := net.Attach("a", 8) // ID reusable after close
+	if err != nil {
+		t.Fatalf("re-attach: %v", err)
+	}
+	b.Close()
+}
+
+func TestTCPSendAfterClose(t *testing.T) {
+	net := NewTCP()
+	a, _ := net.Attach("a", 8)
+	b, _ := net.Attach("b", 8)
+	defer b.Close()
+	a.Close()
+	if err := a.Send("b", []byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestTCPLargePayload(t *testing.T) {
+	net := NewTCP()
+	a, _ := net.Attach("a", 8)
+	defer a.Close()
+	b, _ := net.Attach("b", 8)
+	defer b.Close()
+	big := make([]byte, 1<<20)
+	for i := range big {
+		big[i] = byte(i * 31)
+	}
+	if err := a.Send("b", big); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case f := <-b.Inbox():
+		if len(f.Payload) != len(big) {
+			t.Fatalf("payload size %d, want %d", len(f.Payload), len(big))
+		}
+		for i := 0; i < len(big); i += 4097 {
+			if f.Payload[i] != big[i] {
+				t.Fatalf("payload corrupted at %d", i)
+			}
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("large frame not delivered")
+	}
+}

@@ -1,0 +1,124 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is a named sequence of (x, y) points, the unit of experiment
+// output: one Series per curve of a paper figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Add appends one point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Len reports the number of points.
+func (s *Series) Len() int { return len(s.X) }
+
+// Table groups several series sharing an x axis into one figure dataset.
+type Table struct {
+	// Title names the figure (e.g. "Fig. 5: effect of replication").
+	Title string
+	// XLabel / YLabel annotate the axes.
+	XLabel, YLabel string
+	Series         []*Series
+}
+
+// AddSeries appends a new empty series and returns it.
+func (t *Table) AddSeries(name string) *Series {
+	s := &Series{Name: name}
+	t.Series = append(t.Series, s)
+	return s
+}
+
+// WriteCSV emits the table in long form: series,x,y — one row per point.
+func (t *Table) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s\nseries,%s,%s\n", t.Title, csvLabel(t.XLabel), csvLabel(t.YLabel)); err != nil {
+		return err
+	}
+	for _, s := range t.Series {
+		for i := range s.X {
+			if _, err := fmt.Fprintf(w, "%s,%g,%g\n", s.Name, s.X[i], s.Y[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func csvLabel(l string) string {
+	if l == "" {
+		return "x"
+	}
+	return strings.ReplaceAll(l, ",", ";")
+}
+
+// RenderASCII draws the table as a crude ASCII chart (width×height grid),
+// one rune per series, so figure shapes can be inspected in a terminal and
+// in EXPERIMENTS.md without plotting tools — the counterpart of the paper's
+// gnuplot charts.
+func (t *Table) RenderASCII(width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 6 {
+		height = 6
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range t.Series {
+		for i := range s.X {
+			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+			points++
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	if points == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", width))
+	}
+	marks := []rune("*o+x#@%&")
+	for si, s := range t.Series {
+		mark := marks[si%len(marks)]
+		for i := range s.X {
+			col := int((s.X[i] - minX) / (maxX - minX) * float64(width-1))
+			row := height - 1 - int((s.Y[i]-minY)/(maxY-minY)*float64(height-1))
+			grid[row][col] = mark
+		}
+	}
+	fmt.Fprintf(&b, "%10.4g ┤\n", maxY)
+	for _, row := range grid {
+		fmt.Fprintf(&b, "%10s │%s\n", "", string(row))
+	}
+	fmt.Fprintf(&b, "%10.4g └%s\n", minY, strings.Repeat("─", width))
+	fmt.Fprintf(&b, "%10s  %-10.4g%*.4g\n", "", minX, width-10, maxX)
+	for si, s := range t.Series {
+		fmt.Fprintf(&b, "  %c %s\n", marks[si%len(marks)], s.Name)
+	}
+	if t.XLabel != "" || t.YLabel != "" {
+		fmt.Fprintf(&b, "  x: %s, y: %s\n", t.XLabel, t.YLabel)
+	}
+	return b.String()
+}

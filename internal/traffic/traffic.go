@@ -1,0 +1,147 @@
+// Package traffic models the network bandwidth of a ROIA server as a
+// function of its user count — the extension the paper names as future
+// work ("we still need to implement bandwidth analysis for our
+// scalability model", Section VI).
+//
+// Two observations from the literature the paper cites shape the model:
+//
+//   - bandwidth correlates strongly with the user count (Kim et al.), so
+//     the same approximation-function machinery used for CPU times
+//     applies: per-tick bytes are fitted as polynomials of n;
+//   - game-server traffic is asymmetric — state updates fan out to every
+//     user while inputs are small, so outbound bandwidth dominates.
+//
+// Samples come from the RTF monitoring hooks (monitor.TrafficSample, wire
+// payload bytes counted per tick) and are fitted with the same
+// least-squares pipeline as the CPU parameters. The fitted Model answers
+// the operational questions: expected bandwidth at a given population,
+// the in/out asymmetry, and the bandwidth a replica needs at the
+// scalability model's capacity threshold n_max.
+package traffic
+
+import (
+	"errors"
+	"fmt"
+
+	"roia/internal/fit"
+	"roia/internal/model"
+	"roia/internal/params"
+	"roia/internal/rtf/monitor"
+)
+
+// Model predicts a server's per-tick wire bytes from the zone user count.
+type Model struct {
+	// In is the inbound bytes-per-tick curve (user inputs + replication
+	// traffic received), Out the outbound curve (state updates fanning
+	// out + replication traffic sent).
+	In, Out params.Curve
+}
+
+// Fit builds a traffic model from per-tick samples. Outbound traffic is
+// fitted quadratically by default (every user receives updates about
+// every nearby user, so bytes grow superlinearly with density); inbound
+// linearly (each user sends a bounded number of inputs per tick).
+// At least three distinct user counts are required.
+func Fit(samples []monitor.TrafficSample) (*Model, error) {
+	return FitDegrees(samples, 1, 2)
+}
+
+// FitDegrees fits with explicit polynomial degrees for the inbound and
+// outbound curves.
+func FitDegrees(samples []monitor.TrafficSample, degIn, degOut int) (*Model, error) {
+	if len(samples) == 0 {
+		return nil, errors.New("traffic: no samples")
+	}
+	xs := make([]float64, len(samples))
+	ins := make([]float64, len(samples))
+	outs := make([]float64, len(samples))
+	for i, s := range samples {
+		xs[i] = float64(s.Users)
+		ins[i] = float64(s.BytesIn)
+		outs[i] = float64(s.BytesOut)
+	}
+	inFit, err := fit.Polyfit(xs, ins, degIn)
+	if err != nil {
+		return nil, fmt.Errorf("traffic: inbound fit: %w", err)
+	}
+	outFit, err := fit.Polyfit(xs, outs, degOut)
+	if err != nil {
+		return nil, fmt.Errorf("traffic: outbound fit: %w", err)
+	}
+	return &Model{
+		In:  params.Curve{Coeffs: inFit.Coeffs},
+		Out: params.Curve{Coeffs: outFit.Coeffs},
+	}, nil
+}
+
+// PerTick returns the predicted inbound and outbound bytes per tick for a
+// server in a zone with n users.
+func (m *Model) PerTick(n int) (in, out float64) {
+	return m.In.Eval(float64(n)), m.Out.Eval(float64(n))
+}
+
+// BandwidthBPS converts the per-tick prediction into bytes per second at
+// the given tick rate (e.g. 25 Hz for a 40 ms tick).
+func (m *Model) BandwidthBPS(n int, tickHz float64) (in, out float64) {
+	i, o := m.PerTick(n)
+	return i * tickHz, o * tickHz
+}
+
+// Asymmetry returns the outbound/inbound byte ratio at n users — the
+// asymmetry of Kim et al.'s traffic analysis. It returns 0 when inbound
+// traffic is predicted to be zero.
+func (m *Model) Asymmetry(n int) float64 {
+	in, out := m.PerTick(n)
+	if in <= 0 {
+		return 0
+	}
+	return out / in
+}
+
+// MaxUsersWithinBandwidth returns the largest zone user count whose
+// predicted outbound bandwidth stays below a per-replica NIC budget (bytes
+// per second) at the given tick rate — the bandwidth counterpart of the
+// scalability model's n_max. The prediction holds for the replica
+// configuration the model was fitted on (the fitted curves fold the
+// measured active/total-user split into the n-dependence). ok is false if
+// the budget is never reached within the search cap.
+func (m *Model) MaxUsersWithinBandwidth(nicBPS, tickHz float64) (int, bool) {
+	if nicBPS <= 0 || tickHz <= 0 {
+		return 0, true
+	}
+	const cap = 1 << 20
+	over := func(n int) bool {
+		_, out := m.BandwidthBPS(n, tickHz)
+		return out >= nicBPS
+	}
+	if !over(cap) {
+		return cap, false
+	}
+	if over(0) {
+		return 0, true
+	}
+	lo, hi := 0, cap // invariant: !over(lo), over(hi)
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		if over(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return lo, true
+}
+
+// AtCapacity evaluates the bandwidth a replica needs when the zone is at
+// the scalability model's capacity threshold n_max(l): the paper's remark
+// that capacity thresholds are "also suitable for modelling network
+// traffic" made operational. ok is false if the capacity itself is
+// unbounded within the scalability model's search cap.
+func (m *Model) AtCapacity(sm *model.Model, l int, tickHz float64) (in, out float64, ok bool) {
+	nmax, ok := sm.MaxUsers(l, 0)
+	if !ok {
+		return 0, 0, false
+	}
+	in, out = m.BandwidthBPS(nmax, tickHz)
+	return in, out, true
+}

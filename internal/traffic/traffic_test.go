@@ -1,0 +1,138 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"roia/internal/model"
+	"roia/internal/params"
+	"roia/internal/rtf/monitor"
+)
+
+// synth generates exact samples from known generating polynomials:
+// in = 40n, out = 2n² + 100n.
+func synth(counts []int) []monitor.TrafficSample {
+	out := make([]monitor.TrafficSample, 0, len(counts))
+	for _, n := range counts {
+		out = append(out, monitor.TrafficSample{
+			Users:    n,
+			BytesIn:  40 * n,
+			BytesOut: 2*n*n + 100*n,
+		})
+	}
+	return out
+}
+
+func TestFitRecoversGeneratingCurves(t *testing.T) {
+	m, err := Fit(synth([]int{10, 50, 100, 150, 200, 250, 300}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{20, 120, 280} {
+		in, out := m.PerTick(n)
+		if math.Abs(in-float64(40*n)) > 1 {
+			t.Fatalf("in(%d) = %g, want %d", n, in, 40*n)
+		}
+		if math.Abs(out-float64(2*n*n+100*n)) > 1 {
+			t.Fatalf("out(%d) = %g, want %d", n, out, 2*n*n+100*n)
+		}
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil); err == nil {
+		t.Fatal("empty samples accepted")
+	}
+	// Two points cannot determine a quadratic outbound curve.
+	if _, err := Fit(synth([]int{10, 20})); err == nil {
+		t.Fatal("underdetermined fit accepted")
+	}
+}
+
+func TestBandwidthBPSScalesWithTickRate(t *testing.T) {
+	m, err := Fit(synth([]int{10, 50, 100, 200, 300}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in1, out1 := m.BandwidthBPS(100, 25)
+	in2, out2 := m.BandwidthBPS(100, 50)
+	if math.Abs(in2-2*in1) > 1e-6 || math.Abs(out2-2*out1) > 1e-6 {
+		t.Fatal("bandwidth not linear in tick rate")
+	}
+}
+
+func TestAsymmetryOutboundDominates(t *testing.T) {
+	m, err := Fit(synth([]int{10, 50, 100, 200, 300}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// out/in = (2n²+100n)/(40n) — grows with n and exceeds 1 beyond n=20.
+	if a := m.Asymmetry(100); math.Abs(a-(2*100.0*100+100*100)/(40*100)) > 0.01 {
+		t.Fatalf("asymmetry(100) = %g", a)
+	}
+	if m.Asymmetry(50) >= m.Asymmetry(300) {
+		t.Fatal("asymmetry should grow with user count for quadratic out")
+	}
+	zero := &Model{In: params.Constant(0), Out: params.Linear(1, 1)}
+	if zero.Asymmetry(10) != 0 {
+		t.Fatal("zero inbound should report 0 asymmetry")
+	}
+}
+
+func TestMaxUsersWithinBandwidth(t *testing.T) {
+	m, err := Fit(synth([]int{10, 50, 100, 200, 300}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// out(n) = 2n²+100n bytes/tick; at 25 Hz a 10 MB/s NIC caps n where
+	// (2n²+100n)·25 >= 1e7 → 2n²+100n >= 4e5 → n ≈ 423.
+	n, ok := m.MaxUsersWithinBandwidth(1e7, 25)
+	if !ok {
+		t.Fatal("budget never reached")
+	}
+	if n < 400 || n > 450 {
+		t.Fatalf("bandwidth capacity = %d, want ≈423", n)
+	}
+	// The boundary is exact: n fits, n+1 does not.
+	_, outN := m.BandwidthBPS(n, 25)
+	_, outN1 := m.BandwidthBPS(n+1, 25)
+	if outN >= 1e7 || outN1 < 1e7 {
+		t.Fatalf("boundary wrong: out(%d)=%g out(%d)=%g", n, outN, n+1, outN1)
+	}
+	// A huge budget is unbounded within the cap.
+	if _, ok := m.MaxUsersWithinBandwidth(1e18, 25); ok {
+		t.Fatal("unreachable budget reported bounded")
+	}
+	// Degenerate budgets.
+	if n, ok := m.MaxUsersWithinBandwidth(0, 25); n != 0 || !ok {
+		t.Fatalf("zero budget: %d %v", n, ok)
+	}
+}
+
+func TestAtCapacity(t *testing.T) {
+	tm, err := Fit(synth([]int{10, 50, 100, 200, 300}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := model.New(params.RTFDemo(), params.UFirstPersonShooter, params.CDefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, out, ok := tm.AtCapacity(sm, 1, 25)
+	if !ok {
+		t.Fatal("capacity unbounded")
+	}
+	// n_max(1) = 235: in = 40·235·25, out = (2·235²+100·235)·25.
+	if math.Abs(in-40*235*25) > 25 {
+		t.Fatalf("in at capacity = %g", in)
+	}
+	if math.Abs(out-float64(2*235*235+100*235)*25) > 25 {
+		t.Fatalf("out at capacity = %g", out)
+	}
+	// Unbounded case: a model whose costs are zero.
+	free, _ := model.New(&params.Set{Name: "free", UA: params.Constant(1e-12)}, 40, 0.15)
+	free.UserCap = 1000
+	if _, _, ok := tm.AtCapacity(free, 1, 25); ok {
+		t.Fatal("unbounded capacity reported ok")
+	}
+}
