@@ -28,6 +28,7 @@ import (
 	"roia/internal/rtf/server"
 	"roia/internal/rtf/transport"
 	"roia/internal/rtf/zone"
+	"roia/internal/telemetry"
 	"roia/internal/workload"
 )
 
@@ -38,6 +39,7 @@ var (
 	tpsFlag      = flag.Int("tps", 25, "ticks per second")
 	maxRepFlag   = flag.Int("maxreplicas", 4, "replica cap")
 	seedFlag     = flag.Int64("seed", 42, "random seed")
+	decFlag      = flag.String("decisions", "", "write the manager's decision log as JSONL to this file")
 )
 
 func main() {
@@ -68,7 +70,16 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	mgr := rms.NewManager(fl, rms.Config{Model: mdl, CooldownSec: 5, MaxReplicas: *maxRepFlag})
+	var audit *telemetry.AuditLog
+	if *decFlag != "" {
+		f, err := os.Create(*decFlag)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		audit = telemetry.NewAuditLog(f)
+	}
+	mgr := rms.NewManager(fl, rms.Config{Model: mdl, CooldownSec: 5, MaxReplicas: *maxRepFlag, Audit: sinkOrNil(audit)})
 	driver := bots.NewFleetDriver(fl, net, *seedFlag)
 
 	half := *durationFlag / 2
@@ -106,7 +117,22 @@ func run() error {
 	for _, s := range fl.Servers() {
 		fmt.Printf("  %-10s users=%-4d meanTick=%.3f ms\n", s.ID, s.Users, s.TickMS)
 	}
+	if audit != nil {
+		if err := audit.Err(); err != nil {
+			return fmt.Errorf("decision log: %w", err)
+		}
+		fmt.Printf("decision log: %s (%d records)\n", *decFlag, audit.Records())
+	}
 	return nil
+}
+
+// sinkOrNil avoids handing the manager a non-nil interface wrapping a nil
+// *AuditLog when -decisions is unset.
+func sinkOrNil(log *telemetry.AuditLog) telemetry.DecisionSink {
+	if log == nil {
+		return nil
+	}
+	return log
 }
 
 func usersPerServer(fl *fleet.Fleet) string {

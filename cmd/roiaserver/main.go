@@ -12,13 +12,21 @@
 // The server prints a monitoring line once per second: connected users,
 // zone users, mean tick duration, and the per-task model parameters
 // measured by the RTF hooks.
+//
+// With -metrics the server also exposes an observability endpoint:
+// Prometheus metrics (tick histogram, model-drift gauges, Go runtime
+// stats) on /metrics, the tick trace ring on /debug/ticktrace, and pprof
+// on /debug/pprof/. With -trace-out the trace ring is written as Chrome
+// trace-event JSON at shutdown, loadable in Perfetto.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -26,11 +34,14 @@ import (
 	"time"
 
 	"roia/internal/game"
+	"roia/internal/model"
+	"roia/internal/params"
 	"roia/internal/rtf/entity"
 	"roia/internal/rtf/monitor"
 	"roia/internal/rtf/server"
 	"roia/internal/rtf/transport"
 	"roia/internal/rtf/zone"
+	"roia/internal/telemetry"
 )
 
 var (
@@ -43,7 +54,9 @@ var (
 	prefixFlag  = flag.Uint("idprefix", 1, "entity-ID prefix (unique per server)")
 	seedFlag    = flag.Int64("seed", 1, "random seed for the application logic")
 	quietFlag   = flag.Bool("quiet", false, "suppress the per-second monitoring line")
-	metricsFlag = flag.String("metrics", "", "serve Prometheus metrics on this address (e.g. 127.0.0.1:9100)")
+	metricsFlag = flag.String("metrics", "", "serve metrics/pprof/ticktrace on this address (e.g. 127.0.0.1:9100)")
+	traceFlag   = flag.String("trace-out", "", "write the tick trace as Chrome trace JSON to this file at shutdown")
+	traceCap    = flag.Int("trace-cap", telemetry.DefaultTraceCapacity, "tick traces kept in the ring buffer")
 )
 
 func main() {
@@ -75,6 +88,7 @@ func run() error {
 		}
 	}
 
+	tracer := telemetry.NewTracer(*traceCap)
 	srv, err := server.New(server.Config{
 		Node:         node,
 		Zone:         zone.ID(*zoneFlag),
@@ -83,6 +97,7 @@ func run() error {
 		IDPrefix:     uint16(*prefixFlag),
 		Seed:         *seedFlag,
 		TickInterval: *tickFlag,
+		Tracer:       tracer,
 	})
 	if err != nil {
 		return err
@@ -97,28 +112,109 @@ func run() error {
 	if !*quietFlag {
 		go report(ctx, srv)
 	}
+
+	drift := &telemetry.Drift{}
+	go trackDrift(ctx, srv.Monitor(), drift, *tickFlag)
+
 	if *metricsFlag != "" {
-		mux := http.NewServeMux()
-		mux.Handle("/metrics", monitor.MetricsHandler(srv.Monitor(),
-			fmt.Sprintf("server=%q,zone=\"%d\"", *idFlag, *zoneFlag)))
-		httpSrv := &http.Server{Addr: *metricsFlag, Handler: mux}
-		go func() {
-			<-ctx.Done()
-			httpSrv.Close()
-		}()
-		go func() {
-			if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-				fmt.Fprintln(os.Stderr, "roiaserver: metrics:", err)
-			}
-		}()
-		fmt.Printf("metrics on http://%s/metrics\n", *metricsFlag)
+		if err := serveMetrics(ctx, srv.Monitor(), drift, tracer); err != nil {
+			return err
+		}
 	}
 	fmt.Printf("roiaserver %s: zone %d on %s, tick %v, %d peers\n",
 		*idFlag, *zoneFlag, *listenFlag, *tickFlag, assignment.ReplicaCount(zone.ID(*zoneFlag))-1)
-	if err := srv.Run(ctx); err != nil && ctx.Err() == nil {
+	runErr := srv.Run(ctx)
+	if runErr != nil && ctx.Err() == nil {
+		return runErr
+	}
+	if err := srv.Stop(); err != nil {
 		return err
 	}
-	return srv.Stop()
+	if *traceFlag != "" {
+		if err := dumpTrace(tracer, *traceFlag); err != nil {
+			return fmt.Errorf("trace-out: %w", err)
+		}
+		fmt.Printf("wrote %d tick traces to %s\n", tracer.Len(), *traceFlag)
+	}
+	return nil
+}
+
+// serveMetrics starts the observability HTTP server: Prometheus metrics,
+// the tick trace ring, and pprof. It shuts down gracefully when ctx ends.
+func serveMetrics(ctx context.Context, mon *monitor.Monitor, drift *telemetry.Drift, tracer *telemetry.Tracer) error {
+	labels := fmt.Sprintf("server=%q,zone=\"%d\"", *idFlag, *zoneFlag)
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", telemetry.MetricsHandler(labels,
+		mon.WriteMetrics,
+		drift.WriteMetrics,
+		telemetry.WriteRuntimeMetrics,
+	))
+	mux.Handle("/debug/ticktrace", telemetry.TraceHandler(tracer))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	httpSrv := &http.Server{
+		Addr:              *metricsFlag,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() {
+		<-ctx.Done()
+		shutCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			httpSrv.Close()
+		}
+	}()
+	go func() {
+		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "roiaserver: metrics:", err)
+		}
+	}()
+	fmt.Printf("metrics on http://%s/metrics, traces on /debug/ticktrace, pprof on /debug/pprof/\n", *metricsFlag)
+	return nil
+}
+
+// trackDrift feeds the model-drift gauges once per second: the scalability
+// model's predicted tick time for the current l/n/m/a against the measured
+// mean tick. U is the tick interval — the budget the model is solved for.
+func trackDrift(ctx context.Context, mon *monitor.Monitor, drift *telemetry.Drift, tick time.Duration) {
+	mdl, err := model.New(params.RTFDemo(), float64(tick.Microseconds())/1000, params.CDefault)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "roiaserver: drift model:", err)
+		return
+	}
+	ticker := time.NewTicker(time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			b := mon.LastBreakdown()
+			if b.Replicas == 0 || mon.Ticks() == 0 {
+				continue
+			}
+			predicted := mdl.TickTimeUneven(b.Replicas, b.Users, b.NPCs, b.ActiveUsers)
+			drift.Observe(predicted, mon.MeanTick())
+		}
+	}
+}
+
+// dumpTrace writes the trace ring as Chrome trace-event JSON.
+func dumpTrace(tracer *telemetry.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.WriteChromeTrace(io.Writer(f), tracer.Last(0)); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // npcPos spreads initial NPCs deterministically over the world.
@@ -135,13 +231,12 @@ func report(ctx context.Context, srv *server.Server) {
 			return
 		case <-ticker.C:
 			mon := srv.Monitor()
-			b := mon.LastBreakdown()
 			fmt.Printf("[%s] users=%d/%d tick(mean)=%.3fms t_ua=%.4f t_aoi=%.4f t_su=%.4f ticks=%d\n",
 				srv.ID(), srv.UserCount(), srv.ZoneUserCount(), mon.MeanTick(),
 				mon.TaskSummary(monitor.UA).Mean,
 				mon.TaskSummary(monitor.AOI).Mean,
 				mon.TaskSummary(monitor.SU).Mean,
-				b.Users)
+				mon.Ticks())
 		}
 	}
 }

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"roia/internal/telemetry"
+)
+
+// TestFig8DecisionLogJSONL runs the paper's dynamic load-balancing session
+// with the decision audit log enabled and checks the JSONL export: one
+// valid record per control-loop second, and every scale-up/scale-down
+// action carries the n_max/l_max threshold values that justified it.
+func TestFig8DecisionLogJSONL(t *testing.T) {
+	var sb strings.Builder
+	log := telemetry.NewAuditLog(&sb)
+	res, err := Fig8Audited(1, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.Err() != nil {
+		t.Fatal(log.Err())
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != len(res.Session.Stats) {
+		t.Fatalf("decision log has %d lines, session ran %d seconds", len(lines), len(res.Session.Stats))
+	}
+
+	scaleKinds := map[string]bool{"replicate": true, "substitute": true, "drain": true, "remove": true}
+	scaleActions := 0
+	migrations := 0
+	for i, line := range lines {
+		var rec telemetry.DecisionRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v", i, err)
+		}
+		if rec.Time != float64(i) {
+			t.Fatalf("line %d has time %g", i, rec.Time)
+		}
+		for _, a := range rec.Actions {
+			if scaleKinds[a.Kind] {
+				scaleActions++
+				if rec.NMax <= 0 || rec.LMax <= 0 || rec.Trigger <= 0 {
+					t.Fatalf("scale action %q at t=%g lacks thresholds: n_max=%d trigger=%d l_max=%d",
+						a.Kind, rec.Time, rec.NMax, rec.Trigger, rec.LMax)
+				}
+				if a.Reason == "" {
+					t.Fatalf("scale action %q at t=%g has no reason", a.Kind, rec.Time)
+				}
+			}
+			if a.Kind == "migrate" {
+				migrations++
+				if a.XMaxIni < 0 || a.XMaxRcv < 0 {
+					t.Fatalf("migration at t=%g has negative budgets: %+v", rec.Time, a)
+				}
+			}
+		}
+	}
+	// The paper session scales to several replicas and back: the log must
+	// actually contain scale decisions and paced migrations.
+	if scaleActions == 0 {
+		t.Fatal("session produced no scale actions in the decision log")
+	}
+	if migrations == 0 {
+		t.Fatal("session produced no migrations in the decision log")
+	}
+}

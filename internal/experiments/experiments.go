@@ -23,6 +23,7 @@ import (
 	"roia/internal/rtf/monitor"
 	"roia/internal/sim"
 	"roia/internal/stats"
+	"roia/internal/telemetry"
 	"roia/internal/workload"
 )
 
@@ -301,12 +302,21 @@ type Fig8Result struct {
 // back, managed by the model-driven RTF-RMS. The paper's findings hold
 // when Session.TotalViolations == 0 while replicas are added and removed.
 func Fig8(seed int64) (*Fig8Result, error) {
+	return Fig8Audited(seed, nil)
+}
+
+// Fig8Audited is Fig8 with an optional RTF-RMS decision audit sink: every
+// control-loop step of the session is recorded as a
+// telemetry.DecisionRecord (typically into a telemetry.AuditLog writing
+// JSONL), so the controller's choices are explainable and diffable across
+// runs. A nil sink disables auditing.
+func Fig8Audited(seed int64, sink telemetry.DecisionSink) (*Fig8Result, error) {
 	p, mdl := DefaultModel()
 	cluster, err := sim.NewCluster(sim.Config{Params: p, Model: mdl, Seed: seed})
 	if err != nil {
 		return nil, err
 	}
-	mgr := rms.NewManager(cluster, rms.Config{Model: mdl})
+	mgr := rms.NewManager(cluster, rms.Config{Model: mdl, Audit: sink})
 	session := sim.RunSession(cluster, mgr, workload.PaperSession())
 
 	table := &stats.Table{

@@ -1,0 +1,160 @@
+package rms
+
+import (
+	"strings"
+	"testing"
+
+	"roia/internal/telemetry"
+)
+
+// stepUntil drives the manager until pred holds over the sink's records or
+// the step budget runs out, returning all collected records.
+func stepUntil(mgr *Manager, sink *telemetry.MemorySink, steps int, pred func([]telemetry.DecisionRecord) bool) []telemetry.DecisionRecord {
+	for i := 0; i < steps; i++ {
+		mgr.Step(float64(i))
+		if pred(sink.Snapshot()) {
+			break
+		}
+	}
+	return sink.Snapshot()
+}
+
+func actionsOfKind(records []telemetry.DecisionRecord, kind string) []struct {
+	rec telemetry.DecisionRecord
+	act telemetry.AuditAction
+} {
+	var out []struct {
+		rec telemetry.DecisionRecord
+		act telemetry.AuditAction
+	}
+	for _, r := range records {
+		for _, a := range r.Actions {
+			if a.Kind == kind {
+				out = append(out, struct {
+					rec telemetry.DecisionRecord
+					act telemetry.AuditAction
+				}{r, a})
+			}
+		}
+	}
+	return out
+}
+
+func TestAuditRecordsScaleUpThresholds(t *testing.T) {
+	mdl := rtfModel(t)
+	fc := &fakeCluster{servers: []ServerState{{ID: "s1", Users: 200, Power: 1, Ready: true}}}
+	var sink telemetry.MemorySink
+	mgr := NewManager(fc, Config{Model: mdl, Audit: &sink})
+	mgr.Step(0)
+	records := sink.Snapshot()
+	if len(records) != 1 {
+		t.Fatalf("got %d records, want 1 per step", len(records))
+	}
+	rec := records[0]
+	// Inputs.
+	if rec.Users != 200 || rec.Replicas != 1 {
+		t.Fatalf("inputs n=%d l=%d, want 200/1", rec.Users, rec.Replicas)
+	}
+	if len(rec.Servers) != 1 || rec.Servers[0].ID != "s1" || rec.Servers[0].Users != 200 {
+		t.Fatalf("server snapshot = %+v", rec.Servers)
+	}
+	// Thresholds that justified the decision: n_max(1)=235, trigger=188,
+	// l_max(c=0.15)=8 for the RTFDemo profile.
+	if rec.NMax != 235 || rec.Trigger != 188 || rec.LMax != 8 {
+		t.Fatalf("thresholds n_max=%d trigger=%d l_max=%d, want 235/188/8", rec.NMax, rec.Trigger, rec.LMax)
+	}
+	if rec.TriggerFraction != 0.8 || rec.RemoveHeadroom != 0.9 {
+		t.Fatalf("fractions = %g/%g", rec.TriggerFraction, rec.RemoveHeadroom)
+	}
+	if !rec.Settled {
+		t.Fatal("settled step not marked settled")
+	}
+	// The replicate action and its reason.
+	reps := actionsOfKind(records, "replicate")
+	if len(reps) != 1 {
+		t.Fatalf("replicate actions = %+v", records)
+	}
+	reason := reps[0].act.Reason
+	for _, want := range []string{"n=200", "trigger=188", "n_max=235", "l_max=8"} {
+		if !strings.Contains(reason, want) {
+			t.Fatalf("replicate reason %q lacks %q", reason, want)
+		}
+	}
+}
+
+func TestAuditRecordsScaleDownAndMigrations(t *testing.T) {
+	mdl := rtfModel(t)
+	fc := &fakeCluster{servers: []ServerState{
+		{ID: "a", Users: 30, Power: 1, Ready: true},
+		{ID: "b", Users: 10, Power: 1, Ready: true},
+	}}
+	var sink telemetry.MemorySink
+	mgr := NewManager(fc, Config{Model: mdl, Audit: &sink})
+	records := stepUntil(mgr, &sink, 100, func(rs []telemetry.DecisionRecord) bool {
+		return len(actionsOfKind(rs, "remove")) > 0
+	})
+
+	drains := actionsOfKind(records, "drain")
+	if len(drains) == 0 {
+		t.Fatalf("no drain recorded: %+v", records)
+	}
+	// Every scale-down action carries the thresholds that justified it:
+	// the record-level n_max/l_max plus a reason naming the headroom rule.
+	for _, d := range drains {
+		if d.rec.NMax <= 0 || d.rec.LMax <= 0 {
+			t.Fatalf("drain record lacks thresholds: %+v", d.rec)
+		}
+		if !strings.Contains(d.act.Reason, "trigger(l-1)") {
+			t.Fatalf("drain reason %q lacks the headroom trigger", d.act.Reason)
+		}
+	}
+	removes := actionsOfKind(records, "remove")
+	if len(removes) != 1 || removes[0].act.Src == "" {
+		t.Fatalf("removes = %+v", removes)
+	}
+
+	// Drain migrations carry both Eq. (5) budgets and never exceed them.
+	migs := actionsOfKind(records, "migrate")
+	if len(migs) == 0 {
+		t.Fatal("no migrations recorded during drain")
+	}
+	for _, m := range migs {
+		if m.act.XMaxIni <= 0 || m.act.XMaxRcv <= 0 {
+			t.Fatalf("migration lacks budgets: %+v", m.act)
+		}
+		if m.act.Users > m.act.XMaxIni || m.act.Users > m.act.XMaxRcv {
+			t.Fatalf("migration of %d users exceeds budgets ini=%d rcv=%d",
+				m.act.Users, m.act.XMaxIni, m.act.XMaxRcv)
+		}
+	}
+}
+
+func TestAuditQuietStepStillRecorded(t *testing.T) {
+	mdl := rtfModel(t)
+	fc := &fakeCluster{servers: []ServerState{{ID: "s1", Users: 100, Power: 1, Ready: true}}}
+	var sink telemetry.MemorySink
+	mgr := NewManager(fc, Config{Model: mdl, Audit: &sink})
+	mgr.Step(0)
+	mgr.Step(1)
+	records := sink.Snapshot()
+	if len(records) != 2 {
+		t.Fatalf("got %d records, want 2", len(records))
+	}
+	for _, r := range records {
+		if len(r.Actions) != 0 {
+			t.Fatalf("steady state produced actions: %+v", r.Actions)
+		}
+		if r.NMax != 235 || r.Trigger != 188 {
+			t.Fatalf("steady record lacks thresholds: %+v", r)
+		}
+	}
+}
+
+func TestAuditOffByDefault(t *testing.T) {
+	mdl := rtfModel(t)
+	fc := &fakeCluster{servers: []ServerState{{ID: "s1", Users: 200, Power: 1, Ready: true}}}
+	mgr := NewManager(fc, Config{Model: mdl})
+	if actions := mgr.Step(0); !hasKind(actions, ActReplicate) {
+		t.Fatalf("behaviour changed without audit: %v", kinds(actions))
+	}
+}

@@ -1,10 +1,12 @@
 package rms
 
 import (
+	"fmt"
 	"math"
 	"sort"
 
 	"roia/internal/model"
+	"roia/internal/telemetry"
 )
 
 // Config tunes the model-driven Manager.
@@ -30,6 +32,12 @@ type Config struct {
 	// migration") would. Ablation switch — benches use it to quantify what
 	// the paper's migration-overhead terms buy.
 	UnpacedMigrations bool
+	// Audit, when set, receives one telemetry.DecisionRecord per Step
+	// capturing the decision inputs (n, m, l, per-server states), the model
+	// thresholds that gated the choice (n_max, trigger, l_max, headroom)
+	// and every action with its reason — the machine-readable "why" of the
+	// controller. Typically a telemetry.AuditLog writing JSONL.
+	Audit telemetry.DecisionSink
 }
 
 func (c Config) withDefaults() Config {
@@ -81,19 +89,87 @@ func (mgr *Manager) MaxReplicas(m int) int {
 }
 
 // Step implements Controller: one control-loop iteration. Call it once
-// per second of session time.
+// per second of session time. When Config.Audit is set, every step emits
+// one telemetry.DecisionRecord with the inputs, thresholds and actions.
 func (mgr *Manager) Step(now float64) []Action {
+	var rec *telemetry.DecisionRecord
+	if mgr.cfg.Audit != nil {
+		rec = &telemetry.DecisionRecord{
+			Time:            now,
+			TriggerFraction: mgr.cfg.TriggerFraction,
+			RemoveHeadroom:  mgr.cfg.RemoveHeadroom,
+		}
+	}
+	actions := mgr.step(now, rec)
+	if rec != nil {
+		mgr.cfg.Audit.Record(*rec)
+	}
+	return actions
+}
+
+// note mirrors an action into the audit record (when auditing is on) with
+// the reason the controller chose it, and passes the action through.
+func note(rec *telemetry.DecisionRecord, a Action, reason string) Action {
+	if rec != nil {
+		aa := telemetry.AuditAction{
+			Kind: a.Kind.String(), Src: a.Src, Dst: a.Dst, Users: a.Users, Reason: reason,
+		}
+		if a.Err != nil {
+			aa.Err = a.Err.Error()
+		}
+		rec.Actions = append(rec.Actions, aa)
+	}
+	return a
+}
+
+// noteMigration is note for migration actions, additionally capturing the
+// Eq. (5) budgets of both endpoints at decision time.
+func (mgr *Manager) noteMigration(rec *telemetry.DecisionRecord, a Action, reason string, l, n, m int, users map[string]int) Action {
+	if rec != nil {
+		aa := telemetry.AuditAction{
+			Kind: a.Kind.String(), Src: a.Src, Dst: a.Dst, Users: a.Users, Reason: reason,
+			XMaxIni: mgr.cfg.Model.MaxMigrationsIni(l, n, m, users[a.Src]),
+			XMaxRcv: mgr.cfg.Model.MaxMigrationsRcv(l, n, m, users[a.Dst]),
+		}
+		if a.Err != nil {
+			aa.Err = a.Err.Error()
+		}
+		rec.Actions = append(rec.Actions, aa)
+	}
+	return a
+}
+
+// snapshotServers mirrors the cluster state into the audit record.
+func snapshotServers(rec *telemetry.DecisionRecord, servers []ServerState) {
+	if rec == nil {
+		return
+	}
+	rec.Servers = make([]telemetry.ServerSnapshot, len(servers))
+	for i, s := range servers {
+		rec.Servers[i] = telemetry.ServerSnapshot{
+			ID: s.ID, Users: s.Users, TickMS: s.TickMS, Power: s.Power,
+			Class: s.Class, Ready: s.Ready, Draining: s.Draining,
+		}
+	}
+}
+
+func (mgr *Manager) step(now float64, rec *telemetry.DecisionRecord) []Action {
 	var actions []Action
 	servers := mgr.cluster.Servers()
 	n := mgr.cluster.ZoneUsers()
 	m := mgr.cluster.NPCCount()
+	if rec != nil {
+		rec.Users, rec.NPCs = n, m
+	}
+	snapshotServers(rec, servers)
 
 	// Activate pending substitutions whose replacement became ready.
 	for newID, oldID := range mgr.pendingSubs {
 		for _, s := range servers {
 			if s.ID == newID && s.Ready {
 				if err := mgr.cluster.SetDraining(oldID, true); err == nil {
-					actions = append(actions, Action{Kind: ActDrain, Src: oldID})
+					actions = append(actions, note(rec, Action{Kind: ActDrain, Src: oldID},
+						fmt.Sprintf("replacement %s ready; draining substituted server", newID)))
 				}
 				delete(mgr.pendingSubs, newID)
 			}
@@ -101,13 +177,15 @@ func (mgr *Manager) Step(now float64) []Action {
 	}
 	if len(actions) > 0 {
 		servers = mgr.cluster.Servers() // re-snapshot after drains started
+		snapshotServers(rec, servers)
 	}
 
 	// Finish drains: empty draining servers are removed.
 	for _, s := range servers {
 		if s.Draining && s.Users == 0 {
 			err := mgr.cluster.RemoveReplica(s.ID)
-			actions = append(actions, Action{Kind: ActRemove, Src: s.ID, Err: err})
+			actions = append(actions, note(rec, Action{Kind: ActRemove, Src: s.ID, Err: err},
+				"draining server empty; releasing resource"))
 		}
 	}
 
@@ -125,6 +203,9 @@ func (mgr *Manager) Step(now float64) []Action {
 		}
 	}
 	l := len(ready)
+	if rec != nil {
+		rec.Replicas = l
+	}
 	if l == 0 {
 		return actions
 	}
@@ -134,13 +215,19 @@ func (mgr *Manager) Step(now float64) []Action {
 	// baseline fleet and credits stronger machines after substitution.
 	nmax, _ := Capacity(mgr.cfg.Model, ready, m)
 	trigger := model.ReplicationTrigger(nmax, mgr.cfg.TriggerFraction)
+	lmax := mgr.MaxReplicas(m)
+	if rec != nil {
+		rec.NMax, rec.Trigger, rec.LMax, rec.Settled = nmax, trigger, lmax, settled
+	}
 
 	switch {
 	// Replication enactment / resource substitution (scale up).
 	case n >= trigger && settled:
-		if l < mgr.MaxReplicas(m) {
+		if l < lmax {
 			id, err := mgr.cluster.AddReplica()
-			actions = append(actions, Action{Kind: ActReplicate, Dst: id, Err: err})
+			actions = append(actions, note(rec, Action{Kind: ActReplicate, Dst: id, Err: err},
+				fmt.Sprintf("n=%d >= trigger=%d (%.0f%% of n_max=%d) and l=%d < l_max=%d",
+					n, trigger, mgr.cfg.TriggerFraction*100, nmax, l, lmax)))
 			if err == nil {
 				mgr.lastScale = now
 			}
@@ -148,12 +235,14 @@ func (mgr *Manager) Step(now float64) []Action {
 			target := pickSubstitutionTarget(ready)
 			newID, err := mgr.cluster.Substitute(target.ID)
 			if err != nil {
-				actions = append(actions, Action{Kind: ActSaturated, Src: target.ID, Err: err})
+				actions = append(actions, note(rec, Action{Kind: ActSaturated, Src: target.ID, Err: err},
+					fmt.Sprintf("n=%d >= trigger=%d at l=l_max=%d and no stronger resource class exists", n, trigger, lmax)))
 				// Nothing stronger exists; re-alerting every step is
 				// noise, so back off for a cooldown period.
 				mgr.lastScale = now
 			} else {
-				actions = append(actions, Action{Kind: ActSubstitute, Src: target.ID, Dst: newID})
+				actions = append(actions, note(rec, Action{Kind: ActSubstitute, Src: target.ID, Dst: newID},
+					fmt.Sprintf("n=%d >= trigger=%d at l=l_max=%d; substituting weakest server", n, trigger, lmax)))
 				mgr.pendingSubs[newID] = target.ID
 				mgr.lastScale = now
 			}
@@ -177,7 +266,9 @@ func (mgr *Manager) Step(now float64) []Action {
 		triggerPrev := model.ReplicationTrigger(nmaxPrev, mgr.cfg.TriggerFraction)
 		if float64(n) < mgr.cfg.RemoveHeadroom*float64(triggerPrev) {
 			if err := mgr.cluster.SetDraining(least.ID, true); err == nil {
-				actions = append(actions, Action{Kind: ActDrain, Src: least.ID})
+				actions = append(actions, note(rec, Action{Kind: ActDrain, Src: least.ID},
+					fmt.Sprintf("n=%d < %.2f x trigger(l-1)=%d (n_max(l-1)=%d, l_max=%d); draining least-loaded server",
+						n, mgr.cfg.RemoveHeadroom, triggerPrev, nmaxPrev, lmax)))
 				mgr.lastScale = now
 			}
 		}
@@ -196,9 +287,12 @@ func (mgr *Manager) Step(now float64) []Action {
 		if mgr.cfg.UnpacedMigrations {
 			plan = unpacedDrain(group, d.ID)
 		}
+		users := usersByID(rec, group)
 		for _, mig := range plan {
 			err := mgr.cluster.Migrate(mig.From, mig.To, mig.Count)
-			actions = append(actions, Action{Kind: ActMigrate, Src: mig.From, Dst: mig.To, Users: mig.Count, Err: err})
+			actions = append(actions, mgr.noteMigration(rec,
+				Action{Kind: ActMigrate, Src: mig.From, Dst: mig.To, Users: mig.Count, Err: err},
+				"evacuating draining server within Eq. (5) budgets", len(group), n, m, users))
 		}
 		return actions
 	}
@@ -206,11 +300,27 @@ func (mgr *Manager) Step(now float64) []Action {
 	if mgr.cfg.UnpacedMigrations {
 		plan = unpacedBalance(ready, n)
 	}
+	users := usersByID(rec, ready)
 	for _, mig := range plan {
 		err := mgr.cluster.Migrate(mig.From, mig.To, mig.Count)
-		actions = append(actions, Action{Kind: ActMigrate, Src: mig.From, Dst: mig.To, Users: mig.Count, Err: err})
+		actions = append(actions, mgr.noteMigration(rec,
+			Action{Kind: ActMigrate, Src: mig.From, Dst: mig.To, Users: mig.Count, Err: err},
+			"Listing-1 balance toward power-weighted targets", l, n, m, users))
 	}
 	return actions
+}
+
+// usersByID indexes the group's user counts for budget reporting; it
+// returns nil when auditing is off so the hot path allocates nothing.
+func usersByID(rec *telemetry.DecisionRecord, servers []ServerState) map[string]int {
+	if rec == nil {
+		return nil
+	}
+	users := make(map[string]int, len(servers))
+	for _, s := range servers {
+		users[s.ID] = s.Users
+	}
+	return users
 }
 
 // unpacedBalance plans a full equalization toward the power-weighted

@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+
+	"roia/internal/telemetry"
 )
 
 // WriteMetrics writes the monitor's current state in the Prometheus text
@@ -15,16 +17,25 @@ import (
 //
 // Exported families:
 //
-//	roia_ticks_total                     counter, processed ticks
-//	roia_tick_duration_ms{stat=...}      mean/p50/p95/p99/max of recent ticks
-//	roia_task_ms{task=...,stat=...}      per-item cost of each model parameter
-//	roia_zone_users / roia_active_users  the model's n and a
-//	roia_npcs / roia_replicas            the model's m and l
-//	roia_tick_bytes{direction=...}       wire bytes of the last tick
+//	roia_ticks_total                       counter, processed ticks
+//	roia_tick_duration_ms                  histogram of tick durations
+//	                                       (cumulative buckets, sum, count)
+//	roia_tick_stat_ms{stat=...}            mean/p50/p95/p99/max of recent ticks
+//	roia_task_ms{task=...,stat=...}        per-item cost of each model parameter
+//	roia_zone_users / roia_active_users    the model's n and a
+//	roia_npcs / roia_replicas              the model's m and l
+//	roia_tick_bytes{direction=...}         wire bytes of the last tick
+//	roia_monitor_dropped_samples_total     calibration observations discarded
+//	                                       at the sample-log cap
+//
+// WriteMetrics matches telemetry.MetricsWriter, so it composes with the
+// drift and runtime sections via telemetry.MetricsHandler.
 func (m *Monitor) WriteMetrics(w io.Writer, labels string) error {
 	m.mu.Lock()
 	ticks := m.ticks
+	dropped := m.dropped
 	tickSummary := m.tickTotals.Summary()
+	hist := m.tickHist.Clone()
 	last := m.lastBreak
 	type taskStat struct {
 		task Task
@@ -43,25 +54,17 @@ func (m *Monitor) WriteMetrics(w io.Writer, labels string) error {
 	}
 	m.mu.Unlock()
 
-	lbl := func(extra string) string {
-		parts := make([]string, 0, 2)
-		if labels != "" {
-			parts = append(parts, labels)
-		}
-		if extra != "" {
-			parts = append(parts, extra)
-		}
-		if len(parts) == 0 {
-			return ""
-		}
-		return "{" + strings.Join(parts, ",") + "}"
-	}
+	lbl := func(extra string) string { return telemetry.FormatLabels(labels, extra) }
 
 	var b strings.Builder
 	fmt.Fprintf(&b, "# TYPE roia_ticks_total counter\n")
 	fmt.Fprintf(&b, "roia_ticks_total%s %d\n", lbl(""), ticks)
 
-	fmt.Fprintf(&b, "# TYPE roia_tick_duration_ms gauge\n")
+	if err := hist.Write(&b, "roia_tick_duration_ms", labels); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(&b, "# TYPE roia_tick_stat_ms gauge\n")
 	for _, st := range []struct {
 		name string
 		v    float64
@@ -69,7 +72,7 @@ func (m *Monitor) WriteMetrics(w io.Writer, labels string) error {
 		{"mean", tickSummary.Mean}, {"p50", tickSummary.P50},
 		{"p95", tickSummary.P95}, {"p99", tickSummary.P99}, {"max", tickSummary.Max},
 	} {
-		fmt.Fprintf(&b, "roia_tick_duration_ms%s %g\n", lbl(fmt.Sprintf("stat=%q", st.name)), st.v)
+		fmt.Fprintf(&b, "roia_tick_stat_ms%s %g\n", lbl(fmt.Sprintf("stat=%q", st.name)), st.v)
 	}
 
 	fmt.Fprintf(&b, "# TYPE roia_task_ms gauge\n")
@@ -88,18 +91,17 @@ func (m *Monitor) WriteMetrics(w io.Writer, labels string) error {
 	fmt.Fprintf(&b, "# TYPE roia_tick_bytes gauge\n")
 	fmt.Fprintf(&b, "roia_tick_bytes%s %d\n", lbl(`direction="in"`), last.BytesIn)
 	fmt.Fprintf(&b, "roia_tick_bytes%s %d\n", lbl(`direction="out"`), last.BytesOut)
+	fmt.Fprintf(&b, "# TYPE roia_monitor_dropped_samples_total counter\n")
+	fmt.Fprintf(&b, "roia_monitor_dropped_samples_total%s %d\n", lbl(""), dropped)
 
 	_, err := io.WriteString(w, b.String())
 	return err
 }
 
 // MetricsHandler serves WriteMetrics over HTTP, for a /metrics endpoint on
-// a live server (see cmd/roiaserver -metrics).
+// a live server (see cmd/roiaserver -metrics). To add the model-drift and
+// Go-runtime sections to the same scrape, compose with
+// telemetry.MetricsHandler instead.
 func MetricsHandler(m *Monitor, labels string) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		if err := m.WriteMetrics(w, labels); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
-	})
+	return telemetry.MetricsHandler(labels, m.WriteMetrics)
 }

@@ -3,6 +3,8 @@ package monitor
 import (
 	"io"
 	"net/http/httptest"
+	"regexp"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -31,7 +33,10 @@ func TestWriteMetricsExposition(t *testing.T) {
 	out := sb.String()
 	for _, want := range []string{
 		`roia_ticks_total{server="s1"} 1`,
-		`roia_tick_duration_ms{server="s1",stat="mean"} 9`,
+		`roia_tick_stat_ms{server="s1",stat="mean"} 9`,
+		`roia_tick_duration_ms_bucket{server="s1",le="10"} 1`,
+		`roia_tick_duration_ms_sum{server="s1"} 9`,
+		`roia_tick_duration_ms_count{server="s1"} 1`,
 		`roia_task_ms{server="s1",task="t_ua",stat="mean"} 0.1`,
 		`roia_task_ms{server="s1",task="t_aoi",stat="mean"} 0.05`,
 		`roia_zone_users{server="s1"} 120`,
@@ -40,14 +45,101 @@ func TestWriteMetricsExposition(t *testing.T) {
 		`roia_replicas{server="s1"} 2`,
 		`roia_tick_bytes{server="s1",direction="in"} 512`,
 		`roia_tick_bytes{server="s1",direction="out"} 4096`,
+		`roia_monitor_dropped_samples_total{server="s1"} 0`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("metrics missing %q:\n%s", want, out)
 		}
 	}
 	// Prometheus exposition needs TYPE headers.
-	if !strings.Contains(out, "# TYPE roia_tick_duration_ms gauge") {
+	if !strings.Contains(out, "# TYPE roia_tick_stat_ms gauge") {
 		t.Fatal("missing TYPE header")
+	}
+	if !strings.Contains(out, "# TYPE roia_tick_duration_ms histogram") {
+		t.Fatal("missing histogram TYPE header")
+	}
+}
+
+var (
+	sampleLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (-?[0-9.e+-]+|NaN)$`)
+	labelPair  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$`)
+	typeLine   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$`)
+)
+
+// TestWriteMetricsExpositionGrammar parses the exposition line by line:
+// every sample must follow the text-format grammar, carry well-formed
+// quoted labels, belong to a declared # TYPE family, and the histogram's
+// cumulative buckets must be monotonically non-decreasing and end at the
+// series count.
+func TestWriteMetricsExpositionGrammar(t *testing.T) {
+	m := seededMonitor()
+	var sb strings.Builder
+	if err := m.WriteMetrics(&sb, `server="s1",zone="1"`); err != nil {
+		t.Fatal(err)
+	}
+	declared := map[string]string{} // family -> kind
+	var bucketPrev uint64
+	var bucketLast, histCount uint64
+	sawInf := false
+	for _, line := range strings.Split(strings.TrimSuffix(sb.String(), "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			tm := typeLine.FindStringSubmatch(line)
+			if tm == nil {
+				t.Fatalf("malformed comment line %q", line)
+			}
+			if _, dup := declared[tm[1]]; dup {
+				t.Fatalf("family %q declared twice", tm[1])
+			}
+			declared[tm[1]] = tm[2]
+			continue
+		}
+		sm := sampleLine.FindStringSubmatch(line)
+		if sm == nil {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		name, labels := sm[1], sm[2]
+		// Every sample must belong to a declared family; histogram series
+		// use the family name plus _bucket/_sum/_count.
+		family := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if base := strings.TrimSuffix(name, suffix); base != name && declared[base] == "histogram" {
+				family = base
+			}
+		}
+		kind, ok := declared[family]
+		if !ok {
+			t.Fatalf("sample %q has no # TYPE declaration", name)
+		}
+		if labels != "" {
+			for _, pair := range strings.Split(strings.Trim(labels, "{}"), ",") {
+				if !labelPair.MatchString(pair) {
+					t.Fatalf("malformed label pair %q in %q", pair, line)
+				}
+			}
+		}
+		if kind == "histogram" && strings.HasSuffix(name, "_bucket") {
+			v, err := strconv.ParseUint(sm[3], 10, 64)
+			if err != nil {
+				t.Fatalf("non-integer bucket value in %q", line)
+			}
+			if v < bucketPrev {
+				t.Fatalf("bucket counts not cumulative: %d after %d", v, bucketPrev)
+			}
+			bucketPrev = v
+			bucketLast = v
+			if strings.Contains(labels, `le="+Inf"`) {
+				sawInf = true
+			}
+		}
+		if name == "roia_tick_duration_ms_count" {
+			histCount, _ = strconv.ParseUint(sm[3], 10, 64)
+		}
+	}
+	if !sawInf {
+		t.Fatal("histogram lacks an le=\"+Inf\" bucket")
+	}
+	if bucketLast != histCount {
+		t.Fatalf("last bucket %d != histogram count %d", bucketLast, histCount)
 	}
 }
 
@@ -59,6 +151,9 @@ func TestWriteMetricsNoLabels(t *testing.T) {
 	}
 	if !strings.Contains(sb.String(), "roia_ticks_total 1") {
 		t.Fatalf("unlabeled sample missing:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), `roia_tick_duration_ms_bucket{le="+Inf"} 1`) {
+		t.Fatalf("unlabeled histogram bucket missing:\n%s", sb.String())
 	}
 }
 

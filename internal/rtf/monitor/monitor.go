@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"roia/internal/stats"
+	"roia/internal/telemetry"
 )
 
 // Task identifies one timed portion of the real-time loop.
@@ -118,20 +119,26 @@ type Sample struct {
 }
 
 // Monitor aggregates tick breakdowns for one server. It keeps a bounded
-// recent history (for threshold decisions by the resource manager) and an
-// unbounded calibration sample log (enabled on demand). Monitor is safe
-// for concurrent use: the real-time loop records while the resource
-// manager reads.
+// recent history (for threshold decisions by the resource manager), a
+// cumulative tick-duration histogram (for tail analysis via /metrics), and
+// a calibration sample log (enabled on demand, capped at SampleLimit).
+// Monitor is safe for concurrent use: the real-time loop records while the
+// resource manager reads.
 type Monitor struct {
 	mu sync.Mutex
 
 	tickTotals *stats.Reservoir
 	perTask    [numTasks]*stats.Reservoir
+	tickHist   *telemetry.Histogram
 
 	collect bool
 	samples []Sample
 	// traffic holds (users, bytesIn, bytesOut) per tick while collecting.
 	traffic []TrafficSample
+	// sampleLimit caps samples and traffic; excess observations are counted
+	// in dropped instead of growing memory without bound.
+	sampleLimit int
+	dropped     uint64
 
 	ticks     uint64
 	lastUsers int
@@ -149,21 +156,51 @@ type TrafficSample struct {
 // HistorySize is the bounded per-server tick history.
 const HistorySize = 512
 
+// DefaultSampleLimit caps the calibration sample log (and, separately, the
+// traffic log) while collection is on. Generous: at 25 Hz with all nine
+// tasks active, ~75 minutes of collection — but a long-lived server with
+// collection left on can no longer grow memory without bound.
+const DefaultSampleLimit = 1 << 20
+
 // New returns a Monitor with bounded history.
 func New() *Monitor {
-	m := &Monitor{tickTotals: stats.NewReservoir(HistorySize)}
+	m := &Monitor{
+		tickTotals:  stats.NewReservoir(HistorySize),
+		tickHist:    telemetry.NewHistogram(telemetry.DefTickBuckets()...),
+		sampleLimit: DefaultSampleLimit,
+	}
 	for i := range m.perTask {
 		m.perTask[i] = stats.NewReservoir(HistorySize)
 	}
 	return m
 }
 
-// SetCollecting toggles calibration sample collection (off by default:
-// the sample log grows without bound while enabled).
+// SetCollecting toggles calibration sample collection (off by default: the
+// sample log grows up to the configured SampleLimit while enabled).
 func (m *Monitor) SetCollecting(on bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.collect = on
+}
+
+// SetSampleLimit caps the calibration sample and traffic logs at limit
+// entries each; observations beyond the cap are counted by DroppedSamples
+// instead of stored. A non-positive limit restores DefaultSampleLimit.
+func (m *Monitor) SetSampleLimit(limit int) {
+	if limit <= 0 {
+		limit = DefaultSampleLimit
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sampleLimit = limit
+}
+
+// DroppedSamples reports how many calibration observations were discarded
+// because a sample log was at its limit.
+func (m *Monitor) DroppedSamples() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.dropped
 }
 
 // RecordTick ingests one tick's breakdown.
@@ -174,16 +211,25 @@ func (m *Monitor) RecordTick(b Breakdown) {
 	m.lastUsers = b.Users
 	m.lastBreak = b
 	m.tickTotals.Add(b.Total())
+	m.tickHist.Observe(b.Total())
 	for t := Task(0); t < numTasks; t++ {
 		if per, ok := b.PerItem(t); ok {
 			m.perTask[t].Add(per)
 			if m.collect {
-				m.samples = append(m.samples, Sample{Task: t, X: float64(b.Users), Y: per})
+				if len(m.samples) < m.sampleLimit {
+					m.samples = append(m.samples, Sample{Task: t, X: float64(b.Users), Y: per})
+				} else {
+					m.dropped++
+				}
 			}
 		}
 	}
 	if m.collect && (b.BytesIn > 0 || b.BytesOut > 0) {
-		m.traffic = append(m.traffic, TrafficSample{Users: b.Users, BytesIn: b.BytesIn, BytesOut: b.BytesOut})
+		if len(m.traffic) < m.sampleLimit {
+			m.traffic = append(m.traffic, TrafficSample{Users: b.Users, BytesIn: b.BytesIn, BytesOut: b.BytesOut})
+		} else {
+			m.dropped++
+		}
 	}
 }
 
@@ -258,8 +304,18 @@ func (m *Monitor) Reset() {
 	m.ticks = 0
 	m.samples = nil
 	m.traffic = nil
+	m.dropped = 0
 	m.tickTotals = stats.NewReservoir(HistorySize)
+	m.tickHist = telemetry.NewHistogram(telemetry.DefTickBuckets()...)
 	for i := range m.perTask {
 		m.perTask[i] = stats.NewReservoir(HistorySize)
 	}
+}
+
+// TickHistogram returns a snapshot of the cumulative tick-duration
+// histogram (ms).
+func (m *Monitor) TickHistogram() *telemetry.Histogram {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.tickHist.Clone()
 }

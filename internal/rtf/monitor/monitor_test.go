@@ -131,3 +131,76 @@ func TestMonitorConcurrentAccess(t *testing.T) {
 		t.Fatalf("ticks = %d, want 800", m.Ticks())
 	}
 }
+
+func TestMonitorSampleLimit(t *testing.T) {
+	m := New()
+	m.SetCollecting(true)
+	m.SetSampleLimit(5)
+	for i := 0; i < 10; i++ {
+		var b Breakdown
+		b.Users = i
+		b.Add(UA, 1, 1) // one calibration sample per tick
+		m.RecordTick(b)
+	}
+	if got := len(m.Samples()); got != 5 {
+		t.Fatalf("samples = %d, want 5 (capped)", got)
+	}
+	if got := m.DroppedSamples(); got != 5 {
+		t.Fatalf("dropped = %d, want 5", got)
+	}
+	// Traffic log shares the limit but counts separately against it.
+	for i := 0; i < 8; i++ {
+		var b Breakdown
+		b.BytesIn = 100
+		m.RecordTick(b)
+	}
+	if got := len(m.TrafficSamples()); got != 5 {
+		t.Fatalf("traffic samples = %d, want 5 (capped)", got)
+	}
+	if got := m.DroppedSamples(); got != 8 {
+		t.Fatalf("dropped = %d, want 8 (5 task + 3 traffic)", got)
+	}
+	// Reset clears the counter and frees the logs.
+	m.Reset()
+	if m.DroppedSamples() != 0 || len(m.Samples()) != 0 {
+		t.Fatal("Reset did not clear the sample logs")
+	}
+}
+
+func TestMonitorSampleLimitDefault(t *testing.T) {
+	m := New()
+	m.SetSampleLimit(0) // restores the default
+	m.SetCollecting(true)
+	var b Breakdown
+	b.Add(UA, 1, 1)
+	m.RecordTick(b)
+	if got := len(m.Samples()); got != 1 {
+		t.Fatalf("samples = %d, want 1", got)
+	}
+	if m.DroppedSamples() != 0 {
+		t.Fatal("default limit dropped samples")
+	}
+}
+
+func TestMonitorTickHistogram(t *testing.T) {
+	m := New()
+	for _, ms := range []float64{1, 3, 50} {
+		var b Breakdown
+		b.Add(UA, ms, 1)
+		m.RecordTick(b)
+	}
+	h := m.TickHistogram()
+	if h.Count() != 3 {
+		t.Fatalf("histogram count = %d, want 3", h.Count())
+	}
+	if h.Sum() != 54 {
+		t.Fatalf("histogram sum = %g, want 54", h.Sum())
+	}
+	// The returned histogram is a snapshot: further ticks don't mutate it.
+	var b Breakdown
+	b.Add(UA, 1, 1)
+	m.RecordTick(b)
+	if h.Count() != 3 {
+		t.Fatal("TickHistogram returned a live reference")
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"roia/internal/rtf/transport"
 	"roia/internal/rtf/wire"
 	"roia/internal/rtf/zone"
+	"roia/internal/telemetry"
 )
 
 // Config assembles a Server.
@@ -67,6 +68,12 @@ type Config struct {
 	// avatars would otherwise haunt the zone forever. 0 disables eviction.
 	// At 25 Hz, 250 ticks ≈ 10 s of silence.
 	IdleTimeoutTicks uint64
+	// Tracer, when set, records a per-task span decomposition of every tick
+	// into its bounded ring buffer (exportable as Chrome trace_event JSON
+	// via telemetry.TraceHandler — see cmd/roiaserver's /debug/ticktrace).
+	// The spans are synthesized from the same Breakdown the Monitor
+	// ingests, so tracing adds no extra clock reads to the hot loop.
+	Tracer *telemetry.Tracer
 }
 
 // DefaultAOIRadius is the visibility radius used when Config.AOI is nil.
@@ -159,6 +166,9 @@ func (s *Server) Zone() zone.ID { return s.cfg.Zone }
 
 // Monitor exposes the server's timing monitor.
 func (s *Server) Monitor() *monitor.Monitor { return s.mon }
+
+// Tracer exposes the server's tick tracer (nil unless configured).
+func (s *Server) Tracer() *telemetry.Tracer { return s.cfg.Tracer }
 
 // Start registers the server as a replica of its zone. It is idempotent.
 func (s *Server) Start() {

@@ -10,6 +10,7 @@ import (
 	"roia/internal/rtf/proto"
 	"roia/internal/rtf/transport"
 	"roia/internal/rtf/wire"
+	"roia/internal/telemetry"
 )
 
 // msSince converts a wall-clock delta into the model's millisecond unit.
@@ -43,6 +44,7 @@ func (s *Server) Tick() {
 	if s.stopped {
 		return
 	}
+	tickStart := time.Now()
 	s.tick++
 	s.env.Tick = s.tick
 	s.tickBytesOut = 0
@@ -287,6 +289,37 @@ func (s *Server) Tick() {
 	br.Replicas = s.cfg.Assignment.ReplicaCount(s.cfg.Zone)
 	br.BytesOut = s.tickBytesOut
 	s.mon.RecordTick(br)
+	if s.cfg.Tracer != nil {
+		s.recordTrace(tickStart, &br)
+	}
+}
+
+// recordTrace converts the tick's Breakdown into a telemetry.TickTrace:
+// one span per task that did work, laid out sequentially in loop order so
+// the spans sum exactly to the breakdown total.
+func (s *Server) recordTrace(start time.Time, br *monitor.Breakdown) {
+	spans := make([]telemetry.Span, 0, len(br.TimeMS))
+	offset := 0.0
+	for _, t := range monitor.Tasks() {
+		dur := br.TimeMS[t]
+		items := br.Items[t]
+		if dur == 0 && items == 0 {
+			continue
+		}
+		spans = append(spans, telemetry.Span{
+			Name:    t.String(),
+			StartMS: offset,
+			DurMS:   dur,
+			Items:   items,
+		})
+		offset += dur
+	}
+	s.cfg.Tracer.Record(telemetry.TickTrace{
+		Tick:           s.tick,
+		StartUnixMicro: start.UnixMicro(),
+		WallMS:         msSince(start),
+		Spans:          spans,
+	})
 }
 
 // fillDeltaUpdate populates a state update with only the changes since the

@@ -1,0 +1,108 @@
+package server_test
+
+import (
+	"math"
+	"testing"
+
+	"roia/internal/game"
+	"roia/internal/rtf/client"
+	"roia/internal/rtf/entity"
+	"roia/internal/rtf/server"
+	"roia/internal/rtf/transport"
+	"roia/internal/rtf/zone"
+	"roia/internal/telemetry"
+)
+
+// tracedServer builds a single-replica server with tick tracing enabled
+// and one connected client driving load.
+func tracedServer(t *testing.T) (*server.Server, *client.Client, *telemetry.Tracer) {
+	t.Helper()
+	net := transport.NewLoopback()
+	t.Cleanup(func() { net.Close() })
+	node, err := net.Attach("s1", 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracer := telemetry.NewTracer(64)
+	srv, err := server.New(server.Config{
+		Node:       node,
+		Zone:       1,
+		Assignment: zone.NewAssignment(),
+		App:        game.New(game.DefaultConfig()),
+		IDPrefix:   1,
+		Seed:       7,
+		Tracer:     tracer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	cnode, err := net.Attach("c1", 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := client.New(cnode, "s1")
+	if err := cl.Join(1, entity.Vec2{X: 10, Y: 10}, "c1"); err != nil {
+		t.Fatal(err)
+	}
+	return srv, cl, tracer
+}
+
+func TestTickTraceRecordsSpans(t *testing.T) {
+	srv, cl, tracer := tracedServer(t)
+	srv.SpawnNPC(entity.Vec2{X: 12, Y: 12})
+	for i := 0; i < 10; i++ {
+		srv.Tick()
+		cl.Poll()
+		if err := cl.SendInput([]byte{0, 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tracer.Len() == 0 {
+		t.Fatal("no traces recorded")
+	}
+	traces := tracer.Last(0)
+	last := traces[len(traces)-1]
+	if last.Tick != srv.Monitor().Ticks() {
+		t.Fatalf("last trace tick = %d, monitor ticks = %d", last.Tick, srv.Monitor().Ticks())
+	}
+	if len(last.Spans) == 0 {
+		t.Fatal("last trace has no spans")
+	}
+	// The spans are synthesized from the same Breakdown the monitor
+	// ingests, so they must sum exactly to its task total.
+	br := srv.Monitor().LastBreakdown()
+	if diff := math.Abs(last.TotalMS() - br.Total()); diff > 1e-9 {
+		t.Fatalf("trace total %g ms != breakdown total %g ms", last.TotalMS(), br.Total())
+	}
+	// Wall time covers at least the task time.
+	if last.WallMS < last.TotalMS() {
+		t.Fatalf("wall %g ms < task total %g ms", last.WallMS, last.TotalMS())
+	}
+	// Spans are contiguous from 0 in loop order.
+	offset := 0.0
+	for _, sp := range last.Spans {
+		if math.Abs(sp.StartMS-offset) > 1e-9 {
+			t.Fatalf("span %s starts at %g, want %g", sp.Name, sp.StartMS, offset)
+		}
+		offset += sp.DurMS
+	}
+	// NPC work must show up as a named model parameter.
+	found := false
+	for _, sp := range last.Spans {
+		if sp.Name == "t_npc" && sp.Items == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("t_npc span missing: %+v", last.Spans)
+	}
+}
+
+func TestTickTraceDisabledByDefault(t *testing.T) {
+	c := newCluster(t, 1)
+	if c.servers[0].Tracer() != nil {
+		t.Fatal("tracer set without configuration")
+	}
+	c.servers[0].Tick() // must not panic with a nil tracer
+}

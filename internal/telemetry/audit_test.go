@@ -1,0 +1,91 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleRecord(t float64) DecisionRecord {
+	return DecisionRecord{
+		Time: t, Users: 200, NPCs: 10, Replicas: 1,
+		Servers: []ServerSnapshot{
+			{ID: "s1", Users: 200, TickMS: 35.2, Power: 1, Class: "standard", Ready: true},
+		},
+		NMax: 235, Trigger: 188, TriggerFraction: 0.8, LMax: 8, RemoveHeadroom: 0.9,
+		Settled: true,
+		Actions: []AuditAction{
+			{Kind: "replicate", Dst: "s2", Reason: "n=200 >= trigger=188 (80% of n_max=235), l=1 < l_max=8"},
+		},
+	}
+}
+
+func TestAuditLogJSONL(t *testing.T) {
+	var sb strings.Builder
+	log := NewAuditLog(&sb)
+	log.Record(sampleRecord(0))
+	log.Record(sampleRecord(1))
+	if log.Records() != 2 {
+		t.Fatalf("Records = %d", log.Records())
+	}
+	if log.Err() != nil {
+		t.Fatal(log.Err())
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	for i, line := range lines {
+		var r DecisionRecord
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			t.Fatalf("line %d invalid JSON: %v", i, err)
+		}
+		if r.Time != float64(i) || r.NMax != 235 || r.LMax != 8 || r.Trigger != 188 {
+			t.Fatalf("line %d round-trip mismatch: %+v", i, r)
+		}
+		if len(r.Actions) != 1 || r.Actions[0].Kind != "replicate" {
+			t.Fatalf("line %d actions mismatch: %+v", i, r.Actions)
+		}
+		if !strings.Contains(r.Actions[0].Reason, "n_max") {
+			t.Fatalf("reason lacks threshold context: %q", r.Actions[0].Reason)
+		}
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write([]byte) (int, error) {
+	return 0, errWrite
+}
+
+var errWrite = &writeErr{}
+
+type writeErr struct{}
+
+func (*writeErr) Error() string { return "disk full" }
+
+func TestAuditLogStickyError(t *testing.T) {
+	log := NewAuditLog(failingWriter{})
+	log.Record(sampleRecord(0))
+	log.Record(sampleRecord(1))
+	if log.Err() == nil {
+		t.Fatal("write error not surfaced")
+	}
+	if log.Records() != 0 {
+		t.Fatalf("Records = %d after failed writes", log.Records())
+	}
+}
+
+func TestMemorySink(t *testing.T) {
+	var sink MemorySink
+	sink.Record(sampleRecord(0))
+	sink.Record(sampleRecord(1))
+	got := sink.Snapshot()
+	if len(got) != 2 || got[1].Time != 1 {
+		t.Fatalf("Snapshot = %+v", got)
+	}
+	got[0].NMax = -1
+	if sink.Snapshot()[0].NMax != 235 {
+		t.Fatal("Snapshot aliases internal storage")
+	}
+}

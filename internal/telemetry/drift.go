@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"sync"
+)
+
+// Drift tracks live model drift: how far the calibrated scalability model's
+// predicted tick duration T(l,n,m,a) strays from the measured mean tick.
+// The paper validates its model offline (Fig. 4/6 fits); Drift turns that
+// validation into a continuous runtime signal — a growing error ratio means
+// the calibration no longer matches the deployed workload and the RMS
+// thresholds derived from it are stale.
+type Drift struct {
+	mu sync.Mutex
+
+	predicted float64
+	measured  float64
+	samples   uint64
+	sumAbsErr float64
+	sumAbsRel float64
+	worstRel  float64
+}
+
+// DriftSnapshot is a point-in-time view of the drift tracker.
+type DriftSnapshot struct {
+	// PredictedMS / MeasuredMS are the latest observation pair.
+	PredictedMS, MeasuredMS float64
+	// ErrMS is the latest signed prediction error (predicted − measured).
+	ErrMS float64
+	// ErrRatio is the latest signed relative error, ErrMS / measured
+	// (0 while no measurement exists).
+	ErrRatio float64
+	// MeanAbsErrMS / MeanAbsRatio average |error| over all observations.
+	MeanAbsErrMS, MeanAbsRatio float64
+	// WorstRatio is the largest |relative error| seen.
+	WorstRatio float64
+	// Samples counts observations.
+	Samples uint64
+}
+
+// Observe records one prediction/measurement pair (both in ms).
+// Non-finite inputs are ignored.
+func (d *Drift) Observe(predictedMS, measuredMS float64) {
+	if math.IsNaN(predictedMS) || math.IsInf(predictedMS, 0) ||
+		math.IsNaN(measuredMS) || math.IsInf(measuredMS, 0) {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.predicted = predictedMS
+	d.measured = measuredMS
+	d.samples++
+	absErr := math.Abs(predictedMS - measuredMS)
+	d.sumAbsErr += absErr
+	if measuredMS > 0 {
+		rel := absErr / measuredMS
+		d.sumAbsRel += rel
+		if rel > d.worstRel {
+			d.worstRel = rel
+		}
+	}
+}
+
+// Snapshot returns the current drift state.
+func (d *Drift) Snapshot() DriftSnapshot {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := DriftSnapshot{
+		PredictedMS: d.predicted,
+		MeasuredMS:  d.measured,
+		ErrMS:       d.predicted - d.measured,
+		WorstRatio:  d.worstRel,
+		Samples:     d.samples,
+	}
+	if d.measured > 0 {
+		s.ErrRatio = s.ErrMS / d.measured
+	}
+	if d.samples > 0 {
+		s.MeanAbsErrMS = d.sumAbsErr / float64(d.samples)
+		s.MeanAbsRatio = d.sumAbsRel / float64(d.samples)
+	}
+	return s
+}
+
+// WriteMetrics writes the drift gauges in the Prometheus text exposition
+// format.
+//
+// Exported families:
+//
+//	roia_model_predicted_tick_ms       latest model prediction T(l,n,m,a)
+//	roia_model_measured_tick_ms        latest measured mean tick
+//	roia_model_tick_error_ms           signed prediction error
+//	roia_model_tick_error_ratio        signed relative error
+//	roia_model_tick_error_ratio_mean   mean |relative error| over the run
+//	roia_model_tick_error_ratio_worst  worst |relative error| over the run
+//	roia_model_drift_samples_total     observation count
+func (d *Drift) WriteMetrics(w io.Writer, labels string) error {
+	s := d.Snapshot()
+	lbl := FormatLabels(labels, "")
+	var b strings.Builder
+	fmt.Fprintf(&b, "# TYPE roia_model_predicted_tick_ms gauge\nroia_model_predicted_tick_ms%s %g\n", lbl, s.PredictedMS)
+	fmt.Fprintf(&b, "# TYPE roia_model_measured_tick_ms gauge\nroia_model_measured_tick_ms%s %g\n", lbl, s.MeasuredMS)
+	fmt.Fprintf(&b, "# TYPE roia_model_tick_error_ms gauge\nroia_model_tick_error_ms%s %g\n", lbl, s.ErrMS)
+	fmt.Fprintf(&b, "# TYPE roia_model_tick_error_ratio gauge\nroia_model_tick_error_ratio%s %g\n", lbl, s.ErrRatio)
+	fmt.Fprintf(&b, "# TYPE roia_model_tick_error_ratio_mean gauge\nroia_model_tick_error_ratio_mean%s %g\n", lbl, s.MeanAbsRatio)
+	fmt.Fprintf(&b, "# TYPE roia_model_tick_error_ratio_worst gauge\nroia_model_tick_error_ratio_worst%s %g\n", lbl, s.WorstRatio)
+	fmt.Fprintf(&b, "# TYPE roia_model_drift_samples_total counter\nroia_model_drift_samples_total%s %d\n", lbl, s.Samples)
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,78 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestDriftObserve(t *testing.T) {
+	var d Drift
+	d.Observe(10, 8) // |err| = 2, rel = 0.25
+	d.Observe(9, 10) // |err| = 1, rel = 0.1
+	s := d.Snapshot()
+	if s.Samples != 2 {
+		t.Fatalf("Samples = %d", s.Samples)
+	}
+	if s.PredictedMS != 9 || s.MeasuredMS != 10 {
+		t.Fatalf("latest pair = (%g, %g)", s.PredictedMS, s.MeasuredMS)
+	}
+	if math.Abs(s.ErrMS - -1) > 1e-12 {
+		t.Fatalf("ErrMS = %g, want -1", s.ErrMS)
+	}
+	if math.Abs(s.ErrRatio - -0.1) > 1e-12 {
+		t.Fatalf("ErrRatio = %g, want -0.1", s.ErrRatio)
+	}
+	if math.Abs(s.MeanAbsErrMS-1.5) > 1e-12 {
+		t.Fatalf("MeanAbsErrMS = %g, want 1.5", s.MeanAbsErrMS)
+	}
+	if math.Abs(s.MeanAbsRatio-0.175) > 1e-12 {
+		t.Fatalf("MeanAbsRatio = %g, want 0.175", s.MeanAbsRatio)
+	}
+	if math.Abs(s.WorstRatio-0.25) > 1e-12 {
+		t.Fatalf("WorstRatio = %g, want 0.25", s.WorstRatio)
+	}
+}
+
+func TestDriftIgnoresNonFinite(t *testing.T) {
+	var d Drift
+	d.Observe(math.NaN(), 1)
+	d.Observe(1, math.Inf(1))
+	if s := d.Snapshot(); s.Samples != 0 {
+		t.Fatalf("non-finite observations recorded: %+v", s)
+	}
+}
+
+func TestDriftZeroMeasurement(t *testing.T) {
+	var d Drift
+	d.Observe(5, 0) // idle server: no measured ticks yet
+	s := d.Snapshot()
+	if s.ErrRatio != 0 {
+		t.Fatalf("ErrRatio = %g for zero measurement", s.ErrRatio)
+	}
+	if s.MeanAbsErrMS != 5 {
+		t.Fatalf("MeanAbsErrMS = %g", s.MeanAbsErrMS)
+	}
+}
+
+func TestDriftWriteMetrics(t *testing.T) {
+	var d Drift
+	d.Observe(12, 10)
+	var sb strings.Builder
+	if err := d.WriteMetrics(&sb, `server="s1"`); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE roia_model_predicted_tick_ms gauge",
+		`roia_model_predicted_tick_ms{server="s1"} 12`,
+		`roia_model_measured_tick_ms{server="s1"} 10`,
+		`roia_model_tick_error_ms{server="s1"} 2`,
+		`roia_model_tick_error_ratio{server="s1"} 0.2`,
+		`roia_model_drift_samples_total{server="s1"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// TraceHandler serves a Tracer's buffered tick traces over HTTP (the
+// /debug/ticktrace endpoint). Query parameters:
+//
+//	n       number of most recent ticks to export (default 100, 0 = all)
+//	format  "chrome" (default; trace_event JSON for Perfetto) or "jsonl"
+func TraceHandler(tr *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := 100
+		if q := r.URL.Query().Get("n"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v < 0 {
+				http.Error(w, "ticktrace: n must be a non-negative integer", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		traces := tr.Last(n)
+		switch format := r.URL.Query().Get("format"); format {
+		case "", "chrome":
+			w.Header().Set("Content-Type", "application/json")
+			if err := WriteChromeTrace(w, traces); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		case "jsonl":
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			if err := WriteTraceJSONL(w, traces); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		default:
+			http.Error(w, "ticktrace: format must be chrome or jsonl", http.StatusBadRequest)
+		}
+	})
+}
+
+// MetricsWriter writes one Prometheus exposition section. The monitor's
+// WriteMetrics, Drift.WriteMetrics and WriteRuntimeMetrics all match.
+type MetricsWriter func(w io.Writer, labels string) error
+
+// MetricsHandler composes several exposition sections into one /metrics
+// endpoint, so application, model-drift and runtime metrics share a scrape.
+func MetricsHandler(labels string, writers ...MetricsWriter) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		for _, write := range writers {
+			if err := write(w, labels); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,123 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func tracerWith(n int) *Tracer {
+	tr := NewTracer(n + 8)
+	for i := 1; i <= n; i++ {
+		tr.Record(sampleTrace(uint64(i)))
+	}
+	return tr
+}
+
+func TestTraceHandlerChrome(t *testing.T) {
+	srv := httptest.NewServer(TraceHandler(tracerWith(150)))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "?n=100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(body, &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	// 100 ticks × (1 tick event + 3 spans).
+	if len(decoded.TraceEvents) != 400 {
+		t.Fatalf("got %d events, want 400", len(decoded.TraceEvents))
+	}
+}
+
+func TestTraceHandlerJSONL(t *testing.T) {
+	srv := httptest.NewServer(TraceHandler(tracerWith(5)))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "?n=3&format=jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type = %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	lines := strings.Split(strings.TrimSpace(string(body)), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3", len(lines))
+	}
+	var tt TickTrace
+	if err := json.Unmarshal([]byte(lines[0]), &tt); err != nil {
+		t.Fatal(err)
+	}
+	if tt.Tick != 3 { // last 3 of 5: ticks 3,4,5
+		t.Fatalf("first exported tick = %d, want 3", tt.Tick)
+	}
+}
+
+func TestTraceHandlerBadParams(t *testing.T) {
+	srv := httptest.NewServer(TraceHandler(tracerWith(1)))
+	defer srv.Close()
+	for _, q := range []string{"?n=-1", "?n=abc", "?format=xml"} {
+		resp, err := srv.Client().Get(srv.URL + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 400 {
+			t.Fatalf("%s: status = %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
+func TestMetricsHandlerComposes(t *testing.T) {
+	var d Drift
+	d.Observe(5, 4)
+	srv := httptest.NewServer(MetricsHandler(`zone="1"`, d.WriteMetrics, WriteRuntimeMetrics))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	out := string(body)
+	for _, want := range []string{
+		`roia_model_predicted_tick_ms{zone="1"} 5`,
+		`roia_go_goroutines{zone="1"} `,
+		"# TYPE roia_go_gc_runs_total counter",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("composed metrics missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteRuntimeMetricsNoLabels(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteRuntimeMetrics(&sb, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "roia_go_heap_alloc_bytes ") {
+		t.Fatalf("unlabeled runtime metrics missing:\n%s", sb.String())
+	}
+}

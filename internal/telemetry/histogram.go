@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// DefTickBuckets returns the default bucket upper bounds (in ms) for tick
+// duration histograms: roughly logarithmic from 50 µs to 1.28 s, bracketing
+// both an idle in-process tick and a badly overloaded 25 Hz server.
+func DefTickBuckets() []float64 {
+	return []float64{0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 20, 40, 80, 160, 320, 640, 1280}
+}
+
+// Histogram is a fixed-bucket histogram in the Prometheus style: counts per
+// upper bound plus an implicit +Inf bucket, a running sum, and a total
+// count. Rendering is cumulative, as the exposition format requires.
+// Histogram is not synchronized; callers holding per-sample locks (like
+// monitor.Monitor) synchronize externally and hand snapshots (Clone) to
+// renderers.
+type Histogram struct {
+	bounds []float64
+	counts []uint64 // len(bounds)+1; the last entry is the +Inf bucket
+	sum    float64
+	count  uint64
+}
+
+// NewHistogram returns a histogram over the given upper bounds, which must
+// be non-empty and strictly ascending (it panics otherwise — static wiring
+// error).
+func NewHistogram(bounds ...float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("telemetry: histogram needs at least one bucket bound")
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic("telemetry: histogram bounds must be ascending")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] == bounds[i-1] {
+			panic("telemetry: duplicate histogram bound")
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i]++
+	h.sum += v
+	h.count++
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum reports the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Clone returns an independent copy, for lock-free rendering of a snapshot.
+func (h *Histogram) Clone() *Histogram {
+	return &Histogram{
+		bounds: h.bounds, // immutable after construction
+		counts: append([]uint64(nil), h.counts...),
+		sum:    h.sum,
+		count:  h.count,
+	}
+}
+
+// Write renders the histogram as one Prometheus histogram family: a # TYPE
+// header, cumulative <name>_bucket samples with le labels (ending in
+// le="+Inf"), and <name>_sum / <name>_count. labels is an optional
+// comma-separated label set added to every sample.
+func (h *Histogram) Write(w io.Writer, name, labels string) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# TYPE %s histogram\n", name)
+	cum := uint64(0)
+	for i, bound := range h.bounds {
+		cum += h.counts[i]
+		fmt.Fprintf(&b, "%s_bucket%s %d\n", name, FormatLabels(labels, fmt.Sprintf(`le="%g"`, bound)), cum)
+	}
+	cum += h.counts[len(h.bounds)]
+	fmt.Fprintf(&b, "%s_bucket%s %d\n", name, FormatLabels(labels, `le="+Inf"`), cum)
+	fmt.Fprintf(&b, "%s_sum%s %g\n", name, FormatLabels(labels, ""), h.sum)
+	fmt.Fprintf(&b, "%s_count%s %d\n", name, FormatLabels(labels, ""), h.count)
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,100 @@
+package telemetry
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestHistogramObserve(t *testing.T) {
+	h := NewHistogram(1, 5, 10)
+	for _, v := range []float64{0.5, 1, 3, 7, 20, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Sum() != 131.5 {
+		t.Fatalf("Sum = %g", h.Sum())
+	}
+	// Bucket assignment is le (inclusive upper bound): 0.5 and 1 → le=1,
+	// 3 → le=5, 7 → le=10, 20 and 100 → +Inf.
+	want := []uint64{2, 1, 1, 2}
+	for i, w := range want {
+		if h.counts[i] != w {
+			t.Fatalf("counts[%d] = %d, want %d", i, h.counts[i], w)
+		}
+	}
+}
+
+func TestHistogramWriteCumulative(t *testing.T) {
+	h := NewHistogram(1, 5, 10)
+	for _, v := range []float64{0.5, 3, 7, 20} {
+		h.Observe(v)
+	}
+	var sb strings.Builder
+	if err := h.Write(&sb, "roia_tick_duration_ms", `server="s1"`); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "# TYPE roia_tick_duration_ms histogram") {
+		t.Fatalf("missing TYPE header:\n%s", out)
+	}
+	for _, want := range []string{
+		`roia_tick_duration_ms_bucket{server="s1",le="1"} 1`,
+		`roia_tick_duration_ms_bucket{server="s1",le="5"} 2`,
+		`roia_tick_duration_ms_bucket{server="s1",le="10"} 3`,
+		`roia_tick_duration_ms_bucket{server="s1",le="+Inf"} 4`,
+		`roia_tick_duration_ms_sum{server="s1"} 30.5`,
+		`roia_tick_duration_ms_count{server="s1"} 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+	// Cumulative buckets must be monotonically non-decreasing and end with
+	// bucket(+Inf) == count.
+	var prev uint64
+	var inf uint64
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "roia_tick_duration_ms_bucket") {
+			continue
+		}
+		fields := strings.Fields(line)
+		v, err := strconv.ParseUint(fields[len(fields)-1], 10, 64)
+		if err != nil {
+			t.Fatalf("bad bucket value in %q: %v", line, err)
+		}
+		if v < prev {
+			t.Fatalf("bucket values not monotonic: %d after %d\n%s", v, prev, out)
+		}
+		prev = v
+		inf = v
+	}
+	if inf != h.Count() {
+		t.Fatalf("+Inf bucket %d != count %d", inf, h.Count())
+	}
+}
+
+func TestHistogramClone(t *testing.T) {
+	h := NewHistogram(DefTickBuckets()...)
+	h.Observe(3)
+	c := h.Clone()
+	h.Observe(7)
+	if c.Count() != 1 || h.Count() != 2 {
+		t.Fatalf("clone not independent: clone=%d orig=%d", c.Count(), h.Count())
+	}
+}
+
+func TestHistogramValidatesBounds(t *testing.T) {
+	for _, bounds := range [][]float64{{}, {5, 1}, {1, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("no panic for bounds %v", bounds)
+				}
+			}()
+			NewHistogram(bounds...)
+		}()
+	}
+}

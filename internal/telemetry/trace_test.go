@@ -1,0 +1,144 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleTrace(tick uint64) TickTrace {
+	return TickTrace{
+		Tick:           tick,
+		StartUnixMicro: int64(tick) * 40_000,
+		WallMS:         1.2,
+		Spans: []Span{
+			{Name: "t_ua", StartMS: 0, DurMS: 0.5, Items: 10},
+			{Name: "t_aoi", StartMS: 0.5, DurMS: 0.3, Items: 10},
+			{Name: "t_su", StartMS: 0.8, DurMS: 0.2, Items: 10},
+		},
+	}
+}
+
+func TestTracerRingBuffer(t *testing.T) {
+	tr := NewTracer(4)
+	for i := uint64(1); i <= 10; i++ {
+		tr.Record(sampleTrace(i))
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tr.Len())
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", tr.Total())
+	}
+	last := tr.Last(0)
+	if len(last) != 4 {
+		t.Fatalf("Last(0) returned %d traces", len(last))
+	}
+	for i, want := range []uint64{7, 8, 9, 10} {
+		if last[i].Tick != want {
+			t.Fatalf("Last(0)[%d].Tick = %d, want %d (chronological order)", i, last[i].Tick, want)
+		}
+	}
+	if got := tr.Last(2); len(got) != 2 || got[0].Tick != 9 || got[1].Tick != 10 {
+		t.Fatalf("Last(2) = %v", got)
+	}
+	if got := tr.Last(100); len(got) != 4 {
+		t.Fatalf("Last(100) returned %d traces", len(got))
+	}
+}
+
+func TestTracerDefaultCapacity(t *testing.T) {
+	tr := NewTracer(0)
+	for i := 0; i < DefaultTraceCapacity+5; i++ {
+		tr.Record(TickTrace{Tick: uint64(i)})
+	}
+	if tr.Len() != DefaultTraceCapacity {
+		t.Fatalf("Len = %d, want %d", tr.Len(), DefaultTraceCapacity)
+	}
+}
+
+func TestWriteChromeTraceValidJSON(t *testing.T) {
+	traces := []TickTrace{sampleTrace(1), sampleTrace(2)}
+	var sb strings.Builder
+	if err := WriteChromeTrace(&sb, traces); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &decoded); err != nil {
+		t.Fatalf("not valid trace_event JSON: %v\n%s", err, sb.String())
+	}
+	if decoded.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", decoded.DisplayTimeUnit)
+	}
+	// 2 ticks × (1 enclosing event + 3 spans).
+	if len(decoded.TraceEvents) != 8 {
+		t.Fatalf("got %d events, want 8", len(decoded.TraceEvents))
+	}
+	// Per tick: the span events must sum to the breakdown total, and every
+	// event must be a complete ("X") event inside its tick window.
+	spanSum := 0.0
+	var tickDur float64
+	for _, ev := range decoded.TraceEvents {
+		if ev.Ph != "X" {
+			t.Fatalf("event %q has ph=%q, want X", ev.Name, ev.Ph)
+		}
+		if ev.Name == "tick" {
+			tickDur = ev.Dur
+			continue
+		}
+		if ev.TID != 1 {
+			t.Fatalf("span %q on tid %d", ev.Name, ev.TID)
+		}
+		spanSum += ev.Dur
+	}
+	wantSum := 2 * sampleTrace(1).TotalMS() * 1000 // µs
+	if math.Abs(spanSum-wantSum) > 1e-9 {
+		t.Fatalf("span durations sum to %g µs, want %g", spanSum, wantSum)
+	}
+	if tickDur != 1.2*1000 {
+		t.Fatalf("tick event dur = %g µs, want 1200", tickDur)
+	}
+}
+
+func TestWriteTraceJSONLRoundTrip(t *testing.T) {
+	traces := []TickTrace{sampleTrace(1), sampleTrace(2), sampleTrace(3)}
+	var sb strings.Builder
+	if err := WriteTraceJSONL(&sb, traces); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3", len(lines))
+	}
+	for i, line := range lines {
+		var tt TickTrace
+		if err := json.Unmarshal([]byte(line), &tt); err != nil {
+			t.Fatalf("line %d invalid: %v", i, err)
+		}
+		if tt.Tick != traces[i].Tick || len(tt.Spans) != 3 {
+			t.Fatalf("line %d round-trip mismatch: %+v", i, tt)
+		}
+	}
+}
+
+func TestTickTraceTotal(t *testing.T) {
+	tt := sampleTrace(1)
+	if got := tt.TotalMS(); math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("TotalMS = %g, want 1.0", got)
+	}
+	if (TickTrace{}).TotalMS() != 0 {
+		t.Fatal("empty trace total != 0")
+	}
+}
