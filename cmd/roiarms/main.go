@@ -40,6 +40,8 @@ var (
 	maxRepFlag   = flag.Int("maxreplicas", 4, "replica cap")
 	seedFlag     = flag.Int64("seed", 42, "random seed")
 	decFlag      = flag.String("decisions", "", "write the manager's decision log as JSONL to this file")
+	alertsFlag   = flag.String("alerts", "", "evaluate model-threshold alert rules each second and write transitions as JSONL to this file")
+	eventsFlag   = flag.String("events", "", "write the fleet lifecycle event log (spawn/drain/stop/handoff) as JSONL to this file")
 )
 
 func main() {
@@ -53,12 +55,22 @@ func main() {
 func run() error {
 	net := transport.NewLoopback()
 	defer net.Close()
+	var events *telemetry.FleetEventLog
+	if *eventsFlag != "" {
+		f, err := os.Create(*eventsFlag)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		events = telemetry.NewFleetEventLog(f)
+	}
 	fl, err := fleet.New(fleet.Config{
 		Network:    net,
 		Zone:       1,
 		Assignment: zone.NewAssignment(),
 		NewApp:     func() server.Application { return game.New(game.DefaultConfig()) },
 		Seed:       *seedFlag,
+		Events:     eventSinkOrNil(events),
 	})
 	if err != nil {
 		return err
@@ -82,6 +94,29 @@ func run() error {
 	mgr := rms.NewManager(fl, rms.Config{Model: mdl, CooldownSec: 5, MaxReplicas: *maxRepFlag, Audit: sinkOrNil(audit)})
 	driver := bots.NewFleetDriver(fl, net, *seedFlag)
 
+	// -alerts: evaluate the model-threshold rules once per control second,
+	// in lockstep with the manager, and log every pending/firing/resolved
+	// transition as JSONL.
+	var (
+		alertLog *telemetry.AlertLog
+		engine   *telemetry.AlertEngine
+		drift    *telemetry.Drift
+	)
+	if *alertsFlag != "" {
+		f, err := os.Create(*alertsFlag)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		alertLog = telemetry.NewAlertLog(f)
+		drift = &telemetry.Drift{}
+		engine = telemetry.NewAlertEngine(alertLog, fl.AlertRules(fleet.AlertConfig{
+			Model:       mdl,
+			MaxReplicas: *maxRepFlag,
+			Drift:       drift,
+		})...)
+	}
+
 	half := *durationFlag / 2
 	trace := workload.Piecewise{Phases: []workload.Phase{
 		{Until: float64(half), Trace: workload.Ramp{From: 0, To: *peakFlag, Len: float64(half)}},
@@ -98,6 +133,10 @@ func run() error {
 			driver.Step()
 		}
 		actions := mgr.Step(float64(sec))
+		if engine != nil {
+			observeDrift(fl, mdl, drift)
+			engine.Eval(float64(sec))
+		}
 		var notable []string
 		for _, a := range actions {
 			if a.Kind == rms.ActMigrate {
@@ -123,7 +162,46 @@ func run() error {
 		}
 		fmt.Printf("decision log: %s (%d records)\n", *decFlag, audit.Records())
 	}
+	if alertLog != nil {
+		if err := alertLog.Err(); err != nil {
+			return fmt.Errorf("alert log: %w", err)
+		}
+		fmt.Printf("alert log: %s (%d transitions, %d still active)\n",
+			*alertsFlag, alertLog.Events(), len(engine.Active()))
+	}
+	if events != nil {
+		if err := events.Err(); err != nil {
+			return fmt.Errorf("event log: %w", err)
+		}
+		fmt.Printf("event log: %s (%d events)\n", *eventsFlag, events.Events())
+	}
 	return nil
+}
+
+// observeDrift feeds every replica's prediction/measurement pair into the
+// drift tracker, the live Fig. 4/6 validation the model_drift rule watches.
+func observeDrift(fl *fleet.Fleet, mdl *model.Model, drift *telemetry.Drift) {
+	for _, id := range fl.IDs() {
+		srv, ok := fl.Server(id)
+		if !ok {
+			continue
+		}
+		mon := srv.Monitor()
+		b := mon.LastBreakdown()
+		if b.Replicas == 0 {
+			continue
+		}
+		drift.Observe(mdl.TickTimeUneven(b.Replicas, b.Users, b.NPCs, b.ActiveUsers), mon.MeanTick())
+	}
+}
+
+// eventSinkOrNil avoids handing the fleet a non-nil interface wrapping a
+// nil *FleetEventLog when -events is unset.
+func eventSinkOrNil(log *telemetry.FleetEventLog) telemetry.FleetEventSink {
+	if log == nil {
+		return nil
+	}
+	return log
 }
 
 // sinkOrNil avoids handing the manager a non-nil interface wrapping a nil

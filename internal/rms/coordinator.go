@@ -22,8 +22,11 @@ func NewCoordinator() *Coordinator {
 }
 
 // Add registers the manager responsible for a zone, replacing any
-// previous one.
+// previous one. The manager's audit records are tagged with the zone, so
+// one shared decision log stays attributable when several zones write
+// to it.
 func (c *Coordinator) Add(z zone.ID, mgr *Manager) {
+	mgr.SetZone(uint32(z))
 	c.managers[z] = mgr
 }
 

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"roia/internal/rtf/zone"
+	"roia/internal/telemetry"
 )
 
 func TestCoordinatorStepsAllZonesInOrder(t *testing.T) {
@@ -60,5 +61,47 @@ func TestCoordinatorQuietZonesProduceNoEntries(t *testing.T) {
 	co.Add(zone.ID(5), NewManager(quiet, Config{Model: mdl}))
 	if actions := co.Step(0); len(actions) != 0 {
 		t.Fatalf("quiet zone produced actions: %v", actions)
+	}
+}
+
+func TestCoordinatorTagsAuditRecordsWithZone(t *testing.T) {
+	// Two zone managers sharing one audit sink: every record must carry
+	// the zone of the manager that produced it.
+	mdl := rtfModel(t)
+	sink := &telemetry.MemorySink{}
+	fcHot := &fakeCluster{servers: []ServerState{{ID: "h1", Users: 200, Power: 1, Ready: true}}}
+	fcQuiet := &fakeCluster{servers: []ServerState{{ID: "q1", Users: 10, Power: 1, Ready: true}}}
+	co := NewCoordinator()
+	co.Add(7, NewManager(fcHot, Config{Model: mdl, Audit: sink}))
+	co.Add(3, NewManager(fcQuiet, Config{Model: mdl, Audit: sink}))
+	co.Step(0)
+
+	records := sink.Snapshot()
+	if len(records) != 2 {
+		t.Fatalf("records = %d, want one per zone", len(records))
+	}
+	zones := make(map[uint32]int)
+	for _, rec := range records {
+		zones[rec.Zone]++
+		if rec.Zone != 3 && rec.Zone != 7 {
+			t.Fatalf("record tagged with unknown zone %d", rec.Zone)
+		}
+		if rec.Zone == 7 && len(rec.Actions) == 0 {
+			t.Fatal("hot zone record lost its actions")
+		}
+	}
+	if zones[3] != 1 || zones[7] != 1 {
+		t.Fatalf("zone tags = %v, want one record each for zones 3 and 7", zones)
+	}
+}
+
+func TestManagerWithoutCoordinatorLeavesZoneUntagged(t *testing.T) {
+	mdl := rtfModel(t)
+	sink := &telemetry.MemorySink{}
+	mgr := NewManager(&fakeCluster{servers: []ServerState{{ID: "s1", Users: 10, Power: 1, Ready: true}}},
+		Config{Model: mdl, Audit: sink})
+	mgr.Step(0)
+	if recs := sink.Snapshot(); len(recs) != 1 || recs[0].Zone != 0 {
+		t.Fatalf("records = %+v, want one untagged record", recs)
 	}
 }

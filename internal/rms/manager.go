@@ -58,6 +58,9 @@ type Manager struct {
 	cluster Cluster
 	cfg     Config
 
+	// zone tags audit records in multi-zone deployments (see SetZone).
+	zone uint32
+
 	lastScale float64
 	// pendingSubs maps a provisioning replacement server to the server it
 	// substitutes; the old server drains once the replacement is ready.
@@ -78,6 +81,11 @@ func NewManager(cluster Cluster, cfg Config) *Manager {
 	}
 }
 
+// SetZone tags the manager's audit records with the zone it is responsible
+// for, so a shared multi-zone decision log stays attributable per zone.
+// Coordinator.Add calls it automatically. Call before the first Step.
+func (mgr *Manager) SetZone(z uint32) { mgr.zone = z }
+
 // MaxReplicas returns the effective replica cap: the configuration
 // override or the model's l_max (Eq. 3).
 func (mgr *Manager) MaxReplicas(m int) int {
@@ -96,6 +104,7 @@ func (mgr *Manager) Step(now float64) []Action {
 	if mgr.cfg.Audit != nil {
 		rec = &telemetry.DecisionRecord{
 			Time:            now,
+			Zone:            mgr.zone,
 			TriggerFraction: mgr.cfg.TriggerFraction,
 			RemoveHeadroom:  mgr.cfg.RemoveHeadroom,
 		}

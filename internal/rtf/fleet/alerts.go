@@ -1,0 +1,193 @@
+package fleet
+
+import (
+	"fmt"
+
+	"roia/internal/model"
+	"roia/internal/telemetry"
+)
+
+// AlertConfig parameterises the model-threshold alert rules. The rules are
+// the alerting counterpart of the RMS triggers: the manager reacts to the
+// same thresholds, the rules make it visible when the fleet sits on or past
+// them.
+type AlertConfig struct {
+	// Model supplies the scalability-model thresholds (Eq. 2/3/5).
+	Model *model.Model
+	// MaxReplicas optionally caps l below the model's l_max (mirrors
+	// rms.Config.MaxReplicas). 0 means use the model's l_max alone.
+	MaxReplicas int
+	// Drift, when set, enables the model-drift rule on the tracker's live
+	// snapshot.
+	Drift *telemetry.Drift
+	// DriftTolerance is the |relative error| above which the drift rule is
+	// active (default 0.5, i.e. the prediction is off by more than 50%).
+	DriftTolerance float64
+	// PendingFor is how many consecutive true evaluations promote a rule
+	// instance from pending to firing (default 1: the second consecutive
+	// breach fires).
+	PendingFor int
+}
+
+// Rule names exported by AlertRules.
+const (
+	AlertReplicaOverNMax = "replica_over_nmax"
+	AlertFleetAtLMax     = "fleet_at_lmax"
+	AlertMigBudgetDry    = "migration_budget_exhausted"
+	AlertModelDrift      = "model_drift"
+)
+
+// AlertRules builds the fleet's threshold rules for a telemetry.AlertEngine.
+// Every evaluation reads the live cluster state, so the rules track the
+// same numbers the RMS manager decides on:
+//
+//   - replica_over_nmax: a ready replica holds more users than its share
+//     n_max(l)/l of the zone capacity (Eq. 2). One instance per replica.
+//   - fleet_at_lmax: the replica group has reached l_max (Eq. 3, or the
+//     configured MaxReplicas cap) — the zone cannot scale further and the
+//     paper's model predicts replication stops paying off.
+//   - migration_budget_exhausted: a replica is over its fair share of
+//     users but its Eq. 5 initiation budget x_max_ini is zero — it is too
+//     overloaded to shed load within the tick budget, the regime where
+//     the paper falls back to unpaced migration.
+//   - model_drift: the live |prediction error| ratio exceeds
+//     DriftTolerance — the calibrated cost model no longer matches the
+//     deployed workload, so every threshold above is suspect.
+func (f *Fleet) AlertRules(cfg AlertConfig) []telemetry.Rule {
+	if cfg.DriftTolerance <= 0 {
+		cfg.DriftTolerance = 0.5
+	}
+	zoneKey := fmt.Sprintf("zone-%d", f.cfg.Zone)
+	rules := []telemetry.Rule{
+		{
+			Name:       AlertReplicaOverNMax,
+			PendingFor: cfg.PendingFor,
+			Eval: func(now float64) []telemetry.RuleResult {
+				servers := f.Servers()
+				l := 0
+				for _, s := range servers {
+					if s.Ready && !s.Draining {
+						l++
+					}
+				}
+				if l == 0 {
+					return nil
+				}
+				m := f.NPCCount()
+				nmax, ok := cfg.Model.MaxUsers(l, m)
+				if !ok {
+					return nil
+				}
+				share := nmax / l
+				var out []telemetry.RuleResult
+				for _, s := range servers {
+					if !s.Ready || s.Draining || s.Users <= share {
+						continue
+					}
+					out = append(out, telemetry.RuleResult{
+						Key:       s.ID,
+						Value:     float64(s.Users),
+						Threshold: float64(share),
+						Detail: fmt.Sprintf("replica holds %d users, over its n_max share %d (n_max(%d)=%d, m=%d)",
+							s.Users, share, l, nmax, m),
+					})
+				}
+				return out
+			},
+		},
+		{
+			Name:       AlertFleetAtLMax,
+			PendingFor: cfg.PendingFor,
+			Eval: func(now float64) []telemetry.RuleResult {
+				l := len(f.IDs())
+				m := f.NPCCount()
+				lmax, ok := cfg.Model.MaxReplicas(m)
+				if !ok {
+					// The Eq. 3 search did not converge (replication never
+					// stops paying off within the cap); only an explicit
+					// deployment cap can bound the group then.
+					if cfg.MaxReplicas <= 0 {
+						return nil
+					}
+					lmax = cfg.MaxReplicas
+				} else if cfg.MaxReplicas > 0 && cfg.MaxReplicas < lmax {
+					lmax = cfg.MaxReplicas
+				}
+				if l < lmax {
+					return nil
+				}
+				return []telemetry.RuleResult{{
+					Key:       zoneKey,
+					Value:     float64(l),
+					Threshold: float64(lmax),
+					Detail:    fmt.Sprintf("replica group at l=%d of l_max=%d (m=%d): replication headroom exhausted", l, lmax, m),
+				}}
+			},
+		},
+		{
+			Name:       AlertMigBudgetDry,
+			PendingFor: cfg.PendingFor,
+			Eval: func(now float64) []telemetry.RuleResult {
+				servers := f.Servers()
+				l := 0
+				for _, s := range servers {
+					if s.Ready && !s.Draining {
+						l++
+					}
+				}
+				if l < 2 {
+					return nil
+				}
+				n := f.ZoneUsers()
+				m := f.NPCCount()
+				fair := (n + l - 1) / l
+				var out []telemetry.RuleResult
+				for _, s := range servers {
+					if !s.Ready || s.Draining || s.Users <= fair {
+						continue
+					}
+					budget := cfg.Model.MaxMigrationsIni(l, n, m, s.Users)
+					if budget > 0 {
+						continue
+					}
+					out = append(out, telemetry.RuleResult{
+						Key:       s.ID,
+						Value:     float64(s.Users - fair),
+						Threshold: 0,
+						Detail: fmt.Sprintf("replica is %d users over its fair share %d but x_max_ini(l=%d,n=%d,m=%d,a=%d)=0: cannot shed load within the tick budget",
+							s.Users-fair, fair, l, n, m, s.Users),
+					})
+				}
+				return out
+			},
+		},
+	}
+	if cfg.Drift != nil {
+		tol := cfg.DriftTolerance
+		rules = append(rules, telemetry.Rule{
+			Name:       AlertModelDrift,
+			PendingFor: cfg.PendingFor,
+			Eval: func(now float64) []telemetry.RuleResult {
+				s := cfg.Drift.Snapshot()
+				if s.Samples == 0 {
+					return nil
+				}
+				abs := s.ErrRatio
+				if abs < 0 {
+					abs = -abs
+				}
+				if abs <= tol {
+					return nil
+				}
+				return []telemetry.RuleResult{{
+					Key:       zoneKey,
+					Value:     abs,
+					Threshold: tol,
+					Detail: fmt.Sprintf("model predicts %.2fms vs measured %.2fms (|rel err| %.2f > %.2f): calibration is stale",
+						s.PredictedMS, s.MeasuredMS, abs, tol),
+				}}
+			},
+		})
+	}
+	return rules
+}

@@ -1,0 +1,270 @@
+// Fleet-level observability: the collector aggregates every replica's
+// monitor snapshot and telemetry into one endpoint, so the reproduction is
+// observable as a cluster rather than a set of nodes. Per-node metrics hide
+// exactly the cross-node variability (imbalance, stuck drains, lost
+// migrations) that dominates replica-group behaviour; the collector's
+// per-replica-labeled families and stitched migration traces expose it.
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"roia/internal/telemetry"
+)
+
+// Collector aggregates one or more fleets (one per zone) into a single
+// observability surface: a /fleet/metrics Prometheus exposition with
+// replica and zone labels, and a /fleet/migrations endpoint serving the
+// stitched cross-replica migration trace.
+type Collector struct {
+	mu     sync.Mutex
+	fleets []*Fleet
+	engine *telemetry.AlertEngine
+	extra  []telemetry.MetricsWriter
+}
+
+// NewCollector returns a collector over the given fleets.
+func NewCollector(fleets ...*Fleet) *Collector {
+	return &Collector{fleets: append([]*Fleet(nil), fleets...)}
+}
+
+// Add registers another fleet.
+func (c *Collector) Add(fl *Fleet) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.fleets = append(c.fleets, fl)
+}
+
+// SetAlerts attaches an alert engine whose state is exported with the
+// fleet metrics.
+func (c *Collector) SetAlerts(e *telemetry.AlertEngine) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.engine = e
+}
+
+// AddMetrics appends an extra exposition section (e.g. a model-drift
+// tracker's WriteMetrics or telemetry.WriteRuntimeMetrics) to the
+// /fleet/metrics scrape.
+func (c *Collector) AddMetrics(w telemetry.MetricsWriter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.extra = append(c.extra, w)
+}
+
+func (c *Collector) snapshot() ([]*Fleet, *telemetry.AlertEngine, []telemetry.MetricsWriter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*Fleet(nil), c.fleets...), c.engine, append([]telemetry.MetricsWriter(nil), c.extra...)
+}
+
+// replicaRow is one live replica's scrape snapshot.
+type replicaRow struct {
+	zone     uint32
+	id       string
+	ticks    uint64
+	meanMS   float64
+	p95MS    float64
+	users    int
+	draining bool
+}
+
+// MigEvents merges the migration events of every registered fleet, keyed by
+// replica ID — the collector-level input to telemetry.StitchMigrations.
+func (c *Collector) MigEvents() map[string][]telemetry.MigEvent {
+	fleets, _, _ := c.snapshot()
+	out := make(map[string][]telemetry.MigEvent)
+	for _, fl := range fleets {
+		for id, events := range fl.MigEvents() {
+			out[id] = append(out[id], events...)
+		}
+	}
+	return out
+}
+
+// WriteMetrics writes the fleet-level exposition: per-replica-labeled tick
+// and user-count families for every live replica, per-zone aggregates,
+// migration-trace completeness counters, and (when attached) the alert
+// engine's state. It matches telemetry.MetricsWriter.
+//
+// Exported families:
+//
+//	roia_fleet_ticks_total{zone,replica}    counter, processed ticks
+//	roia_fleet_tick_mean_ms{zone,replica}   gauge, recent mean tick
+//	roia_fleet_tick_p95_ms{zone,replica}    gauge, recent p95 tick
+//	roia_fleet_users{zone,replica}          gauge, connected users (a)
+//	roia_fleet_draining{zone,replica}       gauge, 1 while draining
+//	roia_fleet_zone_users{zone}             gauge, zone-wide users (n)
+//	roia_fleet_npcs{zone}                   gauge, zone-wide NPCs (m)
+//	roia_fleet_replicas{zone}               gauge, running replicas (l)
+//	roia_fleet_migrations{zone,state}       gauge, stitched migrations in
+//	                                        the trace rings (complete /
+//	                                        incomplete)
+func (c *Collector) WriteMetrics(w io.Writer, labels string) error {
+	fleets, engine, extra := c.snapshot()
+	var rows []replicaRow
+	type zoneRow struct {
+		zone              uint32
+		users, npcs, l    int
+		complete, incompl int
+	}
+	var zones []zoneRow
+	for _, fl := range fleets {
+		z := uint32(fl.Zone())
+		for _, id := range fl.IDs() {
+			srv, ok := fl.Server(id)
+			if !ok {
+				continue
+			}
+			mon := srv.Monitor()
+			rows = append(rows, replicaRow{
+				zone:     z,
+				id:       id,
+				ticks:    mon.Ticks(),
+				meanMS:   mon.MeanTick(),
+				p95MS:    mon.TickSummary().P95,
+				users:    srv.UserCount(),
+				draining: srv.Draining(),
+			})
+		}
+		zr := zoneRow{zone: z, users: fl.ZoneUsers(), npcs: fl.NPCCount(), l: len(fl.IDs())}
+		for _, m := range telemetry.StitchMigrations(fl.MigEvents()) {
+			if m.Complete {
+				zr.complete++
+			} else {
+				zr.incompl++
+			}
+		}
+		zones = append(zones, zr)
+	}
+
+	lbl := func(extra string) string { return telemetry.FormatLabels(labels, extra) }
+	rlbl := func(r replicaRow) string {
+		return lbl(fmt.Sprintf("zone=\"%d\",replica=%q", r.zone, r.id))
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "# TYPE roia_fleet_ticks_total counter\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "roia_fleet_ticks_total%s %d\n", rlbl(r), r.ticks)
+	}
+	fmt.Fprintf(&b, "# TYPE roia_fleet_tick_mean_ms gauge\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "roia_fleet_tick_mean_ms%s %g\n", rlbl(r), r.meanMS)
+	}
+	fmt.Fprintf(&b, "# TYPE roia_fleet_tick_p95_ms gauge\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "roia_fleet_tick_p95_ms%s %g\n", rlbl(r), r.p95MS)
+	}
+	fmt.Fprintf(&b, "# TYPE roia_fleet_users gauge\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "roia_fleet_users%s %d\n", rlbl(r), r.users)
+	}
+	fmt.Fprintf(&b, "# TYPE roia_fleet_draining gauge\n")
+	for _, r := range rows {
+		d := 0
+		if r.draining {
+			d = 1
+		}
+		fmt.Fprintf(&b, "roia_fleet_draining%s %d\n", rlbl(r), d)
+	}
+	fmt.Fprintf(&b, "# TYPE roia_fleet_zone_users gauge\n")
+	for _, z := range zones {
+		fmt.Fprintf(&b, "roia_fleet_zone_users%s %d\n", lbl(fmt.Sprintf("zone=\"%d\"", z.zone)), z.users)
+	}
+	fmt.Fprintf(&b, "# TYPE roia_fleet_npcs gauge\n")
+	for _, z := range zones {
+		fmt.Fprintf(&b, "roia_fleet_npcs%s %d\n", lbl(fmt.Sprintf("zone=\"%d\"", z.zone)), z.npcs)
+	}
+	fmt.Fprintf(&b, "# TYPE roia_fleet_replicas gauge\n")
+	for _, z := range zones {
+		fmt.Fprintf(&b, "roia_fleet_replicas%s %d\n", lbl(fmt.Sprintf("zone=\"%d\"", z.zone)), z.l)
+	}
+	fmt.Fprintf(&b, "# TYPE roia_fleet_migrations gauge\n")
+	for _, z := range zones {
+		fmt.Fprintf(&b, "roia_fleet_migrations%s %d\n", lbl(fmt.Sprintf("zone=\"%d\",state=\"complete\"", z.zone)), z.complete)
+		fmt.Fprintf(&b, "roia_fleet_migrations%s %d\n", lbl(fmt.Sprintf("zone=\"%d\",state=\"incomplete\"", z.zone)), z.incompl)
+	}
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return err
+	}
+	if engine != nil {
+		if err := engine.WriteMetrics(w, labels); err != nil {
+			return err
+		}
+	}
+	for _, write := range extra {
+		if err := write(w, labels); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler returns the collector's HTTP surface:
+//
+//	/fleet/metrics     the WriteMetrics exposition
+//	/fleet/migrations  the stitched cross-replica migration trace;
+//	                   ?format=chrome (default; one process row per
+//	                   replica, loadable in Perfetto) or ?format=jsonl
+//	                   (one stitched migration per line)
+func (c *Collector) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/fleet/metrics", telemetry.MetricsHandler("", c.WriteMetrics))
+	mux.HandleFunc("/fleet/migrations", func(w http.ResponseWriter, r *http.Request) {
+		events := c.MigEvents()
+		switch format := r.URL.Query().Get("format"); format {
+		case "", "chrome":
+			w.Header().Set("Content-Type", "application/json")
+			if err := telemetry.WriteMigrationChromeTrace(w, events); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		case "jsonl":
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			if err := telemetry.WriteMigrationJSONL(w, telemetry.StitchMigrations(events)); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		default:
+			http.Error(w, "migrations: format must be chrome or jsonl", http.StatusBadRequest)
+		}
+	})
+	return mux
+}
+
+// Serve runs the collector's HTTP server on addr until ctx ends, with the
+// same hardening as the per-server metrics endpoint: a read-header timeout
+// against slowloris connections and a bounded graceful Shutdown so an
+// in-flight scrape finishes but a hung one cannot block process exit. The
+// listener is bound synchronously, so an address error is reported here and
+// the returned string is the bound address (useful with port 0); serving
+// then proceeds in the background.
+func (c *Collector) Serve(ctx context.Context, addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	httpSrv := &http.Server{
+		Handler:           c.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() {
+		<-ctx.Done()
+		shutCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			httpSrv.Close()
+		}
+	}()
+	go func() {
+		if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			fmt.Printf("fleet: collector: %v\n", err)
+		}
+	}()
+	return ln.Addr().String(), nil
+}

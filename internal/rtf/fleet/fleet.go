@@ -16,12 +16,14 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"roia/internal/cloud"
 	"roia/internal/rms"
 	"roia/internal/rtf/server"
 	"roia/internal/rtf/transport"
 	"roia/internal/rtf/zone"
+	"roia/internal/telemetry"
 )
 
 // Config assembles a Fleet.
@@ -47,6 +49,18 @@ type Config struct {
 	IDBase uint16
 	// Seed bases the per-server deterministic seeds.
 	Seed int64
+	// Events, when set, receives the fleet's lifecycle log: spawn, drain,
+	// stop, and the zone handoffs its servers execute — the replica-group
+	// counterpart of the RMS decision audit. Typically a
+	// telemetry.FleetEventLog writing JSONL.
+	Events telemetry.FleetEventSink
+	// TraceMigrations gives every spawned server its own migration tracer,
+	// so the wire-level migration IDs recorded on both endpoints can be
+	// stitched into one cross-replica trace (MigEvents, Collector).
+	TraceMigrations bool
+	// MigTraceCapacity bounds each server's migration-event ring
+	// (default telemetry.DefaultMigTraceCapacity).
+	MigTraceCapacity int
 }
 
 // Fleet is a live replica group implementing rms.Cluster.
@@ -57,6 +71,10 @@ type Fleet struct {
 	servers map[string]*server.Server
 	order   []string
 	nextIdx int
+	// migs keeps every spawned server's migration tracer, including
+	// stopped servers': a migration initiated by a since-removed replica
+	// must still stitch (or be flagged incomplete), not vanish.
+	migs map[string]*telemetry.MigTracer
 }
 
 // New returns an empty fleet. Call AddReplica (directly or through the
@@ -71,7 +89,54 @@ func New(cfg Config) (*Fleet, error) {
 	if cfg.NamePrefix == "" {
 		cfg.NamePrefix = "server"
 	}
-	return &Fleet{cfg: cfg, servers: make(map[string]*server.Server)}, nil
+	return &Fleet{
+		cfg:     cfg,
+		servers: make(map[string]*server.Server),
+		migs:    make(map[string]*telemetry.MigTracer),
+	}, nil
+}
+
+// Zone returns the zone this fleet replicates.
+func (f *Fleet) Zone() zone.ID { return f.cfg.Zone }
+
+// event emits one lifecycle event to the configured sink (no-op otherwise).
+func (f *Fleet) event(kind, replica, detail string) {
+	if f.cfg.Events == nil {
+		return
+	}
+	f.cfg.Events.FleetEvent(telemetry.FleetEvent{
+		UnixMicro: time.Now().UnixMicro(),
+		Kind:      kind,
+		Zone:      uint32(f.cfg.Zone),
+		Replica:   replica,
+		Detail:    detail,
+	})
+}
+
+// MigTracer returns the migration tracer of a spawned server (including
+// already-stopped ones), when TraceMigrations is on.
+func (f *Fleet) MigTracer(id string) (*telemetry.MigTracer, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	tr, ok := f.migs[id]
+	return tr, ok
+}
+
+// MigEvents snapshots every spawned server's migration events, keyed by
+// replica ID — the input to telemetry.StitchMigrations and
+// telemetry.WriteMigrationChromeTrace.
+func (f *Fleet) MigEvents() map[string][]telemetry.MigEvent {
+	f.mu.Lock()
+	tracers := make(map[string]*telemetry.MigTracer, len(f.migs))
+	for id, tr := range f.migs {
+		tracers[id] = tr
+	}
+	f.mu.Unlock()
+	out := make(map[string][]telemetry.MigEvent, len(tracers))
+	for id, tr := range tracers {
+		out[id] = tr.Events()
+	}
+	return out
 }
 
 // Server returns a running server by ID (for tests and tick driving).
@@ -231,6 +296,10 @@ func (f *Fleet) AddReplica() (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("fleet: attach %s: %w", id, err)
 	}
+	var migTrace *telemetry.MigTracer
+	if f.cfg.TraceMigrations {
+		migTrace = telemetry.NewMigTracer(f.cfg.MigTraceCapacity)
+	}
 	srv, err := server.New(server.Config{
 		Node:       node,
 		Zone:       f.cfg.Zone,
@@ -239,6 +308,8 @@ func (f *Fleet) AddReplica() (string, error) {
 		World:      f.cfg.World,
 		IDPrefix:   f.cfg.IDBase + uint16(f.nextIdx),
 		Seed:       f.cfg.Seed + int64(f.nextIdx),
+		MigTrace:   migTrace,
+		Events:     f.cfg.Events,
 	})
 	if err != nil {
 		node.Close()
@@ -246,7 +317,11 @@ func (f *Fleet) AddReplica() (string, error) {
 	}
 	srv.Start()
 	f.servers[id] = srv
+	if migTrace != nil {
+		f.migs[id] = migTrace
+	}
 	f.order = append(f.order, id)
+	f.event(telemetry.FleetEventSpawn, id, "")
 	return id, nil
 }
 
@@ -274,6 +349,7 @@ func (f *Fleet) RemoveReplica(id string) error {
 		}
 	}
 	f.mu.Unlock()
+	f.event(telemetry.FleetEventStop, id, "")
 	return s.Stop()
 }
 
@@ -286,6 +362,11 @@ func (f *Fleet) SetDraining(id string, on bool) error {
 		return fmt.Errorf("fleet: drain of unknown server %q", id)
 	}
 	s.SetDraining(on)
+	detail := "on"
+	if !on {
+		detail = "off"
+	}
+	f.event(telemetry.FleetEventDrain, id, detail)
 	return nil
 }
 

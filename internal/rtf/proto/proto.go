@@ -291,6 +291,10 @@ func (m *Forwarded) UnmarshalWire(r *wire.Reader) error {
 // the target server: the avatar state plus an opaque application state blob
 // (inventory, cooldowns, ...).
 type MigrateInit struct {
+	// MigID is the migration's unique identifier, assigned by the source
+	// server and echoed in the MigrateAck, so begin/end spans recorded on
+	// different replicas stitch into one cross-replica trace.
+	MigID uint64
 	// User is the network ID of the migrating client.
 	User string
 	// Avatar is the user's entity state at handoff.
@@ -304,6 +308,7 @@ func (*MigrateInit) WireKind() wire.Kind { return KindMigrateInit }
 
 // MarshalWire implements wire.Message.
 func (m *MigrateInit) MarshalWire(w *wire.Writer) {
+	w.Uint64(m.MigID)
 	w.String(m.User)
 	m.Avatar.MarshalWire(w)
 	w.Blob(m.AppState)
@@ -311,6 +316,7 @@ func (m *MigrateInit) MarshalWire(w *wire.Writer) {
 
 // UnmarshalWire implements wire.Message.
 func (m *MigrateInit) UnmarshalWire(r *wire.Reader) error {
+	m.MigID = r.Uint64()
 	m.User = r.String()
 	if err := m.Avatar.UnmarshalWire(r); err != nil {
 		return err
@@ -321,6 +327,8 @@ func (m *MigrateInit) UnmarshalWire(r *wire.Reader) error {
 
 // MigrateAck confirms a completed migration back to the source server.
 type MigrateAck struct {
+	// MigID echoes the MigrateInit's migration identifier.
+	MigID  uint64
 	User   string
 	Avatar entity.ID
 }
@@ -330,12 +338,14 @@ func (*MigrateAck) WireKind() wire.Kind { return KindMigrateAck }
 
 // MarshalWire implements wire.Message.
 func (m *MigrateAck) MarshalWire(w *wire.Writer) {
+	w.Uint64(m.MigID)
 	w.String(m.User)
 	w.Uint64(uint64(m.Avatar))
 }
 
 // UnmarshalWire implements wire.Message.
 func (m *MigrateAck) UnmarshalWire(r *wire.Reader) error {
+	m.MigID = r.Uint64()
 	m.User = r.String()
 	m.Avatar = entity.ID(r.Uint64())
 	return r.Err()

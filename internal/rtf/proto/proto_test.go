@@ -90,6 +90,7 @@ func TestForwardedRoundTrip(t *testing.T) {
 
 func TestMigrationMessagesRoundTrip(t *testing.T) {
 	mi := roundTrip(t, &MigrateInit{
+		MigID:    0x0001000000000007,
 		User:     "client-9",
 		Avatar:   entity.Entity{ID: 33, Owner: "s1", Health: 50},
 		AppState: []byte("ammo=7"),
@@ -97,8 +98,11 @@ func TestMigrationMessagesRoundTrip(t *testing.T) {
 	if mi.User != "client-9" || mi.Avatar.ID != 33 || string(mi.AppState) != "ammo=7" {
 		t.Fatalf("migrate init = %+v", mi)
 	}
-	ack := roundTrip(t, &MigrateAck{User: "client-9", Avatar: 33}).(*MigrateAck)
-	if ack.User != "client-9" || ack.Avatar != 33 {
+	if mi.MigID != 0x0001000000000007 {
+		t.Fatalf("migration ID lost on the wire: %#x", mi.MigID)
+	}
+	ack := roundTrip(t, &MigrateAck{MigID: 0x0001000000000007, User: "client-9", Avatar: 33}).(*MigrateAck)
+	if ack.User != "client-9" || ack.Avatar != 33 || ack.MigID != 0x0001000000000007 {
 		t.Fatalf("migrate ack = %+v", ack)
 	}
 	n := roundTrip(t, &MigrateNotice{NewServer: "server-2"}).(*MigrateNotice)

@@ -74,6 +74,17 @@ type Config struct {
 	// The spans are synthesized from the same Breakdown the Monitor
 	// ingests, so tracing adds no extra clock reads to the hot loop.
 	Tracer *telemetry.Tracer
+	// MigTrace, when set, records the server's side of every user
+	// migration (init on the source, recv/ack on the destination) keyed by
+	// the wire-level migration ID, so a fleet collector can stitch the
+	// per-replica events into one cross-replica trace
+	// (telemetry.StitchMigrations).
+	MigTrace *telemetry.MigTracer
+	// Events, when set, receives replica-group lifecycle events this
+	// server observes locally — currently zone handoffs. Fleet-level
+	// events (spawn, drain, stop) are emitted by the fleet that owns the
+	// server.
+	Events telemetry.FleetEventSink
 }
 
 // DefaultAOIRadius is the visibility radius used when Config.AOI is nil.
@@ -112,6 +123,7 @@ type Server struct {
 	env      *Env
 	tick     uint64
 	nextID   uint32
+	nextMig  uint32
 	stopped  bool
 	draining bool // true while shutting down: reject joins
 
@@ -169,6 +181,9 @@ func (s *Server) Monitor() *monitor.Monitor { return s.mon }
 
 // Tracer exposes the server's tick tracer (nil unless configured).
 func (s *Server) Tracer() *telemetry.Tracer { return s.cfg.Tracer }
+
+// MigTrace exposes the server's migration tracer (nil unless configured).
+func (s *Server) MigTrace() *telemetry.MigTracer { return s.cfg.MigTrace }
 
 // Start registers the server as a replica of its zone. It is idempotent.
 func (s *Server) Start() {
@@ -332,6 +347,13 @@ func (s *Server) Stop() error {
 func (s *Server) allocIDLocked() entity.ID {
 	s.nextID++
 	return entity.ID(uint64(s.cfg.IDPrefix)<<32 | uint64(s.nextID))
+}
+
+// allocMigIDLocked returns a fresh globally-unique migration ID, carried in
+// the wire-level transfer so both endpoints trace the same migration.
+func (s *Server) allocMigIDLocked() uint64 {
+	s.nextMig++
+	return uint64(s.cfg.IDPrefix)<<32 | uint64(s.nextMig)
 }
 
 // send serializes and sends one protocol message. Errors are swallowed:

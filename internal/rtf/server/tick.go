@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/binary"
+	"fmt"
 	"sort"
 	"time"
 
@@ -108,10 +109,24 @@ func (s *Server) Tick() {
 			}
 			mi := msg.(*proto.MigrateInit)
 			s.receiveMigration(mi)
-			br.Add(monitor.MigRcv, msSince(t0), 1)
+			dur := msSince(t0)
+			br.Add(monitor.MigRcv, dur, 1)
+			s.recordMigEvent(telemetry.MigEvent{
+				ID: mi.MigID, Phase: telemetry.MigPhaseRecv,
+				User: mi.User, From: mi.Avatar.Owner, To: s.ID(),
+			}, dur)
 		case proto.KindMigrateAck:
 			// Ownership already handed off optimistically at initiation;
-			// the ack is informational.
+			// the ack closes the migration span in the trace.
+			if s.cfg.MigTrace != nil {
+				if msg, err := proto.Registry.Decode(f.Payload); err == nil {
+					ack := msg.(*proto.MigrateAck)
+					s.recordMigEvent(telemetry.MigEvent{
+						ID: ack.MigID, Phase: telemetry.MigPhaseAck,
+						User: ack.User, From: s.ID(), To: f.From,
+					}, 0)
+				}
+			}
 		case proto.KindJoin:
 			if msg, err := proto.Registry.Decode(f.Payload); err == nil {
 				s.handleJoin(f.From, msg.(*proto.Join))
@@ -409,7 +424,19 @@ func (s *Server) receiveMigration(mi *proto.MigrateInit) {
 	}
 	s.users[mi.User] = &user{id: mi.User, avatar: av.ID, lastInput: s.tick}
 	s.cfg.App.ApplyUserState(s.env, av.ID, mi.AppState)
-	s.send(mi.Avatar.Owner, &proto.MigrateAck{User: mi.User, Avatar: av.ID})
+	s.send(mi.Avatar.Owner, &proto.MigrateAck{MigID: mi.MigID, User: mi.User, Avatar: av.ID})
+}
+
+// recordMigEvent stamps and stores one migration-phase observation in the
+// server's migration tracer (no-op when tracing is off).
+func (s *Server) recordMigEvent(e telemetry.MigEvent, durMS float64) {
+	if s.cfg.MigTrace == nil {
+		return
+	}
+	e.Tick = s.tick
+	e.UnixMicro = time.Now().UnixMicro()
+	e.DurMS = durMS
+	s.cfg.MigTrace.Record(e)
 }
 
 // processZoneTransfers hands off users whose avatars moved into another
@@ -440,12 +467,27 @@ func (s *Server) processZoneTransfers(br *monitor.Breakdown, removed *[]entity.I
 		handoff := *av
 		handoff.Zone = uint32(dest.ID)
 		mi := &proto.MigrateInit{
+			MigID:    s.allocMigIDLocked(),
 			User:     uid,
 			Avatar:   handoff,
 			AppState: s.cfg.App.EncodeUserState(s.env, av.ID),
 		}
 		s.send(target, mi)
-		br.Add(monitor.MigIni, msSince(t0), 1)
+		dur := msSince(t0)
+		br.Add(monitor.MigIni, dur, 1)
+		s.recordMigEvent(telemetry.MigEvent{
+			ID: mi.MigID, Phase: telemetry.MigPhaseInit,
+			User: uid, From: s.ID(), To: target,
+		}, dur)
+		if s.cfg.Events != nil {
+			s.cfg.Events.FleetEvent(telemetry.FleetEvent{
+				UnixMicro: time.Now().UnixMicro(),
+				Kind:      telemetry.FleetEventZoneHandoff,
+				Zone:      uint32(s.cfg.Zone),
+				Replica:   s.ID(),
+				Detail:    fmt.Sprintf("user %s → zone %d (%s)", uid, dest.ID, target),
+			})
+		}
 
 		s.send(uid, &proto.MigrateNotice{NewServer: target})
 		delete(s.users, uid)
@@ -483,9 +525,14 @@ func (s *Server) processMigrationOrders(br *monitor.Breakdown) {
 			}
 			t0 := time.Now()
 			appState := s.cfg.App.EncodeUserState(s.env, av.ID)
-			mi := &proto.MigrateInit{User: uid, Avatar: *av, AppState: appState}
+			mi := &proto.MigrateInit{MigID: s.allocMigIDLocked(), User: uid, Avatar: *av, AppState: appState}
 			s.send(ord.target, mi)
-			br.Add(monitor.MigIni, msSince(t0), 1)
+			dur := msSince(t0)
+			br.Add(monitor.MigIni, dur, 1)
+			s.recordMigEvent(telemetry.MigEvent{
+				ID: mi.MigID, Phase: telemetry.MigPhaseInit,
+				User: uid, From: s.ID(), To: ord.target,
+			}, dur)
 
 			// Optimistic ownership handoff: the target assumes control on
 			// receipt; locally the entity becomes a shadow.

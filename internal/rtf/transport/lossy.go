@@ -13,10 +13,10 @@ import (
 // use Lossy to prove it.
 type Lossy struct {
 	node Node
-	rate float64
 
-	mu  sync.Mutex
-	rng *rand.Rand
+	mu   sync.Mutex
+	rate float64
+	rng  *rand.Rand
 
 	dropped, sent int
 }
@@ -31,6 +31,21 @@ func NewLossy(node Node, rate float64, seed int64) *Lossy {
 		rate = 1
 	}
 	return &Lossy{node: node, rate: rate, rng: rand.New(rand.NewSource(seed))}
+}
+
+// SetRate changes the drop probability (clamped to 0..1). Fault-injection
+// tests use it to phase loss in and out — e.g. join clients reliably, then
+// degrade the link under migrations.
+func (l *Lossy) SetRate(rate float64) {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	l.mu.Lock()
+	l.rate = rate
+	l.mu.Unlock()
 }
 
 // ID implements Node.

@@ -1,0 +1,173 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// thresholdRule returns a rule that is active while *value > threshold.
+func thresholdRule(name string, pendingFor int, value *float64, threshold float64) Rule {
+	return Rule{
+		Name:       name,
+		PendingFor: pendingFor,
+		Eval: func(now float64) []RuleResult {
+			if *value <= threshold {
+				return nil
+			}
+			return []RuleResult{{Key: "k", Value: *value, Threshold: threshold}}
+		},
+	}
+}
+
+func statesOf(events []AlertEvent) []string {
+	out := make([]string, len(events))
+	for i, e := range events {
+		out[i] = e.State
+	}
+	return out
+}
+
+func TestAlertLifecyclePendingFiringResolved(t *testing.T) {
+	v := 0.0
+	sink := &MemoryAlerts{}
+	engine := NewAlertEngine(sink, thresholdRule("over", 1, &v, 10))
+
+	engine.Eval(1) // below threshold: nothing
+	v = 15
+	engine.Eval(2) // first breach: pending
+	engine.Eval(3) // held: firing
+	engine.Eval(4) // still firing: no new transition
+	v = 5
+	engine.Eval(5) // cleared: resolved
+
+	got := statesOf(sink.Snapshot())
+	want := []string{"pending", "firing", "resolved"}
+	if len(got) != len(want) {
+		t.Fatalf("transitions = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("transitions = %v, want %v", got, want)
+		}
+	}
+	ev := sink.Snapshot()[1]
+	if ev.Value != 15 || ev.Threshold != 10 || ev.Time != 3 {
+		t.Fatalf("firing event = %+v", ev)
+	}
+	if len(engine.Active()) != 0 {
+		t.Fatalf("active after resolve = %+v", engine.Active())
+	}
+}
+
+func TestAlertPendingCancelsSilently(t *testing.T) {
+	v := 0.0
+	sink := &MemoryAlerts{}
+	engine := NewAlertEngine(sink, thresholdRule("over", 3, &v, 10))
+
+	v = 15
+	engine.Eval(1) // pending
+	v = 5
+	engine.Eval(2) // cleared before firing: silent cancel
+
+	got := statesOf(sink.Snapshot())
+	if len(got) != 1 || got[0] != "pending" {
+		t.Fatalf("transitions = %v, want [pending] only (no spurious resolved)", got)
+	}
+	if len(engine.Active()) != 0 {
+		t.Fatalf("active = %+v", engine.Active())
+	}
+}
+
+func TestAlertPendingForHoldsPromotion(t *testing.T) {
+	v := 20.0
+	sink := &MemoryAlerts{}
+	engine := NewAlertEngine(sink, thresholdRule("over", 3, &v, 10))
+
+	for now := 1.0; now <= 3; now++ {
+		engine.Eval(now)
+	}
+	if active := engine.Active(); len(active) != 1 || active[0].State != AlertPending {
+		t.Fatalf("after 3 evals: %+v, want still pending (PendingFor=3)", active)
+	}
+	engine.Eval(4)
+	if active := engine.Active(); len(active) != 1 || active[0].State != AlertFiring {
+		t.Fatalf("after 4 evals: %+v, want firing", active)
+	}
+	if active := engine.Active(); active[0].Since != 1 {
+		t.Fatalf("since = %g, want 1 (first breach)", active[0].Since)
+	}
+}
+
+func TestAlertInstancesTrackedPerKey(t *testing.T) {
+	active := map[string]float64{}
+	rule := Rule{
+		Name: "per_replica",
+		Eval: func(now float64) []RuleResult {
+			var out []RuleResult
+			for k, v := range active {
+				out = append(out, RuleResult{Key: k, Value: v, Threshold: 1})
+			}
+			return out
+		},
+	}
+	sink := &MemoryAlerts{}
+	engine := NewAlertEngine(sink, rule)
+
+	active["server-1"] = 5
+	active["server-2"] = 7
+	engine.Eval(1)
+	engine.Eval(2)
+	if got := engine.Active(); len(got) != 2 || got[0].State != AlertFiring || got[1].State != AlertFiring {
+		t.Fatalf("active = %+v, want both firing", got)
+	}
+	delete(active, "server-1")
+	engine.Eval(3)
+	got := engine.Active()
+	if len(got) != 1 || got[0].Key != "server-2" {
+		t.Fatalf("active = %+v, want only server-2", got)
+	}
+	resolved := 0
+	for _, e := range sink.Snapshot() {
+		if e.State == "resolved" {
+			if e.Key != "server-1" {
+				t.Fatalf("resolved key = %q, want server-1", e.Key)
+			}
+			resolved++
+		}
+	}
+	if resolved != 1 {
+		t.Fatalf("resolved events = %d, want 1", resolved)
+	}
+}
+
+func TestAlertLogJSONLAndMetrics(t *testing.T) {
+	var buf bytes.Buffer
+	log := NewAlertLog(&buf)
+	v := 20.0
+	engine := NewAlertEngine(log, thresholdRule("over", 1, &v, 10))
+	engine.Eval(1)
+	engine.Eval(2)
+	if log.Events() != 2 || log.Err() != nil {
+		t.Fatalf("log events = %d err = %v", log.Events(), log.Err())
+	}
+	if !strings.Contains(buf.String(), `"state":"firing"`) || !strings.Contains(buf.String(), `"threshold":10`) {
+		t.Fatalf("jsonl = %q", buf.String())
+	}
+
+	var metrics bytes.Buffer
+	if err := engine.WriteMetrics(&metrics, ""); err != nil {
+		t.Fatal(err)
+	}
+	out := metrics.String()
+	for _, want := range []string{
+		`roia_alert_state{rule="over",key="k"} 2`,
+		"roia_alerts_firing 1",
+		"roia_alerts_pending 0",
+		"roia_alert_transitions_total 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+// Command benchjson runs the repository's benchmarks (`go test -bench
+// -benchmem`) and writes the results as a machine-readable BENCH_<n>.json
+// snapshot: benchmark name → ns/op, B/op, allocs/op. Committing a snapshot
+// per optimisation PR gives the repo a diffable performance history without
+// any external tooling — compare two snapshots with jq or a spreadsheet.
+//
+// The output index n is chosen as one past the highest existing
+// BENCH_<n>.json in the output directory, so successive runs never
+// overwrite a committed baseline.
+//
+// Example:
+//
+//	go run ./tools/benchjson                      # all packages, default time
+//	go run ./tools/benchjson -benchtime 100ms -pkg .
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"time"
+)
+
+var (
+	pkgFlag   = flag.String("pkg", "./...", "package pattern to benchmark")
+	benchFlag = flag.String("bench", ".", "benchmark name pattern (-bench)")
+	timeFlag  = flag.String("benchtime", "", "per-benchmark time or iteration count (-benchtime), empty for the go default")
+	dirFlag   = flag.String("dir", ".", "directory to write BENCH_<n>.json into")
+	outFlag   = flag.String("o", "", "explicit output path (overrides -dir auto-numbering)")
+)
+
+// result is one benchmark's measurements.
+type result struct {
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	BytesPerOp float64 `json:"bytes_per_op"`
+	AllocsOp   int64   `json:"allocs_per_op"`
+}
+
+// snapshot is the BENCH_<n>.json document.
+type snapshot struct {
+	// GoVersion and GOMAXPROCS pin the environment the numbers came from.
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Date is the run timestamp (RFC 3339, UTC).
+	Date string `json:"date"`
+	// Benchtime echoes the -benchtime in force ("" = go default).
+	Benchtime string `json:"benchtime,omitempty"`
+	// Benchmarks maps the benchmark name (CPU suffix stripped) to its
+	// measurements.
+	Benchmarks map[string]result `json:"benchmarks"`
+}
+
+// benchLine matches `go test -bench -benchmem` result rows, e.g.
+//
+//	BenchmarkTickLoop-8  1000  1234 ns/op  56 B/op  7 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	args := []string{"test", "-run", "^$", "-bench", *benchFlag, "-benchmem"}
+	if *timeFlag != "" {
+		args = append(args, "-benchtime", *timeFlag)
+	}
+	args = append(args, *pkgFlag)
+	cmd := exec.Command("go", args...)
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = os.Stderr
+	fmt.Fprintf(os.Stderr, "benchjson: go %v\n", args)
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("go test: %w", err)
+	}
+
+	benches := make(map[string]result)
+	for _, line := range bytes.Split(out.Bytes(), []byte("\n")) {
+		m := benchLine.FindSubmatch(line)
+		if m == nil {
+			continue
+		}
+		var r result
+		r.Iterations, _ = strconv.ParseInt(string(m[2]), 10, 64)
+		r.NsPerOp, _ = strconv.ParseFloat(string(m[3]), 64)
+		if len(m[4]) > 0 {
+			r.BytesPerOp, _ = strconv.ParseFloat(string(m[4]), 64)
+		}
+		if len(m[5]) > 0 {
+			r.AllocsOp, _ = strconv.ParseInt(string(m[5]), 10, 64)
+		}
+		benches[string(m[1])] = r
+	}
+	if len(benches) == 0 {
+		return fmt.Errorf("no benchmark results in go test output (%d bytes)", out.Len())
+	}
+
+	snap := snapshot{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		Benchtime:  *timeFlag,
+		Benchmarks: benches,
+	}
+	path := *outFlag
+	if path == "" {
+		path = filepath.Join(*dirFlag, fmt.Sprintf("BENCH_%d.json", nextIndex(*dirFlag)))
+	}
+	doc, err := json.MarshalIndent(&snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(doc, '\n'), 0o644); err != nil {
+		return err
+	}
+	names := make([]string, 0, len(benches))
+	for name := range benches {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("%s: %d benchmarks\n", path, len(names))
+	for _, name := range names {
+		r := benches[name]
+		fmt.Printf("  %-50s %12.1f ns/op %8d allocs/op\n", name, r.NsPerOp, r.AllocsOp)
+	}
+	return nil
+}
+
+// nextIndex returns one past the highest BENCH_<n>.json already in dir.
+func nextIndex(dir string) int {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return 1
+	}
+	max := 0
+	re := regexp.MustCompile(`BENCH_(\d+)\.json$`)
+	for _, m := range matches {
+		if g := re.FindStringSubmatch(m); g != nil {
+			if n, err := strconv.Atoi(g[1]); err == nil && n > max {
+				max = n
+			}
+		}
+	}
+	return max + 1
+}
