@@ -27,6 +27,7 @@ import (
 	"roia/internal/rtf/server"
 	"roia/internal/rtf/transport"
 	"roia/internal/rtf/zone"
+	"roia/internal/telemetry"
 )
 
 // --- figure reproductions -------------------------------------------------
@@ -325,6 +326,74 @@ func BenchmarkUpdateModes(b *testing.B) {
 			}
 			b.StopTimer()
 			b.ReportMetric(float64(totalBytes)/float64(b.N), "bytes/tick")
+		})
+	}
+}
+
+// --- observability overhead ablation -----------------------------------------
+
+// BenchmarkInstrumentedTick measures the full tick loop bare and with every
+// per-tick observability hook attached (tick tracer, per-phase task
+// profiler, QoS deadline accounting, and bots measuring input→update RTT
+// from the echoed acks). Diffing the two sub-benchmarks bounds the cost of
+// the instrumentation itself; the design target is under 5% on the hot
+// path, since the point of the telemetry is to watch production ticks, not
+// to perturb them.
+func BenchmarkInstrumentedTick(b *testing.B) {
+	for _, mode := range []struct {
+		name         string
+		instrumented bool
+	}{{"bare", false}, {"instrumented", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			net := transport.NewLoopback()
+			defer net.Close()
+			asg := zone.NewAssignment()
+			node, err := net.Attach("s1", 1<<16)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := server.Config{
+				Node: node, Zone: 1, Assignment: asg,
+				App: game.New(game.DefaultConfig()), IDPrefix: 1, Seed: 1,
+			}
+			if mode.instrumented {
+				cfg.Tracer = telemetry.NewTracer(telemetry.DefaultTraceCapacity)
+				cfg.Profiler = telemetry.NewTaskProfiler()
+			}
+			srv, err := server.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv.Start()
+			const nBots = 60
+			swarm := make([]*bots.Bot, nBots)
+			for i := range swarm {
+				cn, err := net.Attach(fmt.Sprintf("c%d", i+1), 1<<14)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cl := client.New(cn, "s1")
+				if mode.instrumented {
+					cl.SetLatencyDeadline(40)
+				}
+				if err := cl.Join(1, entity.Vec2{X: float64(100 + i*3), Y: 100}, cn.ID()); err != nil {
+					b.Fatal(err)
+				}
+				swarm[i] = bots.New(cl, bots.DefaultProfile(), int64(i+1))
+			}
+			for i := 0; i < 5; i++ {
+				srv.Tick()
+				for _, bt := range swarm {
+					bt.Step()
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, bt := range swarm {
+					bt.Step()
+				}
+				srv.Tick()
+			}
 		})
 	}
 }

@@ -1,7 +1,8 @@
 // Command roiabench regenerates every evaluation artifact of the paper:
 // Figures 4–8, the in-text threshold anchors of Section V-A, the
-// baseline-strategy comparison, and the FPS-vs-RPG profile comparison of
-// Section III-C.
+// baseline-strategy comparison, the FPS-vs-RPG profile comparison of
+// Section III-C, and an end-to-end client-latency probe (-fig latency)
+// reporting input→update RTT percentiles and QoS-deadline violations.
 //
 // Usage:
 //
@@ -23,7 +24,7 @@ import (
 )
 
 var (
-	figFlag  = flag.String("fig", "all", "artifact to regenerate: 4,5,6,7,8,anchors,baselines,traffic,heavy,pacing,flash,npcs,csweep,profiles,all")
+	figFlag  = flag.String("fig", "all", "artifact to regenerate: 4,5,6,7,8,anchors,baselines,traffic,heavy,pacing,flash,npcs,csweep,profiles,latency,all")
 	csvDir   = flag.String("csv", "", "directory to write CSV datasets into (created if missing)")
 	seedFlag = flag.Int64("seed", 1, "seed for the deterministic runs")
 	recFlag  = flag.String("record", "", "write the Fig. 8 session time series to this CSV (replayable via cmd/roiareplay)")
@@ -213,6 +214,20 @@ func run() error {
 			fmt.Printf("%-16s %10.0f %12s %6d %10d\n", r.Name, r.U, capacity, r.LMax, r.XIni200)
 		}
 		fmt.Println()
+	}
+	if want("latency") {
+		any = true
+		res, err := experiments.LatencyProbe(*seedFlag)
+		if err != nil {
+			return err
+		}
+		c := res.Client
+		fmt.Printf("End-to-end latency probe (%d bots, %d unpaced ticks, %.0f ticks/s throughput):\n",
+			res.Users, res.Ticks, res.TicksPerSec)
+		fmt.Printf("client input→update RTT (%d samples): p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms\n",
+			c.Count, c.P50, c.P95, c.P99, c.MaxMS)
+		fmt.Printf("deadline %.0fms: %d violations (%.2f%%)\n\n",
+			res.DeadlineMS, c.Violations, c.ViolationRate()*100)
 	}
 	if !any {
 		return fmt.Errorf("unknown -fig value %q", *figFlag)

@@ -9,15 +9,24 @@
 // triggers inside your bot budget (see cmd/roiacalibrate for measuring
 // the machine's real profile).
 //
+// With -fleet-metrics the session serves the cluster-level scrape while it
+// runs: per-replica tick and QoS-deadline counters, the merged client
+// input→update RTT distribution (deadline set by -rtt-deadline), and the
+// alert engine's state when -alerts is active. At the end of the session a
+// client-RTT percentile summary is printed alongside the fleet state.
+//
 // Example:
 //
-//	roiarms -peak 150 -duration 90 -u 10
+//	roiarms -peak 150 -duration 90 -u 10 -fleet-metrics 127.0.0.1:9200
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"time"
 
 	"roia/internal/bots"
 	"roia/internal/game"
@@ -42,6 +51,8 @@ var (
 	decFlag      = flag.String("decisions", "", "write the manager's decision log as JSONL to this file")
 	alertsFlag   = flag.String("alerts", "", "evaluate model-threshold alert rules each second and write transitions as JSONL to this file")
 	eventsFlag   = flag.String("events", "", "write the fleet lifecycle event log (spawn/drain/stop/handoff) as JSONL to this file")
+	fleetMetFlag = flag.String("fleet-metrics", "", "serve the fleet collector (per-replica QoS counters, client RTT, alerts) on this address (e.g. 127.0.0.1:9200)")
+	rttDeadFlag  = flag.Float64("rtt-deadline", 0, "client input→update RTT deadline in ms for QoS accounting (default: two tick intervals)")
 )
 
 func main() {
@@ -64,13 +75,16 @@ func run() error {
 		defer f.Close()
 		events = telemetry.NewFleetEventLog(f)
 	}
+	tickInterval := time.Second / time.Duration(*tpsFlag)
 	fl, err := fleet.New(fleet.Config{
-		Network:    net,
-		Zone:       1,
-		Assignment: zone.NewAssignment(),
-		NewApp:     func() server.Application { return game.New(game.DefaultConfig()) },
-		Seed:       *seedFlag,
-		Events:     eventSinkOrNil(events),
+		Network:       net,
+		Zone:          1,
+		Assignment:    zone.NewAssignment(),
+		NewApp:        func() server.Application { return game.New(game.DefaultConfig()) },
+		Seed:          *seedFlag,
+		Events:        eventSinkOrNil(events),
+		TickInterval:  tickInterval,
+		ProfilePhases: *fleetMetFlag != "",
 	})
 	if err != nil {
 		return err
@@ -93,6 +107,14 @@ func run() error {
 	}
 	mgr := rms.NewManager(fl, rms.Config{Model: mdl, CooldownSec: 5, MaxReplicas: *maxRepFlag, Audit: sinkOrNil(audit)})
 	driver := bots.NewFleetDriver(fl, net, *seedFlag)
+	// Client-perceived QoS: every bot measures its input→update RTT; the
+	// deadline defaults to two tick intervals (input applied next tick,
+	// update delivered the tick after).
+	rttDeadline := *rttDeadFlag
+	if rttDeadline <= 0 {
+		rttDeadline = 2 * float64(tickInterval) / float64(time.Millisecond)
+	}
+	driver.SetLatencyDeadline(rttDeadline)
 
 	// -alerts: evaluate the model-threshold rules once per control second,
 	// in lockstep with the manager, and log every pending/firing/resolved
@@ -111,10 +133,31 @@ func run() error {
 		alertLog = telemetry.NewAlertLog(f)
 		drift = &telemetry.Drift{}
 		engine = telemetry.NewAlertEngine(alertLog, fl.AlertRules(fleet.AlertConfig{
-			Model:       mdl,
-			MaxReplicas: *maxRepFlag,
-			Drift:       drift,
+			Model:         mdl,
+			MaxReplicas:   *maxRepFlag,
+			Drift:         drift,
+			ClientLatency: func() telemetry.LatencySnapshot { return driver.ClientLatency().Snapshot() },
 		})...)
+	}
+
+	// -fleet-metrics: the cluster-level scrape — per-replica tick/deadline
+	// counters, the merged client RTT distribution, and (with -alerts) the
+	// alert engine's state.
+	if *fleetMetFlag != "" {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		col := fleet.NewCollector(fl)
+		col.AddMetrics(func(w io.Writer, labels string) error {
+			return driver.ClientLatency().WriteMetrics(w, "roia_client_rtt", labels)
+		})
+		if engine != nil {
+			col.SetAlerts(engine)
+		}
+		addr, err := col.Serve(ctx, *fleetMetFlag)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("fleet metrics on http://%s/fleet/metrics, migration traces on /fleet/migrations\n", addr)
 	}
 
 	half := *durationFlag / 2
@@ -155,6 +198,10 @@ func run() error {
 	fmt.Printf("\nsession done: %d total migrations, final fleet:\n", migrations)
 	for _, s := range fl.Servers() {
 		fmt.Printf("  %-10s users=%-4d meanTick=%.3f ms\n", s.ID, s.Users, s.TickMS)
+	}
+	if snap := driver.ClientLatency().Snapshot(); snap.Count > 0 {
+		fmt.Printf("client RTT (input→update, %d samples): p50=%.1fms p95=%.1fms p99=%.1fms max=%.1fms, %.1f%% over the %.0fms deadline\n",
+			snap.Count, snap.P50, snap.P95, snap.P99, snap.MaxMS, snap.ViolationRate()*100, snap.DeadlineMS)
 	}
 	if audit != nil {
 		if err := audit.Err(); err != nil {

@@ -14,9 +14,10 @@
 // measured by the RTF hooks.
 //
 // With -metrics the server also exposes an observability endpoint:
-// Prometheus metrics (tick histogram, model-drift gauges, Go runtime
-// stats) on /metrics, the tick trace ring on /debug/ticktrace, and pprof
-// on /debug/pprof/. With -trace-out the trace ring is written as Chrome
+// Prometheus metrics (tick histogram, QoS deadline violations, per-phase
+// task profile, model-drift gauges — aggregate and per-task — and Go
+// runtime stats) on /metrics, the tick trace ring on /debug/ticktrace,
+// and pprof on /debug/pprof/. With -trace-out the trace ring is written as Chrome
 // trace-event JSON at shutdown, loadable in Perfetto.
 package main
 
@@ -57,6 +58,7 @@ var (
 	metricsFlag = flag.String("metrics", "", "serve metrics/pprof/ticktrace on this address (e.g. 127.0.0.1:9100)")
 	traceFlag   = flag.String("trace-out", "", "write the tick trace as Chrome trace JSON to this file at shutdown")
 	traceCap    = flag.Int("trace-cap", telemetry.DefaultTraceCapacity, "tick traces kept in the ring buffer")
+	deadline    = flag.Duration("deadline", 0, "tick QoS deadline for violation accounting (default: the tick interval, 1/U)")
 )
 
 func main() {
@@ -89,6 +91,7 @@ func run() error {
 	}
 
 	tracer := telemetry.NewTracer(*traceCap)
+	profiler := telemetry.NewTaskProfiler()
 	srv, err := server.New(server.Config{
 		Node:         node,
 		Zone:         zone.ID(*zoneFlag),
@@ -98,9 +101,13 @@ func run() error {
 		Seed:         *seedFlag,
 		TickInterval: *tickFlag,
 		Tracer:       tracer,
+		Profiler:     profiler,
 	})
 	if err != nil {
 		return err
+	}
+	if *deadline > 0 {
+		srv.Monitor().SetDeadline(float64(*deadline) / float64(time.Millisecond))
 	}
 	for i := 0; i < *npcFlag; i++ {
 		srv.SpawnNPC(npcPos(i))
@@ -114,10 +121,12 @@ func run() error {
 	}
 
 	drift := &telemetry.Drift{}
-	go trackDrift(ctx, srv.Monitor(), drift, *tickFlag)
+	names := telemetry.PhaseNames()
+	taskDrift := telemetry.NewTaskDrift(names[:]...)
+	go trackDrift(ctx, srv.Monitor(), drift, taskDrift, *tickFlag)
 
 	if *metricsFlag != "" {
-		if err := serveMetrics(ctx, srv.Monitor(), drift, tracer); err != nil {
+		if err := serveMetrics(ctx, srv.Monitor(), drift, taskDrift, profiler, tracer); err != nil {
 			return err
 		}
 	}
@@ -141,12 +150,14 @@ func run() error {
 
 // serveMetrics starts the observability HTTP server: Prometheus metrics,
 // the tick trace ring, and pprof. It shuts down gracefully when ctx ends.
-func serveMetrics(ctx context.Context, mon *monitor.Monitor, drift *telemetry.Drift, tracer *telemetry.Tracer) error {
+func serveMetrics(ctx context.Context, mon *monitor.Monitor, drift *telemetry.Drift, taskDrift *telemetry.TaskDrift, profiler *telemetry.TaskProfiler, tracer *telemetry.Tracer) error {
 	labels := fmt.Sprintf("server=%q,zone=\"%d\"", *idFlag, *zoneFlag)
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", telemetry.MetricsHandler(labels,
 		mon.WriteMetrics,
 		drift.WriteMetrics,
+		taskDrift.WriteMetrics,
+		profiler.WriteMetrics,
 		telemetry.WriteRuntimeMetrics,
 	))
 	mux.Handle("/debug/ticktrace", telemetry.TraceHandler(tracer))
@@ -180,9 +191,13 @@ func serveMetrics(ctx context.Context, mon *monitor.Monitor, drift *telemetry.Dr
 
 // trackDrift feeds the model-drift gauges once per second: the scalability
 // model's predicted tick time for the current l/n/m/a against the measured
-// mean tick. U is the tick interval — the budget the model is solved for.
-func trackDrift(ctx context.Context, mon *monitor.Monitor, drift *telemetry.Drift, tick time.Duration) {
-	mdl, err := model.New(params.RTFDemo(), float64(tick.Microseconds())/1000, params.CDefault)
+// mean tick (aggregate drift), plus the per-task comparison of each fitted
+// parameter curve against the measured phase cost (task drift, attributing
+// a diverging calibration to the specific term that is wrong). U is the
+// tick interval — the budget the model is solved for.
+func trackDrift(ctx context.Context, mon *monitor.Monitor, drift *telemetry.Drift, taskDrift *telemetry.TaskDrift, tick time.Duration) {
+	set := params.RTFDemo()
+	mdl, err := model.New(set, float64(tick.Microseconds())/1000, params.CDefault)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "roiaserver: drift model:", err)
 		return
@@ -200,6 +215,7 @@ func trackDrift(ctx context.Context, mon *monitor.Monitor, drift *telemetry.Drif
 			}
 			predicted := mdl.TickTimeUneven(b.Replicas, b.Users, b.NPCs, b.ActiveUsers)
 			drift.Observe(predicted, mon.MeanTick())
+			mon.ObserveTaskDrift(set, taskDrift)
 		}
 	}
 }

@@ -2,11 +2,13 @@ package bots
 
 import (
 	"fmt"
+	"sync"
 
 	"roia/internal/rtf/client"
 	"roia/internal/rtf/entity"
 	"roia/internal/rtf/fleet"
 	"roia/internal/rtf/transport"
+	"roia/internal/telemetry"
 )
 
 // FleetDriver maintains a bot population against a live RTF fleet: it
@@ -15,27 +17,77 @@ import (
 // lockstep. It is the live-cluster counterpart of the simulator's
 // SetTargetUsers and powers cmd/roiacalibrate and the shooter example.
 type FleetDriver struct {
-	fl      *fleet.Fleet
-	net     transport.Network
+	fl  *fleet.Fleet
+	net transport.Network
+
+	// mu guards the mutable swarm state: a metrics scrape reads
+	// ClientLatency from an HTTP goroutine while the session loop grows
+	// and shrinks the swarm.
+	mu      sync.Mutex
 	profile Profile
 	seed    int64
 	next    int
 	swarm   []*Bot
+	// rttDeadline is applied to every new bot's latency recorder (ms);
+	// retired accumulates the recorders of disconnected bots so the
+	// fleet-wide RTT distribution survives swarm shrinks.
+	rttDeadline float64
+	retired     *telemetry.Latency
 }
 
 // NewFleetDriver returns a driver with the default interactivity profile.
 func NewFleetDriver(fl *fleet.Fleet, net transport.Network, seed int64) *FleetDriver {
-	return &FleetDriver{fl: fl, net: net, profile: DefaultProfile(), seed: seed}
+	return &FleetDriver{
+		fl: fl, net: net, profile: DefaultProfile(), seed: seed,
+		retired: telemetry.NewLatency(0),
+	}
 }
 
 // SetProfile changes the profile used for newly-connected bots.
-func (d *FleetDriver) SetProfile(p Profile) { d.profile = p }
+func (d *FleetDriver) SetProfile(p Profile) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.profile = p
+}
 
-// Bots returns the live swarm.
-func (d *FleetDriver) Bots() []*Bot { return d.swarm }
+// SetLatencyDeadline sets the input→update RTT deadline (ms) used for QoS
+// violation accounting, applied to current and future bots.
+func (d *FleetDriver) SetLatencyDeadline(ms float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.rttDeadline = ms
+	for _, b := range d.swarm {
+		b.Client().SetLatencyDeadline(ms)
+	}
+}
+
+// ClientLatency merges every bot's input→update RTT recorder — live swarm
+// plus already-disconnected bots — into one fleet-wide distribution. The
+// returned recorder is a snapshot; it matches telemetry.LatencyMetrics for
+// export. Safe to call concurrently with the session loop (e.g. from a
+// metrics scrape).
+func (d *FleetDriver) ClientLatency() *telemetry.Latency {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	all := telemetry.NewLatency(d.rttDeadline)
+	all.Merge(d.retired)
+	for _, b := range d.swarm {
+		all.Merge(b.Client().Latency())
+	}
+	return all
+}
+
+// Bots returns a snapshot of the live swarm.
+func (d *FleetDriver) Bots() []*Bot {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]*Bot(nil), d.swarm...)
+}
 
 // SetBots grows or shrinks the swarm to the target size.
 func (d *FleetDriver) SetBots(target int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if target < 0 {
 		target = 0
 	}
@@ -50,6 +102,7 @@ func (d *FleetDriver) SetBots(target int) error {
 			return err
 		}
 		cl := client.New(node, srvID)
+		cl.SetLatencyDeadline(d.rttDeadline)
 		pos := entity.Vec2{X: float64((d.next * 97) % 1000), Y: float64((d.next * 61) % 1000)}
 		if err := cl.Join(1, pos, node.ID()); err != nil {
 			node.Close()
@@ -64,6 +117,7 @@ func (d *FleetDriver) SetBots(target int) error {
 		// Give the leave frame one tick to be processed before the node
 		// disappears from the network.
 		d.fl.TickAll()
+		d.retired.Merge(b.Client().Latency())
 		_ = b.Client().Close()
 	}
 	return nil
@@ -96,8 +150,11 @@ func (d *FleetDriver) leastLoaded() string {
 
 // Step advances the fleet by one tick and lets every bot act.
 func (d *FleetDriver) Step() {
+	d.mu.Lock()
+	swarm := append([]*Bot(nil), d.swarm...)
+	d.mu.Unlock()
 	d.fl.TickAll()
-	for _, b := range d.swarm {
+	for _, b := range swarm {
 		b.Step()
 	}
 }

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"time"
+
+	"roia/internal/bots"
+	"roia/internal/game"
+	"roia/internal/rtf/fleet"
+	"roia/internal/rtf/server"
+	"roia/internal/rtf/transport"
+	"roia/internal/rtf/zone"
+	"roia/internal/telemetry"
+)
+
+// LatencyResult summarizes the end-to-end latency probe: the distribution
+// of client-perceived input→update RTTs over a live fleet run.
+type LatencyResult struct {
+	// Users is the steady bot population, Ticks the measured tick count.
+	Users, Ticks int
+	// TicksPerSec is the unpaced processing throughput during the
+	// measurement window (how much headroom the pipeline has under 1/U).
+	TicksPerSec float64
+	// Client is the merged input→update RTT distribution across all bots,
+	// with deadline-violation accounting against DeadlineMS.
+	Client telemetry.LatencySnapshot
+	// DeadlineMS is the QoS deadline the violations were counted against
+	// (one nominal 40 ms tick interval, the paper's U for the RTFDemo).
+	DeadlineMS float64
+}
+
+// LatencyProbe runs the client-perceived response-time experiment: a live
+// two-replica fleet processing the shooter, a steady bot population whose
+// every input is sequence-stamped, and the per-input RTT measured from the
+// echoed ack in each state update. Ticks are unpaced, so the RTTs expose
+// the processing pipeline itself (input queueing + tick computation +
+// delivery), the part of response time the scalability model budgets;
+// network RTT would add on top in a deployment.
+func LatencyProbe(seed int64) (*LatencyResult, error) {
+	const (
+		users      = 120
+		warmTicks  = 50
+		probeTicks = 300
+		deadlineMS = 40 // one tick interval at the paper's 25 Hz
+	)
+	net := transport.NewLoopback()
+	defer net.Close()
+	fl, err := fleet.New(fleet.Config{
+		Network:    net,
+		Zone:       1,
+		Assignment: zone.NewAssignment(),
+		NewApp:     func() server.Application { return game.New(game.DefaultConfig()) },
+		Seed:       seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := fl.AddReplica(); err != nil {
+			return nil, err
+		}
+	}
+	driver := bots.NewFleetDriver(fl, net, seed)
+	driver.SetLatencyDeadline(deadlineMS)
+	if err := driver.SetBots(users); err != nil {
+		return nil, err
+	}
+	for i := 0; i < warmTicks; i++ {
+		driver.Step()
+	}
+	start := time.Now()
+	for i := 0; i < probeTicks; i++ {
+		driver.Step()
+	}
+	elapsed := time.Since(start)
+	snap := driver.ClientLatency().Snapshot()
+	tps := 0.0
+	if elapsed > 0 {
+		tps = float64(probeTicks) / elapsed.Seconds()
+	}
+	return &LatencyResult{
+		Users:       users,
+		Ticks:       probeTicks,
+		TicksPerSec: tps,
+		Client:      snap,
+		DeadlineMS:  deadlineMS,
+	}, nil
+}

@@ -10,15 +10,33 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"roia/internal/rtf/entity"
 	"roia/internal/rtf/proto"
 	"roia/internal/rtf/transport"
 	"roia/internal/rtf/wire"
+	"roia/internal/telemetry"
 )
 
 // ErrNotJoined is returned by input sends before a join is acknowledged.
 var ErrNotJoined = errors.New("client: not joined")
+
+// maxPendingInputs bounds the in-flight input ring: when the server (or a
+// lossy link) stops acking, the oldest pending timestamps are evicted and
+// counted lost instead of growing without bound. 1024 inputs is ~40 s of
+// continuous input at 25 Hz — far past any RTT worth measuring.
+const maxPendingInputs = 1024
+
+// pendingAge caps how long an unacked input stays pending before it ages
+// out as lost. Keeps the ring small under light input rates too.
+const pendingAge = 10 * time.Second
+
+// pendingInput is one sent-but-not-yet-acked input.
+type pendingInput struct {
+	seq uint64
+	at  time.Time
+}
 
 // Client is one user connection.
 type Client struct {
@@ -35,12 +53,27 @@ type Client struct {
 	updates    uint64
 	migrations int
 	w          *wire.Writer
+
+	// pending holds send timestamps of unacked inputs, oldest first;
+	// ackSeq is the highest AckSeq delivered (guards against reordered
+	// updates re-acking); lost counts inputs evicted unacked.
+	pending []pendingInput
+	ackSeq  uint64
+	lost    uint64
+	now     func() time.Time
+	lat     *telemetry.Latency
 }
 
 // New wraps an attached transport node into a client that will talk to the
 // given server.
 func New(node transport.Node, server string) *Client {
-	return &Client{node: node, server: server, w: wire.NewWriter(256)}
+	return &Client{
+		node:   node,
+		server: server,
+		w:      wire.NewWriter(256),
+		now:    time.Now,
+		lat:    telemetry.NewLatency(0),
+	}
 }
 
 // ID returns the client's node ID (its user identity).
@@ -133,7 +166,9 @@ func (c *Client) Leave() error {
 	return c.sendLocked(&proto.Leave{})
 }
 
-// SendInput transmits one application-encoded command.
+// SendInput transmits one application-encoded command and stamps it for
+// response-time measurement: when a state update acknowledging the input's
+// sequence arrives, the input→update round trip is recorded in Latency.
 func (c *Client) SendInput(payload []byte) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -141,7 +176,69 @@ func (c *Client) SendInput(payload []byte) error {
 		return ErrNotJoined
 	}
 	c.inputSeq++
+	c.pending = append(c.pending, pendingInput{seq: c.inputSeq, at: c.now()})
+	if len(c.pending) > maxPendingInputs {
+		drop := len(c.pending) - maxPendingInputs
+		c.lost += uint64(drop)
+		c.pending = append(c.pending[:0], c.pending[drop:]...)
+	}
 	return c.sendLocked(&proto.Input{Seq: c.inputSeq, Payload: payload})
+}
+
+// resolveAckLocked consumes an AckSeq carried by a state update: the
+// exact-match pending input yields an RTT observation; older pending
+// inputs were coalesced into the same tick (applied, but not individually
+// measurable) and are discarded; newer ones stay pending. Updates whose
+// ack is not beyond the highest seen (reordered or duplicated delivery)
+// are ignored — the first delivery already measured the RTT. Unacked
+// inputs older than pendingAge are aged out as lost.
+func (c *Client) resolveAckLocked(ack uint64, at time.Time) {
+	if ack > c.ackSeq {
+		c.ackSeq = ack
+		i := 0
+		for ; i < len(c.pending) && c.pending[i].seq < ack; i++ {
+		}
+		if i < len(c.pending) && c.pending[i].seq == ack {
+			c.lat.Observe(float64(at.Sub(c.pending[i].at)) / float64(time.Millisecond))
+			i++
+		}
+		c.pending = append(c.pending[:0], c.pending[i:]...)
+	}
+	for len(c.pending) > 0 && at.Sub(c.pending[0].at) > pendingAge {
+		c.lost++
+		c.pending = append(c.pending[:0], c.pending[1:]...)
+	}
+}
+
+// Latency returns the client's input→update response-time recorder. Set a
+// deadline with SetLatencyDeadline to count QoS violations against the
+// model's threshold U.
+func (c *Client) Latency() *telemetry.Latency { return c.lat }
+
+// SetLatencyDeadline sets the RTT deadline (ms) for QoS violation
+// accounting; non-positive disables.
+func (c *Client) SetLatencyDeadline(ms float64) { c.lat.SetDeadline(ms) }
+
+// AckSeq returns the highest input sequence the server has acknowledged.
+func (c *Client) AckSeq() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ackSeq
+}
+
+// PendingInputs reports how many sent inputs await acknowledgement.
+func (c *Client) PendingInputs() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}
+
+// LostInputs reports how many inputs aged out or were evicted unacked
+// (dropped on a lossy link, or acked only after their timestamp expired).
+func (c *Client) LostInputs() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lost
 }
 
 func (c *Client) sendLocked(msg wire.Message) error {
@@ -158,6 +255,7 @@ func (c *Client) Poll() int {
 	frames := transport.Drain(c.node, 0)
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	now := c.now()
 	seen := 0
 	for _, f := range frames {
 		if len(f.Payload) < 2 {
@@ -178,6 +276,7 @@ func (c *Client) Poll() int {
 				continue
 			}
 			upd := msg.(*proto.StateUpdate)
+			c.resolveAckLocked(upd.AckSeq, now)
 			c.lastUpdate = upd
 			if c.world == nil {
 				c.world = make(map[entity.ID]entity.Entity, len(upd.Visible)+1)

@@ -27,6 +27,16 @@ type AlertConfig struct {
 	// instance from pending to firing (default 1: the second consecutive
 	// breach fires).
 	PendingFor int
+	// QoSViolationRate is the fraction of deadline-violating ticks (per
+	// replica, between evaluations) above which the qos_tick_deadline rule
+	// is active (default 0.05: more than 5% of recent ticks ran long).
+	QoSViolationRate float64
+	// ClientLatency, when set, enables the qos_client_rtt rule: it is
+	// polled each evaluation for the fleet-wide input→update RTT recorder
+	// (e.g. bots.FleetDriver.ClientLatency) and the rule fires when the
+	// violation rate of the RTTs observed since the previous evaluation
+	// exceeds QoSViolationRate.
+	ClientLatency func() telemetry.LatencySnapshot
 }
 
 // Rule names exported by AlertRules.
@@ -35,6 +45,8 @@ const (
 	AlertFleetAtLMax     = "fleet_at_lmax"
 	AlertMigBudgetDry    = "migration_budget_exhausted"
 	AlertModelDrift      = "model_drift"
+	AlertQoSTickDeadline = "qos_tick_deadline"
+	AlertQoSClientRTT    = "qos_client_rtt"
 )
 
 // AlertRules builds the fleet's threshold rules for a telemetry.AlertEngine.
@@ -53,9 +65,21 @@ const (
 //   - model_drift: the live |prediction error| ratio exceeds
 //     DriftTolerance — the calibrated cost model no longer matches the
 //     deployed workload, so every threshold above is suspect.
+//   - qos_tick_deadline: more than QoSViolationRate of a replica's ticks
+//     since the previous evaluation exceeded the tick deadline 1/U — the
+//     server-side half of the QoS contract is being broken sustainedly
+//     (PendingFor consecutive breaches), not by a lone outlier tick. One
+//     instance per replica.
+//   - qos_client_rtt: the fleet-wide client input→update RTT violation
+//     rate since the previous evaluation exceeds QoSViolationRate — the
+//     user-perceived half of the contract, measured end to end (requires
+//     ClientLatency).
 func (f *Fleet) AlertRules(cfg AlertConfig) []telemetry.Rule {
 	if cfg.DriftTolerance <= 0 {
 		cfg.DriftTolerance = 0.5
+	}
+	if cfg.QoSViolationRate <= 0 {
+		cfg.QoSViolationRate = 0.05
 	}
 	zoneKey := fmt.Sprintf("zone-%d", f.cfg.Zone)
 	rules := []telemetry.Rule{
@@ -161,6 +185,76 @@ func (f *Fleet) AlertRules(cfg AlertConfig) []telemetry.Rule {
 				return out
 			},
 		},
+	}
+	// qos_tick_deadline compares violation deltas between evaluations, so
+	// a replica that ran long during warm-up but recovered resolves
+	// instead of staying firing on its cumulative counter.
+	type qosPrev struct{ ticks, violations uint64 }
+	tickPrev := make(map[string]qosPrev)
+	rules = append(rules, telemetry.Rule{
+		Name:       AlertQoSTickDeadline,
+		PendingFor: cfg.PendingFor,
+		Eval: func(now float64) []telemetry.RuleResult {
+			var out []telemetry.RuleResult
+			seen := make(map[string]bool)
+			for _, id := range f.IDs() {
+				srv, ok := f.Server(id)
+				if !ok {
+					continue
+				}
+				seen[id] = true
+				mon := srv.Monitor()
+				cur := qosPrev{ticks: mon.Ticks(), violations: mon.DeadlineViolations()}
+				prev := tickPrev[id]
+				tickPrev[id] = cur
+				if cur.ticks <= prev.ticks {
+					continue // no new ticks (or monitor reset)
+				}
+				rate := float64(cur.violations-prev.violations) / float64(cur.ticks-prev.ticks)
+				if rate <= cfg.QoSViolationRate {
+					continue
+				}
+				out = append(out, telemetry.RuleResult{
+					Key:       id,
+					Value:     rate,
+					Threshold: cfg.QoSViolationRate,
+					Detail: fmt.Sprintf("%.1f%% of the last %d ticks exceeded the %.1fms deadline (QoS budget %.1f%%)",
+						rate*100, cur.ticks-prev.ticks, mon.DeadlineMS(), cfg.QoSViolationRate*100),
+				})
+			}
+			for id := range tickPrev {
+				if !seen[id] {
+					delete(tickPrev, id) // replica stopped; forget its counters
+				}
+			}
+			return out
+		},
+	})
+	if cfg.ClientLatency != nil {
+		var prev telemetry.LatencySnapshot
+		rules = append(rules, telemetry.Rule{
+			Name:       AlertQoSClientRTT,
+			PendingFor: cfg.PendingFor,
+			Eval: func(now float64) []telemetry.RuleResult {
+				cur := cfg.ClientLatency()
+				last := prev
+				prev = cur
+				if cur.Count <= last.Count {
+					return nil
+				}
+				rate := float64(cur.Violations-last.Violations) / float64(cur.Count-last.Count)
+				if rate <= cfg.QoSViolationRate {
+					return nil
+				}
+				return []telemetry.RuleResult{{
+					Key:       zoneKey,
+					Value:     rate,
+					Threshold: cfg.QoSViolationRate,
+					Detail: fmt.Sprintf("%.1f%% of the last %d input→update RTTs exceeded the %.1fms deadline (p99 %.1fms)",
+						rate*100, cur.Count-last.Count, cur.DeadlineMS, cur.P99),
+				}}
+			},
+		})
 	}
 	if cfg.Drift != nil {
 		tol := cfg.DriftTolerance

@@ -67,13 +67,15 @@ func (c *Collector) snapshot() ([]*Fleet, *telemetry.AlertEngine, []telemetry.Me
 
 // replicaRow is one live replica's scrape snapshot.
 type replicaRow struct {
-	zone     uint32
-	id       string
-	ticks    uint64
-	meanMS   float64
-	p95MS    float64
-	users    int
-	draining bool
+	zone       uint32
+	id         string
+	ticks      uint64
+	meanMS     float64
+	p95MS      float64
+	users      int
+	draining   bool
+	deadlineMS float64
+	violations uint64
 }
 
 // MigEvents merges the migration events of every registered fleet, keyed by
@@ -99,6 +101,9 @@ func (c *Collector) MigEvents() map[string][]telemetry.MigEvent {
 //	roia_fleet_ticks_total{zone,replica}    counter, processed ticks
 //	roia_fleet_tick_mean_ms{zone,replica}   gauge, recent mean tick
 //	roia_fleet_tick_p95_ms{zone,replica}    gauge, recent p95 tick
+//	roia_fleet_deadline_ms{zone,replica}    gauge, tick QoS deadline 1/U
+//	roia_fleet_deadline_violations_total{zone,replica}
+//	                                        counter, ticks past the deadline
 //	roia_fleet_users{zone,replica}          gauge, connected users (a)
 //	roia_fleet_draining{zone,replica}       gauge, 1 while draining
 //	roia_fleet_zone_users{zone}             gauge, zone-wide users (n)
@@ -125,13 +130,15 @@ func (c *Collector) WriteMetrics(w io.Writer, labels string) error {
 			}
 			mon := srv.Monitor()
 			rows = append(rows, replicaRow{
-				zone:     z,
-				id:       id,
-				ticks:    mon.Ticks(),
-				meanMS:   mon.MeanTick(),
-				p95MS:    mon.TickSummary().P95,
-				users:    srv.UserCount(),
-				draining: srv.Draining(),
+				zone:       z,
+				id:         id,
+				ticks:      mon.Ticks(),
+				meanMS:     mon.MeanTick(),
+				p95MS:      mon.TickSummary().P95,
+				users:      srv.UserCount(),
+				draining:   srv.Draining(),
+				deadlineMS: mon.DeadlineMS(),
+				violations: mon.DeadlineViolations(),
 			})
 		}
 		zr := zoneRow{zone: z, users: fl.ZoneUsers(), npcs: fl.NPCCount(), l: len(fl.IDs())}
@@ -161,6 +168,14 @@ func (c *Collector) WriteMetrics(w io.Writer, labels string) error {
 	fmt.Fprintf(&b, "# TYPE roia_fleet_tick_p95_ms gauge\n")
 	for _, r := range rows {
 		fmt.Fprintf(&b, "roia_fleet_tick_p95_ms%s %g\n", rlbl(r), r.p95MS)
+	}
+	fmt.Fprintf(&b, "# TYPE roia_fleet_deadline_ms gauge\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "roia_fleet_deadline_ms%s %g\n", rlbl(r), r.deadlineMS)
+	}
+	fmt.Fprintf(&b, "# TYPE roia_fleet_deadline_violations_total counter\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "roia_fleet_deadline_violations_total%s %d\n", rlbl(r), r.violations)
 	}
 	fmt.Fprintf(&b, "# TYPE roia_fleet_users gauge\n")
 	for _, r := range rows {

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"roia/internal/cloud"
+	"roia/internal/model"
 	"roia/internal/rms"
 	"roia/internal/rtf/server"
 	"roia/internal/rtf/transport"
@@ -61,6 +62,13 @@ type Config struct {
 	// MigTraceCapacity bounds each server's migration-event ring
 	// (default telemetry.DefaultMigTraceCapacity).
 	MigTraceCapacity int
+	// ProfilePhases gives every spawned server a telemetry.TaskProfiler
+	// attributing each tick to the model's four task phases (see
+	// server.Config.Profiler and Fleet.Profiler).
+	ProfilePhases bool
+	// TickInterval is passed to every spawned server (default 40 ms); it
+	// also sets each server's tick QoS deadline 1/U.
+	TickInterval time.Duration
 }
 
 // Fleet is a live replica group implementing rms.Cluster.
@@ -137,6 +145,34 @@ func (f *Fleet) MigEvents() map[string][]telemetry.MigEvent {
 		out[id] = tr.Events()
 	}
 	return out
+}
+
+// Profiler returns a running server's phase profiler (nil unless
+// ProfilePhases is on).
+func (f *Fleet) Profiler(id string) (*telemetry.TaskProfiler, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.servers[id]
+	if !ok {
+		return nil, false
+	}
+	return s.Profiler(), true
+}
+
+// ObserveTaskDrift feeds every running server's measured per-phase costs
+// against the cost model's fitted curves into td (see
+// monitor.ObserveTaskDrift). Call it periodically, then export td via the
+// collector's AddMetrics.
+func (f *Fleet) ObserveTaskDrift(cost model.CostModel, td *telemetry.TaskDrift) {
+	f.mu.Lock()
+	servers := make([]*server.Server, 0, len(f.order))
+	for _, id := range f.order {
+		servers = append(servers, f.servers[id])
+	}
+	f.mu.Unlock()
+	for _, s := range servers {
+		s.Monitor().ObserveTaskDrift(cost, td)
+	}
 }
 
 // Server returns a running server by ID (for tests and tick driving).
@@ -300,16 +336,22 @@ func (f *Fleet) AddReplica() (string, error) {
 	if f.cfg.TraceMigrations {
 		migTrace = telemetry.NewMigTracer(f.cfg.MigTraceCapacity)
 	}
+	var profiler *telemetry.TaskProfiler
+	if f.cfg.ProfilePhases {
+		profiler = telemetry.NewTaskProfiler()
+	}
 	srv, err := server.New(server.Config{
-		Node:       node,
-		Zone:       f.cfg.Zone,
-		Assignment: f.cfg.Assignment,
-		App:        f.cfg.NewApp(),
-		World:      f.cfg.World,
-		IDPrefix:   f.cfg.IDBase + uint16(f.nextIdx),
-		Seed:       f.cfg.Seed + int64(f.nextIdx),
-		MigTrace:   migTrace,
-		Events:     f.cfg.Events,
+		Node:         node,
+		Zone:         f.cfg.Zone,
+		Assignment:   f.cfg.Assignment,
+		App:          f.cfg.NewApp(),
+		World:        f.cfg.World,
+		IDPrefix:     f.cfg.IDBase + uint16(f.nextIdx),
+		Seed:         f.cfg.Seed + int64(f.nextIdx),
+		TickInterval: f.cfg.TickInterval,
+		MigTrace:     migTrace,
+		Profiler:     profiler,
+		Events:       f.cfg.Events,
 	})
 	if err != nil {
 		node.Close()

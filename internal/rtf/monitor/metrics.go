@@ -25,6 +25,8 @@ import (
 //	roia_zone_users / roia_active_users    the model's n and a
 //	roia_npcs / roia_replicas              the model's m and l
 //	roia_tick_bytes{direction=...}         wire bytes of the last tick
+//	roia_tick_deadline_ms                  QoS tick deadline 1/U (0 = off)
+//	roia_tick_deadline_violations_total    ticks that exceeded the deadline
 //	roia_monitor_dropped_samples_total     calibration observations discarded
 //	                                       at the sample-log cap
 //
@@ -34,6 +36,8 @@ func (m *Monitor) WriteMetrics(w io.Writer, labels string) error {
 	m.mu.Lock()
 	ticks := m.ticks
 	dropped := m.dropped
+	deadline := m.deadlineMS
+	violations := m.violations
 	tickSummary := m.tickTotals.Summary()
 	hist := m.tickHist.Clone()
 	last := m.lastBreak
@@ -91,6 +95,9 @@ func (m *Monitor) WriteMetrics(w io.Writer, labels string) error {
 	fmt.Fprintf(&b, "# TYPE roia_tick_bytes gauge\n")
 	fmt.Fprintf(&b, "roia_tick_bytes%s %d\n", lbl(`direction="in"`), last.BytesIn)
 	fmt.Fprintf(&b, "roia_tick_bytes%s %d\n", lbl(`direction="out"`), last.BytesOut)
+	fmt.Fprintf(&b, "# TYPE roia_tick_deadline_ms gauge\nroia_tick_deadline_ms%s %g\n", lbl(""), deadline)
+	fmt.Fprintf(&b, "# TYPE roia_tick_deadline_violations_total counter\n")
+	fmt.Fprintf(&b, "roia_tick_deadline_violations_total%s %d\n", lbl(""), violations)
 	fmt.Fprintf(&b, "# TYPE roia_monitor_dropped_samples_total counter\n")
 	fmt.Fprintf(&b, "roia_monitor_dropped_samples_total%s %d\n", lbl(""), dropped)
 

@@ -143,6 +143,11 @@ type Monitor struct {
 	ticks     uint64
 	lastUsers int
 	lastBreak Breakdown
+
+	// deadlineMS is the QoS contract 1/U in milliseconds; ticks whose
+	// total exceeds it are counted in violations. Zero disables.
+	deadlineMS float64
+	violations uint64
 }
 
 // TrafficSample is one tick's bandwidth observation.
@@ -203,6 +208,31 @@ func (m *Monitor) DroppedSamples() uint64 {
 	return m.dropped
 }
 
+// SetDeadline sets the tick QoS deadline in milliseconds — the model's
+// 1/U, the response-time budget every tick must fit in. Ticks recorded
+// with a larger total are counted by DeadlineViolations. A non-positive
+// deadline disables the accounting.
+func (m *Monitor) SetDeadline(ms float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.deadlineMS = ms
+}
+
+// DeadlineMS reports the tick QoS deadline in force (0 when disabled).
+func (m *Monitor) DeadlineMS() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.deadlineMS
+}
+
+// DeadlineViolations reports how many recorded ticks exceeded the
+// deadline. The counter is cumulative until Reset.
+func (m *Monitor) DeadlineViolations() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.violations
+}
+
 // RecordTick ingests one tick's breakdown.
 func (m *Monitor) RecordTick(b Breakdown) {
 	m.mu.Lock()
@@ -210,8 +240,12 @@ func (m *Monitor) RecordTick(b Breakdown) {
 	m.ticks++
 	m.lastUsers = b.Users
 	m.lastBreak = b
-	m.tickTotals.Add(b.Total())
-	m.tickHist.Observe(b.Total())
+	total := b.Total()
+	m.tickTotals.Add(total)
+	m.tickHist.Observe(total)
+	if m.deadlineMS > 0 && total > m.deadlineMS {
+		m.violations++
+	}
 	for t := Task(0); t < numTasks; t++ {
 		if per, ok := b.PerItem(t); ok {
 			m.perTask[t].Add(per)
@@ -305,6 +339,7 @@ func (m *Monitor) Reset() {
 	m.samples = nil
 	m.traffic = nil
 	m.dropped = 0
+	m.violations = 0
 	m.tickTotals = stats.NewReservoir(HistorySize)
 	m.tickHist = telemetry.NewHistogram(telemetry.DefTickBuckets()...)
 	for i := range m.perTask {

@@ -11,6 +11,18 @@ import (
 	"roia/internal/rtf/wire"
 )
 
+// Version is the protocol revision. Changes that alter any message's wire
+// layout must bump it; both sides of a connection must agree.
+//
+//	v1  seed protocol
+//	v2  MigrateInit/MigrateAck gained MigID (fleet migration tracing)
+//	v3  StateUpdate gained AckSeq (client-perceived response time)
+//
+// The format has no in-band negotiation: fields are appended at the end of
+// a message's fixed prefix or, as with AckSeq, inserted with a version
+// bump, and mixed-version fleets are not supported.
+const Version = 3
+
 // Message kinds of the RTF protocol.
 const (
 	KindJoin wire.Kind = iota + 1
@@ -133,6 +145,11 @@ func (m *Input) UnmarshalWire(r *wire.Reader) error {
 type StateUpdate struct {
 	// Tick is the server tick this update reflects.
 	Tick uint64
+	// AckSeq is the sequence number of the last input of this client the
+	// server applied before building the update (0 while none). The client
+	// matches it against its send timestamps to measure the user-perceived
+	// input→update response time the model's QoS threshold U promises.
+	AckSeq uint64
 	// Self is the client's own avatar state.
 	Self entity.Entity
 	// Visible is the filtered set of other entities in the client's area
@@ -153,6 +170,7 @@ func (*StateUpdate) WireKind() wire.Kind { return KindStateUpdate }
 // MarshalWire implements wire.Message.
 func (m *StateUpdate) MarshalWire(w *wire.Writer) {
 	w.Uint64(m.Tick)
+	w.Uint64(m.AckSeq)
 	m.Self.MarshalWire(w)
 	w.Uvarint(uint64(len(m.Visible)))
 	for i := range m.Visible {
@@ -168,6 +186,7 @@ func (m *StateUpdate) MarshalWire(w *wire.Writer) {
 // UnmarshalWire implements wire.Message.
 func (m *StateUpdate) UnmarshalWire(r *wire.Reader) error {
 	m.Tick = r.Uint64()
+	m.AckSeq = r.Uint64()
 	if err := m.Self.UnmarshalWire(r); err != nil {
 		return err
 	}

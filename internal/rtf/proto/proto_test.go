@@ -46,8 +46,9 @@ func TestInputRoundTrip(t *testing.T) {
 
 func TestStateUpdateRoundTrip(t *testing.T) {
 	in := &StateUpdate{
-		Tick: 100,
-		Self: entity.Entity{ID: 1, Owner: "s1", Health: 95, Pos: entity.Vec2{X: 4, Y: 5}},
+		Tick:   100,
+		AckSeq: 41,
+		Self:   entity.Entity{ID: 1, Owner: "s1", Health: 95, Pos: entity.Vec2{X: 4, Y: 5}},
 		Visible: []entity.Entity{
 			{ID: 2, Owner: "s1", Seq: 3},
 			{ID: 3, Owner: "s2", Kind: entity.NPC},
@@ -55,7 +56,7 @@ func TestStateUpdateRoundTrip(t *testing.T) {
 		Events: []byte("hit:2"),
 	}
 	m := roundTrip(t, in).(*StateUpdate)
-	if m.Tick != 100 || m.Self != in.Self || len(m.Visible) != 2 {
+	if m.Tick != 100 || m.AckSeq != 41 || m.Self != in.Self || len(m.Visible) != 2 {
 		t.Fatalf("update = %+v", m)
 	}
 	if m.Visible[0] != in.Visible[0] || m.Visible[1] != in.Visible[1] {
@@ -108,6 +109,43 @@ func TestMigrationMessagesRoundTrip(t *testing.T) {
 	n := roundTrip(t, &MigrateNotice{NewServer: "server-2"}).(*MigrateNotice)
 	if n.NewServer != "server-2" {
 		t.Fatalf("notice = %+v", n)
+	}
+}
+
+func TestStateUpdateAckSeqRoundTripProperty(t *testing.T) {
+	prop := func(tick, ackSeq uint64) bool {
+		got, err := Registry.Decode(Registry.EncodeToBytes(&StateUpdate{Tick: tick, AckSeq: ackSeq}))
+		if err != nil {
+			return false
+		}
+		su := got.(*StateUpdate)
+		return su.Tick == tick && su.AckSeq == ackSeq
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStateUpdateTruncatedEveryPrefix decodes every strict prefix of an
+// encoded StateUpdate; all must fail cleanly (the v3 AckSeq field sits in
+// the fixed prefix, so a v2 frame is 8 bytes short and must be rejected,
+// not misparsed).
+func TestStateUpdateTruncatedEveryPrefix(t *testing.T) {
+	payload := Registry.EncodeToBytes(&StateUpdate{
+		Tick:    9,
+		AckSeq:  1234,
+		Self:    entity.Entity{ID: 1},
+		Visible: []entity.Entity{{ID: 2}},
+		Gone:    []entity.ID{3},
+		Events:  []byte("e"),
+	})
+	for cut := 0; cut < len(payload); cut++ {
+		if _, err := Registry.Decode(payload[:cut]); err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded without error", cut, len(payload))
+		}
+	}
+	if _, err := Registry.Decode(payload); err != nil {
+		t.Fatalf("full payload rejected: %v", err)
 	}
 }
 

@@ -74,6 +74,11 @@ type Config struct {
 	// The spans are synthesized from the same Breakdown the Monitor
 	// ingests, so tracing adds no extra clock reads to the hot loop.
 	Tracer *telemetry.Tracer
+	// Profiler, when set, aggregates each tick's task timings into the
+	// four model phases (user_input, forwarded_input, npc_update, aoi_su)
+	// with per-phase latency distributions. Like the Tracer it reuses the
+	// Breakdown already timed for the Monitor — no extra clock reads.
+	Profiler *telemetry.TaskProfiler
 	// MigTrace, when set, records the server's side of every user
 	// migration (init on the source, recv/ack on the destination) keyed by
 	// the wire-level migration ID, so a fleet collector can stitch the
@@ -162,6 +167,9 @@ func New(cfg Config) (*Server, error) {
 		mon:   monitor.New(),
 		w:     wire.NewWriter(4 << 10),
 	}
+	// The tick interval is the QoS deadline 1/U: a tick that computes
+	// longer than its period cannot deliver every user's update in time.
+	s.mon.SetDeadline(float64(cfg.TickInterval) / float64(time.Millisecond))
 	s.env = &Env{
 		ServerID: cfg.Node.ID(),
 		Store:    s.store,
@@ -184,6 +192,9 @@ func (s *Server) Tracer() *telemetry.Tracer { return s.cfg.Tracer }
 
 // MigTrace exposes the server's migration tracer (nil unless configured).
 func (s *Server) MigTrace() *telemetry.MigTracer { return s.cfg.MigTrace }
+
+// Profiler exposes the server's phase profiler (nil unless configured).
+func (s *Server) Profiler() *telemetry.TaskProfiler { return s.cfg.Profiler }
 
 // Start registers the server as a replica of its zone. It is idempotent.
 func (s *Server) Start() {

@@ -256,7 +256,9 @@ func (s *Server) Tick() {
 		br.Add(monitor.AOI, msSince(t0), 1)
 
 		t1 := time.Now()
-		upd := proto.StateUpdate{Tick: s.tick, Self: *av, Events: s.cfg.App.DrainEvents(s.env, av.ID)}
+		// u.seq is the last input sequence applied for this user; echoing
+		// it lets the client close the input→update response-time loop.
+		upd := proto.StateUpdate{Tick: s.tick, AckSeq: u.seq, Self: *av, Events: s.cfg.App.DrainEvents(s.env, av.ID)}
 		if s.cfg.DeltaUpdates {
 			s.fillDeltaUpdate(u, visBuf, &upd)
 		} else if len(visBuf) > 0 {
@@ -304,6 +306,10 @@ func (s *Server) Tick() {
 	br.Replicas = s.cfg.Assignment.ReplicaCount(s.cfg.Zone)
 	br.BytesOut = s.tickBytesOut
 	s.mon.RecordTick(br)
+	if s.cfg.Profiler != nil {
+		dur, items := br.PhaseBreakdown()
+		s.cfg.Profiler.RecordTick(dur, items)
+	}
 	if s.cfg.Tracer != nil {
 		s.recordTrace(tickStart, &br)
 	}

@@ -1,0 +1,299 @@
+package telemetry
+
+import (
+	"math"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// metricLineRE matches one sample line of the Prometheus text format:
+// name{label="value",...} number.
+var metricLineRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? -?[0-9.eE+-]+(e[+-]?[0-9]+)?$`)
+
+// assertExposition checks every non-comment line against the exposition
+// line grammar so a malformed label set or missing value fails loudly.
+func assertExposition(t *testing.T, out string) {
+	t.Helper()
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !metricLineRE.MatchString(line) {
+			t.Errorf("malformed exposition line: %q", line)
+		}
+	}
+}
+
+func TestLogBucketMonotoneAndBounded(t *testing.T) {
+	prev := -1
+	for us := uint64(0); us < 1<<14; us++ {
+		b := logBucket(us)
+		if b < prev {
+			t.Fatalf("bucket index not monotone at %dµs: %d < %d", us, b, prev)
+		}
+		if b < 0 || b >= numLogBuckets {
+			t.Fatalf("bucket index out of range at %dµs: %d", us, b)
+		}
+		prev = b
+	}
+	if b := logBucket(math.MaxUint64); b != numLogBuckets-1 {
+		t.Fatalf("max uint64 should land in the last bucket, got %d of %d", b, numLogBuckets)
+	}
+}
+
+func TestLogBucketBoundsContainValue(t *testing.T) {
+	for _, us := range []uint64{0, 1, 31, 32, 33, 63, 64, 100, 1000, 12345, 1 << 20, 1<<40 + 12345} {
+		i := logBucket(us)
+		lo := logBucketLow(i)
+		hi := lo + logBucketWidth(i)
+		if us < lo || us >= hi {
+			t.Fatalf("value %dµs not inside bucket %d [%d, %d)", us, i, lo, hi)
+		}
+	}
+}
+
+func TestLogBucketRelativeError(t *testing.T) {
+	for _, us := range []uint64{32, 100, 999, 4096, 65537, 1 << 22} {
+		i := logBucket(us)
+		w := logBucketWidth(i)
+		if rel := float64(w) / float64(logBucketLow(i)); rel > 1.0/logSubBuckets {
+			t.Fatalf("bucket %d for %dµs has relative width %.4f > %.4f", i, us, rel, 1.0/logSubBuckets)
+		}
+	}
+}
+
+func TestLogHistogramExactBelow32us(t *testing.T) {
+	h := NewLogHistogram()
+	// 0.005 ms = 5 µs: exact bucket.
+	for i := 0; i < 10; i++ {
+		h.Observe(0.005)
+	}
+	// Bucket midpoint is 5.5 µs but quantiles are clamped to the exact max.
+	if got := h.Quantile(0.5); math.Abs(got-0.005) > 1e-9 {
+		t.Fatalf("p50 of exact bucket = %g, want 0.005 (midpoint clamped to max)", got)
+	}
+}
+
+func TestLogHistogramQuantiles(t *testing.T) {
+	h := NewLogHistogram()
+	// 1..1000 ms uniformly.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i))
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	checks := []struct{ q, want float64 }{{0.50, 500}, {0.95, 950}, {0.99, 990}, {0.999, 999}}
+	for _, c := range checks {
+		got := h.Quantile(c.q)
+		if rel := math.Abs(got-c.want) / c.want; rel > 0.07 {
+			t.Errorf("q%g = %g, want %g ± 7%%", c.q, got, c.want)
+		}
+	}
+	if h.Quantile(1) != h.Max() {
+		t.Errorf("q1 = %g, want exact max %g", h.Quantile(1), h.Max())
+	}
+	if mean := h.Mean(); math.Abs(mean-500.5) > 1e-6 {
+		t.Errorf("mean = %g, want exact 500.5", mean)
+	}
+}
+
+func TestLogHistogramIgnoresBadValues(t *testing.T) {
+	h := NewLogHistogram()
+	h.Observe(math.NaN())
+	h.Observe(math.Inf(1))
+	h.Observe(math.Inf(-1))
+	h.Observe(-1)
+	if h.Count() != 0 {
+		t.Fatalf("bad values recorded: count = %d", h.Count())
+	}
+	if h.Quantile(0.5) != 0 {
+		t.Fatalf("empty quantile = %g", h.Quantile(0.5))
+	}
+}
+
+func TestLogHistogramMerge(t *testing.T) {
+	a, b := NewLogHistogram(), NewLogHistogram()
+	for i := 1; i <= 500; i++ {
+		a.Observe(float64(i))
+	}
+	for i := 501; i <= 1000; i++ {
+		b.Observe(float64(i))
+	}
+	whole := NewLogHistogram()
+	for i := 1; i <= 1000; i++ {
+		whole.Observe(float64(i))
+	}
+	a.Merge(b)
+	a.Merge(nil) // no-op
+	if a.Count() != whole.Count() || a.Sum() != whole.Sum() || a.Max() != whole.Max() {
+		t.Fatalf("merge totals diverge: count %d/%d sum %g/%g max %g/%g",
+			a.Count(), whole.Count(), a.Sum(), whole.Sum(), a.Max(), whole.Max())
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if a.Quantile(q) != whole.Quantile(q) {
+			t.Errorf("q%g: merged %g != whole %g", q, a.Quantile(q), whole.Quantile(q))
+		}
+	}
+}
+
+func TestLogHistogramClone(t *testing.T) {
+	h := NewLogHistogram()
+	h.Observe(42)
+	c := h.Clone()
+	c.Observe(100)
+	if h.Count() != 1 || c.Count() != 2 {
+		t.Fatalf("clone not independent: %d / %d", h.Count(), c.Count())
+	}
+}
+
+func TestLatencyDeadlineAccounting(t *testing.T) {
+	l := NewLatency(40)
+	for i := 0; i < 95; i++ {
+		l.Observe(10)
+	}
+	for i := 0; i < 5; i++ {
+		l.Observe(80)
+	}
+	s := l.Snapshot()
+	if s.Count != 100 || s.Violations != 5 {
+		t.Fatalf("count=%d violations=%d, want 100/5", s.Count, s.Violations)
+	}
+	if got := s.ViolationRate(); math.Abs(got-0.05) > 1e-12 {
+		t.Fatalf("violation rate = %g", got)
+	}
+	if s.DeadlineMS != 40 {
+		t.Fatalf("deadline = %g", s.DeadlineMS)
+	}
+	// Exactly at the deadline is not a violation.
+	l2 := NewLatency(40)
+	l2.Observe(40)
+	if v := l2.Snapshot().Violations; v != 0 {
+		t.Fatalf("observation at deadline counted as violation: %d", v)
+	}
+	// Disabled deadline never counts.
+	l3 := NewLatency(0)
+	l3.Observe(1e6)
+	if v := l3.Snapshot().Violations; v != 0 {
+		t.Fatalf("disabled deadline counted violation: %d", v)
+	}
+}
+
+func TestLatencyMerge(t *testing.T) {
+	a, b := NewLatency(40), NewLatency(40)
+	a.Observe(10)
+	b.Observe(90)
+	b.Observe(95)
+	a.Merge(b)
+	a.Merge(nil)
+	a.Merge(a) // self-merge must not double
+	s := a.Snapshot()
+	if s.Count != 3 || s.Violations != 2 {
+		t.Fatalf("merged count=%d violations=%d, want 3/2", s.Count, s.Violations)
+	}
+}
+
+func TestLatencyWriteMetrics(t *testing.T) {
+	l := NewLatency(40)
+	l.Observe(10)
+	l.Observe(90)
+	var sb strings.Builder
+	if err := l.WriteMetrics(&sb, "roia_client_rtt", `zone="0"`); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`roia_client_rtt_ms{zone="0",stat="p99"}`,
+		`roia_client_rtt_count{zone="0"} 2`,
+		`roia_client_rtt_deadline_ms{zone="0"} 40`,
+		`roia_client_rtt_deadline_violations_total{zone="0"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	assertExposition(t, out)
+}
+
+func TestTaskDrift(t *testing.T) {
+	names := PhaseNames()
+	td := NewTaskDrift(names[:]...)
+	td.Observe("npc_update", 1.0, 2.0) // 100% off
+	td.Observe("user_input", 1.0, 1.05)
+	name, snap, ok := td.Worst()
+	if !ok || name != "npc_update" {
+		t.Fatalf("worst = %q ok=%v, want npc_update", name, ok)
+	}
+	if snap.Samples != 1 {
+		t.Fatalf("worst samples = %d", snap.Samples)
+	}
+	snaps := td.Snapshot()
+	if len(snaps) != NumPhases {
+		t.Fatalf("snapshot has %d tasks, want %d", len(snaps), NumPhases)
+	}
+	if snaps["aoi_su"].Samples != 0 {
+		t.Fatalf("unobserved task has samples")
+	}
+	var sb strings.Builder
+	if err := td.WriteMetrics(&sb, ""); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`roia_model_task_error_ratio_mean{task="npc_update"}`,
+		`roia_model_task_drift_samples_total{task="user_input"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	assertExposition(t, out)
+}
+
+func TestTaskProfiler(t *testing.T) {
+	p := NewTaskProfiler()
+	for i := 0; i < 10; i++ {
+		p.RecordTick(
+			[NumPhases]float64{1, 2, 3, 4},
+			[NumPhases]int{5, 6, 7, 8},
+		)
+	}
+	snaps, ticks := p.Snapshot()
+	if ticks != 10 {
+		t.Fatalf("ticks = %d", ticks)
+	}
+	if snaps[int(PhaseNPCUpdate)].Items != 70 {
+		t.Fatalf("npc items = %d, want 70", snaps[int(PhaseNPCUpdate)].Items)
+	}
+	if got := snaps[int(PhaseAOISU)].Share; math.Abs(got-0.4) > 1e-9 {
+		t.Fatalf("aoi_su share = %g, want 0.4", got)
+	}
+	if got := snaps[int(PhaseUserInput)].MeanMS; math.Abs(got-1) > 1e-9 {
+		t.Fatalf("user_input mean = %g, want 1", got)
+	}
+	var sb strings.Builder
+	if err := p.WriteMetrics(&sb, `replica="r1"`); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`roia_phase_tick_ms{replica="r1",phase="npc_update",stat="p95"}`,
+		`roia_phase_share{replica="r1",phase="aoi_su"} 0.4`,
+		`roia_phase_ticks_total{replica="r1"} 10`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	assertExposition(t, out)
+}
+
+func TestPhaseString(t *testing.T) {
+	if PhaseNPCUpdate.String() != "npc_update" {
+		t.Fatalf("got %q", PhaseNPCUpdate.String())
+	}
+	if got := Phase(99).String(); !strings.Contains(got, "99") {
+		t.Fatalf("out-of-range phase string = %q", got)
+	}
+}

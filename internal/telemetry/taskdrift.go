@@ -1,0 +1,122 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// TaskDrift tracks model drift per task: one Drift tracker per named model
+// term, so a diverging calibration can be attributed to the specific task
+// curve (t_ua, t_npc, ...) that no longer matches the deployed workload,
+// instead of only flagging the total tick prediction. The aggregate Drift
+// answers "is the model wrong"; TaskDrift answers "which of the four terms
+// is wrong".
+type TaskDrift struct {
+	mu    sync.Mutex
+	tasks map[string]*Drift
+	order []string
+}
+
+// NewTaskDrift returns a tracker. Tasks named up front keep a stable
+// export order; unknown tasks are registered on first Observe.
+func NewTaskDrift(tasks ...string) *TaskDrift {
+	td := &TaskDrift{tasks: make(map[string]*Drift, len(tasks))}
+	for _, name := range tasks {
+		td.tasks[name] = &Drift{}
+		td.order = append(td.order, name)
+	}
+	return td
+}
+
+func (td *TaskDrift) drift(task string) *Drift {
+	td.mu.Lock()
+	defer td.mu.Unlock()
+	d := td.tasks[task]
+	if d == nil {
+		d = &Drift{}
+		td.tasks[task] = d
+		td.order = append(td.order, task)
+	}
+	return d
+}
+
+// Observe records one prediction/measurement pair (ms) for a task.
+func (td *TaskDrift) Observe(task string, predictedMS, measuredMS float64) {
+	td.drift(task).Observe(predictedMS, measuredMS)
+}
+
+// Snapshot returns the per-task drift snapshots in registration order.
+func (td *TaskDrift) Snapshot() map[string]DriftSnapshot {
+	td.mu.Lock()
+	names := append([]string(nil), td.order...)
+	drifts := make([]*Drift, len(names))
+	for i, name := range names {
+		drifts[i] = td.tasks[name]
+	}
+	td.mu.Unlock()
+	out := make(map[string]DriftSnapshot, len(names))
+	for i, name := range names {
+		out[name] = drifts[i].Snapshot()
+	}
+	return out
+}
+
+// Worst returns the task with the largest mean |relative error| among
+// tasks with at least one observation. ok is false when nothing was
+// observed yet.
+func (td *TaskDrift) Worst() (task string, snap DriftSnapshot, ok bool) {
+	for name, s := range td.Snapshot() {
+		if s.Samples == 0 {
+			continue
+		}
+		if !ok || s.MeanAbsRatio > snap.MeanAbsRatio ||
+			(s.MeanAbsRatio == snap.MeanAbsRatio && name < task) {
+			task, snap, ok = name, s, true
+		}
+	}
+	return task, snap, ok
+}
+
+// WriteMetrics writes the per-task drift gauges in the Prometheus text
+// exposition format, one sample per task under each family.
+//
+// Exported families (all labeled {task=...}):
+//
+//	roia_model_task_predicted_ms        latest per-item prediction
+//	roia_model_task_measured_ms         latest measured per-item cost
+//	roia_model_task_error_ratio         latest signed relative error
+//	roia_model_task_error_ratio_mean    mean |relative error| over the run
+//	roia_model_task_error_ratio_worst   worst |relative error| over the run
+//	roia_model_task_drift_samples_total observation count
+func (td *TaskDrift) WriteMetrics(w io.Writer, labels string) error {
+	snaps := td.Snapshot()
+	names := make([]string, 0, len(snaps))
+	for name := range snaps {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	families := []struct {
+		name string
+		typ  string
+		v    func(DriftSnapshot) string
+	}{
+		{"roia_model_task_predicted_ms", "gauge", func(s DriftSnapshot) string { return fmt.Sprintf("%g", s.PredictedMS) }},
+		{"roia_model_task_measured_ms", "gauge", func(s DriftSnapshot) string { return fmt.Sprintf("%g", s.MeasuredMS) }},
+		{"roia_model_task_error_ratio", "gauge", func(s DriftSnapshot) string { return fmt.Sprintf("%g", s.ErrRatio) }},
+		{"roia_model_task_error_ratio_mean", "gauge", func(s DriftSnapshot) string { return fmt.Sprintf("%g", s.MeanAbsRatio) }},
+		{"roia_model_task_error_ratio_worst", "gauge", func(s DriftSnapshot) string { return fmt.Sprintf("%g", s.WorstRatio) }},
+		{"roia_model_task_drift_samples_total", "counter", func(s DriftSnapshot) string { return fmt.Sprintf("%d", s.Samples) }},
+	}
+	for _, fam := range families {
+		fmt.Fprintf(&b, "# TYPE %s %s\n", fam.name, fam.typ)
+		for _, name := range names {
+			fmt.Fprintf(&b, "%s%s %s\n", fam.name, FormatLabels(labels, fmt.Sprintf("task=%q", name)), fam.v(snaps[name]))
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// diffRow is one benchmark's baseline-vs-candidate comparison.
+type diffRow struct {
+	Name           string
+	BaseNs, NewNs  float64
+	DeltaFrac      float64 // (new-base)/base; 0 when base is 0
+	AllocsDelta    int64
+	Status         string // "ok", "regression", "missing", "new"
+	missingOrExtra bool
+}
+
+// compareSnapshots diffs two snapshots benchmark by benchmark. A benchmark
+// regresses when its candidate ns/op exceeds the baseline by more than
+// tolerance (a fraction, e.g. 0.10 = +10%). Benchmarks present on only one
+// side are reported as "missing"/"new" but never count as regressions —
+// renames and additions are routine, silent disappearance is visible.
+func compareSnapshots(base, next snapshot, tolerance float64) (rows []diffRow, regressions int) {
+	names := make([]string, 0, len(base.Benchmarks)+len(next.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	for name := range next.Benchmarks {
+		if _, ok := base.Benchmarks[name]; !ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b, inBase := base.Benchmarks[name]
+		n, inNext := next.Benchmarks[name]
+		switch {
+		case !inNext:
+			rows = append(rows, diffRow{Name: name, BaseNs: b.NsPerOp, Status: "missing", missingOrExtra: true})
+		case !inBase:
+			rows = append(rows, diffRow{Name: name, NewNs: n.NsPerOp, Status: "new", missingOrExtra: true})
+		default:
+			row := diffRow{
+				Name: name, BaseNs: b.NsPerOp, NewNs: n.NsPerOp,
+				AllocsDelta: n.AllocsOp - b.AllocsOp,
+				Status:      "ok",
+			}
+			if b.NsPerOp > 0 {
+				row.DeltaFrac = (n.NsPerOp - b.NsPerOp) / b.NsPerOp
+			}
+			if row.DeltaFrac > tolerance {
+				row.Status = "regression"
+				regressions++
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, regressions
+}
+
+// writeComparison renders the diff as an aligned table.
+func writeComparison(w io.Writer, rows []diffRow, tolerance float64) {
+	fmt.Fprintf(w, "%-50s %12s %12s %8s %8s  %s\n", "benchmark", "base ns/op", "new ns/op", "delta", "allocs", "status")
+	for _, r := range rows {
+		if r.missingOrExtra {
+			fmt.Fprintf(w, "%-50s %12.1f %12.1f %8s %8s  %s\n", r.Name, r.BaseNs, r.NewNs, "-", "-", r.Status)
+			continue
+		}
+		fmt.Fprintf(w, "%-50s %12.1f %12.1f %+7.1f%% %+8d  %s\n",
+			r.Name, r.BaseNs, r.NewNs, r.DeltaFrac*100, r.AllocsDelta, r.Status)
+	}
+	fmt.Fprintf(w, "tolerance: +%.0f%% ns/op\n", tolerance*100)
+}
+
+// loadSnapshot reads one BENCH_<n>.json document.
+func loadSnapshot(path string) (snapshot, error) {
+	var s snapshot
+	doc, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(doc, &s); err != nil {
+		return s, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(s.Benchmarks) == 0 {
+		return s, fmt.Errorf("%s: no benchmarks in snapshot", path)
+	}
+	return s, nil
+}
+
+// runCompare is the -compare mode entry point: nonzero exit (via error)
+// when any shared benchmark regressed past the tolerance.
+func runCompare(basePath, nextPath string, tolerance float64) error {
+	base, err := loadSnapshot(basePath)
+	if err != nil {
+		return err
+	}
+	next, err := loadSnapshot(nextPath)
+	if err != nil {
+		return err
+	}
+	rows, regressions := compareSnapshots(base, next, tolerance)
+	writeComparison(os.Stdout, rows, tolerance)
+	if regressions > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed more than +%.0f%% vs %s", regressions, tolerance*100, basePath)
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func snap(benches map[string]result) snapshot {
+	return snapshot{Benchmarks: benches}
+}
+
+func TestCompareFlagsOnlyRegressionsPastTolerance(t *testing.T) {
+	base := snap(map[string]result{
+		"BenchmarkFast":   {NsPerOp: 100, AllocsOp: 2},
+		"BenchmarkSteady": {NsPerOp: 200, AllocsOp: 0},
+		"BenchmarkSlow":   {NsPerOp: 1000, AllocsOp: 5},
+	})
+	next := snap(map[string]result{
+		"BenchmarkFast":   {NsPerOp: 109, AllocsOp: 2},  // +9%: within tolerance
+		"BenchmarkSteady": {NsPerOp: 150, AllocsOp: 0},  // faster
+		"BenchmarkSlow":   {NsPerOp: 1200, AllocsOp: 7}, // +20%: regression
+	})
+	rows, regressions := compareSnapshots(base, next, 0.10)
+	if regressions != 1 {
+		t.Fatalf("regressions = %d, want 1\nrows: %+v", regressions, rows)
+	}
+	byName := map[string]diffRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	if s := byName["BenchmarkFast"].Status; s != "ok" {
+		t.Fatalf("BenchmarkFast status = %q, want ok", s)
+	}
+	if s := byName["BenchmarkSteady"].Status; s != "ok" {
+		t.Fatalf("BenchmarkSteady status = %q, want ok", s)
+	}
+	slow := byName["BenchmarkSlow"]
+	if slow.Status != "regression" || slow.AllocsDelta != 2 {
+		t.Fatalf("BenchmarkSlow = %+v, want regression with +2 allocs", slow)
+	}
+	if slow.DeltaFrac < 0.19 || slow.DeltaFrac > 0.21 {
+		t.Fatalf("BenchmarkSlow delta = %g, want ~0.20", slow.DeltaFrac)
+	}
+}
+
+func TestCompareReportsMissingAndNewWithoutFailing(t *testing.T) {
+	base := snap(map[string]result{
+		"BenchmarkKept":    {NsPerOp: 100},
+		"BenchmarkRemoved": {NsPerOp: 50},
+	})
+	next := snap(map[string]result{
+		"BenchmarkKept":  {NsPerOp: 100},
+		"BenchmarkAdded": {NsPerOp: 75},
+	})
+	rows, regressions := compareSnapshots(base, next, 0.10)
+	if regressions != 0 {
+		t.Fatalf("regressions = %d, want 0", regressions)
+	}
+	var statuses []string
+	for _, r := range rows {
+		statuses = append(statuses, r.Name+":"+r.Status)
+	}
+	joined := strings.Join(statuses, " ")
+	for _, want := range []string{"BenchmarkRemoved:missing", "BenchmarkAdded:new", "BenchmarkKept:ok"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("rows %v missing %q", statuses, want)
+		}
+	}
+}
+
+func TestCompareRowsAreSortedAndRendered(t *testing.T) {
+	base := snap(map[string]result{"BenchmarkB": {NsPerOp: 10}, "BenchmarkA": {NsPerOp: 10}})
+	next := snap(map[string]result{"BenchmarkB": {NsPerOp: 10}, "BenchmarkA": {NsPerOp: 10}})
+	rows, _ := compareSnapshots(base, next, 0.10)
+	if len(rows) != 2 || rows[0].Name != "BenchmarkA" || rows[1].Name != "BenchmarkB" {
+		t.Fatalf("rows not sorted: %+v", rows)
+	}
+	var b strings.Builder
+	writeComparison(&b, rows, 0.10)
+	out := b.String()
+	if !strings.Contains(out, "BenchmarkA") || !strings.Contains(out, "tolerance: +10%") {
+		t.Fatalf("rendered comparison missing content:\n%s", out)
+	}
+}

@@ -8,10 +8,17 @@
 // BENCH_<n>.json in the output directory, so successive runs never
 // overwrite a committed baseline.
 //
+// With -compare/-against the tool diffs two committed snapshots instead of
+// running anything: every shared benchmark's ns/op delta is printed, and
+// the exit status is nonzero when any exceeds -tolerance. Benchmarks that
+// appear on only one side are reported (missing/new) but never fail the
+// comparison.
+//
 // Example:
 //
 //	go run ./tools/benchjson                      # all packages, default time
 //	go run ./tools/benchjson -benchtime 100ms -pkg .
+//	go run ./tools/benchjson -compare BENCH_1.json -against BENCH_2.json -tolerance 0.10
 package main
 
 import (
@@ -35,6 +42,9 @@ var (
 	timeFlag  = flag.String("benchtime", "", "per-benchmark time or iteration count (-benchtime), empty for the go default")
 	dirFlag   = flag.String("dir", ".", "directory to write BENCH_<n>.json into")
 	outFlag   = flag.String("o", "", "explicit output path (overrides -dir auto-numbering)")
+	cmpFlag   = flag.String("compare", "", "compare mode: baseline BENCH_<n>.json (no benchmarks are run)")
+	agstFlag  = flag.String("against", "", "compare mode: candidate snapshot to diff against -compare")
+	tolFlag   = flag.Float64("tolerance", 0.10, "compare mode: ns/op regression tolerance as a fraction (0.10 = +10%)")
 )
 
 // result is one benchmark's measurements.
@@ -75,6 +85,12 @@ func main() {
 }
 
 func run() error {
+	if *cmpFlag != "" || *agstFlag != "" {
+		if *cmpFlag == "" || *agstFlag == "" {
+			return fmt.Errorf("compare mode needs both -compare BASELINE and -against CANDIDATE")
+		}
+		return runCompare(*cmpFlag, *agstFlag, *tolFlag)
+	}
 	args := []string{"test", "-run", "^$", "-bench", *benchFlag, "-benchmem"}
 	if *timeFlag != "" {
 		args = append(args, "-benchtime", *timeFlag)
