@@ -49,7 +49,7 @@ func run() error {
 		return err
 	}
 	trace, err := record.LoadTrace(f)
-	f.Close()
+	_ = f.Close() // read-only file; the parse error below is the signal
 	if err != nil {
 		return err
 	}

@@ -177,7 +177,7 @@ func serveMetrics(ctx context.Context, mon *monitor.Monitor, drift *telemetry.Dr
 		shutCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutCtx); err != nil {
-			httpSrv.Close()
+			_ = httpSrv.Close()
 		}
 	}()
 	go func() {
@@ -227,7 +227,7 @@ func dumpTrace(tracer *telemetry.Tracer, path string) error {
 		return err
 	}
 	if err := telemetry.WriteChromeTrace(io.Writer(f), tracer.Last(0)); err != nil {
-		f.Close()
+		_ = f.Close() // the write error is the one worth reporting
 		return err
 	}
 	return f.Close()

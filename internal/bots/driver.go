@@ -105,7 +105,7 @@ func (d *FleetDriver) SetBots(target int) error {
 		cl.SetLatencyDeadline(d.rttDeadline)
 		pos := entity.Vec2{X: float64((d.next * 97) % 1000), Y: float64((d.next * 61) % 1000)}
 		if err := cl.Join(1, pos, node.ID()); err != nil {
-			node.Close()
+			_ = node.Close()
 			return err
 		}
 		d.swarm = append(d.swarm, New(cl, d.profile, d.seed+int64(d.next)))

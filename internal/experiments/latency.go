@@ -67,6 +67,7 @@ func LatencyProbe(seed int64) (*LatencyResult, error) {
 	for i := 0; i < warmTicks; i++ {
 		driver.Step()
 	}
+	//roialint:ignore tickclock wall-clock throughput measurement of real in-process ticks, not simulated time
 	start := time.Now()
 	for i := 0; i < probeTicks; i++ {
 		driver.Step()

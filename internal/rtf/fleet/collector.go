@@ -39,6 +39,7 @@ func NewCollector(fleets ...*Fleet) *Collector {
 func (c *Collector) Add(fl *Fleet) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	//roialint:ignore boundedgrowth registration list, one entry per zone wired at startup
 	c.fleets = append(c.fleets, fl)
 }
 
@@ -56,6 +57,7 @@ func (c *Collector) SetAlerts(e *telemetry.AlertEngine) {
 func (c *Collector) AddMetrics(w telemetry.MetricsWriter) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	//roialint:ignore boundedgrowth registration list, one exposition section per subsystem wired at startup
 	c.extra = append(c.extra, w)
 }
 
@@ -273,7 +275,7 @@ func (c *Collector) Serve(ctx context.Context, addr string) (string, error) {
 		shutCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutCtx); err != nil {
-			httpSrv.Close()
+			_ = httpSrv.Close()
 		}
 	}()
 	go func() {

@@ -69,6 +69,9 @@ type Config struct {
 	// TickInterval is passed to every spawned server (default 40 ms); it
 	// also sets each server's tick QoS deadline 1/U.
 	TickInterval time.Duration
+	// Now stamps lifecycle events (default time.Now). Inject a fake
+	// clock to make event logs deterministic in simulations and tests.
+	Now func() time.Time
 }
 
 // Fleet is a live replica group implementing rms.Cluster.
@@ -97,6 +100,9 @@ func New(cfg Config) (*Fleet, error) {
 	if cfg.NamePrefix == "" {
 		cfg.NamePrefix = "server"
 	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
 	return &Fleet{
 		cfg:     cfg,
 		servers: make(map[string]*server.Server),
@@ -113,7 +119,7 @@ func (f *Fleet) event(kind, replica, detail string) {
 		return
 	}
 	f.cfg.Events.FleetEvent(telemetry.FleetEvent{
-		UnixMicro: time.Now().UnixMicro(),
+		UnixMicro: f.cfg.Now().UnixMicro(),
 		Kind:      kind,
 		Zone:      uint32(f.cfg.Zone),
 		Replica:   replica,
@@ -354,7 +360,7 @@ func (f *Fleet) AddReplica() (string, error) {
 		Events:       f.cfg.Events,
 	})
 	if err != nil {
-		node.Close()
+		_ = node.Close()
 		return "", err
 	}
 	srv.Start()

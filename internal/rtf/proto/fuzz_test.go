@@ -1,6 +1,7 @@
 package proto
 
 import (
+	"bytes"
 	"testing"
 
 	"roia/internal/rtf/entity"
@@ -49,6 +50,56 @@ func FuzzRegistryDecode(f *testing.F) {
 		}
 		if again.WireKind() != msg.WireKind() {
 			t.Fatalf("kind changed across round trip: %d → %d", msg.WireKind(), again.WireKind())
+		}
+	})
+}
+
+// FuzzProtoUnmarshal targets the truncation paths of the decoder: the seed
+// corpus is every message kind cut off mid-field, which is exactly what a
+// short TCP read or a dropped UDP fragment hands the unmarshaller. Any
+// successful decode must re-encode deterministically and survive a full
+// round trip; a decode of a truncated re-encoding must fail or succeed
+// cleanly, never panic.
+func FuzzProtoUnmarshal(f *testing.F) {
+	full := [][]byte{
+		Registry.EncodeToBytes(&Join{UserName: "user-name", Zone: 7, Pos: entity.Vec2{X: -3.5, Y: 44}}),
+		Registry.EncodeToBytes(&Input{Seq: 900, Payload: []byte{9, 8, 7, 6, 5}}),
+		Registry.EncodeToBytes(&StateUpdate{
+			Tick: 42, Self: entity.Entity{ID: 11, Owner: "srv"},
+			Visible: []entity.Entity{{ID: 12}, {ID: 13}}, Events: []byte("evts"),
+		}),
+		Registry.EncodeToBytes(&ShadowUpdate{Tick: 5, Entities: []entity.Entity{{ID: 3}}, Removed: []entity.ID{4, 5}}),
+		Registry.EncodeToBytes(&Forwarded{Actor: 1, Target: 2, Payload: []byte("fw")}),
+		Registry.EncodeToBytes(&MigrateInit{User: "mover", Avatar: entity.Entity{ID: 6}, AppState: []byte{0xAA, 0xBB}}),
+	}
+	for _, enc := range full {
+		f.Add(enc)
+		f.Add(enc[:len(enc)/2])
+		if len(enc) > 1 {
+			f.Add(enc[:len(enc)-1])
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := Registry.Decode(data)
+		if err != nil {
+			return
+		}
+		once := Registry.EncodeToBytes(msg)
+		twice := Registry.EncodeToBytes(msg)
+		if !bytes.Equal(once, twice) {
+			t.Fatalf("non-deterministic encoding of %T", msg)
+		}
+		again, err := Registry.Decode(once)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded %T failed: %v", msg, err)
+		}
+		if !bytes.Equal(Registry.EncodeToBytes(again), once) {
+			t.Fatalf("%T not stable across encode/decode/encode", msg)
+		}
+		// Chopping the tail off a valid encoding must degrade to an error
+		// (or a shorter valid message), never a panic or corrupted state.
+		if len(once) > 0 {
+			_, _ = Registry.Decode(once[:len(once)-1])
 		}
 	})
 }

@@ -184,6 +184,7 @@ func (n *tcpNode) Send(to string, payload []byte) error {
 	c.w.Blob(payload)
 	buf := c.w.Bytes()
 	binary.BigEndian.PutUint32(buf[:4], uint32(len(buf)-4))
+	//roialint:ignore lockhold the per-connection mutex exists to serialize writes on this socket
 	if _, err := c.conn.Write(buf); err != nil {
 		// Connection broke: drop it so the next send re-dials.
 		n.mu.Lock()
@@ -191,6 +192,7 @@ func (n *tcpNode) Send(to string, payload []byte) error {
 			delete(n.conns, to)
 		}
 		n.mu.Unlock()
+		//roialint:ignore lockhold teardown of this connection under its own write lock, not a shared one
 		c.conn.Close()
 		return fmt.Errorf("transport: send to %s: %w", to, err)
 	}
@@ -215,20 +217,30 @@ func (n *tcpNode) conn(to string) (*tcpConn, error) {
 	}
 	c := &tcpConn{conn: raw, w: wire.NewWriter(256)}
 
+	// Register under the lock, but keep the raw socket teardown outside
+	// it: Close on a TCP connection can block in the kernel, and the
+	// registry mutex is on every send path.
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	if existing, ok := n.conns[to]; ok {
+	existing, raced := n.conns[to]
+	closed := false
+	select {
+	case <-n.closed:
+		closed = true
+	default:
+	}
+	if !raced && !closed {
+		n.conns[to] = c
+	}
+	n.mu.Unlock()
+	if raced {
 		// Lost the race: keep the first connection.
 		raw.Close()
 		return existing, nil
 	}
-	select {
-	case <-n.closed:
+	if closed {
 		raw.Close()
 		return nil, ErrClosed
-	default:
 	}
-	n.conns[to] = c
 	return c, nil
 }
 
@@ -238,15 +250,22 @@ func (n *tcpNode) Close() error {
 	n.once.Do(func() {
 		close(n.closed)
 		n.ln.Close()
+		// Snapshot the connection sets under the lock, close outside it:
+		// socket Close can block, and readLoop goroutines need the mutex
+		// to unregister themselves before wg.Wait can return.
 		n.mu.Lock()
+		toClose := make([]net.Conn, 0, len(n.conns)+len(n.inbound))
 		for _, c := range n.conns {
-			c.conn.Close()
+			toClose = append(toClose, c.conn)
 		}
 		n.conns = make(map[string]*tcpConn)
 		for conn := range n.inbound {
-			conn.Close()
+			toClose = append(toClose, conn)
 		}
 		n.mu.Unlock()
+		for _, conn := range toClose {
+			conn.Close()
+		}
 		n.wg.Wait()
 		close(n.inbox)
 		n.net.mu.Lock()

@@ -126,16 +126,29 @@ func (l *AlertLog) Err() error {
 	return l.err
 }
 
-// MemoryAlerts collects alert transitions in memory.
+// memorySinkCap bounds every in-memory telemetry sink: a long-horizon run
+// must not leak through its own observability buffers, so the sinks keep
+// the newest entries and count what they evict.
+const memorySinkCap = 4096
+
+// MemoryAlerts collects alert transitions in memory, keeping the newest
+// memorySinkCap events.
 type MemoryAlerts struct {
-	mu     sync.Mutex
-	events []AlertEvent
+	mu      sync.Mutex
+	events  []AlertEvent
+	dropped uint64
 }
 
 // Alert implements AlertSink.
 func (s *MemoryAlerts) Alert(e AlertEvent) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if len(s.events) >= memorySinkCap {
+		copy(s.events, s.events[1:])
+		s.events[len(s.events)-1] = e
+		s.dropped++
+		return
+	}
 	s.events = append(s.events, e)
 }
 
@@ -144,6 +157,13 @@ func (s *MemoryAlerts) Snapshot() []AlertEvent {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return append([]AlertEvent(nil), s.events...)
+}
+
+// Dropped reports how many old events the cap evicted.
+func (s *MemoryAlerts) Dropped() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
 }
 
 // ActiveAlert is a point-in-time view of one pending or firing instance.

@@ -120,16 +120,24 @@ func (l *AuditLog) Err() error {
 	return l.err
 }
 
-// MemorySink collects decision records in memory.
+// MemorySink collects decision records in memory, keeping the newest
+// memorySinkCap records.
 type MemorySink struct {
 	mu      sync.Mutex
 	records []DecisionRecord
+	dropped uint64
 }
 
 // Record implements DecisionSink.
 func (s *MemorySink) Record(r DecisionRecord) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if len(s.records) >= memorySinkCap {
+		copy(s.records, s.records[1:])
+		s.records[len(s.records)-1] = r
+		s.dropped++
+		return
+	}
 	s.records = append(s.records, r)
 }
 
@@ -138,4 +146,11 @@ func (s *MemorySink) Snapshot() []DecisionRecord {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return append([]DecisionRecord(nil), s.records...)
+}
+
+// Dropped reports how many old records the cap evicted.
+func (s *MemorySink) Dropped() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
 }

@@ -86,16 +86,24 @@ func (l *FleetEventLog) Err() error {
 	return l.err
 }
 
-// MemoryFleetEvents collects fleet events in memory.
+// MemoryFleetEvents collects fleet events in memory, keeping the newest
+// memorySinkCap events.
 type MemoryFleetEvents struct {
-	mu     sync.Mutex
-	events []FleetEvent
+	mu      sync.Mutex
+	events  []FleetEvent
+	dropped uint64
 }
 
 // FleetEvent implements FleetEventSink.
 func (s *MemoryFleetEvents) FleetEvent(e FleetEvent) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if len(s.events) >= memorySinkCap {
+		copy(s.events, s.events[1:])
+		s.events[len(s.events)-1] = e
+		s.dropped++
+		return
+	}
 	s.events = append(s.events, e)
 }
 
@@ -104,4 +112,11 @@ func (s *MemoryFleetEvents) Snapshot() []FleetEvent {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return append([]FleetEvent(nil), s.events...)
+}
+
+// Dropped reports how many old events the cap evicted.
+func (s *MemoryFleetEvents) Dropped() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
 }

@@ -1,0 +1,92 @@
+package telemetry
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// decodeObservations turns fuzzer bytes into a value stream: each 8-byte
+// window is one float64 observation. Non-finite and negative values are
+// kept — Observe must reject them without disturbing the histogram.
+func decodeObservations(data []byte) []float64 {
+	var out []float64
+	for len(data) >= 8 {
+		out = append(out, math.Float64frombits(binary.LittleEndian.Uint64(data[:8])))
+		data = data[8:]
+	}
+	return out
+}
+
+func seedBytes(vals ...float64) []byte {
+	var out []byte
+	for _, v := range vals {
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(v))
+	}
+	return out
+}
+
+// FuzzLogHistogramMerge checks the merge algebra the fleet aggregator
+// depends on: merging per-replica histograms must be exactly equivalent to
+// having observed every value in one histogram — additive counts (per
+// bucket and in total), additive sums, max of maxes — and commutative.
+func FuzzLogHistogramMerge(f *testing.F) {
+	f.Add([]byte{}, []byte{})
+	f.Add(seedBytes(0.001, 1, 16.5), seedBytes(250, 3e6))
+	f.Add(seedBytes(math.NaN(), math.Inf(1), -4), seedBytes(0))
+	f.Add(seedBytes(0.5, 0.5, 0.5), seedBytes(0.5))
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		va, vb := decodeObservations(a), decodeObservations(b)
+		ha, hb, all := NewLogHistogram(), NewLogHistogram(), NewLogHistogram()
+		for _, v := range va {
+			ha.Observe(v)
+			all.Observe(v)
+		}
+		for _, v := range vb {
+			hb.Observe(v)
+			all.Observe(v)
+		}
+
+		merged := ha.Clone()
+		merged.Merge(hb)
+		if merged.Count() != ha.Count()+hb.Count() {
+			t.Fatalf("count not additive: %d + %d != %d", ha.Count(), hb.Count(), merged.Count())
+		}
+		if merged.Count() != all.Count() {
+			t.Fatalf("merged count %d != direct count %d", merged.Count(), all.Count())
+		}
+		if merged.Sum() != ha.Sum()+hb.Sum() {
+			t.Fatalf("sum not additive: %g + %g != %g", ha.Sum(), hb.Sum(), merged.Sum())
+		}
+		wantMax := ha.Max()
+		if hb.Max() > wantMax {
+			wantMax = hb.Max()
+		}
+		if merged.Max() != wantMax {
+			t.Fatalf("max not max-of-maxes: %g vs %g", merged.Max(), wantMax)
+		}
+		if merged.counts != all.counts {
+			t.Fatal("merged bucket counts differ from observing the union directly")
+		}
+
+		// Commutativity: b.Merge(a) lands on the same buckets and count.
+		flipped := hb.Clone()
+		flipped.Merge(ha)
+		if flipped.counts != merged.counts || flipped.Count() != merged.Count() || flipped.Max() != merged.Max() {
+			t.Fatal("merge is not commutative")
+		}
+
+		// Merge(nil) and merging an empty histogram are identities.
+		before := merged.counts
+		merged.Merge(nil)
+		merged.Merge(NewLogHistogram())
+		if merged.counts != before || merged.Count() != all.Count() {
+			t.Fatal("nil/empty merge is not the identity")
+		}
+
+		// The top quantile never exceeds the exact tracked maximum.
+		if q := merged.Quantile(1); q != merged.Max() {
+			t.Fatalf("Quantile(1) = %g, want exact max %g", q, merged.Max())
+		}
+	})
+}

@@ -131,6 +131,7 @@ func run() error {
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		//roialint:ignore tickclock report date stamp for humans, not simulation time
 		Date:       time.Now().UTC().Format(time.RFC3339),
 		Benchtime:  *timeFlag,
 		Benchmarks: benches,

@@ -1,0 +1,178 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: a position, the check that produced it, and a
+// human-readable message stating the violated invariant.
+type Diagnostic struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+}
+
+// Analyzer is one named check over a loaded package.
+type Analyzer interface {
+	Name() string
+	Check(pkg *Package, r *Reporter)
+}
+
+// Finisher is implemented by analyzers that need a cross-package pass after
+// every package has been checked (e.g. metric-family consistency).
+type Finisher interface {
+	Finish(r *Reporter)
+}
+
+// suppression is one parsed //roialint:ignore comment.
+type suppression struct {
+	check  string
+	reason string
+	line   int
+	used   bool
+}
+
+// Reporter collects diagnostics and applies inline suppressions.
+//
+// Suppression syntax:
+//
+//	//roialint:ignore <check> <reason>
+//
+// placed either at the end of the offending line or on its own line
+// directly above it. The reason is mandatory: a suppression without one is
+// itself reported, because an unexplained exemption is exactly the kind of
+// tribal knowledge this tool exists to eliminate.
+type Reporter struct {
+	fset  *token.FileSet
+	root  string
+	diags []Diagnostic
+	// sups maps filename → line → suppressions covering that line.
+	sups       map[string]map[int][]*suppression
+	suppressed int
+}
+
+// NewReporter returns a reporter rendering positions relative to root.
+func NewReporter(fset *token.FileSet, root string) *Reporter {
+	return &Reporter{fset: fset, root: root, sups: map[string]map[int][]*suppression{}}
+}
+
+const ignorePrefix = "roialint:ignore"
+
+// ScanSuppressions parses every //roialint:ignore comment in the package.
+// Malformed suppressions (no check name, or no reason) are reported as
+// findings of the pseudo-check "suppress".
+func (r *Reporter) ScanSuppressions(pkg *Package) {
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				pos := r.fset.Position(c.Pos())
+				fields := strings.Fields(strings.TrimPrefix(text, ignorePrefix))
+				if len(fields) == 0 {
+					r.report(pos, "suppress", "roialint:ignore needs a check name and a reason")
+					continue
+				}
+				if len(fields) < 2 {
+					r.report(pos, "suppress",
+						fmt.Sprintf("roialint:ignore %s needs a reason — say why the invariant does not apply here", fields[0]))
+					continue
+				}
+				s := &suppression{
+					check:  fields[0],
+					reason: strings.Join(fields[1:], " "),
+					line:   pos.Line,
+				}
+				byLine := r.sups[pos.Filename]
+				if byLine == nil {
+					byLine = map[int][]*suppression{}
+					r.sups[pos.Filename] = byLine
+				}
+				// A comment on its own line covers the next line; a
+				// trailing comment covers its own. Register both — the
+				// lookup picks whichever the diagnostic lands on.
+				byLine[pos.Line] = append(byLine[pos.Line], s)
+				byLine[pos.Line+1] = append(byLine[pos.Line+1], s)
+			}
+		}
+	}
+}
+
+// Report records a diagnostic at the node's position unless a matching
+// suppression covers its line.
+func (r *Reporter) Report(node ast.Node, check, format string, args ...any) {
+	pos := r.fset.Position(node.Pos())
+	r.ReportPos(pos, check, format, args...)
+}
+
+// ReportPos is Report for a pre-computed position (used by Finish passes).
+func (r *Reporter) ReportPos(pos token.Position, check, format string, args ...any) {
+	for _, s := range r.sups[pos.Filename][pos.Line] {
+		if s.check == check {
+			s.used = true
+			r.suppressed++
+			return
+		}
+	}
+	r.report(pos, check, fmt.Sprintf(format, args...))
+}
+
+func (r *Reporter) report(pos token.Position, check, msg string) {
+	if rel, err := filepath.Rel(r.root, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		pos.Filename = filepath.ToSlash(rel)
+	}
+	r.diags = append(r.diags, Diagnostic{Pos: pos, Check: check, Message: msg})
+}
+
+// Rel renders a filename relative to the reporter's root, matching how
+// diagnostic positions are printed. Analyzers use it for cross-reference
+// positions embedded in messages.
+func (r *Reporter) Rel(filename string) string {
+	if rel, err := filepath.Rel(r.root, filename); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filename
+}
+
+// Diagnostics returns the surviving findings sorted by position, with
+// exact duplicates collapsed (one string literal can trip the same rule on
+// several of its lines).
+func (r *Reporter) Diagnostics() []Diagnostic {
+	sort.Slice(r.diags, func(i, j int) bool {
+		a, b := r.diags[i], r.diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	out := r.diags[:0]
+	for i, d := range r.diags {
+		if i > 0 && d == r.diags[i-1] {
+			continue
+		}
+		out = append(out, d)
+	}
+	r.diags = out
+	return r.diags
+}
+
+// Suppressed reports how many findings inline suppressions absorbed.
+func (r *Reporter) Suppressed() int { return r.suppressed }

@@ -1,0 +1,165 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// BoundedGrowth enforces the telemetry-retention invariant: long-lived
+// collector types (tracers, rings, collectors, recorders, sinks) that
+// append to a struct-field slice or insert into a struct-field map must
+// show a cap or age-out somewhere in the same method set — a length
+// comparison, a delete, a re-slice, a ring-index overwrite, or a reset.
+// An observability buffer with no bound is a slow memory leak on exactly
+// the long-horizon runs the scalability experiments care about.
+type BoundedGrowth struct {
+	// TypePattern overrides the long-lived-type name heuristic (tests).
+	TypePattern *regexp.Regexp
+}
+
+var defaultLongLived = regexp.MustCompile(`Tracer|Ring|Collector|Recorder|Sink|Memory`)
+
+func (BoundedGrowth) Name() string { return "boundedgrowth" }
+
+type growthSite struct {
+	node  ast.Node
+	field string
+	kind  string // "append" or "map insert"
+}
+
+func (b BoundedGrowth) Check(pkg *Package, r *Reporter) {
+	pattern := b.TypePattern
+	if pattern == nil {
+		pattern = defaultLongLived
+	}
+
+	// Gather the method set of every matching struct type in the package.
+	methods := map[string][]*ast.FuncDecl{}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || len(fn.Recv.List) == 0 {
+				continue
+			}
+			name := recvTypeName(fn.Recv.List[0].Type)
+			if name == "" || !pattern.MatchString(name) {
+				continue
+			}
+			methods[name] = append(methods[name], fn)
+		}
+	}
+
+	for _, fns := range methods {
+		var sites []growthSite
+		bounded := map[string]bool{}
+		for _, fn := range fns {
+			if fn.Body == nil || len(fn.Recv.List[0].Names) == 0 {
+				continue
+			}
+			recv := fn.Recv.List[0].Names[0].Name
+			collectGrowth(pkg.Info, fn.Body, recv, &sites, bounded)
+		}
+		for _, s := range sites {
+			if bounded[s.field] {
+				continue
+			}
+			r.Report(s.node, "boundedgrowth",
+				"unbounded %s to field %q of a long-lived type: no cap, age-out, or ring overwrite in its method set — add a bound and a dropped counter",
+				s.kind, s.field)
+		}
+	}
+}
+
+// collectGrowth records growth sites and bounding evidence for recv.<field>
+// expressions inside one method body.
+func collectGrowth(info *types.Info, body *ast.BlockStmt, recv string, sites *[]growthSite, bounded map[string]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				rhs := n.Rhs[0]
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				}
+				if field, ok := recvFieldSel(lhs, recv); ok {
+					switch rv := ast.Unparen(rhs).(type) {
+					case *ast.CallExpr:
+						// recv.f = append(recv.f, ...) grows; an append
+						// onto a fresh slice (copy idiom) does not.
+						if id, ok := rv.Fun.(*ast.Ident); ok && id.Name == "append" && len(rv.Args) > 0 {
+							if src, ok := recvFieldSel(rv.Args[0], recv); ok && src == field {
+								*sites = append(*sites, growthSite{node: n, field: field, kind: "append"})
+							}
+						}
+						// recv.f = make(...) is a reset: evidence.
+						if id, ok := rv.Fun.(*ast.Ident); ok && id.Name == "make" {
+							bounded[field] = true
+						}
+					case *ast.SliceExpr:
+						// recv.f = recv.f[...:...] truncation: evidence.
+						if src, ok := recvFieldSel(rv.X, recv); ok && src == field {
+							bounded[field] = true
+						}
+					case *ast.Ident:
+						if rv.Name == "nil" {
+							bounded[field] = true
+						}
+					}
+				}
+				// recv.f[k] = v: map insert grows, slice write is a ring.
+				if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					if field, ok := recvFieldSel(idx.X, recv); ok {
+						t := info.TypeOf(idx.X)
+						if t != nil {
+							switch t.Underlying().(type) {
+							case *types.Map:
+								*sites = append(*sites, growthSite{node: n, field: field, kind: "map insert"})
+							case *types.Slice, *types.Array:
+								bounded[field] = true
+							}
+						}
+					}
+				}
+			}
+		case *ast.BinaryExpr:
+			// len(recv.f) compared against anything: evidence of a cap.
+			switch n.Op {
+			case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+				for _, op := range []ast.Expr{n.X, n.Y} {
+					if call, ok := ast.Unparen(op).(*ast.CallExpr); ok {
+						if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "len" && len(call.Args) == 1 {
+							if field, ok := recvFieldSel(call.Args[0], recv); ok {
+								bounded[field] = true
+							}
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			// delete(recv.f, k): age-out evidence.
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "delete" && len(n.Args) > 0 {
+				if field, ok := recvFieldSel(n.Args[0], recv); ok {
+					bounded[field] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// recvTypeName extracts the base type name of a method receiver.
+func recvTypeName(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.StarExpr:
+		return recvTypeName(t.X)
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr: // generic receiver
+		return recvTypeName(t.X)
+	case *ast.IndexListExpr:
+		return recvTypeName(t.X)
+	}
+	return ""
+}

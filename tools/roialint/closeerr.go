@@ -1,0 +1,61 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CloseErr flags statement-position Close/Flush/Sync calls whose error
+// result is silently discarded — the pattern that loses the final write
+// error of JSONL trace and audit files. Deferred closes are exempt (the
+// teardown idiom), as are methods declared in package net: a connection
+// teardown error carries no signal. Acknowledge an intentionally ignored
+// error with `_ = x.Close()`.
+type CloseErr struct{}
+
+func (CloseErr) Name() string { return "closeerr" }
+
+var closeErrMethods = map[string]bool{"Close": true, "Flush": true, "Sync": true}
+
+func (CloseErr) Check(pkg *Package, r *Reporter) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !closeErrMethods[sel.Sel.Name] {
+				return true
+			}
+			obj := calleeObj(pkg.Info, call)
+			fn, ok := obj.(*types.Func)
+			if !ok {
+				return true
+			}
+			if fn.Pkg() != nil && fn.Pkg().Path() == "net" {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Results().Len() == 0 {
+				return true
+			}
+			last := sig.Results().At(sig.Results().Len() - 1).Type()
+			if !isErrorType(last) {
+				return true
+			}
+			r.Report(stmt, "closeerr",
+				"%s() returns an error that is discarded; propagate it or acknowledge with `_ = ...` — a lost close error silently truncates JSONL output", sel.Sel.Name)
+			return true
+		})
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Name() == "error" && n.Obj().Pkg() == nil
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"go/ast"
+)
+
+// HTTPTimeout enforces the slowloris-hardening invariant every PR so far
+// has applied by hand: an http.Server must set ReadHeaderTimeout (or the
+// stricter ReadTimeout) so a client that dribbles header bytes cannot pin
+// a connection forever. It also flags http.ListenAndServe(TLS), which
+// constructs an un-hardenable default server internally.
+type HTTPTimeout struct{}
+
+func (HTTPTimeout) Name() string { return "httptimeout" }
+
+func (HTTPTimeout) Check(pkg *Package, r *Reporter) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				if !isNamed(pkg.Info.TypeOf(n), "net/http", "Server") {
+					return true
+				}
+				for _, elt := range n.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					if key, ok := kv.Key.(*ast.Ident); ok &&
+						(key.Name == "ReadHeaderTimeout" || key.Name == "ReadTimeout") {
+						return true
+					}
+				}
+				r.Report(n, "httptimeout",
+					"http.Server literal without ReadHeaderTimeout: a slow-header client can hold the connection open forever")
+			case *ast.CallExpr:
+				if isPkgFunc(pkg.Info, n, "net/http", "ListenAndServe", "ListenAndServeTLS") {
+					r.Report(n, "httptimeout",
+						"http.ListenAndServe uses a default http.Server with no timeouts; construct an http.Server with ReadHeaderTimeout instead")
+				}
+			}
+			return true
+		})
+	}
+}

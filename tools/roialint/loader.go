@@ -1,0 +1,230 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked local package: the shared unit every analyzer
+// consumes. Files and type information share a single token.FileSet so that
+// diagnostics from different analyzers sort and render consistently.
+type Package struct {
+	Path  string // import path ("roia/internal/telemetry")
+	Dir   string // absolute directory
+	Files []*ast.File
+	// RelFiles maps each *ast.File to its path relative to the loader
+	// root, using forward slashes — the form analyzers match against
+	// (e.g. "internal/rtf/server/tick.go") and diagnostics print.
+	RelFiles map[*ast.File]string
+	Types    *types.Package
+	Info     *types.Info
+}
+
+// Loader parses and type-checks packages of one local module, resolving
+// module-internal imports itself and delegating standard-library imports to
+// the source importer (stdlib only — no go/packages dependency).
+type Loader struct {
+	Root   string // module root (absolute)
+	Module string // module path from go.mod
+	Fset   *token.FileSet
+
+	std  types.ImporterFrom
+	pkgs map[string]*Package // by import path, memoized
+	errs []error
+}
+
+// NewLoader returns a loader rooted at dir, which must contain go.mod.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := modulePath(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Root:   abs,
+		Module: mod,
+		Fset:   fset,
+		std:    importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		pkgs:   map[string]*Package{},
+	}, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("%s: no module directive", gomod)
+}
+
+// LoadAll walks the module tree and loads every package that contains
+// non-test Go files, skipping testdata, hidden, and VCS directories.
+// Packages are returned sorted by import path.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.Root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.Root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(l.Root, dir)
+		if err != nil {
+			return nil, err
+		}
+		path := l.Module
+		if rel != "." {
+			path = l.Module + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := l.load(path, dir)
+		if err != nil {
+			l.errs = append(l.errs, err)
+			continue
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	if len(l.errs) > 0 {
+		return out, fmt.Errorf("%d package(s) failed to load (first: %v)", len(l.errs), l.errs[0])
+	}
+	return out, nil
+}
+
+// LoadDir loads the single package in dir under the given import path —
+// used by the golden-file tests to load fixture packages from testdata.
+func (l *Loader) LoadDir(dir, path string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	return l.load(path, abs)
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// load parses and type-checks one package directory, memoized by path.
+// Test files are excluded: every analyzer's invariants target production
+// code, and tests routinely use real clocks and ad-hoc servers.
+func (l *Loader) load(path, dir string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		if pkg == nil {
+			return nil, fmt.Errorf("%s: import cycle", path)
+		}
+		return pkg, nil
+	}
+	l.pkgs[path] = nil // cycle guard
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{Path: path, Dir: dir, RelFiles: map[*ast.File]string{}}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		full := filepath.Join(dir, name)
+		f, err := parser.ParseFile(l.Fset, full, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		rel, err := filepath.Rel(l.Root, full)
+		if err != nil {
+			rel = full
+		}
+		pkg.Files = append(pkg.Files, f)
+		pkg.RelFiles[f] = filepath.ToSlash(rel)
+	}
+	if len(pkg.Files) == 0 {
+		return nil, fmt.Errorf("%s: no Go files in %s", path, dir)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: importerFunc(func(importPath, fromDir string) (*types.Package, error) {
+			return l.resolve(importPath)
+		}),
+		Error: func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(path, l.Fset, pkg.Files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("%s: type errors (first: %v)", path, typeErrs[0])
+	}
+	pkg.Types = tpkg
+	pkg.Info = info
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// resolve maps an import path to a type-checked package: module-internal
+// paths recurse through load, everything else goes to the source importer.
+func (l *Loader) resolve(importPath string) (*types.Package, error) {
+	if importPath == l.Module || strings.HasPrefix(importPath, l.Module+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(importPath, l.Module), "/")
+		dir := filepath.Join(l.Root, filepath.FromSlash(rel))
+		pkg, err := l.load(importPath, dir)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(importPath, l.Root, 0)
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path, dir string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path, "") }

@@ -1,0 +1,199 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockHold flags blocking operations — channel sends/receives, selects
+// without a default, time.Sleep, and net / net/http calls — executed while
+// a sync.Mutex or sync.RWMutex is held, inside the real-time-framework
+// packages (internal/rtf/...). This is the FleetDriver scrape-safety bug
+// class: a tick-path mutex held across network I/O turns one slow peer
+// into a fleet-wide tick stall, which corrupts every T(l,n,m) measurement
+// taken during the stall.
+//
+// The analysis is positional and per-function: an interval runs from each
+// Lock/RLock to the next non-deferred Unlock/RUnlock of the same mutex
+// expression (or to the end of the function when the unlock is deferred).
+type LockHold struct {
+	// PathPrefix restricts the check to files whose module-relative path
+	// contains it; empty means the rtf default.
+	PathPrefix string
+}
+
+func (LockHold) Name() string { return "lockhold" }
+
+type lockEvent struct {
+	pos     token.Pos
+	lock    bool // Lock/RLock vs Unlock/RUnlock
+	deferDo bool
+}
+
+func (l LockHold) Check(pkg *Package, r *Reporter) {
+	prefix := l.PathPrefix
+	if prefix == "" {
+		prefix = "internal/rtf/"
+	}
+	for _, f := range pkg.Files {
+		if !matchesAny(pkg.RelFiles[f], []string{prefix}) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			l.checkFunc(pkg, fn, r)
+		}
+	}
+}
+
+func (LockHold) checkFunc(pkg *Package, fn *ast.FuncDecl, r *Reporter) {
+	info := pkg.Info
+
+	// Pass 1: collect Lock/Unlock events per mutex expression.
+	events := map[string][]lockEvent{}
+	inDefer := map[*ast.CallExpr]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			inDefer[d.Call] = true
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		var isLock bool
+		switch sel.Sel.Name {
+		case "Lock", "RLock":
+			isLock = true
+		case "Unlock", "RUnlock":
+		default:
+			return true
+		}
+		t := info.TypeOf(sel.X)
+		if t == nil || (!isNamed(t, "sync", "Mutex") && !isNamed(t, "sync", "RWMutex")) {
+			return true
+		}
+		key := exprKey(r.fset, sel.X)
+		events[key] = append(events[key], lockEvent{pos: call.Pos(), lock: isLock, deferDo: inDefer[call]})
+		return true
+	})
+	if len(events) == 0 {
+		return
+	}
+
+	// Build held intervals: Lock → next plain Unlock, else function end.
+	type interval struct {
+		key        string
+		start, end token.Pos
+	}
+	var held []interval
+	for key, evs := range events {
+		for i, ev := range evs {
+			if !ev.lock || ev.deferDo {
+				continue
+			}
+			end := fn.Body.End()
+			for _, after := range evs[i+1:] {
+				if !after.lock && !after.deferDo && after.pos > ev.pos {
+					end = after.pos
+					break
+				}
+			}
+			held = append(held, interval{key: key, start: ev.pos, end: end})
+		}
+	}
+	if len(held) == 0 {
+		return
+	}
+	heldAt := func(pos token.Pos) (string, token.Pos, bool) {
+		for _, iv := range held {
+			if pos > iv.start && pos < iv.end {
+				return iv.key, iv.start, true
+			}
+		}
+		return "", token.NoPos, false
+	}
+
+	// Pass 2: flag blocking operations inside held intervals. Comm clauses
+	// of a select with a default are non-blocking and exempted.
+	nonBlocking := map[ast.Node]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		hasDefault := false
+		for _, c := range sel.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if hasDefault {
+			for _, c := range sel.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+					nonBlocking[cc.Comm] = true
+				}
+			}
+			nonBlocking[sel] = true
+		}
+		return true
+	})
+	report := func(n ast.Node, what string) {
+		if key, lockPos, ok := heldAt(n.Pos()); ok {
+			r.Report(n, "lockhold", "%s while %s is held (locked at line %d): a blocked peer stalls every tick waiting on this mutex",
+				what, key, r.fset.Position(lockPos).Line)
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if !nonBlocking[n] {
+				report(n, "channel send")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !commOf(n, nonBlocking) {
+				report(n, "channel receive")
+			}
+		case *ast.SelectStmt:
+			if !nonBlocking[n] {
+				report(n, "select without default")
+			}
+		case *ast.RangeStmt:
+			if t := pkg.Info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					report(n, "range over channel")
+				}
+			}
+		case *ast.CallExpr:
+			if isPkgCall(pkg.Info, n, "time", "Sleep") {
+				report(n, "time.Sleep")
+			} else if isPkgCall(pkg.Info, n, "net") {
+				report(n, "net call")
+			} else if isPkgCall(pkg.Info, n, "net/http",
+				"Get", "Post", "Head", "PostForm", "Do", "Serve", "ListenAndServe", "ListenAndServeTLS", "Shutdown") {
+				report(n, "net/http call")
+			}
+		}
+		return true
+	})
+}
+
+// commOf reports whether the receive expression belongs to an exempted
+// (non-blocking) select comm statement.
+func commOf(recv *ast.UnaryExpr, nonBlocking map[ast.Node]bool) bool {
+	for stmt := range nonBlocking {
+		if stmt.Pos() <= recv.Pos() && recv.End() <= stmt.End() {
+			if _, ok := stmt.(*ast.SelectStmt); !ok {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,130 @@
+// Command roialint is the repo's static-analysis suite: a stdlib-only
+// (go/ast, go/parser, go/types) multi-analyzer linter that machine-checks
+// the runtime-loop invariants previous PRs kept re-applying by hand —
+// hardened HTTP servers, no blocking I/O under rtf mutexes, the
+// (roia|fleet)_ metric exposition grammar, bounded telemetry buffers,
+// injectable clocks, and no discarded Close/Flush errors on writers.
+//
+// Usage:
+//
+//	go run ./tools/roialint ./...            # whole module (CI gate)
+//	go run ./tools/roialint internal/rtf/... # one subtree
+//	go run ./tools/roialint -list            # list analyzers
+//
+// Exit status: 0 clean, 1 findings, 2 load/usage error. Findings print as
+// file:line:col: [check] message. Suppress a single finding with an inline
+// comment on (or directly above) the offending line:
+//
+//	//roialint:ignore <check> <reason>
+//
+// The reason is mandatory and itself linted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func defaultAnalyzers() []Analyzer {
+	return []Analyzer{
+		HTTPTimeout{},
+		LockHold{},
+		&MetricName{},
+		BoundedGrowth{},
+		TickClock{},
+		CloseErr{},
+	}
+}
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	checks := flag.String("check", "", "comma-separated analyzer names to run (default: all)")
+	root := flag.String("C", ".", "module root to analyze")
+	flag.Parse()
+
+	analyzers := defaultAnalyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Println(a.Name())
+		}
+		return
+	}
+	if *checks != "" {
+		want := map[string]bool{}
+		for _, name := range strings.Split(*checks, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		var sel []Analyzer
+		for _, a := range analyzers {
+			if want[a.Name()] {
+				sel = append(sel, a)
+				delete(want, a.Name())
+			}
+		}
+		for name := range want {
+			fmt.Fprintf(os.Stderr, "roialint: unknown check %q\n", name)
+			os.Exit(2)
+		}
+		analyzers = sel
+	}
+
+	loader, err := NewLoader(*root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "roialint: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "roialint: %v\n", err)
+		os.Exit(2)
+	}
+
+	// Positional patterns filter which packages are *reported on*; every
+	// package is still loaded so cross-package checks see the whole tree.
+	patterns := flag.Args()
+	match := func(p *Package) bool {
+		if len(patterns) == 0 {
+			return true
+		}
+		rel := strings.TrimPrefix(strings.TrimPrefix(p.Path, loader.Module), "/")
+		for _, pat := range patterns {
+			pat = strings.TrimPrefix(pat, "./")
+			pat = strings.TrimSuffix(pat, "...")
+			pat = strings.TrimSuffix(pat, "/")
+			if pat == "" || pat == "." || rel == pat || strings.HasPrefix(rel, pat+"/") {
+				return true
+			}
+		}
+		return false
+	}
+
+	r := NewReporter(loader.Fset, loader.Root)
+	for _, pkg := range pkgs {
+		if !match(pkg) {
+			continue
+		}
+		r.ScanSuppressions(pkg)
+		for _, a := range analyzers {
+			a.Check(pkg, r)
+		}
+	}
+	for _, a := range analyzers {
+		if fin, ok := a.(Finisher); ok {
+			fin.Finish(r)
+		}
+	}
+
+	diags := r.Diagnostics()
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if n := r.Suppressed(); n > 0 {
+		fmt.Fprintf(os.Stderr, "roialint: %d finding(s) suppressed inline\n", n)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "roialint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,87 @@
+// Package boundedgrowth holds boundedgrowth fixtures: unbounded growth in
+// long-lived collector types, and every accepted bounding idiom.
+package boundedgrowth
+
+// Recorder grows without any cap in its method set.
+type Recorder struct {
+	events []int
+	byID   map[int]string
+}
+
+// Bad: append with no bounding evidence anywhere.
+func (r *Recorder) Add(v int) {
+	r.events = append(r.events, v)
+}
+
+// Bad: map insert with no delete, reset, or len comparison.
+func (r *Recorder) Put(k int, v string) {
+	r.byID[k] = v
+}
+
+// Ring is the canonical bounded buffer: a len comparison gates the append
+// and the overwrite path reuses slots.
+type Ring struct {
+	buf  []int
+	next int
+	max  int
+}
+
+// Good: capped append plus ring overwrite.
+func (t *Ring) Push(v int) {
+	if len(t.buf) < t.max {
+		t.buf = append(t.buf, v)
+		return
+	}
+	t.buf[t.next] = v
+	t.next = (t.next + 1) % t.max
+}
+
+// Sink ages entries out with delete.
+type Sink struct {
+	pending map[int]string
+}
+
+// Good: the map insert is paired with an age-out in the method set.
+func (s *Sink) Track(k int, v string) {
+	s.pending[k] = v
+}
+
+// Resolve removes a tracked entry.
+func (s *Sink) Resolve(k int) {
+	delete(s.pending, k)
+}
+
+// SampleCollector truncates in a sibling method.
+type SampleCollector struct {
+	samples []float64
+}
+
+// Good: Trim provides the visible bound.
+func (c *SampleCollector) Observe(v float64) {
+	c.samples = append(c.samples, v)
+}
+
+// Trim resets the sample log.
+func (c *SampleCollector) Trim() {
+	c.samples = c.samples[:0]
+}
+
+// SnapshotSink only copy-appends into a fresh slice.
+type SnapshotSink struct {
+	last []int
+}
+
+// Good: append onto a nil slice replaces, it does not grow the field.
+func (s *SnapshotSink) Set(v []int) {
+	s.last = append([]int(nil), v...)
+}
+
+// builder does not match the long-lived-type heuristic at all.
+type builder struct {
+	parts []string
+}
+
+// Good: short-lived accumulators are out of scope.
+func (b *builder) add(s string) {
+	b.parts = append(b.parts, s)
+}

@@ -1,0 +1,46 @@
+// Package closeerr holds closeerr fixtures: discarded writer close/flush
+// errors, and every accepted acknowledgement idiom.
+package closeerr
+
+import (
+	"bufio"
+	"encoding/csv"
+	"net"
+	"os"
+)
+
+// Bad: the close error of a (possibly written) file is dropped.
+func fileClose(f *os.File) {
+	f.Close()
+}
+
+// Bad: a buffered writer's flush error is the write error.
+func flush(w *bufio.Writer) {
+	w.Flush()
+}
+
+// Good: explicitly acknowledged.
+func acked(f *os.File) {
+	_ = f.Close()
+}
+
+// Good: deferred close is the read-path teardown idiom.
+func deferred(f *os.File) error {
+	defer f.Close()
+	return nil
+}
+
+// Good: propagated to the caller.
+func propagated(f *os.File) error {
+	return f.Close()
+}
+
+// Good: csv.Writer.Flush returns nothing; its error lives in Error().
+func csvFlush(w *csv.Writer) {
+	w.Flush()
+}
+
+// Good: net connection teardown errors carry no signal.
+func netClose(c net.Conn) {
+	c.Close()
+}

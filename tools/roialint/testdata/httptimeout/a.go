@@ -1,0 +1,38 @@
+// Package httptimeout holds httptimeout fixtures: Server literals with
+// and without read timeouts, and ListenAndServe package-function calls.
+package httptimeout
+
+import (
+	"net/http"
+	"time"
+)
+
+// Bad: no timeout field at all.
+func bare() *http.Server {
+	return &http.Server{Addr: ":8080"}
+}
+
+// Bad: non-pointer literal without a timeout.
+func bareValue() http.Server {
+	return http.Server{Handler: http.NewServeMux()}
+}
+
+// Bad: the package-level helper builds an un-hardenable default server.
+func pkgListen() error {
+	return http.ListenAndServe(":8080", nil)
+}
+
+// Good: ReadHeaderTimeout set.
+func hardened() *http.Server {
+	return &http.Server{Addr: ":8080", ReadHeaderTimeout: 5 * time.Second}
+}
+
+// Good: ReadTimeout covers the header read too.
+func hardenedRead() *http.Server {
+	return &http.Server{Addr: ":8080", ReadTimeout: 10 * time.Second}
+}
+
+// Good: the method on an already-hardened server is not the package func.
+func methodListen() error {
+	return hardened().ListenAndServe()
+}

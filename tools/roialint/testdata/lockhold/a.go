@@ -1,0 +1,75 @@
+// Package lockhold holds lockhold fixtures: blocking operations under
+// sync mutexes, plus the non-blocking shapes that must stay clean.
+package lockhold
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+type guarded struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	ch   chan int
+	data map[string]int
+}
+
+// Bad: channel send between Lock and Unlock.
+func (g *guarded) sendHeld() {
+	g.mu.Lock()
+	g.ch <- 1
+	g.mu.Unlock()
+}
+
+// Bad: time.Sleep while a deferred unlock holds the mutex to return.
+func (g *guarded) sleepHeld() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	time.Sleep(time.Millisecond)
+	g.data["k"] = 1
+}
+
+// Bad: network dial under a read lock still stalls every writer.
+func (g *guarded) dialHeld() error {
+	g.rw.RLock()
+	defer g.rw.RUnlock()
+	conn, err := net.Dial("tcp", "localhost:1")
+	if err != nil {
+		return err
+	}
+	return conn.Close()
+}
+
+// Bad: channel receive while held.
+func (g *guarded) recvHeld() int {
+	g.mu.Lock()
+	v := <-g.ch
+	g.mu.Unlock()
+	return v
+}
+
+// Good: the blocking operation happens after the unlock.
+func (g *guarded) sendAfter() {
+	g.mu.Lock()
+	g.data["k"] = 1
+	g.mu.Unlock()
+	g.ch <- 1
+}
+
+// Good: a select with a default never blocks.
+func (g *guarded) trySend() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select {
+	case g.ch <- 1:
+	default:
+	}
+}
+
+// Good: plain map work under the lock.
+func (g *guarded) update(k string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.data[k]++
+}

@@ -1,0 +1,67 @@
+// Package metricname holds metricname fixtures: exposition grammar
+// violations, TYPE conflicts, label drift, and the clean shapes.
+package metricname
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Histogram mimics the telemetry histogram writer signature.
+type Histogram struct{}
+
+// Write renders one histogram family under the given name.
+func (Histogram) Write(w io.Writer, name, labels string) error {
+	_, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	return err
+}
+
+// Bad: family casing breaks the grammar; kind "count" is not a metric type.
+func badHeaders(w io.Writer) {
+	fmt.Fprintf(w, "# TYPE roia_BadCase_total counter\nroia_BadCase_total %d\n", 1)
+	fmt.Fprintf(w, "# TYPE myapp_ticks counter\n")
+	fmt.Fprintf(w, "# TYPE roia_thing_total count\nroia_thing_total %d\n", 2)
+}
+
+// Bad: the same family declared with two different types.
+func conflict(w io.Writer) {
+	fmt.Fprintf(w, "# TYPE roia_conflict_total counter\nroia_conflict_total %d\n", 1)
+	fmt.Fprintf(w, "# TYPE roia_conflict_total gauge\nroia_conflict_total %d\n", 2)
+}
+
+// Bad: one family written with two different label-key sets.
+func labelDrift(w io.Writer) {
+	fmt.Fprintf(w, "# TYPE roia_label_ms gauge\n")
+	fmt.Fprintf(w, "roia_label_ms{stat=\"p95\"} %g\n", 1.0)
+	fmt.Fprintf(w, "roia_label_ms{zone=\"1\"} %g\n", 2.0)
+}
+
+// Bad: a sample family that is never TYPE-declared anywhere.
+func undeclared(w io.Writer) {
+	fmt.Fprintf(w, "roia_undeclared_total %d\n", 3)
+}
+
+// Bad: a malformed literal family handed to the histogram writer.
+func badHistName(w io.Writer) error {
+	var h Histogram
+	return h.Write(w, "roia_Bad_Hist", "")
+}
+
+// Good: well-formed families, consistent kinds and labels.
+func clean(w io.Writer, labels string) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# TYPE roia_ok_total counter\nroia_ok_total %d\n", 1)
+	fmt.Fprintf(&b, "# TYPE fleet_ok_users gauge\n")
+	fmt.Fprintf(&b, "fleet_ok_users%s %d\n", fmt.Sprintf("zone=%q", "1"), 4)
+	fmt.Fprintf(&b, "fleet_ok_users%s %d\n", fmt.Sprintf("zone=%q", "2"), 5)
+	// Dynamic label sets are out of static reach and stay unflagged.
+	fmt.Fprintf(&b, "# TYPE roia_dyn_total counter\n")
+	fmt.Fprintf(&b, "roia_dyn_total%s %d\n", labels, 6)
+	var h Histogram
+	if err := h.Write(&b, "roia_ok_ms", ""); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

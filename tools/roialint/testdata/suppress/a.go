@@ -1,0 +1,33 @@
+// Package suppress exercises the //roialint:ignore mechanism: both
+// placements, the mandatory reason, and check-name matching.
+package suppress
+
+import "time"
+
+// Good: suppressed by a trailing comment on the offending line.
+func trailing() int64 {
+	return time.Now().UnixMicro() //roialint:ignore tickclock fixture exercising same-line suppression
+}
+
+// Good: suppressed by a comment directly above the offending line.
+func above() {
+	//roialint:ignore tickclock fixture exercising line-above suppression
+	time.Sleep(time.Millisecond)
+}
+
+// Bad: a reason-less suppression is itself a finding, and the violation
+// it failed to cover is still reported.
+func noReason() int64 {
+	return time.Now().UnixMicro() //roialint:ignore tickclock
+}
+
+// Bad: a suppression naming a different check does not apply.
+func wrongCheck() {
+	//roialint:ignore httptimeout reason that does not match this finding
+	time.Sleep(time.Millisecond)
+}
+
+// Bad: plain violation, nothing suppressing it.
+func plain() int64 {
+	return time.Now().UnixMicro()
+}

@@ -1,0 +1,28 @@
+// Package tickclock holds tickclock fixtures: direct clock calls outside
+// the approved surface, and the injectable shapes that must stay clean.
+package tickclock
+
+import "time"
+
+// Bad: direct wall-clock read in unapproved code.
+func stamp() int64 {
+	return time.Now().UnixMicro()
+}
+
+// Bad: direct sleep couples the caller to real time.
+func pause() {
+	time.Sleep(10 * time.Millisecond)
+}
+
+// Good: referencing time.Now as a value injects the clock.
+type clocked struct {
+	now func() time.Time
+}
+
+func newClocked() *clocked {
+	return &clocked{now: time.Now}
+}
+
+func (c *clocked) stamp() int64 {
+	return c.now().UnixMicro()
+}

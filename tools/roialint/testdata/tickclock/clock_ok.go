@@ -1,0 +1,9 @@
+package tickclock
+
+import "time"
+
+// This file is on the analyzer's approved list (the tick-loop analogue):
+// direct clock calls here are the measurement surface itself.
+func approvedStamp() time.Time {
+	return time.Now()
+}

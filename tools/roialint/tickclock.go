@@ -1,0 +1,62 @@
+package main
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// TickClock keeps simulation and experiment code clock-injectable: direct
+// time.Now() / time.Sleep() calls are allowed only at the approved
+// real-time call sites (the tick loop, the monitor, and telemetry, which
+// measure wall time by design). Everywhere else, code must take a clock —
+// referencing time.Now as a *value* to inject it is fine; calling it
+// inline is not, because it silently couples experiments to wall time and
+// makes T(l,n,m) measurements unreproducible.
+type TickClock struct {
+	// Allowed entries are substring-matched against the file path
+	// relative to the module root; test files are always exempt.
+	Allowed []string
+}
+
+// defaultTickClockAllowed is the repo's approved real-time surface.
+var defaultTickClockAllowed = []string{
+	"internal/rtf/server/tick.go",
+	"internal/rtf/monitor/",
+	"internal/telemetry/",
+}
+
+func (TickClock) Name() string { return "tickclock" }
+
+func (t TickClock) Check(pkg *Package, r *Reporter) {
+	allowed := t.Allowed
+	if allowed == nil {
+		allowed = defaultTickClockAllowed
+	}
+	for _, f := range pkg.Files {
+		rel := pkg.RelFiles[f]
+		if matchesAny(rel, allowed) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isPkgCall(pkg.Info, call, "time", "Now", "Sleep") {
+				obj := calleeObj(pkg.Info, call)
+				r.Report(call, "tickclock",
+					"direct time.%s() outside the approved tick/monitor/telemetry call sites; inject a clock so simulations stay deterministic", obj.Name())
+			}
+			return true
+		})
+	}
+}
+
+func matchesAny(rel string, pats []string) bool {
+	for _, p := range pats {
+		if strings.Contains(rel, p) {
+			return true
+		}
+	}
+	return false
+}

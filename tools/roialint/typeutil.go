@@ -1,0 +1,126 @@
+package main
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strconv"
+)
+
+// calleeObj resolves the function or method object a call invokes, or nil.
+func calleeObj(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// isPkgCall reports whether call invokes a function or method declared in
+// the package with the given import path, optionally restricted to names.
+func isPkgCall(info *types.Info, call *ast.CallExpr, pkgPath string, names ...string) bool {
+	obj := calleeObj(info, call)
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != pkgPath {
+		return false
+	}
+	if len(names) == 0 {
+		return true
+	}
+	for _, n := range names {
+		if obj.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// isPkgFunc is isPkgCall restricted to package-level functions: a method
+// with the same name declared in the same package does not match.
+func isPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath string, names ...string) bool {
+	if !isPkgCall(info, call, pkgPath, names...) {
+		return false
+	}
+	fn, ok := calleeObj(info, call).(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// namedType unwraps pointers and aliases down to a *types.Named, or nil.
+func namedType(t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Named:
+			return u
+		case *types.Alias:
+			t = types.Unalias(u)
+		default:
+			return nil
+		}
+	}
+}
+
+// isNamed reports whether t (possibly behind pointers) is the named type
+// pkgPath.name.
+func isNamed(t types.Type, pkgPath, name string) bool {
+	n := namedType(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// exprKey renders an expression to a canonical string, used to identify
+// "the same" mutex or field across statements (e.g. "s.mu").
+func exprKey(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return ""
+	}
+	return buf.String()
+}
+
+// stringLit returns the value of a string literal expression, descending
+// through one level of fmt.Sprintf so that wrapped literal formats (the
+// common label-building idiom) still yield their text.
+func stringLit(info *types.Info, e ast.Expr) (string, bool) {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.BasicLit:
+		if v.Kind != token.STRING {
+			return "", false
+		}
+		s, err := strconv.Unquote(v.Value)
+		if err != nil {
+			return "", false
+		}
+		return s, true
+	case *ast.CallExpr:
+		if isPkgCall(info, v, "fmt", "Sprintf") && len(v.Args) > 0 {
+			return stringLit(info, v.Args[0])
+		}
+	}
+	return "", false
+}
+
+// recvFieldSel reports whether e is a selector recv.<field> on the given
+// receiver identifier, returning the field name.
+func recvFieldSel(e ast.Expr, recv string) (string, bool) {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || id.Name != recv {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
