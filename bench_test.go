@@ -330,6 +330,74 @@ func BenchmarkUpdateModes(b *testing.B) {
 	}
 }
 
+// --- tick pipeline parallelism ablation ---------------------------------------
+
+// BenchmarkTickPipeline measures the staged real-time loop at n = 500 users
+// under Euclidean interest management, sequential (workers=1) versus fanned
+// out over 4 workers. The ns/op ratio of the two sub-benchmarks is the
+// measured intra-replica speedup S(4) of the model's USL term; the wire
+// output is byte-identical in both modes (see the pipeline determinism
+// tests), so the comparison is pure execution cost. On a single-core host
+// (GOMAXPROCS=1) the two modes necessarily converge — the speedup figure is
+// only meaningful on multi-core hardware.
+func BenchmarkTickPipeline(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		workers int
+	}{{"workers=1", 1}, {"workers=4", 4}} {
+		b.Run(mode.name, func(b *testing.B) {
+			net := transport.NewLoopback()
+			defer net.Close()
+			asg := zone.NewAssignment()
+			node, err := net.Attach("s1", 1<<18)
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv, err := server.New(server.Config{
+				Node: node, Zone: 1, Assignment: asg,
+				App: game.New(game.DefaultConfig()), IDPrefix: 1, Seed: 1,
+				AOI:         aoi.NewEuclid(server.DefaultAOIRadius),
+				Parallelism: mode.workers,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv.Start()
+			const nUsers = 500
+			clients := make([]*client.Client, nUsers)
+			for i := range clients {
+				cn, err := net.Attach(fmt.Sprintf("c%d", i+1), 1<<14)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cl := client.New(cn, "s1")
+				if err := cl.Join(1, entity.Vec2{X: float64((i * 17) % 1000), Y: float64((i * 29) % 1000)}, cn.ID()); err != nil {
+					b.Fatal(err)
+				}
+				clients[i] = cl
+			}
+			for i := 0; i < 5; i++ {
+				srv.Tick()
+				for _, cl := range clients {
+					cl.Poll()
+				}
+			}
+			move := game.Commands.EncodeToBytes(&game.Move{DX: 1, DY: 1})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, cl := range clients {
+					cl.Poll()
+					_ = cl.SendInput(move)
+				}
+				srv.Tick()
+			}
+			b.StopTimer()
+			b.ReportMetric(srv.Monitor().MeanTick(), "wall-ms/tick")
+			b.ReportMetric(srv.Monitor().MeanTickCPU(), "cpu-ms/tick")
+		})
+	}
+}
+
 // --- observability overhead ablation -----------------------------------------
 
 // BenchmarkInstrumentedTick measures the full tick loop bare and with every

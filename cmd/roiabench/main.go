@@ -24,7 +24,7 @@ import (
 )
 
 var (
-	figFlag  = flag.String("fig", "all", "artifact to regenerate: 4,5,6,7,8,anchors,baselines,traffic,heavy,pacing,flash,npcs,csweep,profiles,latency,all")
+	figFlag  = flag.String("fig", "all", "artifact to regenerate: 4,5,6,7,8,anchors,baselines,traffic,heavy,pacing,flash,npcs,csweep,profiles,latency,speedup,all")
 	csvDir   = flag.String("csv", "", "directory to write CSV datasets into (created if missing)")
 	seedFlag = flag.Int64("seed", 1, "seed for the deterministic runs")
 	recFlag  = flag.String("record", "", "write the Fig. 8 session time series to this CSV (replayable via cmd/roiareplay)")
@@ -214,6 +214,22 @@ func run() error {
 			fmt.Printf("%-16s %10.0f %12s %6d %10d\n", r.Name, r.U, capacity, r.LMax, r.XIni200)
 		}
 		fmt.Println()
+	}
+	if want("speedup") {
+		any = true
+		res, err := experiments.Speedup(*seedFlag)
+		if err != nil {
+			return err
+		}
+		emit(res.Table)
+		fmt.Printf("Intra-replica parallelism (USL σ=%.3f κ=%.4f; n_ref=%d users):\n",
+			res.Truth.Sigma, res.Truth.Kappa, res.NRef)
+		fmt.Printf("%8s %9s %12s %10s\n", "workers", "S(w)", "tick [ms]", "n_max(1)")
+		for _, r := range res.Rows {
+			fmt.Printf("%8d %9.2f %12.2f %10d\n", r.Workers, r.Speedup, r.TickMS, r.NMax)
+		}
+		fmt.Printf("calibration round-trip: fitted σ=%.3f κ=%.4f (RMSE %.4f)\n\n",
+			res.Fitted.Sigma, res.Fitted.Kappa, res.FitRMSE)
 	}
 	if want("latency") {
 		any = true

@@ -59,6 +59,7 @@ var (
 	traceFlag   = flag.String("trace-out", "", "write the tick trace as Chrome trace JSON to this file at shutdown")
 	traceCap    = flag.Int("trace-cap", telemetry.DefaultTraceCapacity, "tick traces kept in the ring buffer")
 	deadline    = flag.Duration("deadline", 0, "tick QoS deadline for violation accounting (default: the tick interval, 1/U)")
+	parFlag     = flag.Int("parallelism", 1, "worker count for the tick pipeline's parallel stages (1 = sequential; wire output is identical either way)")
 )
 
 func main() {
@@ -102,6 +103,7 @@ func run() error {
 		TickInterval: *tickFlag,
 		Tracer:       tracer,
 		Profiler:     profiler,
+		Parallelism:  *parFlag,
 	})
 	if err != nil {
 		return err

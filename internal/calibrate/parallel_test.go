@@ -1,0 +1,46 @@
+package calibrate
+
+import (
+	"math"
+	"testing"
+
+	"roia/internal/params"
+)
+
+func TestSynthesizeAndRecoverParallel(t *testing.T) {
+	truth := params.USL{Sigma: 0.08, Kappa: 0.002}
+	sweep := SynthesizeParallel(truth, []int{1, 2, 3, 4, 6, 8, 12, 16}, 6, 0.01, 42)
+	got, res, err := FitParallel(sweep)
+	if err != nil {
+		t.Fatalf("FitParallel: %v", err)
+	}
+	if math.Abs(got.Sigma-truth.Sigma) > 0.03 || math.Abs(got.Kappa-truth.Kappa) > 0.003 {
+		t.Fatalf("recovered σ=%v κ=%v, want ≈%v, %v (RMSE %g)",
+			got.Sigma, got.Kappa, truth.Sigma, truth.Kappa, res.RMSE)
+	}
+	if got.Sigma < 0 || got.Kappa < 0 {
+		t.Fatalf("fitted coefficients escaped the USL family: %+v", got)
+	}
+}
+
+func TestFitParallelNeedsIdentifiableSweep(t *testing.T) {
+	// Only one worker count above 1: σ and κ cannot be separated.
+	sweep := []ParSample{{Workers: 1, Speedup: 1}, {Workers: 4, Speedup: 3.2}, {Workers: 4, Speedup: 3.1}}
+	if _, _, err := FitParallel(sweep); err == nil {
+		t.Fatal("under-determined sweep accepted")
+	}
+}
+
+func TestSynthesizeParallelDeterministic(t *testing.T) {
+	truth := params.USL{Sigma: 0.1, Kappa: 0.004}
+	a := SynthesizeParallel(truth, []int{2, 4, 8}, 3, 0.05, 7)
+	b := SynthesizeParallel(truth, []int{8, 2, 4}, 3, 0.05, 7)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d differs across input orderings: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -320,3 +320,34 @@ func TestProfileComparison(t *testing.T) {
 		t.Fatalf("rpg migration budget %d not above fps %d", rpg.XIni200, fps.XIni200)
 	}
 }
+
+func TestSpeedupFigure(t *testing.T) {
+	res, err := Speedup(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 || res.Rows[0].Workers != 1 {
+		t.Fatalf("bad sweep shape: %+v", res.Rows)
+	}
+	// The w=1 edge of the figure is the paper's sequential model exactly.
+	w1 := res.Rows[0]
+	if w1.Speedup != 1 {
+		t.Fatalf("S(1) = %g, want exactly 1", w1.Speedup)
+	}
+	if w1.NMax != 235 {
+		t.Fatalf("n_max(1, w=1) = %d, want the paper anchor 235", w1.NMax)
+	}
+	// Monotone capacity: more workers never lower the ceiling.
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].NMax < res.Rows[i-1].NMax {
+			t.Fatalf("n_max dropped: %+v", res.Rows)
+		}
+		if res.Rows[i].TickMS > res.Rows[i-1].TickMS {
+			t.Fatalf("tick time rose with workers: %+v", res.Rows)
+		}
+	}
+	// The calibration round-trip recovers the generating coefficients.
+	if d := res.Fitted.Sigma - res.Truth.Sigma; d > 0.05 || d < -0.05 {
+		t.Fatalf("σ recovery off: %+v vs %+v", res.Fitted, res.Truth)
+	}
+}

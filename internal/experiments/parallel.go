@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"roia/internal/calibrate"
+	"roia/internal/model"
+	"roia/internal/params"
+	"roia/internal/stats"
+)
+
+// SpeedupRow is one worker count of the intra-replica parallelism figure.
+type SpeedupRow struct {
+	// Workers is the pipeline worker count w.
+	Workers int
+	// Speedup is the USL efficiency S(w) = w/(1+σ(w−1)+κw(w−1)).
+	Speedup float64
+	// TickMS is the modelled tick time T(1, n_ref, 0, w) in ms.
+	TickMS float64
+	// NMax is the w-aware capacity n_max(1, 0, U, w) (Eq. 2 extended).
+	NMax int
+}
+
+// SpeedupResult carries the parallelism-figure reproduction: the modelled
+// speedup/capacity sweep over worker counts, plus a round-trip check that
+// σ,κ are recoverable from a noisy calibration sweep the way the other
+// model parameters are (Fig. 4's methodology applied to the USL term).
+type SpeedupResult struct {
+	Table *stats.Table
+	Rows  []SpeedupRow
+	// Truth and Fitted are the generating and recovered USL coefficients.
+	Truth, Fitted params.USL
+	// FitRMSE is the residual of the recovery fit.
+	FitRMSE float64
+	// NRef is the reference population used for the TickMS column.
+	NRef int
+}
+
+// Speedup sweeps the tick pipeline's worker count through the extended
+// model T(l,n,m,w): per-w speedup, tick time at the w=1 capacity anchor
+// (n = 235), and the re-derived n_max. The w=1 row reproduces Eq. 1–2
+// exactly — S(1) = 1 by construction — so the figure degenerates to the
+// paper's sequential model at the left edge.
+func Speedup(seed int64) (*SpeedupResult, error) {
+	p, mdl := DefaultModel()
+	mdl.Par = model.Par{Workers: 1, Sigma: p.Parallel.Sigma, Kappa: p.Parallel.Kappa}
+	nref, _ := mdl.MaxUsers(1, 0)
+
+	res := &SpeedupResult{
+		Table: &stats.Table{
+			Title:  "Speedup: intra-replica parallelism of the tick pipeline (USL term)",
+			XLabel: "workers",
+			YLabel: "speedup / users",
+		},
+		Truth: p.Parallel,
+		NRef:  nref,
+	}
+	spSeries := res.Table.AddSeries("S(w)")
+	nmaxSeries := res.Table.AddSeries("n_max(1,w)")
+	for _, w := range []int{1, 2, 3, 4, 6, 8, 12, 16} {
+		sp := model.Par{Workers: w, Sigma: p.Parallel.Sigma, Kappa: p.Parallel.Kappa}.Speedup(w)
+		nmax, _ := mdl.MaxUsersW(1, 0, w)
+		res.Rows = append(res.Rows, SpeedupRow{
+			Workers: w,
+			Speedup: sp,
+			TickMS:  mdl.TickTimeW(1, nref, 0, w),
+			NMax:    nmax,
+		})
+		spSeries.Add(float64(w), sp)
+		nmaxSeries.Add(float64(w), float64(nmax))
+	}
+
+	// Round-trip the coefficients through a noisy synthetic calibration
+	// sweep, as Fig. 4 does for the per-task parameters.
+	sweep := calibrate.SynthesizeParallel(p.Parallel, []int{1, 2, 3, 4, 6, 8, 12, 16}, 6, 0.02, seed)
+	fitted, fres, err := calibrate.FitParallel(sweep)
+	if err != nil {
+		return nil, err
+	}
+	res.Fitted = fitted
+	res.FitRMSE = fres.RMSE
+	return res, nil
+}

@@ -1,0 +1,72 @@
+package fit
+
+import (
+	"errors"
+	"math"
+)
+
+// USLModel returns the Universal Scalability Law as a ModelFunc for LevMar:
+//
+//	S(w; σ, κ) = w / (1 + σ(w−1) + κ·w·(w−1))
+//
+// with coeffs = [σ, κ] and x = w (the worker count). This is Gunther's
+// rational-function speedup: σ captures contention (the serialized merge
+// points of the tick pipeline), κ captures coherency crosstalk that grows
+// quadratically with workers and eventually makes speedup retrograde.
+func USLModel() ModelFunc {
+	return func(c []float64, w float64) float64 {
+		den := 1 + c[0]*(w-1) + c[1]*w*(w-1)
+		if den <= 0 {
+			// Outside the physically meaningful region; return a large
+			// value so the optimizer is pushed back toward σ, κ ≥ 0.
+			return math.Inf(1)
+		}
+		return w / den
+	}
+}
+
+// FitUSL fits σ and κ to measured (workers, speedup) calibration points.
+// Speedups are relative to the one-worker run (S(1) = 1); the w = 1 point
+// may be included and carries no information beyond anchoring noise.
+// Negative fitted coefficients — possible when the sweep is noisy or too
+// short — are clamped to zero, keeping the returned law within the
+// physically meaningful USL family (S(1) = 1, no superlinear speedup).
+func FitUSL(workers []int, speedups []float64) (sigma, kappa float64, res Result, err error) {
+	if len(workers) != len(speedups) {
+		return 0, 0, Result{}, errors.New("fit: workers and speedups length mismatch")
+	}
+	if len(workers) < 2 {
+		return 0, 0, Result{}, ErrSingular
+	}
+	xs := make([]float64, len(workers))
+	for i, w := range workers {
+		if w < 1 {
+			return 0, 0, Result{}, errors.New("fit: worker counts must be >= 1")
+		}
+		xs[i] = float64(w)
+	}
+	f := USLModel()
+	// A small contention-only guess keeps the first Jacobian well
+	// conditioned; LevMar moves both coefficients from there.
+	res, err = LevMar(f, xs, speedups, []float64{0.05, 0.001}, LMOptions{})
+	if err != nil {
+		return 0, 0, res, err
+	}
+	sigma, kappa = res.Coeffs[0], res.Coeffs[1]
+	if sigma < 0 || kappa < 0 {
+		if sigma < 0 {
+			sigma = 0
+		}
+		if kappa < 0 {
+			kappa = 0
+		}
+		res.Coeffs = []float64{sigma, kappa}
+		res.SSR = 0
+		for i, x := range xs {
+			d := speedups[i] - f(res.Coeffs, x)
+			res.SSR += d * d
+		}
+		res.RMSE = math.Sqrt(res.SSR / float64(len(xs)))
+	}
+	return sigma, kappa, res, nil
+}

@@ -1,0 +1,85 @@
+package fit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func uslEval(sigma, kappa, w float64) float64 {
+	return w / (1 + sigma*(w-1) + kappa*w*(w-1))
+}
+
+func TestFitUSLExactRecovery(t *testing.T) {
+	const sigma, kappa = 0.08, 0.002
+	workers := []int{1, 2, 3, 4, 6, 8, 12, 16}
+	speedups := make([]float64, len(workers))
+	for i, w := range workers {
+		speedups[i] = uslEval(sigma, kappa, float64(w))
+	}
+	gs, gk, res, err := FitUSL(workers, speedups)
+	if err != nil {
+		t.Fatalf("FitUSL: %v", err)
+	}
+	if math.Abs(gs-sigma) > 1e-6 || math.Abs(gk-kappa) > 1e-6 {
+		t.Fatalf("recovered σ=%v κ=%v, want %v, %v (SSR %g)", gs, gk, sigma, kappa, res.SSR)
+	}
+}
+
+func TestFitUSLNoisyRecovery(t *testing.T) {
+	const sigma, kappa = 0.12, 0.004
+	rng := rand.New(rand.NewSource(3))
+	var workers []int
+	var speedups []float64
+	for _, w := range []int{1, 2, 3, 4, 6, 8, 10, 12, 16} {
+		for rep := 0; rep < 5; rep++ {
+			workers = append(workers, w)
+			noise := 1 + 0.02*rng.NormFloat64()
+			speedups = append(speedups, uslEval(sigma, kappa, float64(w))*noise)
+		}
+	}
+	gs, gk, _, err := FitUSL(workers, speedups)
+	if err != nil {
+		t.Fatalf("FitUSL: %v", err)
+	}
+	if math.Abs(gs-sigma) > 0.05 || math.Abs(gk-kappa) > 0.005 {
+		t.Fatalf("noisy recovery σ=%v κ=%v, want ≈%v, %v", gs, gk, sigma, kappa)
+	}
+	// The fitted law must stay in the USL family.
+	if gs < 0 || gk < 0 {
+		t.Fatalf("negative coefficients escaped the clamp: σ=%v κ=%v", gs, gk)
+	}
+}
+
+func TestFitUSLValidation(t *testing.T) {
+	if _, _, _, err := FitUSL([]int{1, 2}, []float64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, _, _, err := FitUSL([]int{1}, []float64{1}); err == nil {
+		t.Fatal("single point accepted")
+	}
+	if _, _, _, err := FitUSL([]int{0, 2}, []float64{1, 1.8}); err == nil {
+		t.Fatal("worker count 0 accepted")
+	}
+}
+
+// TestFitUSLRetrograde: a sweep whose speedup collapses at high w must fit
+// a clearly positive κ — the coefficient that caps the useful worker count.
+func TestFitUSLRetrograde(t *testing.T) {
+	const sigma, kappa = 0.05, 0.03
+	workers := []int{1, 2, 4, 8, 12, 16, 24, 32}
+	speedups := make([]float64, len(workers))
+	for i, w := range workers {
+		speedups[i] = uslEval(sigma, kappa, float64(w))
+	}
+	if speedups[len(speedups)-1] >= speedups[3] {
+		t.Fatal("test sweep is not retrograde")
+	}
+	_, gk, _, err := FitUSL(workers, speedups)
+	if err != nil {
+		t.Fatalf("FitUSL: %v", err)
+	}
+	if gk < 0.01 {
+		t.Fatalf("κ = %v, want clearly positive for a retrograde sweep", gk)
+	}
+}

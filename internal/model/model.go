@@ -51,6 +51,47 @@ const (
 	DefaultTriggerFraction = 0.8
 )
 
+// Par extends the model with intra-replica parallelism: the staged tick
+// pipeline runs its embarrassingly-parallel portion (input/forward
+// deserialization, AoI queries, state-update serialization, NPC updates)
+// on w workers, while input application stays sequential. The efficiency
+// of the parallel portion follows Gunther's Universal Scalability Law,
+//
+//	S(w) = w / (1 + σ(w−1) + κ·w·(w−1))
+//
+// with contention coefficient σ (serialization at the merge points) and
+// coherency coefficient κ (crosstalk growing quadratically with workers).
+// σ and κ are fitted from calibration sweeps (internal/calibrate); the
+// zero value (Workers 0, σ=κ=0) is the sequential pipeline and leaves
+// every prediction exactly at the paper's Eq. 1–5.
+type Par struct {
+	// Workers is the executor worker count w used by the un-suffixed
+	// model methods; 0 or 1 means sequential.
+	Workers int
+	// Sigma is the USL contention coefficient σ ≥ 0.
+	Sigma float64
+	// Kappa is the USL coherency coefficient κ ≥ 0.
+	Kappa float64
+}
+
+// Speedup evaluates S(w) for w workers. w ≤ 1 (and any negative
+// coefficient, clamped to zero) yields exactly 1, pinning the sequential
+// case to the unmodified model.
+func (p Par) Speedup(w int) float64 {
+	if w <= 1 {
+		return 1
+	}
+	sigma, kappa := p.Sigma, p.Kappa
+	if sigma < 0 {
+		sigma = 0
+	}
+	if kappa < 0 {
+		kappa = 0
+	}
+	ww := float64(w)
+	return ww / (1 + sigma*(ww-1) + kappa*ww*(ww-1))
+}
+
 // Model evaluates the scalability model for one application profile.
 type Model struct {
 	// Cost supplies the application-specific per-task CPU times.
@@ -66,6 +107,11 @@ type Model struct {
 	UserCap int
 	// ReplicaCap bounds the replica search (default DefaultReplicaCap).
 	ReplicaCap int
+	// Par configures intra-replica parallelism. The zero value keeps the
+	// model sequential; setting Par.Workers > 1 makes every threshold —
+	// TickTime, MaxUsers, MaxReplicas, migration budgets, and therefore
+	// every RMS decision built on them — w-aware.
+	Par Par
 }
 
 // New returns a Model over the given cost model with threshold U (ms) and
@@ -104,30 +150,67 @@ func (mdl *Model) replicaCap() int {
 //	T(l,n,m) = n/l·(t_ua_dser + t_ua + t_aoi + t_su)
 //	         + (n − n/l)·(t_fa_dser + t_fa)
 //	         + m/l·t_npc
+//
+// With Par.Workers = w > 1 this becomes the extended T(l,n,m,w): the
+// parallelizable portion of the tick is divided by the USL speedup S(w)
+// (see Par), the sequential portion is not.
 func (mdl *Model) TickTime(l, n, m int) float64 {
+	return mdl.TickTimeW(l, n, m, mdl.Par.Workers)
+}
+
+// TickTimeW is T(l,n,m,w): Eq. (1) evaluated with w pipeline workers,
+// overriding Par.Workers. w ≤ 1 reproduces the sequential Eq. (1) exactly.
+func (mdl *Model) TickTimeW(l, n, m, w int) float64 {
 	if l < 1 || n < 0 || m < 0 {
 		return 0
 	}
 	active := float64(n) / float64(l)
-	return mdl.tick(l, n, m, active)
+	return mdl.tickW(l, n, m, active, w)
 }
 
 // TickTimeUneven implements Eq. (4): the predicted tick duration in ms for a
 // server holding a of the zone's n users as active entities (the remaining
 // n−a are shadow entities), with the zone's m NPCs spread over l replicas.
+// Like TickTime it honours Par.Workers.
 func (mdl *Model) TickTimeUneven(l, n, m, a int) float64 {
+	return mdl.TickTimeUnevenW(l, n, m, a, mdl.Par.Workers)
+}
+
+// TickTimeUnevenW is Eq. (4) evaluated with w pipeline workers.
+func (mdl *Model) TickTimeUnevenW(l, n, m, a, w int) float64 {
 	if l < 1 || n < 0 || m < 0 || a < 0 || a > n {
 		return 0
 	}
-	return mdl.tick(l, n, m, float64(a))
+	return mdl.tickW(l, n, m, float64(a), w)
 }
 
+// tick is the sequential Eq. (1)/(4) kernel, kept verbatim so that the
+// w ≤ 1 case stays bit-identical to the paper's model.
 func (mdl *Model) tick(l, n, m int, active float64) float64 {
 	cm := mdl.Cost
 	perActive := cm.UADeserAt(n, m) + cm.UAAt(n, m) + cm.AOIAt(n, m) + cm.SUAt(n, m)
 	perShadow := cm.FADeserAt(n, m) + cm.FAAt(n, m)
 	shadow := float64(n) - active
 	return active*perActive + shadow*perShadow + float64(m)/float64(l)*cm.NPCAt(n, m)
+}
+
+// tickW evaluates T(l,n,m,w). The split mirrors the executor's stages:
+// deserialization (t_ua_dser, t_fa_dser), AoI (t_aoi), state-update
+// serialization (t_su) and NPC updates (t_npc) fan out over workers and
+// are divided by S(w); input application (t_ua, t_fa) mutates shared game
+// state and stays sequential.
+func (mdl *Model) tickW(l, n, m int, active float64, w int) float64 {
+	sp := mdl.Par.Speedup(w)
+	if sp == 1 {
+		return mdl.tick(l, n, m, active)
+	}
+	cm := mdl.Cost
+	shadow := float64(n) - active
+	seq := active*cm.UAAt(n, m) + shadow*cm.FAAt(n, m)
+	par := active*(cm.UADeserAt(n, m)+cm.AOIAt(n, m)+cm.SUAt(n, m)) +
+		shadow*cm.FADeserAt(n, m) +
+		float64(m)/float64(l)*cm.NPCAt(n, m)
+	return seq + par/sp
 }
 
 // MaxUsers implements Eq. (2): the maximum user count n such that
@@ -186,6 +269,26 @@ func (mdl *Model) MaxReplicas(m int) (lmax int, ok bool) {
 		prev = nmax
 	}
 	return mdl.replicaCap(), false
+}
+
+// MaxUsersW is n_max(l,m,U,w): Eq. (2) re-derived against T(l,n,m,w) —
+// the user capacity of an l-replica zone whose servers run the tick
+// pipeline on w workers. w ≤ 1 matches MaxUsers with a sequential model
+// exactly.
+func (mdl *Model) MaxUsersW(l, m, w int) (nmax int, ok bool) {
+	m2 := *mdl
+	m2.Par.Workers = w
+	return m2.MaxUsers(l, m)
+}
+
+// MaxReplicasW is l_max(m,U,c,w): Eq. (3) re-derived against T(l,n,m,w).
+// Both the per-replica capacities and the minimum-gain test use the
+// w-worker tick time, so a faster intra-replica pipeline raises n_max(1)
+// and shifts where adding replicas stops paying.
+func (mdl *Model) MaxReplicasW(m, w int) (lmax int, ok bool) {
+	m2 := *mdl
+	m2.Par.Workers = w
+	return m2.MaxReplicas(m)
 }
 
 // MaxUsersSchedule returns n_max(l) for l = 1..lmax, the series plotted in

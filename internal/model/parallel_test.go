@@ -1,0 +1,136 @@
+package model_test
+
+import (
+	"math"
+	"testing"
+
+	"roia/internal/model"
+	"roia/internal/params"
+)
+
+func TestSpeedupUSL(t *testing.T) {
+	p := model.Par{Sigma: 0.1, Kappa: 0.01}
+	if got := p.Speedup(1); got != 1 {
+		t.Fatalf("S(1) = %v, want exactly 1", got)
+	}
+	if got := p.Speedup(0); got != 1 {
+		t.Fatalf("S(0) = %v, want 1", got)
+	}
+	// Hand-evaluated: S(4) = 4 / (1 + 0.1·3 + 0.01·4·3) = 4 / 1.42.
+	if got, want := p.Speedup(4), 4.0/1.42; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("S(4) = %v, want %v", got, want)
+	}
+	// Linear speedup when both coefficients are zero.
+	ideal := model.Par{}
+	for w := 1; w <= 16; w *= 2 {
+		if got := ideal.Speedup(w); got != float64(w) {
+			t.Fatalf("ideal S(%d) = %v, want %d", w, got, w)
+		}
+	}
+	// Retrograde regime: a large coherency term makes more workers slower
+	// (Gunther's rational form allows S < 1 and the model must keep it —
+	// it is how l_max-style reasoning caps useful worker counts).
+	heavy := model.Par{Kappa: 0.5}
+	if s8, s2 := heavy.Speedup(8), heavy.Speedup(2); s8 >= s2 {
+		t.Fatalf("retrograde regime lost: S(8)=%v >= S(2)=%v under κ=0.5", s8, s2)
+	}
+	// Negative coefficients clamp to zero rather than producing
+	// superlinear nonsense.
+	bad := model.Par{Sigma: -5, Kappa: -5}
+	if got := bad.Speedup(4); got != 4 {
+		t.Fatalf("clamped S(4) = %v, want 4", got)
+	}
+}
+
+// TestW1PinsSequentialModel is the acceptance anchor: with one worker (or
+// an unset Par), every prediction and threshold is bit-identical to the
+// original Eq. 1–3 values, including the calibrated paper anchors.
+func TestW1PinsSequentialModel(t *testing.T) {
+	seq := rtfdemoModel(t, params.CDefault)
+	par := rtfdemoModel(t, params.CDefault)
+	par.Par = model.Par{Workers: 1, Sigma: 0.08, Kappa: 0.002}
+
+	for _, n := range []int{0, 1, 50, 235, 1000} {
+		for _, l := range []int{1, 2, 8} {
+			if a, b := seq.TickTime(l, n, 10), par.TickTime(l, n, 10); a != b {
+				t.Fatalf("TickTime(%d,%d,10): w=1 %v != sequential %v", l, n, b, a)
+			}
+			if a, b := seq.TickTimeUneven(l, n, 10, n/2), par.TickTimeUnevenW(l, n, 10, n/2, 1); a != b {
+				t.Fatalf("TickTimeUneven(%d,%d): w=1 %v != sequential %v", l, n, b, a)
+			}
+		}
+	}
+	if nmax, ok := par.MaxUsersW(1, 0, 1); !ok || nmax != 235 {
+		t.Fatalf("n_max(1, w=1) = %d ok=%v, want the paper anchor 235", nmax, ok)
+	}
+	if lmax, ok := par.MaxReplicasW(0, 1); !ok || lmax != 8 {
+		t.Fatalf("l_max(c=0.15, w=1) = %d ok=%v, want the paper anchor 8", lmax, ok)
+	}
+}
+
+// TestParallelTickTimeSplit hand-checks T(l,n,m,w) on a constant cost
+// model: only the deserialization/AoI/SU/NPC portion is divided by S(w).
+func TestParallelTickTimeSplit(t *testing.T) {
+	cc := constCost{uaDeser: 0.02, ua: 0.03, aoi: 0.03, su: 0.02, faDeser: 0.004, fa: 0.006, npc: 0.05}
+	mdl, err := model.New(cc, 40, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mdl.Par = model.Par{Sigma: 0.1, Kappa: 0.01}
+	const l, n, m = 2, 100, 20
+	active := float64(n) / float64(l)
+	shadow := float64(n) - active
+	sp := mdl.Par.Speedup(4)
+	seqPart := active*0.03 + shadow*0.006
+	parPart := active*(0.02+0.03+0.02) + shadow*0.004 + float64(m)/float64(l)*0.05
+	want := seqPart + parPart/sp
+	if got := mdl.TickTimeW(l, n, m, 4); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("T(%d,%d,%d,4) = %v, want %v", l, n, m, got, want)
+	}
+	// Amdahl-style floor: even infinite speedup cannot beat the
+	// sequential portion.
+	if got := mdl.TickTimeW(l, n, m, 4); got <= seqPart {
+		t.Fatalf("parallel tick %v fell at or below the sequential floor %v", got, seqPart)
+	}
+}
+
+// TestParallelRaisesThresholds: a 4-worker pipeline with modest USL
+// coefficients must raise n_max and keep the capacity schedule coherent,
+// and setting Par.Workers on the model must flow through the un-suffixed
+// methods (the path RMS admission and planning consume).
+func TestParallelRaisesThresholds(t *testing.T) {
+	mdl := rtfdemoModel(t, params.CDefault)
+	mdl.Par = model.Par{Sigma: 0.08, Kappa: 0.002}
+
+	seq, ok := mdl.MaxUsersW(1, 0, 1)
+	if !ok || seq != 235 {
+		t.Fatalf("sequential n_max = %d ok=%v, want 235", seq, ok)
+	}
+	par4, ok := mdl.MaxUsersW(1, 0, 4)
+	if !ok {
+		t.Fatal("n_max(1, w=4) unbounded")
+	}
+	if par4 <= seq {
+		t.Fatalf("n_max(1, w=4) = %d, want > sequential %d", par4, seq)
+	}
+	// More workers help monotonically in the well-behaved regime.
+	par2, _ := mdl.MaxUsersW(1, 0, 2)
+	if !(seq < par2 && par2 < par4) {
+		t.Fatalf("capacity not monotone in w: %d, %d, %d", seq, par2, par4)
+	}
+
+	// Un-suffixed methods honour Par.Workers — the RMS path.
+	mdl.Par.Workers = 4
+	viaDefault, _ := mdl.MaxUsers(1, 0)
+	if viaDefault != par4 {
+		t.Fatalf("MaxUsers with Par.Workers=4 = %d, want %d", viaDefault, par4)
+	}
+	if a, b := mdl.TickTime(1, 200, 0), mdl.TickTimeW(1, 200, 0, 4); a != b {
+		t.Fatalf("TickTime with Par.Workers=4 = %v, want %v", a, b)
+	}
+
+	// l_max stays derivable and within the replica cap.
+	if lmax, ok := mdl.MaxReplicasW(0, 4); !ok || lmax < 1 {
+		t.Fatalf("l_max(w=4) = %d ok=%v", lmax, ok)
+	}
+}

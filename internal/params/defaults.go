@@ -48,6 +48,13 @@ func RTFDemo() *Set {
 		SU:      Linear(0.012, 0.00008),
 		MigIni:  Linear(0.5, 0.005),
 		MigRcv:  Linear(0.33, 0.005),
+		// Modest contention with a small coherency tail: the tick
+		// pipeline's merge points serialize ~8 % of the parallel work and
+		// worker crosstalk grows slowly. Placeholder magnitudes until a
+		// multi-core calibration sweep (calibrate.FitParallel) replaces
+		// them; w = 1 predictions are unaffected, so every paper anchor
+		// above still holds exactly.
+		Parallel: USL{Sigma: 0.08, Kappa: 0.002},
 	}
 }
 

@@ -119,6 +119,21 @@ type Set struct {
 	MigIni Curve `json:"mig_ini"`
 	// MigRcv is t_mig_rcv: receiving one user migration on the target.
 	MigRcv Curve `json:"mig_rcv"`
+
+	// Parallel holds the intra-replica USL coefficients σ, κ fitted from
+	// parallel-executor calibration sweeps (internal/calibrate.FitParallel).
+	// The zero value models a sequential tick pipeline.
+	Parallel USL `json:"parallel,omitempty"`
+}
+
+// USL is the Universal-Scalability-Law coefficient pair of the tick
+// pipeline's speedup term S(w) = w / (1 + σ(w−1) + κ·w·(w−1)); see
+// model.Par for the derivation and internal/fit.FitUSL for the fit.
+type USL struct {
+	// Sigma is the contention coefficient σ ≥ 0.
+	Sigma float64 `json:"sigma"`
+	// Kappa is the coherency coefficient κ ≥ 0.
+	Kappa float64 `json:"kappa"`
 }
 
 // The per-task accessors below implement model.CostModel. The paper writes
@@ -188,6 +203,14 @@ func (s *Set) Validate(maxN int) error {
 				return fmt.Errorf("params: curve %s has non-finite coefficient", nc.name)
 			}
 		}
+	}
+	if math.IsNaN(s.Parallel.Sigma) || math.IsInf(s.Parallel.Sigma, 0) ||
+		math.IsNaN(s.Parallel.Kappa) || math.IsInf(s.Parallel.Kappa, 0) {
+		return errors.New("params: parallel USL coefficient is non-finite")
+	}
+	if s.Parallel.Sigma < 0 || s.Parallel.Kappa < 0 {
+		return fmt.Errorf("params: parallel USL coefficients must be >= 0, got σ=%g κ=%g",
+			s.Parallel.Sigma, s.Parallel.Kappa)
 	}
 	if s.ActivePerUser(1, 0) <= 0 {
 		return errors.New("params: active per-user cost must be positive")

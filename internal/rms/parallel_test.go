@@ -1,0 +1,62 @@
+package rms
+
+import (
+	"testing"
+
+	"roia/internal/model"
+	"roia/internal/params"
+)
+
+// rtfModelW returns the demo model with an intra-replica parallelism
+// setting, as an RMS would be configured for servers ticking with
+// Parallelism = w.
+func rtfModelW(t *testing.T, w int) *model.Model {
+	t.Helper()
+	mdl := rtfModel(t)
+	mdl.Par = model.Par{Workers: w, Sigma: params.RTFDemo().Parallel.Sigma, Kappa: params.RTFDemo().Parallel.Kappa}
+	return mdl
+}
+
+// The RMS consumes the model only through TickTimeUneven / Capacity /
+// MaxReplicas, all of which route through the model's Par setting — so a
+// parallel-ticking fleet gets higher admission and capacity ceilings with
+// no change to the RMS code itself.
+func TestCapacityRisesWithWorkers(t *testing.T) {
+	seq := rtfModelW(t, 1)
+	par := rtfModelW(t, 4)
+	servers := []ServerState{{ID: "a"}, {ID: "b"}}
+
+	nSeq, ok := Capacity(seq, servers, 0)
+	if !ok {
+		t.Fatal("sequential capacity unbounded")
+	}
+	nPar, ok := Capacity(par, servers, 0)
+	if !ok {
+		t.Fatal("parallel capacity unbounded")
+	}
+	if nPar <= nSeq {
+		t.Fatalf("Capacity(w=4) = %d, want > Capacity(w=1) = %d", nPar, nSeq)
+	}
+
+	// And the w=1 model is the unmodified Eq. 1–4 capacity.
+	base, _ := Capacity(rtfModel(t), servers, 0)
+	if nSeq != base {
+		t.Fatalf("Capacity(w=1) = %d diverges from unparameterized model %d", nSeq, base)
+	}
+}
+
+func TestPlanMigrationsBudgetRisesWithWorkers(t *testing.T) {
+	seq := rtfModelW(t, 1)
+	par := rtfModelW(t, 4)
+	// Same overload: the parallel model affords a larger per-tick migration
+	// budget because each migration's serialization cost shares the tick
+	// with a smaller effective workload term.
+	bSeq := seq.MaxMigrationsIni(2, 260, 0, 180)
+	bPar := par.MaxMigrationsIni(2, 260, 0, 180)
+	if bPar < bSeq {
+		t.Fatalf("x_max_ini(w=4) = %d < x_max_ini(w=1) = %d", bPar, bSeq)
+	}
+	if bSeq <= 0 {
+		t.Fatalf("sequential migration budget %d, want > 0", bSeq)
+	}
+}

@@ -22,6 +22,15 @@ import (
 )
 
 // Manager computes the set of entities visible to a subject.
+//
+// Concurrency contract: Build is called once per tick by the tick
+// goroutine, before any Visible call for that tick. Between one Build and
+// the next, Visible must be safe to call from multiple goroutines
+// concurrently — the parallel publish stage fans per-user queries over a
+// worker pool — so Visible must not mutate manager state. Each caller
+// passes its own dst slice; world is the same immutable snapshot slice
+// Build received and must not be written through. Both implementations in
+// this package (Euclid and Grid) satisfy the contract.
 type Manager interface {
 	// Build prepares the manager for a tick's worth of Visible queries
 	// over the given world (e.g. re-indexing a spatial hash). Managers
@@ -30,6 +39,8 @@ type Manager interface {
 	// Visible appends to dst the IDs of all entities in world (excluding
 	// the subject itself) within the manager's visibility radius of pos,
 	// and returns the extended slice. world is in deterministic ID order.
+	// Visible is read-only on the manager and on world: see the
+	// concurrency contract above.
 	Visible(dst []entity.ID, subject entity.ID, pos entity.Vec2, world []*entity.Entity) []entity.ID
 }
 
@@ -119,10 +130,19 @@ func (g *Grid) Build(world []*entity.Entity) {
 
 // Visible implements Manager over the most recent Build. Results are in
 // the same relative order as the Build input within each cell and cell
-// scan order is deterministic, so outputs are reproducible.
+// scan order is deterministic, so outputs are reproducible. Visible never
+// mutates the grid (the concurrency contract): if Build has not run yet it
+// falls back to a read-only linear scan instead of lazily indexing, so
+// concurrent first-tick queries stay race-free.
 func (g *Grid) Visible(dst []entity.ID, subject entity.ID, pos entity.Vec2, world []*entity.Entity) []entity.ID {
 	if g.cells == nil {
-		g.Build(world)
+		r2 := g.Radius * g.Radius
+		for _, cand := range world {
+			if cand.ID != subject && pos.Dist2(cand.Pos) <= r2 {
+				dst = append(dst, cand.ID)
+			}
+		}
+		return dst
 	}
 	r2 := g.Radius * g.Radius
 	cs := g.cellSize()

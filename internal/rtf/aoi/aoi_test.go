@@ -3,6 +3,7 @@ package aoi
 import (
 	"math/rand"
 	"sort"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -96,10 +97,99 @@ func TestGridMatchesEuclidProperty(t *testing.T) {
 func TestGridLazyBuild(t *testing.T) {
 	world := mkWorld([]entity.Vec2{{X: 0, Y: 0}, {X: 1, Y: 1}})
 	g := NewGrid(5)
-	// Visible without explicit Build must self-index.
+	// Visible without explicit Build answers via the read-only linear
+	// fallback — correct results, no state mutation (see the Manager
+	// concurrency contract).
 	got := g.Visible(nil, 1, world[0].Pos, world)
 	if len(got) != 1 || got[0] != 2 {
-		t.Fatalf("lazy build Visible = %v", got)
+		t.Fatalf("unbuilt Visible = %v", got)
+	}
+	if g.cells != nil {
+		t.Fatal("Visible mutated the grid index; breaks the concurrent-Visible contract")
+	}
+}
+
+// TestGridUnbuiltMatchesEuclid pins the read-only fallback to the same
+// visible sets as Euclid for randomized worlds and radii.
+func TestGridUnbuiltMatchesEuclid(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := rng.Intn(80) + 2
+		radius := rng.Float64()*40 + 1
+		positions := make([]entity.Vec2, n)
+		for i := range positions {
+			positions[i] = entity.Vec2{X: rng.Float64() * 150, Y: rng.Float64() * 150}
+		}
+		world := mkWorld(positions)
+		euclid := NewEuclid(radius)
+		grid := NewGrid(radius) // no Build: exercises the fallback scan
+		for _, subj := range world {
+			a := euclid.Visible(nil, subj.ID, subj.Pos, world)
+			b := grid.Visible(nil, subj.ID, subj.Pos, world)
+			sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+			sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+			if len(a) != len(b) {
+				t.Fatalf("trial %d subj %d: euclid %v grid %v", trial, subj.ID, a, b)
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("trial %d subj %d: euclid %v grid %v", trial, subj.ID, a, b)
+				}
+			}
+		}
+	}
+}
+
+// TestVisibleConcurrent exercises the Manager concurrency contract: after
+// one Build, Visible must be callable from many goroutines at once. Run
+// under -race this proves both implementations are read-only per query.
+func TestVisibleConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	positions := make([]entity.Vec2, 200)
+	for i := range positions {
+		positions[i] = entity.Vec2{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+	}
+	world := mkWorld(positions)
+	for _, tc := range []struct {
+		name string
+		mgr  Manager
+	}{
+		{"euclid", NewEuclid(25)},
+		{"grid", NewGrid(25)},
+		{"grid-unbuilt", &Grid{Radius: 25}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.name != "grid-unbuilt" {
+				tc.mgr.Build(world)
+			}
+			// Reference answers computed sequentially.
+			want := make([][]entity.ID, len(world))
+			for i, subj := range world {
+				want[i] = tc.mgr.Visible(nil, subj.ID, subj.Pos, world)
+			}
+			var wg sync.WaitGroup
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					var dst []entity.ID
+					for i, subj := range world {
+						dst = tc.mgr.Visible(dst[:0], subj.ID, subj.Pos, world)
+						if len(dst) != len(want[i]) {
+							t.Errorf("subj %d: concurrent Visible len %d, want %d", subj.ID, len(dst), len(want[i]))
+							return
+						}
+						for j := range dst {
+							if dst[j] != want[i][j] {
+								t.Errorf("subj %d: concurrent Visible diverged", subj.ID)
+								return
+							}
+						}
+					}
+				}()
+			}
+			wg.Wait()
+		})
 	}
 }
 

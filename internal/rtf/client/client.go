@@ -62,6 +62,13 @@ type Client struct {
 	lost    uint64
 	now     func() time.Time
 	lat     *telemetry.Latency
+
+	// lastJoin is the most recent join request, retained so a redirect
+	// (MigrateNotice before the join was acked — a draining server pointing
+	// the client at a peer replica) can be answered by re-joining there.
+	lastJoin *proto.Join
+	// joinNacks counts explicit join rejections (proto.JoinNack).
+	joinNacks int
 }
 
 // New wraps an attached transport node into a client that will talk to the
@@ -105,6 +112,14 @@ func (c *Client) Updates() uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.updates
+}
+
+// JoinNacks reports how many join requests were explicitly rejected
+// (servers with no peer to redirect to send proto.JoinNack while draining).
+func (c *Client) JoinNacks() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.joinNacks
 }
 
 // Migrations reports how many times the client followed a user migration.
@@ -155,7 +170,8 @@ func (c *Client) DrainEvents() [][]byte {
 func (c *Client) Join(zoneID uint32, pos entity.Vec2, name string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.sendLocked(&proto.Join{UserName: name, Zone: zoneID, Pos: pos})
+	c.lastJoin = &proto.Join{UserName: name, Zone: zoneID, Pos: pos}
+	return c.sendLocked(c.lastJoin)
 }
 
 // Leave announces a clean disconnect.
@@ -300,6 +316,15 @@ func (c *Client) Poll() int {
 			}
 			c.server = msg.(*proto.MigrateNotice).NewServer
 			c.migrations++
+			if !c.joined && c.lastJoin != nil {
+				// Redirected before the join was acked (e.g. by a draining
+				// server): re-issue the join at the new server.
+				_ = c.sendLocked(c.lastJoin)
+			}
+		case proto.KindJoinNack:
+			if _, err := proto.Registry.Decode(f.Payload); err == nil {
+				c.joinNacks++
+			}
 		}
 	}
 	return seen

@@ -45,6 +45,13 @@ func (s *Store) Len() int { return len(s.byID) }
 // is shared and must not be modified; it is invalidated by Put/Remove.
 // Deterministic order keeps simulation runs reproducible across executions,
 // which the experiment harness depends on.
+//
+// Footgun: because the slice is shared, callers must not retain it across
+// any store mutation, and must never hand it to code that runs while the
+// tick loop keeps mutating the store — the backing array is reused and a
+// concurrent or later Put/Remove silently invalidates every element the
+// caller still holds. Stages that read the world concurrently (the publish
+// fan-out) must take a Snapshot instead.
 func (s *Store) All() []*Entity {
 	if s.order == nil {
 		s.order = make([]*Entity, 0, len(s.byID))
@@ -55,6 +62,48 @@ func (s *Store) All() []*Entity {
 	}
 	return s.order
 }
+
+// Snapshot is an immutable point-in-time copy of a Store, safe to read
+// from any number of goroutines while the live store keeps mutating. It is
+// the view the publish stage hands to the parallel AoI / state-update
+// workers: entity values are deep-copied at capture, so neither Put/Remove
+// on the live store nor in-place edits of live entities are visible through
+// (or able to corrupt) a snapshot.
+type Snapshot struct {
+	all  []*Entity
+	byID map[ID]*Entity
+}
+
+// Snapshot captures an immutable deep copy of the store in ID order.
+func (s *Store) Snapshot() *Snapshot {
+	src := s.All()
+	// One backing allocation for all entity copies keeps capture cheap:
+	// the snapshot is taken once per tick on the hot path.
+	ents := make([]Entity, len(src))
+	sn := &Snapshot{
+		all:  make([]*Entity, len(src)),
+		byID: make(map[ID]*Entity, len(src)),
+	}
+	for i, e := range src {
+		ents[i] = *e
+		sn.all[i] = &ents[i]
+		sn.byID[e.ID] = &ents[i]
+	}
+	return sn
+}
+
+// All returns every captured entity in ID order. Callers must not modify
+// the entities: the slice is shared by every reader of the snapshot.
+func (sn *Snapshot) All() []*Entity { return sn.all }
+
+// Get looks up a captured entity by ID.
+func (sn *Snapshot) Get(id ID) (*Entity, bool) {
+	e, ok := sn.byID[id]
+	return e, ok
+}
+
+// Len reports the number of captured entities.
+func (sn *Snapshot) Len() int { return len(sn.all) }
 
 // Active returns the entities owned by serverID of the given kind
 // (pass kind < 0 for all kinds), in ID order.

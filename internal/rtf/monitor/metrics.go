@@ -20,7 +20,11 @@ import (
 //	roia_ticks_total                       counter, processed ticks
 //	roia_tick_duration_ms                  histogram of tick durations
 //	                                       (cumulative buckets, sum, count)
-//	roia_tick_stat_ms{stat=...}            mean/p50/p95/p99/max of recent ticks
+//	roia_tick_stat_ms{stat=...}            mean/p50/p95/p99/max of recent
+//	                                       tick wall durations
+//	roia_tick_cpu_stat_ms{stat=...}        mean/p95 of recent tick CPU sums
+//	                                       (across workers; ÷ wall = live
+//	                                       pipeline speedup)
 //	roia_task_ms{task=...,stat=...}        per-item cost of each model parameter
 //	roia_zone_users / roia_active_users    the model's n and a
 //	roia_npcs / roia_replicas              the model's m and l
@@ -39,6 +43,7 @@ func (m *Monitor) WriteMetrics(w io.Writer, labels string) error {
 	deadline := m.deadlineMS
 	violations := m.violations
 	tickSummary := m.tickTotals.Summary()
+	cpuSummary := m.tickCPU.Summary()
 	hist := m.tickHist.Clone()
 	last := m.lastBreak
 	type taskStat struct {
@@ -77,6 +82,16 @@ func (m *Monitor) WriteMetrics(w io.Writer, labels string) error {
 		{"p95", tickSummary.P95}, {"p99", tickSummary.P99}, {"max", tickSummary.Max},
 	} {
 		fmt.Fprintf(&b, "roia_tick_stat_ms%s %g\n", lbl(fmt.Sprintf("stat=%q", st.name)), st.v)
+	}
+
+	fmt.Fprintf(&b, "# TYPE roia_tick_cpu_stat_ms gauge\n")
+	for _, st := range []struct {
+		name string
+		v    float64
+	}{
+		{"mean", cpuSummary.Mean}, {"p95", cpuSummary.P95},
+	} {
+		fmt.Fprintf(&b, "roia_tick_cpu_stat_ms%s %g\n", lbl(fmt.Sprintf("stat=%q", st.name)), st.v)
 	}
 
 	fmt.Fprintf(&b, "# TYPE roia_task_ms gauge\n")

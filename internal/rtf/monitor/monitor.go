@@ -62,9 +62,22 @@ func Tasks() []Task {
 
 // Breakdown is the timing of one tick, in milliseconds per task, together
 // with the per-task item counts needed to derive per-item costs.
+//
+// With the parallel tick pipeline the two time axes diverge: TimeMS sums
+// CPU time across all workers (what the paper's per-item curves are fitted
+// from — per-item cost does not shrink when work runs on more cores),
+// while WallMS is the elapsed time of the whole tick (what the QoS
+// deadline 1/U is compared against — wall time does shrink with workers).
+// With one worker the axes coincide up to untimed loop overhead.
 type Breakdown struct {
-	// TimeMS[t] is the total CPU time spent in task t this tick.
+	// TimeMS[t] is the total CPU time spent in task t this tick, summed
+	// over every worker that executed part of the task.
 	TimeMS [numTasks]float64
+	// WallMS is the tick's elapsed wall-clock duration. Zero means
+	// "unmeasured" and wall-facing statistics fall back to Total(), the
+	// CPU sum — the pre-pipeline behaviour, which simulations that
+	// synthesize Breakdowns still rely on.
+	WallMS float64
 	// Items[t] is how many items task t processed (inputs deserialized,
 	// users updated, NPCs stepped, migrations handled, ...).
 	Items [numTasks]int
@@ -89,13 +102,34 @@ func (b *Breakdown) Add(t Task, ms float64, items int) {
 	b.Items[t] += items
 }
 
-// Total returns the tick duration: the sum over all tasks.
+// Total returns the tick's CPU time: the sum over all tasks (and, under
+// the parallel executor, over all workers).
 func (b *Breakdown) Total() float64 {
 	sum := 0.0
 	for _, v := range b.TimeMS {
 		sum += v
 	}
 	return sum
+}
+
+// Wall returns the tick duration as the deadline sees it: the measured
+// wall-clock duration when available, else the CPU sum.
+func (b *Breakdown) Wall() float64 {
+	if b.WallMS > 0 {
+		return b.WallMS
+	}
+	return b.Total()
+}
+
+// Merge folds another breakdown's task accounting into b — the
+// deterministic reduction the executor applies to per-worker breakdowns
+// after a parallel stage. Wall time and workload gauges are not merged:
+// they describe the whole tick, not one worker's share.
+func (b *Breakdown) Merge(other *Breakdown) {
+	for t := Task(0); t < numTasks; t++ {
+		b.TimeMS[t] += other.TimeMS[t]
+		b.Items[t] += other.Items[t]
+	}
 }
 
 // PerItem returns the average per-item time of a task in this tick and
@@ -127,7 +161,11 @@ type Sample struct {
 type Monitor struct {
 	mu sync.Mutex
 
+	// tickTotals tracks wall-facing tick durations (Breakdown.Wall);
+	// tickCPU tracks the CPU sums (Breakdown.Total). They coincide for
+	// sequential ticks and for synthesized breakdowns without WallMS.
 	tickTotals *stats.Reservoir
+	tickCPU    *stats.Reservoir
 	perTask    [numTasks]*stats.Reservoir
 	tickHist   *telemetry.Histogram
 
@@ -171,6 +209,7 @@ const DefaultSampleLimit = 1 << 20
 func New() *Monitor {
 	m := &Monitor{
 		tickTotals:  stats.NewReservoir(HistorySize),
+		tickCPU:     stats.NewReservoir(HistorySize),
 		tickHist:    telemetry.NewHistogram(telemetry.DefTickBuckets()...),
 		sampleLimit: DefaultSampleLimit,
 	}
@@ -240,10 +279,14 @@ func (m *Monitor) RecordTick(b Breakdown) {
 	m.ticks++
 	m.lastUsers = b.Users
 	m.lastBreak = b
-	total := b.Total()
-	m.tickTotals.Add(total)
-	m.tickHist.Observe(total)
-	if m.deadlineMS > 0 && total > m.deadlineMS {
+	// The deadline, histogram, and recent-tick stats are wall-facing:
+	// they must reflect what a parallel tick actually took, not the CPU
+	// it burned across workers. Per-item curves below stay CPU-facing.
+	wall := b.Wall()
+	m.tickTotals.Add(wall)
+	m.tickCPU.Add(b.Total())
+	m.tickHist.Observe(wall)
+	if m.deadlineMS > 0 && wall > m.deadlineMS {
 		m.violations++
 	}
 	for t := Task(0); t < numTasks; t++ {
@@ -296,12 +339,30 @@ func (m *Monitor) TickSummary() stats.Summary {
 	return m.tickTotals.Summary()
 }
 
-// MeanTick returns the mean recent tick duration (ms), the runtime signal
-// RTF-RMS compares against the provider's thresholds.
+// MeanTick returns the mean recent tick wall duration (ms), the runtime
+// signal RTF-RMS compares against the provider's thresholds.
 func (m *Monitor) MeanTick() float64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.tickTotals.Mean()
+}
+
+// TickCPUSummary summarizes recent tick CPU sums (ms): the time burned
+// across all workers, which exceeds the wall duration once the parallel
+// executor spreads a tick over several cores.
+func (m *Monitor) TickCPUSummary() stats.Summary {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.tickCPU.Summary()
+}
+
+// MeanTickCPU returns the mean recent tick CPU sum (ms). The ratio
+// MeanTickCPU/MeanTick is the tick's effective speedup — the live
+// counterpart of the model's USL term S(w).
+func (m *Monitor) MeanTickCPU() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.tickCPU.Mean()
 }
 
 // TaskSummary summarizes the recent per-item cost of one task.
@@ -341,6 +402,7 @@ func (m *Monitor) Reset() {
 	m.dropped = 0
 	m.violations = 0
 	m.tickTotals = stats.NewReservoir(HistorySize)
+	m.tickCPU = stats.NewReservoir(HistorySize)
 	m.tickHist = telemetry.NewHistogram(telemetry.DefTickBuckets()...)
 	for i := range m.perTask {
 		m.perTask[i] = stats.NewReservoir(HistorySize)

@@ -204,3 +204,75 @@ func TestMonitorTickHistogram(t *testing.T) {
 		t.Fatal("TickHistogram returned a live reference")
 	}
 }
+
+// TestCPUWallSplit pins the two-axis accounting: wall-facing statistics
+// (recent-tick summary, deadline violations) follow WallMS, per-item
+// curves and the CPU summary follow the TimeMS sums, and a breakdown
+// without WallMS falls back to the CPU sum everywhere (the pre-pipeline
+// behaviour simulations rely on).
+func TestCPUWallSplit(t *testing.T) {
+	m := New()
+	m.SetDeadline(10)
+
+	// Parallel-looking tick: 16 ms of CPU across workers, 6 ms of wall.
+	var b Breakdown
+	b.Add(AOI, 12, 4)
+	b.Add(SU, 4, 4)
+	b.WallMS = 6
+	m.RecordTick(b)
+
+	if got := m.MeanTick(); got != 6 {
+		t.Fatalf("MeanTick = %v, want wall 6", got)
+	}
+	if got := m.MeanTickCPU(); got != 16 {
+		t.Fatalf("MeanTickCPU = %v, want CPU sum 16", got)
+	}
+	if got := m.DeadlineViolations(); got != 0 {
+		t.Fatalf("violations = %d; a 6 ms wall tick must not violate a 10 ms deadline even at 16 ms CPU", got)
+	}
+	last := m.LastBreakdown()
+	if per, ok := last.PerItem(AOI); !ok || per != 3 {
+		t.Fatalf("PerItem(AOI) = %v, %v; per-item cost must stay CPU-based", per, ok)
+	}
+
+	// Slow wall tick: violates even though CPU is under the deadline.
+	var b2 Breakdown
+	b2.Add(UA, 4, 2)
+	b2.WallMS = 12
+	m.RecordTick(b2)
+	if got := m.DeadlineViolations(); got != 1 {
+		t.Fatalf("violations = %d, want 1 (12 ms wall > 10 ms deadline)", got)
+	}
+
+	// Legacy breakdown without WallMS: Wall() falls back to Total().
+	var b3 Breakdown
+	b3.Add(NPC, 11, 3)
+	if b3.Wall() != b3.Total() {
+		t.Fatalf("Wall fallback = %v, want Total %v", b3.Wall(), b3.Total())
+	}
+	m.RecordTick(b3)
+	if got := m.DeadlineViolations(); got != 2 {
+		t.Fatalf("violations = %d, want 2 (fallback 11 ms > 10 ms)", got)
+	}
+}
+
+// TestBreakdownMerge pins the executor's per-worker reduction.
+func TestBreakdownMerge(t *testing.T) {
+	var total, w1, w2 Breakdown
+	total.WallMS = 5
+	total.Users = 10
+	w1.Add(AOI, 2, 3)
+	w1.Add(SU, 1, 3)
+	w2.Add(AOI, 4, 7)
+	total.Merge(&w1)
+	total.Merge(&w2)
+	if total.TimeMS[AOI] != 6 || total.Items[AOI] != 10 {
+		t.Fatalf("merged AOI = %v ms / %d items, want 6 / 10", total.TimeMS[AOI], total.Items[AOI])
+	}
+	if total.TimeMS[SU] != 1 || total.Items[SU] != 3 {
+		t.Fatalf("merged SU = %v ms / %d items, want 1 / 3", total.TimeMS[SU], total.Items[SU])
+	}
+	if total.WallMS != 5 || total.Users != 10 {
+		t.Fatal("Merge must not touch wall time or workload gauges")
+	}
+}

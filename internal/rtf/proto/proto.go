@@ -17,11 +17,12 @@ import (
 //	v1  seed protocol
 //	v2  MigrateInit/MigrateAck gained MigID (fleet migration tracing)
 //	v3  StateUpdate gained AckSeq (client-perceived response time)
+//	v4  JoinNack added (draining servers reject joins explicitly)
 //
 // The format has no in-band negotiation: fields are appended at the end of
 // a message's fixed prefix or, as with AckSeq, inserted with a version
 // bump, and mixed-version fleets are not supported.
-const Version = 3
+const Version = 4
 
 // Message kinds of the RTF protocol.
 const (
@@ -35,6 +36,7 @@ const (
 	KindMigrateInit
 	KindMigrateAck
 	KindMigrateNotice
+	KindJoinNack
 )
 
 // Registry decodes every RTF protocol message.
@@ -49,6 +51,7 @@ var Registry = wire.NewRegistry(
 	func() wire.Message { return &MigrateInit{} },
 	func() wire.Message { return &MigrateAck{} },
 	func() wire.Message { return &MigrateNotice{} },
+	func() wire.Message { return &JoinNack{} },
 )
 
 // Join is sent by a client to enter a zone.
@@ -385,5 +388,26 @@ func (m *MigrateNotice) MarshalWire(w *wire.Writer) { w.String(m.NewServer) }
 // UnmarshalWire implements wire.Message.
 func (m *MigrateNotice) UnmarshalWire(r *wire.Reader) error {
 	m.NewServer = r.String()
+	return r.Err()
+}
+
+// JoinNack rejects a Join outright: the server cannot admit the user and
+// knows no peer to redirect to (a draining last replica). Without it a
+// draining server would silently drop the Join and the client would hang;
+// with it the client fails fast and can retry against a fresh assignment.
+type JoinNack struct {
+	// Reason is a short human-readable explanation ("draining").
+	Reason string
+}
+
+// WireKind implements wire.Message.
+func (*JoinNack) WireKind() wire.Kind { return KindJoinNack }
+
+// MarshalWire implements wire.Message.
+func (m *JoinNack) MarshalWire(w *wire.Writer) { w.String(m.Reason) }
+
+// UnmarshalWire implements wire.Message.
+func (m *JoinNack) UnmarshalWire(r *wire.Reader) error {
+	m.Reason = r.String()
 	return r.Err()
 }

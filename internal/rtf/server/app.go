@@ -52,6 +52,31 @@ type Application interface {
 	ApplyUserState(env *Env, avatar entity.ID, data []byte)
 }
 
+// ConcurrentSimulator is an optional Application capability: an
+// application whose UpdateNPC is a pure per-NPC function may declare it to
+// let the tick pipeline fan NPC updates over the executor's workers.
+//
+// Declaring the capability asserts that UpdateNPC
+//
+//   - never uses env.Rand (the shared sequential random source would make
+//     results depend on NPC scheduling order), and
+//   - mutates only the npc entity it is handed — it may not write any
+//     other entity or the store; cross-entity effects must be returned as
+//     forwards.
+//
+// In exchange, the server runs NPC updates in two phases regardless of
+// worker count — compute all updates (parallel, results in per-NPC slots),
+// then apply the returned forwards sequentially in NPC ID order — so
+// sequential and parallel executions are byte-identical by construction.
+// Applications that do not implement the capability (internal/game uses
+// env.Rand for movement) keep the original inline sequential path on every
+// worker count.
+type ConcurrentSimulator interface {
+	// ConcurrentNPCUpdates reports whether UpdateNPC satisfies the purity
+	// contract above.
+	ConcurrentNPCUpdates() bool
+}
+
 // Forward is an interaction that must be applied on the replica owning the
 // target entity.
 type Forward struct {

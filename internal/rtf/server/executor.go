@@ -1,0 +1,109 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"roia/internal/rtf/entity"
+	"roia/internal/rtf/wire"
+)
+
+// workerCtx is the per-worker scratch state of the tick pipeline's
+// parallel stages, reused across ticks so the fan-out allocates nothing
+// per stage: a serialization buffer for state-update encoding and an AoI
+// result buffer. A workerCtx is only ever touched by the one worker it
+// belongs to during a run, and by the tick goroutine between runs.
+type workerCtx struct {
+	w   *wire.Writer
+	vis []entity.ID
+}
+
+// executor fans the embarrassingly-parallel tick stages (frame decode,
+// per-user AoI + state-update serialization, capability-gated NPC updates)
+// over a bounded worker pool. Determinism is structural, not accidental:
+//
+//   - Work item i always writes only slot i of a result slice sized
+//     before the fan-out; workers share no mutable state but their own
+//     workerCtx.
+//   - Items are partitioned into contiguous chunks, so which worker runs
+//     an item depends only on (n, workers) — never on scheduling.
+//   - All cross-item effects (sends, monitor accounting, store writes)
+//     happen in the sequential merge that follows a run, in slice order.
+//
+// Client-visible wire output is therefore byte-identical for any worker
+// count and any GOMAXPROCS, and workers == 1 degenerates to a plain loop
+// on the tick goroutine — the seed's sequential behaviour.
+//
+// Workers must never lock the server mutex (the tick goroutine holds it
+// for the whole tick — a worker locking it would deadlock) and must read
+// time only through the executor's injected clock; tools/roialint enforces
+// both rules on the closures passed to run.
+type executor struct {
+	workers int
+	clock   func() time.Time
+	ctxs    []*workerCtx
+}
+
+// newExecutor returns an executor with the given worker count (clamped to
+// at least 1). clock is the executor's only time source, injected so
+// simulated runs stay deterministic and lint-checkable.
+func newExecutor(workers int, clock func() time.Time) *executor {
+	if workers < 1 {
+		workers = 1
+	}
+	e := &executor{workers: workers, clock: clock}
+	e.ctxs = make([]*workerCtx, workers)
+	for i := range e.ctxs {
+		e.ctxs[i] = &workerCtx{w: wire.NewWriter(4 << 10)}
+	}
+	return e
+}
+
+// parallel reports whether run fans out to more than one goroutine.
+func (e *executor) parallel() bool { return e.workers > 1 }
+
+// now reads the injected clock; workers time their items with now/since
+// instead of the wall clock.
+func (e *executor) now() time.Time { return e.clock() }
+
+// since returns the elapsed time from t0 in the model's millisecond unit.
+func (e *executor) since(t0 time.Time) float64 {
+	return float64(e.clock().Sub(t0).Nanoseconds()) / 1e6
+}
+
+// run invokes fn(i, ctx) for every i in [0, n), partitioned contiguously
+// over the worker pool, and returns when all items are done. fn must obey
+// the slot discipline documented on executor: write only state owned by
+// item i plus the passed workerCtx. With one worker (or n <= 1) everything
+// runs inline on the calling goroutine.
+func (e *executor) run(n int, fn func(i int, ctx *workerCtx)) {
+	if n <= 0 {
+		return
+	}
+	w := e.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		ctx := e.ctxs[0]
+		for i := 0; i < n; i++ {
+			fn(i, ctx)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		lo, hi := n*k/w, n*(k+1)/w
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int, ctx *workerCtx) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i, ctx)
+			}
+		}(lo, hi, e.ctxs[k])
+	}
+	wg.Wait()
+}

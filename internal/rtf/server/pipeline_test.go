@@ -1,0 +1,239 @@
+package server_test
+
+// Determinism harness for the staged tick pipeline: the client-visible wire
+// output of a scripted session must be byte-identical whatever the server's
+// Parallelism and whatever GOMAXPROCS the process runs under. Clients here
+// operate at the transport level and hash every received payload, so any
+// reordering, re-encoding or state divergence shows up as a digest mismatch.
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"runtime"
+	"testing"
+
+	"roia/internal/game"
+	"roia/internal/rtf/entity"
+	"roia/internal/rtf/proto"
+	"roia/internal/rtf/server"
+	"roia/internal/rtf/transport"
+	"roia/internal/rtf/wire"
+	"roia/internal/rtf/zone"
+)
+
+// scriptedClient is a wire-level user connection: it joins, follows
+// redirects, sends a deterministic input script, and hashes every payload
+// it receives in arrival order.
+type scriptedClient struct {
+	node   transport.Node
+	w      *wire.Writer
+	h      hash.Hash
+	join   *proto.Join
+	server string
+	joined bool
+	seq    uint64
+}
+
+func (c *scriptedClient) send(msg wire.Message) {
+	_ = c.node.Send(c.server, proto.Registry.Encode(c.w, msg))
+}
+
+// poll drains received frames into the digest (length-prefixed so stream
+// boundaries are unambiguous) and reacts to join acks and redirects.
+func (c *scriptedClient) poll() {
+	for _, f := range transport.Drain(c.node, 0) {
+		var n [4]byte
+		binary.BigEndian.PutUint32(n[:], uint32(len(f.Payload)))
+		c.h.Write(n[:])
+		c.h.Write(f.Payload)
+		if len(f.Payload) < 2 {
+			continue
+		}
+		switch wire.Kind(binary.BigEndian.Uint16(f.Payload)) {
+		case proto.KindJoinAck:
+			c.joined = true
+		case proto.KindMigrateNotice:
+			if msg, err := proto.Registry.Decode(f.Payload); err == nil {
+				c.server = msg.(*proto.MigrateNotice).NewServer
+				if !c.joined {
+					c.send(c.join)
+				}
+			}
+		}
+	}
+}
+
+// runPipelineScenario plays a fixed multi-server session — joins, scripted
+// movement and attacks, NPCs, a mid-run migration wave — and returns one
+// hex digest per client of everything that client received.
+func runPipelineScenario(t *testing.T, parallelism int, app func(i int) server.Application) []string {
+	t.Helper()
+	const (
+		nServers = 2
+		nClients = 6
+		nTicks   = 40
+	)
+	net := transport.NewLoopback()
+	defer net.Close()
+	assignment := zone.NewAssignment()
+	servers := make([]*server.Server, nServers)
+	for i := range servers {
+		node, err := net.Attach(fmt.Sprintf("s%d", i+1), 1<<16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := server.New(server.Config{
+			Node:        node,
+			Zone:        1,
+			Assignment:  assignment,
+			App:         app(i),
+			IDPrefix:    uint16(i + 1),
+			Seed:        int64(7000 + i),
+			Parallelism: parallelism,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.Start()
+		servers[i] = srv
+	}
+	for k := 0; k < 4; k++ {
+		servers[0].SpawnNPC(entity.Vec2{X: float64(100 + 50*k), Y: 120})
+	}
+
+	clients := make([]*scriptedClient, nClients)
+	for i := range clients {
+		node, err := net.Attach(fmt.Sprintf("c%d", i+1), 1<<16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := &scriptedClient{
+			node:   node,
+			w:      wire.NewWriter(256),
+			h:      sha256.New(),
+			server: servers[i%nServers].ID(),
+			join: &proto.Join{
+				UserName: fmt.Sprintf("c%d", i+1),
+				Zone:     1,
+				Pos:      entity.Vec2{X: float64(100 + 10*i), Y: float64(100 + 5*i)},
+			},
+		}
+		c.send(c.join)
+		clients[i] = c
+	}
+
+	for tick := 0; tick < nTicks; tick++ {
+		if tick == 15 {
+			servers[0].MigrateUsers(servers[1].ID(), 2)
+		}
+		for _, s := range servers {
+			s.Tick()
+		}
+		for i, c := range clients {
+			c.poll()
+			if c.joined && tick%2 == i%2 {
+				c.seq++
+				dx := float64(1 + (tick+i)%3)
+				dy := float64(-1 + (tick*i)%3)
+				c.send(&proto.Input{Seq: c.seq, Payload: game.Commands.EncodeToBytes(&game.Move{DX: dx, DY: dy})})
+			}
+		}
+	}
+
+	out := make([]string, nClients)
+	for i, c := range clients {
+		out[i] = hex.EncodeToString(c.h.Sum(nil))
+		_ = c.node.Close()
+	}
+	return out
+}
+
+func gameApp(i int) server.Application { return game.New(game.DefaultConfig()) }
+
+func TestPipelineDeterministicAcrossParallelism(t *testing.T) {
+	base := runPipelineScenario(t, 1, gameApp)
+	for _, w := range []int{2, 4, 8} {
+		got := runPipelineScenario(t, w, gameApp)
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("client %d wire stream diverged at Parallelism=%d:\n seq: %s\n par: %s",
+					i+1, w, base[i], got[i])
+			}
+		}
+	}
+}
+
+func TestPipelineDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	orig := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(orig)
+	runtime.GOMAXPROCS(1)
+	base := runPipelineScenario(t, 4, gameApp)
+	for _, procs := range []int{2, 8} {
+		runtime.GOMAXPROCS(procs)
+		got := runPipelineScenario(t, 4, gameApp)
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("client %d wire stream diverged at GOMAXPROCS=%d", i+1, procs)
+			}
+		}
+	}
+}
+
+// parApp is a minimal Application that satisfies the ConcurrentSimulator
+// contract: UpdateNPC is a pure function of the NPC it is handed (no
+// env.Rand, no writes to other entities), with cross-entity effects
+// expressed as forwards.
+type parApp struct {
+	avatars []entity.ID
+}
+
+func (a *parApp) ConcurrentNPCUpdates() bool { return true }
+
+func (a *parApp) SpawnAvatar(env *server.Env, id entity.ID, pos entity.Vec2, zoneID uint32) *entity.Entity {
+	a.avatars = append(a.avatars, id)
+	return &entity.Entity{ID: id, Pos: pos, Health: 100}
+}
+
+func (a *parApp) ApplyInput(env *server.Env, actor *entity.Entity, payload []byte) ([]server.Forward, error) {
+	if len(payload) >= 2 {
+		actor.Pos.X += float64(int8(payload[0]))
+		actor.Pos.Y += float64(int8(payload[1]))
+	}
+	return nil, nil
+}
+
+func (a *parApp) ApplyForwarded(env *server.Env, actor entity.ID, target *entity.Entity, payload []byte) error {
+	target.Health--
+	return nil
+}
+
+func (a *parApp) UpdateNPC(env *server.Env, npc *entity.Entity) []server.Forward {
+	npc.Pos.X += 0.5 * float64(1+npc.ID%5)
+	npc.Pos.Y += 0.25
+	if env.Tick%4 == 0 && len(a.avatars) > 0 {
+		target := a.avatars[int(npc.ID)%len(a.avatars)]
+		return []server.Forward{{Target: target, Payload: []byte{1}}}
+	}
+	return nil
+}
+
+func (a *parApp) DrainEvents(env *server.Env, avatar entity.ID) []byte     { return nil }
+func (a *parApp) EncodeUserState(env *server.Env, avatar entity.ID) []byte { return nil }
+func (a *parApp) ApplyUserState(env *server.Env, avatar entity.ID, data []byte) {
+}
+
+func TestPipelineDeterministicConcurrentSimulator(t *testing.T) {
+	app := func(i int) server.Application { return &parApp{} }
+	base := runPipelineScenario(t, 1, app)
+	for _, w := range []int{2, 4} {
+		got := runPipelineScenario(t, w, app)
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("client %d wire stream diverged at Parallelism=%d with concurrent NPC updates", i+1, w)
+			}
+		}
+	}
+}

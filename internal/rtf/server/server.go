@@ -63,6 +63,15 @@ type Config struct {
 	// maintains a world cache (client.World). Server-to-server shadow
 	// updates remain full refreshes so replicas stay loss-tolerant.
 	DeltaUpdates bool
+	// Parallelism is the worker count for the embarrassingly-parallel
+	// stages of the tick pipeline (frame decode, per-user AoI queries and
+	// state-update serialization, and — for applications declaring the
+	// ConcurrentSimulator capability — NPC updates). 0 or 1 runs every
+	// stage sequentially on the tick goroutine, the original behaviour.
+	// Client-visible wire output is byte-identical across Parallelism
+	// values and GOMAXPROCS settings; only wall time changes. The model's
+	// T(l,n,m,w) describes the effect (model.Par).
+	Parallelism int
 	// IdleTimeoutTicks evicts users that have not sent any input for this
 	// many ticks — the cleanup path for crashed or vanished clients, whose
 	// avatars would otherwise haunt the zone forever. 0 disables eviction.
@@ -133,6 +142,9 @@ type Server struct {
 	draining bool // true while shutting down: reject joins
 
 	w *wire.Writer // reusable serialization buffer (tick goroutine only)
+	// exec runs the tick pipeline's parallel stages; with Parallelism <= 1
+	// it degenerates to inline loops on the tick goroutine.
+	exec *executor
 	// tickBytesOut accumulates sent payload bytes within the current tick
 	// for the monitor's traffic counters.
 	tickBytesOut int
@@ -166,6 +178,7 @@ func New(cfg Config) (*Server, error) {
 		users: make(map[string]*user),
 		mon:   monitor.New(),
 		w:     wire.NewWriter(4 << 10),
+		exec:  newExecutor(cfg.Parallelism, time.Now),
 	}
 	// The tick interval is the QoS deadline 1/U: a tick that computes
 	// longer than its period cannot deliver every user's update in time.
@@ -371,7 +384,14 @@ func (s *Server) allocMigIDLocked() uint64 {
 // RTF transmits asynchronously and a lost frame is repaired by the next
 // tick's update.
 func (s *Server) send(to string, msg wire.Message) {
-	payload := proto.Registry.Encode(s.w, msg)
+	s.sendRaw(to, proto.Registry.Encode(s.w, msg))
+}
+
+// sendRaw transmits an already-encoded payload — the publish merge path,
+// where workers encoded state updates into their own buffers and the tick
+// goroutine sends them in deterministic user order. Must only be called
+// from the tick goroutine (it accumulates the tick's byte counter).
+func (s *Server) sendRaw(to string, payload []byte) {
 	s.tickBytesOut += len(payload)
 	_ = s.cfg.Node.Send(to, payload)
 }

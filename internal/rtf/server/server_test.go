@@ -307,6 +307,35 @@ func TestDrainingRejectsJoins(t *testing.T) {
 	if got := c.servers[0].UserCount(); got != 0 {
 		t.Fatalf("draining server admitted %d users", got)
 	}
+	// With no peer replica to redirect to, the rejection is explicit: the
+	// client must receive a JoinNack rather than silence.
+	if got := cl.JoinNacks(); got != 1 {
+		t.Fatalf("JoinNacks = %d, want 1", got)
+	}
+}
+
+func TestDrainingRedirectsJoinToPeer(t *testing.T) {
+	c := newCluster(t, 2)
+	c.servers[0].SetDraining(true)
+	cl := c.addClient(t, 0, entity.Vec2{X: 5, Y: 5})
+	c.tickAll() // s1 answers the join with a redirect to its peer
+	c.tickAll() // client re-joins at s2, which acks
+	c.tickAll()
+	if !cl.Joined() {
+		t.Fatal("redirected join never acknowledged")
+	}
+	if got := cl.Server(); got != c.servers[1].ID() {
+		t.Fatalf("client connected to %q, want %q", got, c.servers[1].ID())
+	}
+	if got := c.servers[0].UserCount(); got != 0 {
+		t.Fatalf("draining server admitted %d users", got)
+	}
+	if got := c.servers[1].UserCount(); got != 1 {
+		t.Fatalf("peer admitted %d users, want 1", got)
+	}
+	if got := cl.JoinNacks(); got != 0 {
+		t.Fatalf("redirect produced %d nacks, want 0", got)
+	}
 }
 
 func TestMonitorRecordsModelParameters(t *testing.T) {

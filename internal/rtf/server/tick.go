@@ -25,6 +25,38 @@ type decodedInput struct {
 	msg  *proto.Input
 }
 
+// decodedFrame is one slot of the decode stage: the pre-decoded message for
+// a frame (nil on decode error or for kinds decoded inline by the apply
+// stage) plus its deserialization accounting, merged into the Breakdown in
+// frame order by the apply stage.
+type decodedFrame struct {
+	msg   wire.Message
+	ms    float64
+	items int
+}
+
+// npcResult is one slot of the NPC compute phase under the
+// ConcurrentSimulator capability: the forwards returned by UpdateNPC and
+// the compute time, applied sequentially in slice order.
+type npcResult struct {
+	fwds []Forward
+	ms   float64
+}
+
+// pubItem is one slot of the publish stage: everything worker i needs to
+// build user i's state update, and everything the sequential merge needs to
+// send it and account for it.
+type pubItem struct {
+	uid    string
+	u      *user
+	av     *entity.Entity
+	events []byte
+
+	payload     []byte
+	aoiMS, suMS float64
+	ok          bool
+}
+
 // Tick executes one iteration of the real-time loop:
 //
 //  1. receive and deserialize inputs from connected users, forwarded
@@ -51,46 +83,78 @@ func (s *Server) Tick() {
 	s.tickBytesOut = 0
 	var br monitor.Breakdown
 
-	// --- Step 1: receive ---
+	// --- Step 1: receive + decode stage ---
+	//
+	// Deserialization of input, forwarded-input and shadow-update frames is
+	// side-effect-free, so it fans out over the executor: worker k decodes a
+	// contiguous chunk of frames into indexed slots, timing each item with
+	// the executor's injected clock. The apply stage below then walks the
+	// frames in their original order, merging the slot accounting into the
+	// Breakdown and performing every state mutation sequentially — so the
+	// observable effects are identical to the seed's single loop.
 	frames := transport.Drain(s.cfg.Node, 0)
 	for _, f := range frames {
 		br.BytesIn += len(f.Payload)
 	}
+	dec := make([]decodedFrame, len(frames))
+	s.exec.run(len(frames), func(i int, _ *workerCtx) {
+		f := frames[i]
+		if len(f.Payload) < 2 {
+			return
+		}
+		d := &dec[i]
+		switch wire.Kind(binary.BigEndian.Uint16(f.Payload)) {
+		case proto.KindInput, proto.KindForwarded:
+			t0 := s.exec.now()
+			msg, err := proto.Registry.Decode(f.Payload)
+			d.ms = s.exec.since(t0)
+			d.items = 1
+			if err == nil {
+				d.msg = msg
+			}
+		case proto.KindShadowUpdate:
+			t0 := s.exec.now()
+			msg, err := proto.Registry.Decode(f.Payload)
+			d.ms = s.exec.since(t0)
+			if err == nil {
+				d.msg = msg
+				d.items = len(msg.(*proto.ShadowUpdate).Entities)
+			}
+		}
+	})
+
+	// --- Apply stage: frames in arrival order, all mutations sequential ---
 	inputs := make([]decodedInput, 0, len(frames))
 	var forwards []*proto.Forwarded
 	var removed []entity.ID
-	for _, f := range frames {
+	for i, f := range frames {
 		if len(f.Payload) < 2 {
 			continue
 		}
 		switch wire.Kind(binary.BigEndian.Uint16(f.Payload)) {
 		case proto.KindInput:
-			t0 := time.Now()
-			msg, err := proto.Registry.Decode(f.Payload)
-			br.Add(monitor.UADeser, msSince(t0), 1)
-			if err == nil {
-				inputs = append(inputs, decodedInput{from: f.From, msg: msg.(*proto.Input)})
+			d := &dec[i]
+			br.Add(monitor.UADeser, d.ms, d.items)
+			if d.msg != nil {
+				inputs = append(inputs, decodedInput{from: f.From, msg: d.msg.(*proto.Input)})
 			}
 		case proto.KindForwarded:
-			t0 := time.Now()
-			msg, err := proto.Registry.Decode(f.Payload)
-			br.Add(monitor.FADeser, msSince(t0), 1)
-			if err == nil {
-				forwards = append(forwards, msg.(*proto.Forwarded))
+			d := &dec[i]
+			br.Add(monitor.FADeser, d.ms, d.items)
+			if d.msg != nil {
+				forwards = append(forwards, d.msg.(*proto.Forwarded))
 			}
 		case proto.KindShadowUpdate:
 			// Per-shadow-entity replication traffic: the model charges
 			// each of the zone's (n − n/l) shadow entities a per-tick
 			// deserialization + application cost, which is exactly this
 			// message's per-entity work.
-			t0 := time.Now()
-			msg, err := proto.Registry.Decode(f.Payload)
-			if err != nil {
-				br.Add(monitor.FADeser, msSince(t0), 0)
+			d := &dec[i]
+			br.Add(monitor.FADeser, d.ms, d.items)
+			if d.msg == nil {
 				continue
 			}
-			su := msg.(*proto.ShadowUpdate)
-			br.Add(monitor.FADeser, msSince(t0), len(su.Entities))
+			su := d.msg.(*proto.ShadowUpdate)
 			t1 := time.Now()
 			for i := range su.Entities {
 				s.store.ApplyShadowUpdate(s.ID(), &su.Entities[i])
@@ -200,25 +264,37 @@ func (s *Server) Tick() {
 		br.Add(monitor.FA, msSince(t0), 1)
 	}
 
-	// --- Step 2c: update NPCs ---
-	for _, npc := range s.store.Active(s.ID(), int(entity.NPC)) {
-		t0 := time.Now()
-		fwds := s.cfg.App.UpdateNPC(s.env, npc)
-		for _, fw := range fwds {
-			target, ok := s.store.Get(fw.Target)
-			if !ok {
-				continue
-			}
-			if target.Owner == s.ID() {
-				if s.cfg.App.ApplyForwarded(s.env, npc.ID, target, fw.Payload) == nil {
-					target.Seq++
-				}
-			} else {
-				s.send(target.Owner, &proto.Forwarded{Actor: npc.ID, Target: fw.Target, Payload: fw.Payload})
-			}
+	// --- Step 2c: update NPCs (simulate stage) ---
+	npcs := s.store.Active(s.ID(), int(entity.NPC))
+	if cs, ok := s.cfg.App.(ConcurrentSimulator); ok && cs.ConcurrentNPCUpdates() {
+		// Capability-declared applications run two-phase on every worker
+		// count: compute all updates into indexed slots (parallel), then
+		// apply the returned forwards sequentially in slice order — so the
+		// sequential and parallel executions are identical by construction.
+		results := make([]npcResult, len(npcs))
+		s.exec.run(len(npcs), func(i int, _ *workerCtx) {
+			t0 := s.exec.now()
+			results[i].fwds = s.cfg.App.UpdateNPC(s.env, npcs[i])
+			results[i].ms = s.exec.since(t0)
+		})
+		for i, npc := range npcs {
+			t0 := time.Now()
+			s.applyNPCForwards(npc, results[i].fwds)
+			br.Add(monitor.NPC, results[i].ms+msSince(t0), 1)
+			npc.Seq++
 		}
-		br.Add(monitor.NPC, msSince(t0), 1)
-		npc.Seq++
+	} else {
+		// Default path, bit-identical to the seed loop: applications whose
+		// UpdateNPC draws from the shared env.Rand (internal/game does, for
+		// movement) depend on NPCs updating in order, so they stay inline on
+		// the tick goroutine regardless of Parallelism.
+		for _, npc := range npcs {
+			t0 := time.Now()
+			fwds := s.cfg.App.UpdateNPC(s.env, npc)
+			s.applyNPCForwards(npc, fwds)
+			br.Add(monitor.NPC, msSince(t0), 1)
+			npc.Seq++
+		}
 	}
 
 	// --- Idle eviction: drop users whose clients went silent ---
@@ -241,36 +317,63 @@ func (s *Server) Tick() {
 	// --- Migrations ordered by the resource manager ---
 	s.processMigrationOrders(&br)
 
-	// --- Step 3a: state updates to connected users ---
-	world := s.store.All()
+	// --- Step 3a: state updates to connected users (publish stage) ---
+	//
+	// Publishing fans out per user: AoI query, delta computation and wire
+	// serialization are independent across users once the world state is
+	// frozen. The stage runs against an immutable store snapshot so workers
+	// never touch live entities; each worker encodes into its own writer and
+	// copies the payload into the user's slot. Application callbacks
+	// (DrainEvents) stay on the tick goroutine per the Application contract,
+	// and the actual sends happen in the sequential merge in sorted-user
+	// order — so the wire output is byte-identical to the sequential loop.
+	snap := s.store.Snapshot()
+	world := snap.All()
 	s.cfg.AOI.Build(world)
-	var visBuf []entity.ID
-	for _, uid := range s.sortedUserIDs() {
+	uids := s.sortedUserIDs()
+	items := make([]pubItem, len(uids))
+	for i, uid := range uids {
 		u := s.users[uid]
-		av, ok := s.store.Get(u.avatar)
+		av, ok := snap.Get(u.avatar)
 		if !ok {
 			continue
 		}
-		t0 := time.Now()
-		visBuf = s.cfg.AOI.Visible(visBuf[:0], av.ID, av.Pos, world)
-		br.Add(monitor.AOI, msSince(t0), 1)
+		items[i] = pubItem{uid: uid, u: u, av: av, events: s.cfg.App.DrainEvents(s.env, av.ID), ok: true}
+	}
+	s.exec.run(len(items), func(i int, ctx *workerCtx) {
+		it := &items[i]
+		if !it.ok {
+			return
+		}
+		t0 := s.exec.now()
+		ctx.vis = s.cfg.AOI.Visible(ctx.vis[:0], it.av.ID, it.av.Pos, world)
+		it.aoiMS = s.exec.since(t0)
 
-		t1 := time.Now()
+		t1 := s.exec.now()
 		// u.seq is the last input sequence applied for this user; echoing
 		// it lets the client close the input→update response-time loop.
-		upd := proto.StateUpdate{Tick: s.tick, AckSeq: u.seq, Self: *av, Events: s.cfg.App.DrainEvents(s.env, av.ID)}
+		upd := proto.StateUpdate{Tick: s.tick, AckSeq: it.u.seq, Self: *it.av, Events: it.events}
 		if s.cfg.DeltaUpdates {
-			s.fillDeltaUpdate(u, visBuf, &upd)
-		} else if len(visBuf) > 0 {
-			upd.Visible = make([]entity.Entity, 0, len(visBuf))
-			for _, id := range visBuf {
-				if e, ok := s.store.Get(id); ok {
+			fillDeltaUpdate(it.u, ctx.vis, snap, &upd)
+		} else if len(ctx.vis) > 0 {
+			upd.Visible = make([]entity.Entity, 0, len(ctx.vis))
+			for _, id := range ctx.vis {
+				if e, ok := snap.Get(id); ok {
 					upd.Visible = append(upd.Visible, *e)
 				}
 			}
 		}
-		s.send(uid, &upd)
-		br.Add(monitor.SU, msSince(t1), 1)
+		it.payload = append(it.payload, proto.Registry.Encode(ctx.w, &upd)...)
+		it.suMS = s.exec.since(t1)
+	})
+	for i := range items {
+		it := &items[i]
+		if !it.ok {
+			continue
+		}
+		br.Add(monitor.AOI, it.aoiMS, 1)
+		s.sendRaw(it.uid, it.payload)
+		br.Add(monitor.SU, it.suMS, 1)
 	}
 
 	// --- Step 3b: shadow updates to peer replicas ---
@@ -305,6 +408,10 @@ func (s *Server) Tick() {
 	}
 	br.Replicas = s.cfg.Assignment.ReplicaCount(s.cfg.Zone)
 	br.BytesOut = s.tickBytesOut
+	// TimeMS sums CPU time across workers; WallMS is the elapsed tick time.
+	// With Parallelism > 1 the two diverge, and their ratio is the live
+	// speedup reported by Monitor.MeanTickCPU / mean wall.
+	br.WallMS = msSince(tickStart)
 	s.mon.RecordTick(br)
 	if s.cfg.Profiler != nil {
 		dur, items := br.PhaseBreakdown()
@@ -346,14 +453,16 @@ func (s *Server) recordTrace(start time.Time, br *monitor.Breakdown) {
 // fillDeltaUpdate populates a state update with only the changes since the
 // user's previous update: entities whose sequence number advanced (or that
 // newly entered the area of interest) plus a removal list for entities that
-// left it — RTF's bandwidth optimization.
-func (s *Server) fillDeltaUpdate(u *user, visible []entity.ID, upd *proto.StateUpdate) {
+// left it — RTF's bandwidth optimization. It reads the tick's immutable
+// snapshot (never the live store) and mutates only the one user's known
+// map, so the publish stage may run it for different users concurrently.
+func fillDeltaUpdate(u *user, visible []entity.ID, snap *entity.Snapshot, upd *proto.StateUpdate) {
 	if u.known == nil {
 		u.known = make(map[entity.ID]uint64, len(visible))
 	}
 	inView := make(map[entity.ID]bool, len(visible))
 	for _, id := range visible {
-		e, ok := s.store.Get(id)
+		e, ok := snap.Get(id)
 		if !ok {
 			continue
 		}
@@ -383,11 +492,42 @@ func (s *Server) sortedUserIDs() []string {
 	return ids
 }
 
+// applyNPCForwards routes the forwards produced by one NPC update: local
+// targets are applied directly (their cost stays inside the NPC's t_npc
+// window), remote targets are forwarded to their owning replica.
+func (s *Server) applyNPCForwards(npc *entity.Entity, fwds []Forward) {
+	for _, fw := range fwds {
+		target, ok := s.store.Get(fw.Target)
+		if !ok {
+			continue
+		}
+		if target.Owner == s.ID() {
+			if s.cfg.App.ApplyForwarded(s.env, npc.ID, target, fw.Payload) == nil {
+				target.Seq++
+			}
+		} else {
+			s.send(target.Owner, &proto.Forwarded{Actor: npc.ID, Target: fw.Target, Payload: fw.Payload})
+		}
+	}
+}
+
 // handleJoin admits a new user: spawn an avatar, register the connection,
-// acknowledge.
+// acknowledge. A draining server no longer admits anyone, but it must not
+// drop the join on the floor either — the client is waiting on a reply. If
+// the zone has peer replicas the join is answered with a MigrateNotice
+// redirecting the client to one of them (lowest ID, for determinism);
+// otherwise with an explicit JoinNack so the client can surface the
+// rejection instead of hanging.
 func (s *Server) handleJoin(from string, j *proto.Join) {
 	if s.draining {
-		return // shutting down: the client will retry elsewhere
+		peers := s.cfg.Assignment.Peers(s.cfg.Zone, s.ID())
+		if len(peers) > 0 {
+			sort.Strings(peers)
+			s.send(from, &proto.MigrateNotice{NewServer: peers[0]})
+		} else {
+			s.send(from, &proto.JoinNack{Reason: "draining"})
+		}
+		return
 	}
 	if _, dup := s.users[from]; dup {
 		return

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Executor-worker awareness, shared by tickclock and lockhold: function
+// literals passed to an executor's run method execute on worker goroutines
+// of the tick pipeline, not on the tick goroutine. Two rules follow from
+// the executor's documented contract:
+//
+//   - workers read time only through the executor's injected clock (so
+//     simulated runs stay deterministic and per-item CPU accounting stays
+//     consistent across worker counts) — enforced by tickclock even inside
+//     its approved wall-clock files;
+//   - workers never touch a mutex (the tick goroutine holds the server
+//     mutex for the whole tick; a worker locking it deadlocks, and any
+//     other lock reintroduces cross-worker coupling) — enforced by
+//     lockhold.
+
+// executorWorkerFuncs returns the function literals in f passed as
+// arguments to a run method on a value whose (possibly pointered) named
+// type is called "executor".
+func executorWorkerFuncs(pkg *Package, f *ast.File) []*ast.FuncLit {
+	var out []*ast.FuncLit
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "run" {
+			return true
+		}
+		if !isExecutorType(pkg.Info.TypeOf(sel.X)) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if lit, ok := arg.(*ast.FuncLit); ok {
+				out = append(out, lit)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func isExecutorType(t types.Type) bool {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "executor"
+}

@@ -47,6 +47,40 @@ func (l LockHold) Check(pkg *Package, r *Reporter) {
 			}
 			l.checkFunc(pkg, fn, r)
 		}
+		l.checkExecutorWorkers(pkg, f, r)
+	}
+}
+
+// checkExecutorWorkers flags any mutex operation inside a closure handed to
+// the tick executor: the tick goroutine holds the server mutex for the
+// whole tick, so a worker locking it deadlocks — and any other lock
+// reintroduces the cross-worker coupling the slot discipline exists to
+// avoid.
+func (LockHold) checkExecutorWorkers(pkg *Package, f *ast.File, r *Reporter) {
+	for _, lit := range executorWorkerFuncs(pkg, f) {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Lock", "RLock", "Unlock", "RUnlock":
+			default:
+				return true
+			}
+			t := pkg.Info.TypeOf(sel.X)
+			if t == nil || (!isNamed(t, "sync", "Mutex") && !isNamed(t, "sync", "RWMutex")) {
+				return true
+			}
+			r.Report(call, "lockhold",
+				"%s.%s inside an executor worker: the tick goroutine holds the server mutex for the whole tick, so workers must never touch a mutex",
+				exprKey(r.fset, sel.X), sel.Sel.Name)
+			return true
+		})
 	}
 }
 

@@ -1,0 +1,25 @@
+package tickclock
+
+import "time"
+
+// executor mirrors the tick pipeline's worker pool: closures passed to run
+// execute on worker goroutines and must read time through the injected
+// clock, even though this file is on the analyzer's approved list.
+type executor struct{ clock func() time.Time }
+
+func (e *executor) run(n int, fn func(i int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+func approvedExecutorUse() {
+	e := &executor{clock: time.Now} // value reference to inject: fine
+	e.run(4, func(i int) {
+		_ = time.Now() // direct call inside a worker: flagged
+	})
+	e.run(2, func(i int) {
+		_ = e.clock() // injected clock: fine
+	})
+	_ = time.Now() // approved file, tick goroutine: fine
+}

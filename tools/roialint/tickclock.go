@@ -35,6 +35,23 @@ func (t TickClock) Check(pkg *Package, r *Reporter) {
 	for _, f := range pkg.Files {
 		rel := pkg.RelFiles[f]
 		if matchesAny(rel, allowed) {
+			// Approved wall-clock surface — but closures handed to the tick
+			// executor run on worker goroutines, where even these files must
+			// read time through the executor's injected clock.
+			for _, lit := range executorWorkerFuncs(pkg, f) {
+				ast.Inspect(lit.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if isPkgCall(pkg.Info, call, "time", "Now", "Sleep") {
+						obj := calleeObj(pkg.Info, call)
+						r.Report(call, "tickclock",
+							"direct time.%s() inside an executor worker; workers must read time through the executor's injected clock", obj.Name())
+					}
+					return true
+				})
+			}
 			continue
 		}
 		ast.Inspect(f, func(n ast.Node) bool {
