@@ -316,6 +316,7 @@ func BenchmarkUpdateModes(b *testing.B) {
 				}
 			}
 			totalBytes := 0
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				for _, bt := range swarm {
@@ -383,6 +384,7 @@ func BenchmarkTickPipeline(b *testing.B) {
 				}
 			}
 			move := game.Commands.EncodeToBytes(&game.Move{DX: 1, DY: 1})
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				for _, cl := range clients {
@@ -466,6 +468,56 @@ func BenchmarkInstrumentedTick(b *testing.B) {
 	}
 }
 
+// --- tick tail latency ---------------------------------------------------------
+
+// BenchmarkTickTail runs the live single-replica loop and reports the
+// distribution of per-tick wall times — p50/p99/p99.9 in milliseconds via
+// a telemetry.LogHistogram — alongside the usual mean ns/op. The p99-ms
+// metric is what `benchjson -compare` gates on: a change that speeds the
+// average tick while fattening its tail is a regression for a real-time
+// loop, whose QoS deadline is paid per tick, not on average.
+func BenchmarkTickTail(b *testing.B) {
+	for _, n := range []int{60, 150} {
+		b.Run(fmt.Sprintf("users=%d", n), func(b *testing.B) {
+			net := transport.NewLoopback()
+			defer net.Close()
+			fl, err := fleet.New(fleet.Config{
+				Network:    net,
+				Zone:       1,
+				Assignment: zone.NewAssignment(),
+				NewApp:     func() server.Application { return game.New(game.DefaultConfig()) },
+				Seed:       1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := fl.AddReplica(); err != nil {
+				b.Fatal(err)
+			}
+			driver := bots.NewFleetDriver(fl, net, 1)
+			if err := driver.SetBots(n); err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < 10; i++ {
+				driver.Step()
+			}
+			srv, _ := fl.Server("server-1")
+			hist := telemetry.NewLogHistogram()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				driver.Step()
+				bd := srv.Monitor().LastBreakdown()
+				hist.Observe(bd.Wall())
+			}
+			b.StopTimer()
+			b.ReportMetric(hist.Quantile(0.50), "p50-ms")
+			b.ReportMetric(hist.Quantile(0.99), "p99-ms")
+			b.ReportMetric(hist.Quantile(0.999), "p999-ms")
+		})
+	}
+}
+
 // --- fitting ablation ---------------------------------------------------------
 
 func BenchmarkLevMarQuadraticFit(b *testing.B) {
@@ -518,6 +570,7 @@ func BenchmarkRealServerTick(b *testing.B) {
 			}
 			srv, _ := fl.Server("server-1")
 
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				for _, bot := range driver.Bots() {

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"time"
+
+	"roia/internal/experiments"
+	"roia/internal/telemetry"
+)
+
+// benchResult and benchSnapshot mirror the BENCH_<n>.json schema written by
+// tools/benchjson (which is a package main and cannot be imported): the
+// variability harness emits the same document shape so `benchjson -compare`
+// can diff a committed variability baseline exactly like a `go test -bench`
+// snapshot — including gating on the "p99-ms" tail metric.
+type benchResult struct {
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	BytesPerOp float64            `json:"bytes_per_op"`
+	AllocsOp   int64              `json:"allocs_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+type benchSnapshot struct {
+	GoVersion  string                 `json:"go_version"`
+	GOOS       string                 `json:"goos"`
+	GOARCH     string                 `json:"goarch"`
+	GOMAXPROCS int                    `json:"gomaxprocs"`
+	Date       string                 `json:"date"`
+	Benchmarks map[string]benchResult `json:"benchmarks"`
+}
+
+// writeVariabilitySnapshot writes the harness result as a BENCH-schema JSON
+// document: one benchmark entry per scenario, mean tick as ns_per_op, tail
+// quantiles and run-to-run CoV in the metrics map.
+func writeVariabilitySnapshot(path string, res *experiments.VariabilityResult) error {
+	benches := make(map[string]benchResult, len(res.Rows))
+	for _, r := range res.Rows {
+		metrics := map[string]float64{
+			"p50-ms":  r.P50MS,
+			"p99-ms":  r.P99MS,
+			"p999-ms": r.P999MS,
+			"max-ms":  r.MaxMS,
+			"cov":     r.CoV,
+			"hiccups": float64(r.Hiccups),
+		}
+		if r.NMaxOK {
+			metrics["n-max"] = float64(r.NMax)
+		}
+		benches["BenchmarkVariability/"+r.Scenario.Name] = benchResult{
+			Iterations: int64(r.Samples),
+			NsPerOp:    r.MeanMS * 1e6,
+			Metrics:    metrics,
+		}
+	}
+	snap := benchSnapshot{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		//roialint:ignore tickclock snapshot date stamp for humans, not simulation time
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		Benchmarks: benches,
+	}
+	doc, err := json.MarshalIndent(&snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(doc, '\n'), 0o644)
+}
+
+// writeVariabilityCaptures dumps every flight-recorder capture frozen
+// during the harness runs as JSONL (the same format roiaserver's
+// /debug/flightrec endpoint serves) and returns the capture count.
+func writeVariabilityCaptures(path string, res *experiments.VariabilityResult) (int, error) {
+	var caps []*telemetry.FlightCapture
+	for _, r := range res.Rows {
+		caps = append(caps, r.Captures...)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	err = telemetry.WriteFlightJSONL(f, caps)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return len(caps), err
+}

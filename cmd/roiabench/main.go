@@ -4,12 +4,20 @@
 // Section III-C, and an end-to-end client-latency probe (-fig latency)
 // reporting input→update RTT percentiles and QoS-deadline violations.
 //
+// `-fig variability` runs the run-to-run variability harness: each live
+// scenario is executed -runs times and reported as mean/p99/p99.9 per-tick
+// wall time, between-run CoV, flight-recorder hiccup counts, and the
+// model's n_max for the configuration. With -bench-out the result is also
+// written as a BENCH-schema JSON snapshot that `tools/benchjson -compare`
+// can diff (gating on the p99-ms tail) against a committed baseline.
+//
 // Usage:
 //
 //	roiabench                  # everything, ASCII charts to stdout
 //	roiabench -fig 5           # one figure
 //	roiabench -fig 8 -csv out  # also write out/fig8.csv
 //	roiabench -seed 3          # change the deterministic seed
+//	roiabench -fig variability -runs 5 -bench-out BENCH_3.json
 package main
 
 import (
@@ -24,12 +32,15 @@ import (
 )
 
 var (
-	figFlag  = flag.String("fig", "all", "artifact to regenerate: 4,5,6,7,8,anchors,baselines,traffic,heavy,pacing,flash,npcs,csweep,profiles,latency,speedup,all")
-	csvDir   = flag.String("csv", "", "directory to write CSV datasets into (created if missing)")
-	seedFlag = flag.Int64("seed", 1, "seed for the deterministic runs")
-	recFlag  = flag.String("record", "", "write the Fig. 8 session time series to this CSV (replayable via cmd/roiareplay)")
-	width    = flag.Int("width", 72, "ASCII chart width")
-	height   = flag.Int("height", 16, "ASCII chart height")
+	figFlag   = flag.String("fig", "all", "artifact to regenerate: 4,5,6,7,8,anchors,baselines,traffic,heavy,pacing,flash,npcs,csweep,profiles,latency,speedup,variability,all")
+	csvDir    = flag.String("csv", "", "directory to write CSV datasets into (created if missing)")
+	seedFlag  = flag.Int64("seed", 1, "seed for the deterministic runs")
+	recFlag   = flag.String("record", "", "write the Fig. 8 session time series to this CSV (replayable via cmd/roiareplay)")
+	width     = flag.Int("width", 72, "ASCII chart width")
+	height    = flag.Int("height", 16, "ASCII chart height")
+	runsFlag  = flag.Int("runs", 5, "repetitions per scenario for -fig variability")
+	benchOut  = flag.String("bench-out", "", "variability: also write the result as a BENCH-schema JSON snapshot (diffable via tools/benchjson -compare)")
+	flightOut = flag.String("flightrec-out", "", "variability: write flight-recorder captures (one JSON object per line) to this path")
 )
 
 func main() {
@@ -244,6 +255,30 @@ func run() error {
 			c.Count, c.P50, c.P95, c.P99, c.MaxMS)
 		fmt.Printf("deadline %.0fms: %d violations (%.2f%%)\n\n",
 			res.DeadlineMS, c.Violations, c.ViolationRate()*100)
+	}
+	if want("variability") {
+		any = true
+		res, err := experiments.Variability(*seedFlag, *runsFlag)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Run-to-run variability (%d runs per scenario, %d measured ticks each):\n",
+			res.Runs, res.Rows[0].Ticks)
+		fmt.Print(experiments.FormatVariability(res))
+		fmt.Println()
+		if *benchOut != "" {
+			if err := writeVariabilitySnapshot(*benchOut, res); err != nil {
+				return err
+			}
+			fmt.Printf("variability snapshot written to %s\n\n", *benchOut)
+		}
+		if *flightOut != "" {
+			n, err := writeVariabilityCaptures(*flightOut, res)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%d flight-recorder capture(s) written to %s\n\n", n, *flightOut)
+		}
 	}
 	if !any {
 		return fmt.Errorf("unknown -fig value %q", *figFlag)

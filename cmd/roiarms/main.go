@@ -85,6 +85,10 @@ func run() error {
 		Events:        eventSinkOrNil(events),
 		TickInterval:  tickInterval,
 		ProfilePhases: *fleetMetFlag != "",
+		// Flight recorders are bounded rings, so they stay on: the hiccup
+		// alert rule and the collector's tail counters need them, and a
+		// stalled replica leaves a capture to inspect after the session.
+		FlightRecorders: true,
 	})
 	if err != nil {
 		return err

@@ -14,11 +14,15 @@
 // measured by the RTF hooks.
 //
 // With -metrics the server also exposes an observability endpoint:
-// Prometheus metrics (tick histogram, QoS deadline violations, per-phase
-// task profile, model-drift gauges — aggregate and per-task — and Go
-// runtime stats) on /metrics, the tick trace ring on /debug/ticktrace,
-// and pprof on /debug/pprof/. With -trace-out the trace ring is written as Chrome
-// trace-event JSON at shutdown, loadable in Perfetto.
+// Prometheus metrics (tick histogram, QoS deadline violations, windowed
+// tail quantiles, hiccup counters, per-phase task profile, model-drift
+// gauges — aggregate and per-task — and Go runtime stats) on /metrics,
+// the tick trace ring on /debug/ticktrace, flight-recorder captures as
+// JSONL on /debug/flightrec, and pprof on /debug/pprof/. With -trace-out
+// the trace ring is written as Chrome trace-event JSON at shutdown,
+// loadable in Perfetto; with -flightrec-out the flight-recorder captures
+// (pre/post windows around deadline-violating or hiccup ticks) are
+// written as JSONL at shutdown.
 package main
 
 import (
@@ -58,6 +62,8 @@ var (
 	metricsFlag = flag.String("metrics", "", "serve metrics/pprof/ticktrace on this address (e.g. 127.0.0.1:9100)")
 	traceFlag   = flag.String("trace-out", "", "write the tick trace as Chrome trace JSON to this file at shutdown")
 	traceCap    = flag.Int("trace-cap", telemetry.DefaultTraceCapacity, "tick traces kept in the ring buffer")
+	flightOut   = flag.String("flightrec-out", "", "write flight-recorder captures as JSONL to this file at shutdown")
+	hiccupK     = flag.Float64("hiccup-k", telemetry.DefaultHiccupK, "flag a tick as a hiccup when its wall time exceeds k x the rolling median")
 	deadline    = flag.Duration("deadline", 0, "tick QoS deadline for violation accounting (default: the tick interval, 1/U)")
 	parFlag     = flag.Int("parallelism", 1, "worker count for the tick pipeline's parallel stages (1 = sequential; wire output is identical either way)")
 )
@@ -93,6 +99,7 @@ func run() error {
 
 	tracer := telemetry.NewTracer(*traceCap)
 	profiler := telemetry.NewTaskProfiler()
+	flightRec := telemetry.NewFlightRecorder(telemetry.FlightRecConfig{K: *hiccupK})
 	srv, err := server.New(server.Config{
 		Node:         node,
 		Zone:         zone.ID(*zoneFlag),
@@ -103,6 +110,7 @@ func run() error {
 		TickInterval: *tickFlag,
 		Tracer:       tracer,
 		Profiler:     profiler,
+		FlightRec:    flightRec,
 		Parallelism:  *parFlag,
 	})
 	if err != nil {
@@ -128,7 +136,7 @@ func run() error {
 	go trackDrift(ctx, srv.Monitor(), drift, taskDrift, *tickFlag)
 
 	if *metricsFlag != "" {
-		if err := serveMetrics(ctx, srv.Monitor(), drift, taskDrift, profiler, tracer); err != nil {
+		if err := serveMetrics(ctx, srv.Monitor(), drift, taskDrift, profiler, tracer, flightRec); err != nil {
 			return err
 		}
 	}
@@ -147,12 +155,19 @@ func run() error {
 		}
 		fmt.Printf("wrote %d tick traces to %s\n", tracer.Len(), *traceFlag)
 	}
+	if *flightOut != "" {
+		if err := dumpFlightRec(flightRec, *flightOut); err != nil {
+			return fmt.Errorf("flightrec-out: %w", err)
+		}
+		fmt.Printf("wrote %d flight-recorder captures to %s (%d hiccups observed)\n",
+			len(flightRec.Captures()), *flightOut, flightRec.Hiccups())
+	}
 	return nil
 }
 
 // serveMetrics starts the observability HTTP server: Prometheus metrics,
 // the tick trace ring, and pprof. It shuts down gracefully when ctx ends.
-func serveMetrics(ctx context.Context, mon *monitor.Monitor, drift *telemetry.Drift, taskDrift *telemetry.TaskDrift, profiler *telemetry.TaskProfiler, tracer *telemetry.Tracer) error {
+func serveMetrics(ctx context.Context, mon *monitor.Monitor, drift *telemetry.Drift, taskDrift *telemetry.TaskDrift, profiler *telemetry.TaskProfiler, tracer *telemetry.Tracer, flightRec *telemetry.FlightRecorder) error {
 	labels := fmt.Sprintf("server=%q,zone=\"%d\"", *idFlag, *zoneFlag)
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", telemetry.MetricsHandler(labels,
@@ -160,9 +175,11 @@ func serveMetrics(ctx context.Context, mon *monitor.Monitor, drift *telemetry.Dr
 		drift.WriteMetrics,
 		taskDrift.WriteMetrics,
 		profiler.WriteMetrics,
+		flightRec.WriteMetrics,
 		telemetry.WriteRuntimeMetrics,
 	))
 	mux.Handle("/debug/ticktrace", telemetry.TraceHandler(tracer))
+	mux.Handle("/debug/flightrec", telemetry.FlightRecHandler(flightRec))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -187,7 +204,7 @@ func serveMetrics(ctx context.Context, mon *monitor.Monitor, drift *telemetry.Dr
 			fmt.Fprintln(os.Stderr, "roiaserver: metrics:", err)
 		}
 	}()
-	fmt.Printf("metrics on http://%s/metrics, traces on /debug/ticktrace, pprof on /debug/pprof/\n", *metricsFlag)
+	fmt.Printf("metrics on http://%s/metrics, traces on /debug/ticktrace, flight recorder on /debug/flightrec, pprof on /debug/pprof/\n", *metricsFlag)
 	return nil
 }
 
@@ -220,6 +237,19 @@ func trackDrift(ctx context.Context, mon *monitor.Monitor, drift *telemetry.Drif
 			mon.ObserveTaskDrift(set, taskDrift)
 		}
 	}
+}
+
+// dumpFlightRec writes the frozen flight-recorder captures as JSONL.
+func dumpFlightRec(rec *telemetry.FlightRecorder, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.WriteFlightJSONL(f, rec.Captures()); err != nil {
+		_ = f.Close() // the write error is the one worth reporting
+		return err
+	}
+	return f.Close()
 }
 
 // dumpTrace writes the trace ring as Chrome trace-event JSON.

@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"roia/internal/bots"
+	"roia/internal/game"
+	"roia/internal/rtf/entity"
+	"roia/internal/rtf/fleet"
+	"roia/internal/rtf/server"
+	"roia/internal/rtf/transport"
+	"roia/internal/rtf/zone"
+	"roia/internal/telemetry"
+)
+
+// VariabilityScenario is one live-fleet workload measured repeatedly by the
+// variability harness.
+type VariabilityScenario struct {
+	Name     string
+	Replicas int
+	Bots     int
+	NPCs     int // spawned on the first replica
+}
+
+// DefaultVariabilityScenarios are the workloads reported by
+// `roiabench -fig variability`: a comfortable single-replica population, a
+// replicated population past the single-server trigger, and an NPC-heavy
+// zone exercising the m/l·t_npc term of Eq. (1).
+func DefaultVariabilityScenarios() []VariabilityScenario {
+	return []VariabilityScenario{
+		{Name: "steady-60", Replicas: 1, Bots: 60},
+		{Name: "steady-150", Replicas: 2, Bots: 150},
+		{Name: "npc-heavy", Replicas: 1, Bots: 40, NPCs: 150},
+	}
+}
+
+// VariabilityRow summarizes one scenario across all of its runs.
+type VariabilityRow struct {
+	Scenario VariabilityScenario
+	// Runs and Ticks describe the sample: Runs independent fleets, each
+	// measured for Ticks ticks per replica.
+	Runs, Ticks int
+	// Samples is the total per-replica tick count observed (Runs × Ticks ×
+	// Replicas).
+	Samples uint64
+	// MeanMS and the quantiles are per-tick wall times in milliseconds over
+	// the merged distribution of every run.
+	MeanMS, P50MS, P99MS, P999MS, MaxMS float64
+	// CoV is the run-to-run coefficient of variation of the per-run mean
+	// tick time: stddev(run means)/mean(run means). It separates within-run
+	// jitter (visible in the quantiles) from between-run drift — a noisy
+	// host inflates CoV even when each individual run looks tight.
+	CoV float64
+	// Hiccups counts flight-recorder hiccup triggers summed over all runs
+	// and replicas (k× rolling-median spikes; see telemetry.FlightRecorder).
+	Hiccups uint64
+	// NMax is the model's n_max for this scenario's replica and NPC counts —
+	// the capacity context the measurements sit inside. NMaxOK is false when
+	// Eq. (2) is unbounded for the profile.
+	NMax   int
+	NMaxOK bool
+	// Captures holds every flight-recorder capture frozen during the
+	// scenario's runs — the per-task forensics for each hiccup counted
+	// above, exportable as JSONL via telemetry.WriteFlightJSONL.
+	Captures []*telemetry.FlightCapture
+}
+
+// VariabilityResult is the full harness output.
+type VariabilityResult struct {
+	Rows []VariabilityRow
+	// Runs echoes the per-scenario repetition count.
+	Runs int
+}
+
+// variabilityRun executes one fresh fleet for a scenario and returns the
+// per-replica-tick wall-time histogram, the hiccup count, and any frozen
+// flight-recorder captures.
+func variabilityRun(sc VariabilityScenario, seed int64, warmTicks, measureTicks int) (*telemetry.LogHistogram, uint64, []*telemetry.FlightCapture, error) {
+	net := transport.NewLoopback()
+	defer net.Close()
+	fl, err := fleet.New(fleet.Config{
+		Network:         net,
+		Zone:            1,
+		Assignment:      zone.NewAssignment(),
+		NewApp:          func() server.Application { return game.New(game.DefaultConfig()) },
+		Seed:            seed,
+		FlightRecorders: true,
+	})
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	ids := make([]string, 0, sc.Replicas)
+	servers := make([]*server.Server, 0, sc.Replicas)
+	for i := 0; i < sc.Replicas; i++ {
+		id, err := fl.AddReplica()
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		ids = append(ids, id)
+		srv, ok := fl.Server(id)
+		if !ok {
+			return nil, 0, nil, fmt.Errorf("replica %s not found after AddReplica", id)
+		}
+		servers = append(servers, srv)
+	}
+	for i := 0; i < sc.NPCs; i++ {
+		servers[0].SpawnNPC(entity.Vec2{
+			X: float64((i * 73) % 1000),
+			Y: float64((i * 137) % 1000),
+		})
+	}
+	driver := bots.NewFleetDriver(fl, net, seed)
+	if err := driver.SetBots(sc.Bots); err != nil {
+		return nil, 0, nil, err
+	}
+	for i := 0; i < warmTicks; i++ {
+		driver.Step()
+	}
+	hist := telemetry.NewLogHistogram()
+	for i := 0; i < measureTicks; i++ {
+		driver.Step()
+		for _, srv := range servers {
+			bd := srv.Monitor().LastBreakdown()
+			hist.Observe(bd.Wall())
+		}
+	}
+	var hiccups uint64
+	var captures []*telemetry.FlightCapture
+	for _, id := range ids {
+		if rec, ok := fl.FlightRecorder(id); ok && rec != nil {
+			hiccups += rec.Hiccups()
+			captures = append(captures, rec.Captures()...)
+		}
+	}
+	return hist, hiccups, captures, nil
+}
+
+// Variability is the run-to-run variability harness behind
+// `roiabench -fig variability`: every scenario is executed `runs` times on a
+// fresh fleet (seed offset per run), each run measuring real per-tick wall
+// times, and the merged distribution is reported as mean/p50/p99/p99.9
+// alongside the between-run CoV and the model's n_max for the scenario's
+// configuration. Tail quantiles make variability a first-class benchmark
+// output: the QoS deadline of the paper is paid per tick, so a fat p99.9
+// matters even when the mean is comfortable.
+func Variability(seed int64, runs int) (*VariabilityResult, error) {
+	const (
+		warmTicks    = 30
+		measureTicks = 150
+	)
+	if runs < 1 {
+		runs = 1
+	}
+	_, mdl := DefaultModel()
+	res := &VariabilityResult{Runs: runs}
+	for _, sc := range DefaultVariabilityScenarios() {
+		merged := telemetry.NewLogHistogram()
+		runMeans := make([]float64, 0, runs)
+		var hiccups uint64
+		var captures []*telemetry.FlightCapture
+		for r := 0; r < runs; r++ {
+			hist, h, caps, err := variabilityRun(sc, seed+int64(r)*1000, warmTicks, measureTicks)
+			if err != nil {
+				return nil, fmt.Errorf("%s run %d: %w", sc.Name, r, err)
+			}
+			runMeans = append(runMeans, hist.Mean())
+			merged.Merge(hist)
+			hiccups += h
+			captures = append(captures, caps...)
+		}
+		nmax, ok := mdl.MaxUsers(sc.Replicas, sc.NPCs)
+		res.Rows = append(res.Rows, VariabilityRow{
+			Scenario: sc,
+			Runs:     runs,
+			Ticks:    measureTicks,
+			Samples:  merged.Count(),
+			MeanMS:   merged.Mean(),
+			P50MS:    merged.Quantile(0.50),
+			P99MS:    merged.Quantile(0.99),
+			P999MS:   merged.Quantile(0.999),
+			MaxMS:    merged.Max(),
+			CoV:      coefficientOfVariation(runMeans),
+			Hiccups:  hiccups,
+			NMax:     nmax,
+			NMaxOK:   ok,
+			Captures: captures,
+		})
+	}
+	return res, nil
+}
+
+// coefficientOfVariation is stddev/mean (population stddev) of xs, 0 when
+// degenerate.
+func coefficientOfVariation(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if mean == 0 {
+		return 0
+	}
+	varsum := 0.0
+	for _, x := range xs {
+		d := x - mean
+		varsum += d * d
+	}
+	return math.Sqrt(varsum/float64(len(xs))) / mean
+}
+
+// FormatVariability renders the harness result as an aligned text table.
+func FormatVariability(res *VariabilityResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %5s %5s %5s %9s %9s %9s %9s %9s %7s %8s %8s\n",
+		"scenario", "l", "bots", "npcs", "mean [ms]", "p50 [ms]", "p99 [ms]", "p99.9", "max [ms]", "cov", "hiccups", "n_max")
+	for _, r := range res.Rows {
+		nmax := fmt.Sprintf("%d", r.NMax)
+		if !r.NMaxOK {
+			nmax = "∞"
+		}
+		fmt.Fprintf(&b, "%-12s %5d %5d %5d %9.3f %9.3f %9.3f %9.3f %9.3f %6.1f%% %8d %8s\n",
+			r.Scenario.Name, r.Scenario.Replicas, r.Scenario.Bots, r.Scenario.NPCs,
+			r.MeanMS, r.P50MS, r.P99MS, r.P999MS, r.MaxMS, r.CoV*100, r.Hiccups, nmax)
+	}
+	return b.String()
+}

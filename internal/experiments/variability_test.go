@@ -1,0 +1,53 @@
+package experiments
+
+import "testing"
+
+func TestVariabilityHarnessShape(t *testing.T) {
+	res, err := Variability(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := DefaultVariabilityScenarios()
+	if len(res.Rows) != len(want) {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), len(want))
+	}
+	for i, r := range res.Rows {
+		sc := want[i]
+		if r.Scenario.Name != sc.Name {
+			t.Fatalf("row %d scenario = %q, want %q", i, r.Scenario.Name, sc.Name)
+		}
+		if wantSamples := uint64(r.Ticks * sc.Replicas); r.Samples != wantSamples {
+			t.Errorf("%s: samples = %d, want %d (ticks × replicas)", sc.Name, r.Samples, wantSamples)
+		}
+		if r.MeanMS <= 0 {
+			t.Errorf("%s: mean = %g, want > 0 (real measured ticks)", sc.Name, r.MeanMS)
+		}
+		// Quantiles of one distribution must be monotone.
+		if !(r.P50MS <= r.P99MS && r.P99MS <= r.P999MS && r.P999MS <= r.MaxMS+1e-9) {
+			t.Errorf("%s: quantiles not monotone: p50=%g p99=%g p999=%g max=%g",
+				sc.Name, r.P50MS, r.P99MS, r.P999MS, r.MaxMS)
+		}
+		if r.CoV != 0 {
+			t.Errorf("%s: CoV = %g, want 0 for a single run", sc.Name, r.CoV)
+		}
+		if !r.NMaxOK || r.NMax <= 0 {
+			t.Errorf("%s: n_max = %d (ok=%v), want bounded positive capacity", sc.Name, r.NMax, r.NMaxOK)
+		}
+	}
+	if out := FormatVariability(res); len(out) == 0 {
+		t.Fatal("empty formatted table")
+	}
+}
+
+func TestCoefficientOfVariation(t *testing.T) {
+	if cv := coefficientOfVariation([]float64{5}); cv != 0 {
+		t.Fatalf("single sample CoV = %g, want 0", cv)
+	}
+	if cv := coefficientOfVariation([]float64{3, 3, 3}); cv != 0 {
+		t.Fatalf("constant CoV = %g, want 0", cv)
+	}
+	// mean 10, population stddev 2 → CoV 0.2.
+	if cv := coefficientOfVariation([]float64{8, 12}); cv < 0.199 || cv > 0.201 {
+		t.Fatalf("CoV = %g, want 0.2", cv)
+	}
+}

@@ -31,6 +31,20 @@ type AlertConfig struct {
 	// replica, between evaluations) above which the qos_tick_deadline rule
 	// is active (default 0.05: more than 5% of recent ticks ran long).
 	QoSViolationRate float64
+	// HiccupRate is the fraction of ticks (per replica, between
+	// evaluations) flagged by the flight recorder's hiccup detector above
+	// which the qos_tick_hiccup rule is active (default 0.01: more than 1%
+	// of recent ticks stalled). The rule is inert on replicas without a
+	// flight recorder (fleet Config.FlightRecorders off).
+	HiccupRate float64
+	// TailInflation is the windowed p99/p50 tick-wall ratio above which the
+	// qos_tail_inflation rule is active (default 4: the tail runs 4× the
+	// typical tick). Replicas with fewer than TailMinCount recent ticks in
+	// the window are skipped so a cold start cannot fire the rule.
+	TailInflation float64
+	// TailMinCount is the minimum recent-tick count before the tail
+	// inflation rule evaluates a replica (default 64).
+	TailMinCount int
 	// ClientLatency, when set, enables the qos_client_rtt rule: it is
 	// polled each evaluation for the fleet-wide input→update RTT recorder
 	// (e.g. bots.FleetDriver.ClientLatency) and the rule fires when the
@@ -41,12 +55,14 @@ type AlertConfig struct {
 
 // Rule names exported by AlertRules.
 const (
-	AlertReplicaOverNMax = "replica_over_nmax"
-	AlertFleetAtLMax     = "fleet_at_lmax"
-	AlertMigBudgetDry    = "migration_budget_exhausted"
-	AlertModelDrift      = "model_drift"
-	AlertQoSTickDeadline = "qos_tick_deadline"
-	AlertQoSClientRTT    = "qos_client_rtt"
+	AlertReplicaOverNMax  = "replica_over_nmax"
+	AlertFleetAtLMax      = "fleet_at_lmax"
+	AlertMigBudgetDry     = "migration_budget_exhausted"
+	AlertModelDrift       = "model_drift"
+	AlertQoSTickDeadline  = "qos_tick_deadline"
+	AlertQoSClientRTT     = "qos_client_rtt"
+	AlertQoSTickHiccup    = "qos_tick_hiccup"
+	AlertQoSTailInflation = "qos_tail_inflation"
 )
 
 // AlertRules builds the fleet's threshold rules for a telemetry.AlertEngine.
@@ -74,12 +90,30 @@ const (
 //     rate since the previous evaluation exceeds QoSViolationRate — the
 //     user-perceived half of the contract, measured end to end (requires
 //     ClientLatency).
+//   - qos_tick_hiccup: more than HiccupRate of a replica's ticks since the
+//     previous evaluation tripped the flight recorder's hiccup detector
+//     (wall time k× above the rolling median) — the server stalls in
+//     bursts even if mean tick time looks healthy. One instance per
+//     replica; requires fleet Config.FlightRecorders.
+//   - qos_tail_inflation: a replica's windowed p99 tick wall runs more
+//     than TailInflation× its p50 — sustained tail-latency inflation, the
+//     regime where mean-based capacity numbers (n_max from mean task
+//     costs) stop protecting the QoS deadline. One instance per replica.
 func (f *Fleet) AlertRules(cfg AlertConfig) []telemetry.Rule {
 	if cfg.DriftTolerance <= 0 {
 		cfg.DriftTolerance = 0.5
 	}
 	if cfg.QoSViolationRate <= 0 {
 		cfg.QoSViolationRate = 0.05
+	}
+	if cfg.HiccupRate <= 0 {
+		cfg.HiccupRate = 0.01
+	}
+	if cfg.TailInflation <= 0 {
+		cfg.TailInflation = 4
+	}
+	if cfg.TailMinCount <= 0 {
+		cfg.TailMinCount = 64
 	}
 	zoneKey := fmt.Sprintf("zone-%d", f.cfg.Zone)
 	rules := []telemetry.Rule{
@@ -226,6 +260,82 @@ func (f *Fleet) AlertRules(cfg AlertConfig) []telemetry.Rule {
 				if !seen[id] {
 					delete(tickPrev, id) // replica stopped; forget its counters
 				}
+			}
+			return out
+		},
+	})
+	// qos_tick_hiccup uses the same delta idiom on the flight recorder's
+	// hiccup counter: only stalls since the previous evaluation count, so
+	// one bad burst resolves once the server steadies.
+	type hiccupPrev struct{ ticks, hiccups uint64 }
+	hicPrev := make(map[string]hiccupPrev)
+	rules = append(rules, telemetry.Rule{
+		Name:       AlertQoSTickHiccup,
+		PendingFor: cfg.PendingFor,
+		Eval: func(now float64) []telemetry.RuleResult {
+			var out []telemetry.RuleResult
+			seen := make(map[string]bool)
+			for _, id := range f.IDs() {
+				srv, ok := f.Server(id)
+				if !ok {
+					continue
+				}
+				rec := srv.FlightRecorder()
+				if rec == nil {
+					continue
+				}
+				seen[id] = true
+				cur := hiccupPrev{ticks: srv.Monitor().Ticks(), hiccups: rec.Hiccups()}
+				prev := hicPrev[id]
+				hicPrev[id] = cur
+				if cur.ticks <= prev.ticks {
+					continue // no new ticks (or monitor reset)
+				}
+				rate := float64(cur.hiccups-prev.hiccups) / float64(cur.ticks-prev.ticks)
+				if rate <= cfg.HiccupRate {
+					continue
+				}
+				out = append(out, telemetry.RuleResult{
+					Key:       id,
+					Value:     rate,
+					Threshold: cfg.HiccupRate,
+					Detail: fmt.Sprintf("%.1f%% of the last %d ticks were hiccups (wall over the rolling-median threshold; budget %.1f%%)",
+						rate*100, cur.ticks-prev.ticks, cfg.HiccupRate*100),
+				})
+			}
+			for id := range hicPrev {
+				if !seen[id] {
+					delete(hicPrev, id) // replica stopped; forget its counters
+				}
+			}
+			return out
+		},
+	})
+	rules = append(rules, telemetry.Rule{
+		Name:       AlertQoSTailInflation,
+		PendingFor: cfg.PendingFor,
+		Eval: func(now float64) []telemetry.RuleResult {
+			var out []telemetry.RuleResult
+			for _, id := range f.IDs() {
+				srv, ok := f.Server(id)
+				if !ok {
+					continue
+				}
+				q := srv.Monitor().TailQuantiles()
+				if q.Count < uint64(cfg.TailMinCount) || q.P50 <= 0 {
+					continue
+				}
+				ratio := q.P99 / q.P50
+				if ratio <= cfg.TailInflation {
+					continue
+				}
+				out = append(out, telemetry.RuleResult{
+					Key:       id,
+					Value:     ratio,
+					Threshold: cfg.TailInflation,
+					Detail: fmt.Sprintf("windowed tick wall p99 %.2fms is %.1f× p50 %.2fms over the last %d ticks (budget %.1f×)",
+						q.P99, ratio, q.P50, q.Count, cfg.TailInflation),
+				})
 			}
 			return out
 		},

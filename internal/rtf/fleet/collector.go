@@ -78,6 +78,8 @@ type replicaRow struct {
 	draining   bool
 	deadlineMS float64
 	violations uint64
+	hiccups    uint64
+	captures   uint64
 }
 
 // MigEvents merges the migration events of every registered fleet, keyed by
@@ -106,8 +108,21 @@ func (c *Collector) MigEvents() map[string][]telemetry.MigEvent {
 //	roia_fleet_deadline_ms{zone,replica}    gauge, tick QoS deadline 1/U
 //	roia_fleet_deadline_violations_total{zone,replica}
 //	                                        counter, ticks past the deadline
+//	roia_fleet_tick_hiccups_total{zone,replica}
+//	                                        counter, ticks flagged by the
+//	                                        flight recorder's hiccup
+//	                                        detector (0 without recorders)
+//	roia_fleet_flightrec_captures_total{zone,replica}
+//	                                        counter, flight-recorder
+//	                                        captures frozen so far
 //	roia_fleet_users{zone,replica}          gauge, connected users (a)
 //	roia_fleet_draining{zone,replica}       gauge, 1 while draining
+//	roia_fleet_tick_wall_q_ms{zone,q}       gauge, windowed tick-wall tail
+//	                                        quantiles merged across the
+//	                                        zone's replicas (mergeable
+//	                                        log histograms, so the merged
+//	                                        p99/p999 is exact over the
+//	                                        union of recent ticks)
 //	roia_fleet_zone_users{zone}             gauge, zone-wide users (n)
 //	roia_fleet_npcs{zone}                   gauge, zone-wide NPCs (m)
 //	roia_fleet_replicas{zone}               gauge, running replicas (l)
@@ -121,17 +136,19 @@ func (c *Collector) WriteMetrics(w io.Writer, labels string) error {
 		zone              uint32
 		users, npcs, l    int
 		complete, incompl int
+		tail              *telemetry.LogHistogram
 	}
 	var zones []zoneRow
 	for _, fl := range fleets {
 		z := uint32(fl.Zone())
+		zoneTail := telemetry.NewLogHistogram()
 		for _, id := range fl.IDs() {
 			srv, ok := fl.Server(id)
 			if !ok {
 				continue
 			}
 			mon := srv.Monitor()
-			rows = append(rows, replicaRow{
+			row := replicaRow{
 				zone:       z,
 				id:         id,
 				ticks:      mon.Ticks(),
@@ -141,9 +158,15 @@ func (c *Collector) WriteMetrics(w io.Writer, labels string) error {
 				draining:   srv.Draining(),
 				deadlineMS: mon.DeadlineMS(),
 				violations: mon.DeadlineViolations(),
-			})
+			}
+			if rec := srv.FlightRecorder(); rec != nil {
+				row.hiccups = rec.Hiccups()
+				row.captures = rec.CapturesTotal()
+			}
+			zoneTail.Merge(mon.TailHistogram())
+			rows = append(rows, row)
 		}
-		zr := zoneRow{zone: z, users: fl.ZoneUsers(), npcs: fl.NPCCount(), l: len(fl.IDs())}
+		zr := zoneRow{zone: z, users: fl.ZoneUsers(), npcs: fl.NPCCount(), l: len(fl.IDs()), tail: zoneTail}
 		for _, m := range telemetry.StitchMigrations(fl.MigEvents()) {
 			if m.Complete {
 				zr.complete++
@@ -179,6 +202,14 @@ func (c *Collector) WriteMetrics(w io.Writer, labels string) error {
 	for _, r := range rows {
 		fmt.Fprintf(&b, "roia_fleet_deadline_violations_total%s %d\n", rlbl(r), r.violations)
 	}
+	fmt.Fprintf(&b, "# TYPE roia_fleet_tick_hiccups_total counter\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "roia_fleet_tick_hiccups_total%s %d\n", rlbl(r), r.hiccups)
+	}
+	fmt.Fprintf(&b, "# TYPE roia_fleet_flightrec_captures_total counter\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "roia_fleet_flightrec_captures_total%s %d\n", rlbl(r), r.captures)
+	}
 	fmt.Fprintf(&b, "# TYPE roia_fleet_users gauge\n")
 	for _, r := range rows {
 		fmt.Fprintf(&b, "roia_fleet_users%s %d\n", rlbl(r), r.users)
@@ -190,6 +221,18 @@ func (c *Collector) WriteMetrics(w io.Writer, labels string) error {
 			d = 1
 		}
 		fmt.Fprintf(&b, "roia_fleet_draining%s %d\n", rlbl(r), d)
+	}
+	fmt.Fprintf(&b, "# TYPE roia_fleet_tick_wall_q_ms gauge\n")
+	for _, z := range zones {
+		for _, q := range []struct {
+			name string
+			q    float64
+		}{
+			{"p50", 0.50}, {"p90", 0.90}, {"p99", 0.99}, {"p999", 0.999},
+		} {
+			fmt.Fprintf(&b, "roia_fleet_tick_wall_q_ms%s %g\n",
+				lbl(fmt.Sprintf("zone=\"%d\",q=%q", z.zone, q.name)), z.tail.Quantile(q.q))
+		}
 	}
 	fmt.Fprintf(&b, "# TYPE roia_fleet_zone_users gauge\n")
 	for _, z := range zones {

@@ -62,6 +62,12 @@ type Config struct {
 	// MigTraceCapacity bounds each server's migration-event ring
 	// (default telemetry.DefaultMigTraceCapacity).
 	MigTraceCapacity int
+	// FlightRecorders gives every spawned server a tick flight recorder
+	// with default thresholds (see telemetry.FlightRecConfig): per-tick
+	// records in a bounded ring, with deadline-violating or hiccup ticks
+	// frozen into JSONL-exportable captures. The collector exports each
+	// replica's hiccup and capture counters with the fleet metrics.
+	FlightRecorders bool
 	// ProfilePhases gives every spawned server a telemetry.TaskProfiler
 	// attributing each tick to the model's four task phases (see
 	// server.Config.Profiler and Fleet.Profiler).
@@ -163,6 +169,18 @@ func (f *Fleet) Profiler(id string) (*telemetry.TaskProfiler, bool) {
 		return nil, false
 	}
 	return s.Profiler(), true
+}
+
+// FlightRecorder returns a running server's tick flight recorder (nil
+// unless FlightRecorders is on).
+func (f *Fleet) FlightRecorder(id string) (*telemetry.FlightRecorder, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.servers[id]
+	if !ok {
+		return nil, false
+	}
+	return s.FlightRecorder(), true
 }
 
 // ObserveTaskDrift feeds every running server's measured per-phase costs
@@ -346,6 +364,10 @@ func (f *Fleet) AddReplica() (string, error) {
 	if f.cfg.ProfilePhases {
 		profiler = telemetry.NewTaskProfiler()
 	}
+	var flightRec *telemetry.FlightRecorder
+	if f.cfg.FlightRecorders {
+		flightRec = telemetry.NewFlightRecorder(telemetry.FlightRecConfig{})
+	}
 	srv, err := server.New(server.Config{
 		Node:         node,
 		Zone:         f.cfg.Zone,
@@ -357,6 +379,7 @@ func (f *Fleet) AddReplica() (string, error) {
 		TickInterval: f.cfg.TickInterval,
 		MigTrace:     migTrace,
 		Profiler:     profiler,
+		FlightRec:    flightRec,
 		Events:       f.cfg.Events,
 	})
 	if err != nil {

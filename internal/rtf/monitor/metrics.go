@@ -22,6 +22,9 @@ import (
 //	                                       (cumulative buckets, sum, count)
 //	roia_tick_stat_ms{stat=...}            mean/p50/p95/p99/max of recent
 //	                                       tick wall durations
+//	roia_tick_wall_q_ms{q=...}             windowed tail gauges of tick wall
+//	                                       durations (p50/p90/p99/p999 over
+//	                                       the last ~1–2k ticks)
 //	roia_tick_cpu_stat_ms{stat=...}        mean/p95 of recent tick CPU sums
 //	                                       (across workers; ÷ wall = live
 //	                                       pipeline speedup)
@@ -44,6 +47,7 @@ func (m *Monitor) WriteMetrics(w io.Writer, labels string) error {
 	violations := m.violations
 	tickSummary := m.tickTotals.Summary()
 	cpuSummary := m.tickCPU.Summary()
+	tailQ := m.tail.Quantiles()
 	hist := m.tickHist.Clone()
 	last := m.lastBreak
 	type taskStat struct {
@@ -82,6 +86,16 @@ func (m *Monitor) WriteMetrics(w io.Writer, labels string) error {
 		{"p95", tickSummary.P95}, {"p99", tickSummary.P99}, {"max", tickSummary.Max},
 	} {
 		fmt.Fprintf(&b, "roia_tick_stat_ms%s %g\n", lbl(fmt.Sprintf("stat=%q", st.name)), st.v)
+	}
+
+	fmt.Fprintf(&b, "# TYPE roia_tick_wall_q_ms gauge\n")
+	for _, st := range []struct {
+		name string
+		v    float64
+	}{
+		{"p50", tailQ.P50}, {"p90", tailQ.P90}, {"p99", tailQ.P99}, {"p999", tailQ.P999},
+	} {
+		fmt.Fprintf(&b, "roia_tick_wall_q_ms%s %g\n", lbl(fmt.Sprintf("q=%q", st.name)), st.v)
 	}
 
 	fmt.Fprintf(&b, "# TYPE roia_tick_cpu_stat_ms gauge\n")

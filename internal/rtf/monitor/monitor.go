@@ -168,6 +168,10 @@ type Monitor struct {
 	tickCPU    *stats.Reservoir
 	perTask    [numTasks]*stats.Reservoir
 	tickHist   *telemetry.Histogram
+	// tail tracks windowed wall-duration quantiles (p50…p99.9) over the
+	// recent past — the QoS deadline is a tail constraint, and a cumulative
+	// histogram buries a ten-minute incident under hours of healthy ticks.
+	tail *telemetry.TailTracker
 
 	collect bool
 	samples []Sample
@@ -211,6 +215,7 @@ func New() *Monitor {
 		tickTotals:  stats.NewReservoir(HistorySize),
 		tickCPU:     stats.NewReservoir(HistorySize),
 		tickHist:    telemetry.NewHistogram(telemetry.DefTickBuckets()...),
+		tail:        telemetry.NewTailTracker(0),
 		sampleLimit: DefaultSampleLimit,
 	}
 	for i := range m.perTask {
@@ -286,6 +291,7 @@ func (m *Monitor) RecordTick(b Breakdown) {
 	m.tickTotals.Add(wall)
 	m.tickCPU.Add(b.Total())
 	m.tickHist.Observe(wall)
+	m.tail.Observe(wall)
 	if m.deadlineMS > 0 && wall > m.deadlineMS {
 		m.violations++
 	}
@@ -404,6 +410,7 @@ func (m *Monitor) Reset() {
 	m.tickTotals = stats.NewReservoir(HistorySize)
 	m.tickCPU = stats.NewReservoir(HistorySize)
 	m.tickHist = telemetry.NewHistogram(telemetry.DefTickBuckets()...)
+	m.tail = telemetry.NewTailTracker(0)
 	for i := range m.perTask {
 		m.perTask[i] = stats.NewReservoir(HistorySize)
 	}
@@ -415,4 +422,23 @@ func (m *Monitor) TickHistogram() *telemetry.Histogram {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.tickHist.Clone()
+}
+
+// TailQuantiles snapshots the windowed tick wall-duration quantiles
+// (p50/p90/p99/p99.9 over the last ~1–2k ticks) — the tail the QoS
+// deadline 1/U is actually governed by.
+func (m *Monitor) TailQuantiles() telemetry.TailQuantiles {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.tail.Quantiles()
+}
+
+// TailHistogram returns an independent log-bucketed histogram of the
+// windowed tick wall durations. Histograms from different replicas share
+// the same bucket layout, so the fleet collector merges them into
+// zone-level tail quantiles.
+func (m *Monitor) TailHistogram() *telemetry.LogHistogram {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.tail.Histogram()
 }

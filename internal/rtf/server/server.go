@@ -88,6 +88,13 @@ type Config struct {
 	// with per-phase latency distributions. Like the Tracer it reuses the
 	// Breakdown already timed for the Monitor — no extra clock reads.
 	Profiler *telemetry.TaskProfiler
+	// FlightRec, when set, receives one telemetry.TickRecord per tick and
+	// freezes a pre/post window around deadline-violating or hiccup ticks
+	// into immutable captures (exportable as JSONL via
+	// telemetry.FlightRecHandler — see cmd/roiaserver's /debug/flightrec).
+	// Like the Tracer it reuses the Breakdown already timed for the
+	// Monitor, so recording adds no clock reads to the hot loop.
+	FlightRec *telemetry.FlightRecorder
 	// MigTrace, when set, records the server's side of every user
 	// migration (init on the source, recv/ack on the destination) keyed by
 	// the wire-level migration ID, so a fleet collector can stitch the
@@ -202,6 +209,10 @@ func (s *Server) Monitor() *monitor.Monitor { return s.mon }
 
 // Tracer exposes the server's tick tracer (nil unless configured).
 func (s *Server) Tracer() *telemetry.Tracer { return s.cfg.Tracer }
+
+// FlightRecorder exposes the server's tick flight recorder (nil unless
+// configured).
+func (s *Server) FlightRecorder() *telemetry.FlightRecorder { return s.cfg.FlightRec }
 
 // MigTrace exposes the server's migration tracer (nil unless configured).
 func (s *Server) MigTrace() *telemetry.MigTracer { return s.cfg.MigTrace }

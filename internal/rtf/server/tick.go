@@ -14,11 +14,6 @@ import (
 	"roia/internal/telemetry"
 )
 
-// msSince converts a wall-clock delta into the model's millisecond unit.
-func msSince(t0 time.Time) float64 {
-	return float64(time.Since(t0).Nanoseconds()) / 1e6
-}
-
 // decodedInput is a deserialized user input awaiting application.
 type decodedInput struct {
 	from string
@@ -77,7 +72,10 @@ func (s *Server) Tick() {
 	if s.stopped {
 		return
 	}
-	tickStart := time.Now()
+	// All tick timing goes through the executor's injected clock (not
+	// time.Now directly), so tests can drive a synthetic slow tick and the
+	// flight recorder's triggers stay deterministic under a fake clock.
+	tickStart := s.exec.now()
 	s.tick++
 	s.env.Tick = s.tick
 	s.tickBytesOut = 0
@@ -155,7 +153,7 @@ func (s *Server) Tick() {
 				continue
 			}
 			su := d.msg.(*proto.ShadowUpdate)
-			t1 := time.Now()
+			t1 := s.exec.now()
 			for i := range su.Entities {
 				s.store.ApplyShadowUpdate(s.ID(), &su.Entities[i])
 			}
@@ -164,16 +162,16 @@ func (s *Server) Tick() {
 					s.store.Remove(id)
 				}
 			}
-			br.Add(monitor.FA, msSince(t1), len(su.Entities))
+			br.Add(monitor.FA, s.exec.since(t1), len(su.Entities))
 		case proto.KindMigrateInit:
-			t0 := time.Now()
+			t0 := s.exec.now()
 			msg, err := proto.Registry.Decode(f.Payload)
 			if err != nil {
 				continue
 			}
 			mi := msg.(*proto.MigrateInit)
 			s.receiveMigration(mi)
-			dur := msSince(t0)
+			dur := s.exec.since(t0)
 			br.Add(monitor.MigRcv, dur, 1)
 			s.recordMigEvent(telemetry.MigEvent{
 				ID: mi.MigID, Phase: telemetry.MigPhaseRecv,
@@ -217,9 +215,9 @@ func (s *Server) Tick() {
 		if !ok {
 			continue
 		}
-		t0 := time.Now()
+		t0 := s.exec.now()
 		fwds, err := s.cfg.App.ApplyInput(s.env, actor, in.msg.Payload)
-		br.Add(monitor.UA, msSince(t0), 1)
+		br.Add(monitor.UA, s.exec.since(t0), 1)
 		if err != nil {
 			continue
 		}
@@ -234,11 +232,11 @@ func (s *Server) Tick() {
 				// belongs to input application (t_ua), not to forwarded
 				// inputs — no items are added so the per-item cost of
 				// t_ua absorbs it.
-				t1 := time.Now()
+				t1 := s.exec.now()
 				if s.cfg.App.ApplyForwarded(s.env, actor.ID, target, fw.Payload) == nil {
 					target.Seq++
 				}
-				br.Add(monitor.UA, msSince(t1), 0)
+				br.Add(monitor.UA, s.exec.since(t1), 0)
 			} else {
 				s.send(target.Owner, &proto.Forwarded{Actor: actor.ID, Target: fw.Target, Payload: fw.Payload})
 			}
@@ -257,11 +255,11 @@ func (s *Server) Tick() {
 			s.send(target.Owner, fw)
 			continue
 		}
-		t0 := time.Now()
+		t0 := s.exec.now()
 		if s.cfg.App.ApplyForwarded(s.env, fw.Actor, target, fw.Payload) == nil {
 			target.Seq++
 		}
-		br.Add(monitor.FA, msSince(t0), 1)
+		br.Add(monitor.FA, s.exec.since(t0), 1)
 	}
 
 	// --- Step 2c: update NPCs (simulate stage) ---
@@ -278,9 +276,9 @@ func (s *Server) Tick() {
 			results[i].ms = s.exec.since(t0)
 		})
 		for i, npc := range npcs {
-			t0 := time.Now()
+			t0 := s.exec.now()
 			s.applyNPCForwards(npc, results[i].fwds)
-			br.Add(monitor.NPC, results[i].ms+msSince(t0), 1)
+			br.Add(monitor.NPC, results[i].ms+s.exec.since(t0), 1)
 			npc.Seq++
 		}
 	} else {
@@ -289,10 +287,10 @@ func (s *Server) Tick() {
 		// movement) depend on NPCs updating in order, so they stay inline on
 		// the tick goroutine regardless of Parallelism.
 		for _, npc := range npcs {
-			t0 := time.Now()
+			t0 := s.exec.now()
 			fwds := s.cfg.App.UpdateNPC(s.env, npc)
 			s.applyNPCForwards(npc, fwds)
-			br.Add(monitor.NPC, msSince(t0), 1)
+			br.Add(monitor.NPC, s.exec.since(t0), 1)
 			npc.Seq++
 		}
 	}
@@ -411,7 +409,7 @@ func (s *Server) Tick() {
 	// TimeMS sums CPU time across workers; WallMS is the elapsed tick time.
 	// With Parallelism > 1 the two diverge, and their ratio is the live
 	// speedup reported by Monitor.MeanTickCPU / mean wall.
-	br.WallMS = msSince(tickStart)
+	br.WallMS = s.exec.since(tickStart)
 	s.mon.RecordTick(br)
 	if s.cfg.Profiler != nil {
 		dur, items := br.PhaseBreakdown()
@@ -420,6 +418,47 @@ func (s *Server) Tick() {
 	if s.cfg.Tracer != nil {
 		s.recordTrace(tickStart, &br)
 	}
+	if s.cfg.FlightRec != nil {
+		s.recordFlight(tickStart, &br, len(frames))
+	}
+}
+
+// recordFlight converts the tick's Breakdown into a telemetry.TickRecord
+// for the flight recorder. Like tracing, it reuses the Breakdown already
+// timed for the Monitor — recording adds no clock reads to the hot loop.
+func (s *Server) recordFlight(start time.Time, br *monitor.Breakdown, queueDepth int) {
+	tasks := make([]telemetry.Span, 0, len(br.TimeMS))
+	offset := 0.0
+	for _, t := range monitor.Tasks() {
+		dur := br.TimeMS[t]
+		items := br.Items[t]
+		if dur == 0 && items == 0 {
+			continue
+		}
+		tasks = append(tasks, telemetry.Span{Name: t.String(), StartMS: offset, DurMS: dur, Items: items})
+		offset += dur
+	}
+	deadline := s.mon.DeadlineMS()
+	rec := telemetry.TickRecord{
+		Tick:           s.tick,
+		StartUnixMicro: start.UnixMicro(),
+		WallMS:         br.WallMS,
+		CPUMS:          br.Total(),
+		DeadlineMS:     deadline,
+		Users:          br.Users,
+		ActiveUsers:    br.ActiveUsers,
+		NPCs:           br.NPCs,
+		Replicas:       br.Replicas,
+		Workers:        s.exec.workers,
+		QueueDepth:     queueDepth,
+		BytesIn:        br.BytesIn,
+		BytesOut:       br.BytesOut,
+		Tasks:          tasks,
+	}
+	if deadline > 0 {
+		rec.SlackMS = deadline - br.WallMS
+	}
+	s.cfg.FlightRec.Record(rec)
 }
 
 // recordTrace converts the tick's Breakdown into a telemetry.TickTrace:
@@ -445,7 +484,7 @@ func (s *Server) recordTrace(start time.Time, br *monitor.Breakdown) {
 	s.cfg.Tracer.Record(telemetry.TickTrace{
 		Tick:           s.tick,
 		StartUnixMicro: start.UnixMicro(),
-		WallMS:         msSince(start),
+		WallMS:         br.WallMS,
 		Spans:          spans,
 	})
 }
@@ -580,7 +619,7 @@ func (s *Server) recordMigEvent(e telemetry.MigEvent, durMS float64) {
 		return
 	}
 	e.Tick = s.tick
-	e.UnixMicro = time.Now().UnixMicro()
+	e.UnixMicro = s.exec.now().UnixMicro()
 	e.DurMS = durMS
 	s.cfg.MigTrace.Record(e)
 }
@@ -609,7 +648,7 @@ func (s *Server) processZoneTransfers(br *monitor.Breakdown, removed *[]entity.I
 			continue
 		}
 		target := targets[0]
-		t0 := time.Now()
+		t0 := s.exec.now()
 		handoff := *av
 		handoff.Zone = uint32(dest.ID)
 		mi := &proto.MigrateInit{
@@ -619,7 +658,7 @@ func (s *Server) processZoneTransfers(br *monitor.Breakdown, removed *[]entity.I
 			AppState: s.cfg.App.EncodeUserState(s.env, av.ID),
 		}
 		s.send(target, mi)
-		dur := msSince(t0)
+		dur := s.exec.since(t0)
 		br.Add(monitor.MigIni, dur, 1)
 		s.recordMigEvent(telemetry.MigEvent{
 			ID: mi.MigID, Phase: telemetry.MigPhaseInit,
@@ -627,7 +666,7 @@ func (s *Server) processZoneTransfers(br *monitor.Breakdown, removed *[]entity.I
 		}, dur)
 		if s.cfg.Events != nil {
 			s.cfg.Events.FleetEvent(telemetry.FleetEvent{
-				UnixMicro: time.Now().UnixMicro(),
+				UnixMicro: s.exec.now().UnixMicro(),
 				Kind:      telemetry.FleetEventZoneHandoff,
 				Zone:      uint32(s.cfg.Zone),
 				Replica:   s.ID(),
@@ -669,11 +708,11 @@ func (s *Server) processMigrationOrders(br *monitor.Breakdown) {
 				delete(s.users, uid)
 				continue
 			}
-			t0 := time.Now()
+			t0 := s.exec.now()
 			appState := s.cfg.App.EncodeUserState(s.env, av.ID)
 			mi := &proto.MigrateInit{MigID: s.allocMigIDLocked(), User: uid, Avatar: *av, AppState: appState}
 			s.send(ord.target, mi)
-			dur := msSince(t0)
+			dur := s.exec.since(t0)
 			br.Add(monitor.MigIni, dur, 1)
 			s.recordMigEvent(telemetry.MigEvent{
 				ID: mi.MigID, Phase: telemetry.MigPhaseInit,

@@ -1,0 +1,399 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// TickRecord is the complete per-tick observation the flight recorder
+// retains: the wall/CPU split, the workload gauges the scalability model is
+// parameterized with (n, a, m, l, w), the receive-queue depth, the QoS
+// deadline and its slack, and the per-task decomposition. One record is
+// everything needed to explain a single slow tick after the fact.
+type TickRecord struct {
+	// Tick is the server's tick counter.
+	Tick uint64 `json:"tick"`
+	// StartUnixMicro is the tick's wall-clock start in Unix microseconds.
+	StartUnixMicro int64 `json:"start_unix_us"`
+	// WallMS is the elapsed tick duration — the axis the QoS deadline and
+	// the hiccup detector judge.
+	WallMS float64 `json:"wall_ms"`
+	// CPUMS is the tick's CPU sum across workers (≥ WallMS under the
+	// parallel executor).
+	CPUMS float64 `json:"cpu_ms"`
+	// DeadlineMS is the tick QoS deadline 1/U in force (0 = disabled).
+	DeadlineMS float64 `json:"deadline_ms,omitempty"`
+	// SlackMS is DeadlineMS − WallMS: negative on a violating tick.
+	// Meaningless (0) when no deadline is set.
+	SlackMS float64 `json:"slack_ms,omitempty"`
+	// Users/ActiveUsers/NPCs/Replicas/Workers are the model's n, a, m, l, w
+	// during the tick.
+	Users       int `json:"users"`
+	ActiveUsers int `json:"active_users"`
+	NPCs        int `json:"npcs,omitempty"`
+	Replicas    int `json:"replicas,omitempty"`
+	Workers     int `json:"workers,omitempty"`
+	// QueueDepth is the number of frames drained from the receive queue at
+	// the start of the tick — backlog pressure when a previous tick ran long.
+	QueueDepth int `json:"queue_depth"`
+	// BytesIn/BytesOut are the tick's wire payload bytes.
+	BytesIn  int `json:"bytes_in,omitempty"`
+	BytesOut int `json:"bytes_out,omitempty"`
+	// Tasks is the per-task (t_ua, t_npc, ...) time/item decomposition of
+	// the tick, in loop order; tasks that did no work are omitted.
+	Tasks []Span `json:"tasks,omitempty"`
+}
+
+// FlightCapture is one frozen pre/post window around a triggering tick.
+// A capture is immutable once it appears in FlightRecorder.Captures.
+type FlightCapture struct {
+	// ID numbers captures per recorder, starting at 1.
+	ID uint64 `json:"capture"`
+	// Reason is why the trigger fired: "deadline" (WallMS exceeded the QoS
+	// deadline) or "hiccup" (WallMS exceeded K× the rolling median).
+	Reason string `json:"reason"`
+	// TriggerTick is the tick counter of the offending tick.
+	TriggerTick uint64 `json:"trigger_tick"`
+	// MedianMS is the rolling-median tick wall time at the trigger (0 until
+	// the detector's window has filled).
+	MedianMS float64 `json:"median_ms"`
+	// Records is the surrounding window in chronological order: up to Pre
+	// ticks before the trigger, the trigger itself, and Post ticks after.
+	Records []TickRecord `json:"-"`
+}
+
+// Flight-recorder defaults: a 16-tick window either side of the trigger
+// (±0.64 s at 25 Hz), a hiccup at 4× the median of the last 64 ticks but
+// never below 1 ms (sub-millisecond jitter is noise, not a hiccup), and at
+// most 16 retained captures (oldest dropped first).
+const (
+	DefaultFlightPre    = 16
+	DefaultFlightPost   = 16
+	DefaultHiccupK      = 4.0
+	DefaultHiccupWindow = 64
+	DefaultMinHiccupMS  = 1.0
+	DefaultMaxCaptures  = 16
+)
+
+// FlightRecConfig parameterises a FlightRecorder. The zero value selects
+// every default above.
+type FlightRecConfig struct {
+	// Pre/Post are how many ticks before/after the trigger a capture keeps.
+	// Negative Post means no post window (the capture closes on the
+	// triggering tick itself).
+	Pre, Post int
+	// K is the hiccup factor: a tick is a hiccup when its wall time exceeds
+	// K× the rolling-window median (and MinHiccupMS).
+	K float64
+	// MinHiccupMS is the absolute floor below which no tick counts as a
+	// hiccup, whatever the median. Negative disables the floor (tests).
+	MinHiccupMS float64
+	// Window is the rolling-median window length in ticks; hiccup detection
+	// stays dormant until the window has filled once.
+	Window int
+	// MaxCaptures bounds the retained capture list; when full, the oldest
+	// capture is dropped (counted by Dropped).
+	MaxCaptures int
+}
+
+func (c FlightRecConfig) withDefaults() FlightRecConfig {
+	if c.Pre <= 0 {
+		c.Pre = DefaultFlightPre
+	}
+	if c.Post == 0 {
+		c.Post = DefaultFlightPost
+	} else if c.Post < 0 {
+		c.Post = 0
+	}
+	if c.K <= 0 {
+		c.K = DefaultHiccupK
+	}
+	if c.MinHiccupMS == 0 {
+		c.MinHiccupMS = DefaultMinHiccupMS
+	} else if c.MinHiccupMS < 0 {
+		c.MinHiccupMS = 0
+	}
+	if c.Window <= 0 {
+		c.Window = DefaultHiccupWindow
+	}
+	if c.MaxCaptures <= 0 {
+		c.MaxCaptures = DefaultMaxCaptures
+	}
+	return c
+}
+
+// FlightRecorder is the tick loop's black box: it keeps the last Pre tick
+// records in a ring, watches each new record for a deadline violation or a
+// hiccup (wall time above K× the rolling-window median), and on a trigger
+// freezes the surrounding pre/post window into an immutable FlightCapture.
+// A p99.9 outlier then ships with its own explanation — the offending
+// tick's task breakdown plus the ticks around it — instead of a bare
+// histogram bucket increment.
+//
+// FlightRecorder is safe for concurrent use: the real-time loop records
+// while HTTP handlers and the fleet collector read. Recording is O(Window)
+// (one insertion into a sorted median window) and allocation-free outside
+// captures, so it can stay enabled in production.
+type FlightRecorder struct {
+	mu  sync.Mutex
+	cfg FlightRecConfig
+
+	// ring holds the most recent records (capacity Pre+1: the pre window
+	// plus the current tick), overwritten oldest-first.
+	ring []TickRecord
+	next int
+
+	// window is the rolling wall-time window the median is computed over;
+	// sorted is its sorted mirror, maintained incrementally.
+	window []float64
+	wnext  int
+	sorted []float64
+
+	// open is the capture still collecting its post window, if any. While a
+	// capture is open, further triggers count (hiccups) but do not open a
+	// second capture — one anomaly yields one capture.
+	open     *FlightCapture
+	postLeft int
+
+	captures []*FlightCapture
+	nextID   uint64
+	hiccups  uint64
+	dropped  uint64
+}
+
+// NewFlightRecorder returns a recorder with the given configuration (zero
+// fields take the Default* values).
+func NewFlightRecorder(cfg FlightRecConfig) *FlightRecorder {
+	cfg = cfg.withDefaults()
+	return &FlightRecorder{
+		cfg:    cfg,
+		ring:   make([]TickRecord, 0, cfg.Pre+1),
+		window: make([]float64, 0, cfg.Window),
+		sorted: make([]float64, 0, cfg.Window),
+	}
+}
+
+// Record ingests one tick record, runs the trigger checks, and maintains
+// any open capture. The recorder takes ownership of rec.Tasks.
+func (r *FlightRecorder) Record(rec TickRecord) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	// The median is computed before rec enters the window, so a hiccup is
+	// judged against the recent past, not against itself.
+	median, windowFull := r.medianLocked()
+	reason := ""
+	if rec.DeadlineMS > 0 && rec.WallMS > rec.DeadlineMS {
+		reason = "deadline"
+	}
+	if windowFull && median > 0 && rec.WallMS > r.cfg.K*median && rec.WallMS >= r.cfg.MinHiccupMS {
+		r.hiccups++
+		if reason == "" {
+			reason = "hiccup"
+		}
+	}
+	r.pushWindowLocked(rec.WallMS)
+
+	// Pre-window ring: append until full, then overwrite oldest.
+	if len(r.ring) < cap(r.ring) {
+		r.ring = append(r.ring, rec)
+	} else {
+		r.ring[r.next] = rec
+		r.next = (r.next + 1) % cap(r.ring)
+	}
+
+	switch {
+	case r.open != nil:
+		r.open.Records = append(r.open.Records, rec)
+		r.postLeft--
+		if r.postLeft <= 0 {
+			r.freezeLocked()
+		}
+	case reason != "":
+		r.nextID++
+		c := &FlightCapture{
+			ID:          r.nextID,
+			Reason:      reason,
+			TriggerTick: rec.Tick,
+			MedianMS:    median,
+			Records:     r.ringOrderedLocked(),
+		}
+		r.open = c
+		r.postLeft = r.cfg.Post
+		if r.postLeft <= 0 {
+			r.freezeLocked()
+		}
+	}
+}
+
+// medianLocked returns the rolling median and whether the window is full
+// (detection stays dormant until one full window has been observed).
+func (r *FlightRecorder) medianLocked() (float64, bool) {
+	if len(r.window) < cap(r.window) {
+		return 0, false
+	}
+	n := len(r.sorted)
+	if n%2 == 1 {
+		return r.sorted[n/2], true
+	}
+	return (r.sorted[n/2-1] + r.sorted[n/2]) / 2, true
+}
+
+// pushWindowLocked inserts one wall time into the rolling window and its
+// sorted mirror, evicting the oldest value once the window is full.
+func (r *FlightRecorder) pushWindowLocked(ms float64) {
+	if len(r.window) < cap(r.window) {
+		r.window = append(r.window, ms)
+	} else {
+		old := r.window[r.wnext]
+		r.window[r.wnext] = ms
+		r.wnext = (r.wnext + 1) % cap(r.window)
+		// Remove one instance of the evicted value from the sorted mirror.
+		if i := sort.SearchFloat64s(r.sorted, old); i < len(r.sorted) && r.sorted[i] == old {
+			r.sorted = append(r.sorted[:i], r.sorted[i+1:]...)
+		}
+	}
+	i := sort.SearchFloat64s(r.sorted, ms)
+	r.sorted = append(r.sorted, 0)
+	copy(r.sorted[i+1:], r.sorted[i:])
+	r.sorted[i] = ms
+}
+
+// ringOrderedLocked copies the ring's records in chronological order (the
+// current tick last).
+func (r *FlightRecorder) ringOrderedLocked() []TickRecord {
+	out := make([]TickRecord, 0, len(r.ring))
+	if len(r.ring) == cap(r.ring) {
+		out = append(out, r.ring[r.next:]...)
+		out = append(out, r.ring[:r.next]...)
+	} else {
+		out = append(out, r.ring...)
+	}
+	return out
+}
+
+// freezeLocked finalizes the open capture into the bounded capture list,
+// dropping the oldest capture when the list is at MaxCaptures.
+func (r *FlightRecorder) freezeLocked() {
+	if len(r.captures) >= r.cfg.MaxCaptures {
+		copy(r.captures, r.captures[1:])
+		r.captures[len(r.captures)-1] = nil
+		r.captures = r.captures[:len(r.captures)-1]
+		r.dropped++
+	}
+	r.captures = append(r.captures, r.open)
+	r.open = nil
+	r.postLeft = 0
+}
+
+// Captures returns the finalized captures, oldest first. The capture
+// structs are immutable; the slice is a copy. A capture still collecting
+// its post window is not included.
+func (r *FlightRecorder) Captures() []*FlightCapture {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*FlightCapture(nil), r.captures...)
+}
+
+// Hiccups reports how many ticks the hiccup detector flagged (including
+// ones that fell inside an already-open capture, which open no new one).
+func (r *FlightRecorder) Hiccups() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.hiccups
+}
+
+// CapturesTotal reports how many captures were ever opened (including
+// dropped and still-open ones).
+func (r *FlightRecorder) CapturesTotal() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.nextID
+}
+
+// Dropped reports how many finalized captures were evicted at MaxCaptures.
+func (r *FlightRecorder) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// WriteFlightJSONL renders captures as JSONL: one capture-header line (the
+// FlightCapture metadata plus a record count) followed by one line per
+// TickRecord in chronological order. Header lines carry the "capture" key,
+// record lines the "tick" key, so jq can split the stream:
+//
+//	{"capture":1,"reason":"hiccup","trigger_tick":412,...,"records":33}
+//	{"tick":396,"wall_ms":1.9,...}
+//	...
+func WriteFlightJSONL(w io.Writer, captures []*FlightCapture) error {
+	enc := json.NewEncoder(w)
+	for _, c := range captures {
+		header := struct {
+			FlightCapture
+			Count int `json:"records"`
+		}{FlightCapture: *c, Count: len(c.Records)}
+		if err := enc.Encode(&header); err != nil {
+			return fmt.Errorf("telemetry: encode capture %d: %w", c.ID, err)
+		}
+		for _, rec := range c.Records {
+			if err := enc.Encode(&rec); err != nil {
+				return fmt.Errorf("telemetry: encode capture %d tick %d: %w", c.ID, rec.Tick, err)
+			}
+		}
+	}
+	return nil
+}
+
+// FlightRecHandler serves a recorder's finalized captures as JSONL (the
+// /debug/flightrec endpoint). Query parameter n limits the response to the
+// n most recent captures (default all).
+func FlightRecHandler(r *FlightRecorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		captures := r.Captures()
+		if q := req.URL.Query().Get("n"); q != "" {
+			n, err := strconv.Atoi(q)
+			if err != nil || n < 0 {
+				http.Error(w, "flightrec: n must be a non-negative integer", http.StatusBadRequest)
+				return
+			}
+			if n < len(captures) {
+				captures = captures[len(captures)-n:]
+			}
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if err := WriteFlightJSONL(w, captures); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
+
+// WriteMetrics exports the recorder's counters in the Prometheus text
+// exposition format; it matches MetricsWriter.
+//
+// Exported families:
+//
+//	roia_tick_hiccups_total              counter, detector-flagged ticks
+//	roia_flightrec_captures_total        counter, captures ever opened
+//	roia_flightrec_captures_dropped_total counter, captures evicted at the cap
+func (r *FlightRecorder) WriteMetrics(w io.Writer, labels string) error {
+	r.mu.Lock()
+	hiccups, total, dropped := r.hiccups, r.nextID, r.dropped
+	r.mu.Unlock()
+	lbl := FormatLabels(labels, "")
+	var b strings.Builder
+	fmt.Fprintf(&b, "# TYPE roia_tick_hiccups_total counter\n")
+	fmt.Fprintf(&b, "roia_tick_hiccups_total%s %d\n", lbl, hiccups)
+	fmt.Fprintf(&b, "# TYPE roia_flightrec_captures_total counter\n")
+	fmt.Fprintf(&b, "roia_flightrec_captures_total%s %d\n", lbl, total)
+	fmt.Fprintf(&b, "# TYPE roia_flightrec_captures_dropped_total counter\n")
+	fmt.Fprintf(&b, "roia_flightrec_captures_dropped_total%s %d\n", lbl, dropped)
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -96,9 +96,19 @@ func (h *LogHistogram) Mean() float64 {
 	return h.sum / float64(h.count)
 }
 
-// Quantile returns the q-quantile (0 < q <= 1) in milliseconds: the
-// midpoint of the bucket holding the rank-⌈q·count⌉ observation, clamped
-// to the exact maximum. It returns 0 for an empty histogram.
+// Quantile returns the q-quantile in milliseconds: the midpoint of the
+// bucket holding the rank-⌈q·count⌉ observation. When that bucket is the
+// highest occupied one, the exact tracked maximum is returned instead of
+// the midpoint — so a single-bucket histogram (all observations equal)
+// reports exactly its observed value at every q, and no quantile ever
+// exceeds Max().
+//
+// Edge cases are total, not panics:
+//   - an empty histogram returns 0 for every q;
+//   - q <= 0 clamps to rank 1, i.e. the lowest occupied bucket (a
+//     bucket-resolution estimate of the minimum);
+//   - q >= 1 returns Max(), which is tracked exactly rather than at
+//     bucket resolution.
 func (h *LogHistogram) Quantile(q float64) float64 {
 	if h.count == 0 {
 		return 0
@@ -117,6 +127,11 @@ func (h *LogHistogram) Quantile(q float64) float64 {
 	for i, c := range h.counts {
 		seen += c
 		if seen >= rank {
+			if seen == h.count {
+				// No occupied bucket above this one: it holds the maximum,
+				// which is tracked exactly.
+				return h.max
+			}
 			mid := float64(logBucketLow(i)) + float64(logBucketWidth(i))/2
 			v := mid / 1000
 			if v > h.max {
@@ -129,7 +144,10 @@ func (h *LogHistogram) Quantile(q float64) float64 {
 }
 
 // Merge adds every observation of o into h. Both histograms keep their
-// identities; o is read but not modified.
+// identities; o is read but not modified. Merging a nil or empty histogram
+// is a no-op, and merging anything into an empty histogram yields a copy
+// of o's distribution — Merge never invents observations, so quantiles of
+// the merge are exactly the quantiles of the union.
 func (h *LogHistogram) Merge(o *LogHistogram) {
 	if o == nil {
 		return

@@ -138,6 +138,86 @@ func TestLogHistogramMerge(t *testing.T) {
 	}
 }
 
+// TestLogHistogramQuantileEdges pins the documented edge cases of
+// Quantile: empty histograms, q at and beyond both ends of [0, 1], and
+// single-bucket histograms, where the midpoint clamp must keep the answer
+// at the exact observed value.
+func TestLogHistogramQuantileEdges(t *testing.T) {
+	empty := NewLogHistogram()
+	for _, q := range []float64{-1, 0, 0.5, 0.999, 1, 2} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%g) = %g, want 0", q, got)
+		}
+	}
+
+	// Single-bucket histogram: every observation is the same value, so
+	// every quantile — including the q<=0 and q>=1 clamps — must report
+	// exactly that value (midpoint clamped to the tracked max).
+	single := NewLogHistogram()
+	for i := 0; i < 7; i++ {
+		single.Observe(5)
+	}
+	for _, q := range []float64{-0.5, 0, 0.001, 0.5, 0.999, 1, 1.5} {
+		if got := single.Quantile(q); got != 5 {
+			t.Errorf("single-bucket Quantile(%g) = %g, want 5", q, got)
+		}
+	}
+
+	// Interpolation ends of a spread distribution: q<=0 estimates the
+	// minimum at bucket resolution, q>=1 is the exact maximum.
+	h := NewLogHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	if got := h.Quantile(0); math.Abs(got-1) > 0.07 {
+		t.Errorf("Quantile(0) = %g, want ≈ minimum 1", got)
+	}
+	if got, lo := h.Quantile(0), h.Quantile(0.5); got > lo {
+		t.Errorf("Quantile(0) = %g above Quantile(0.5) = %g", got, lo)
+	}
+	if got := h.Quantile(1); got != 100 {
+		t.Errorf("Quantile(1) = %g, want exact max 100", got)
+	}
+	if got := h.Quantile(2); got != 100 {
+		t.Errorf("Quantile(2) = %g, want clamp to max 100", got)
+	}
+}
+
+// TestLogHistogramMergeWithEmpty pins merge-with-empty in both directions:
+// neither direction may invent or lose observations.
+func TestLogHistogramMergeWithEmpty(t *testing.T) {
+	h := NewLogHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	want := h.Clone()
+
+	// Merging an empty histogram into a full one changes nothing.
+	h.Merge(NewLogHistogram())
+	if h.Count() != want.Count() || h.Sum() != want.Sum() || h.Max() != want.Max() {
+		t.Fatalf("merge(empty) changed totals: count %d/%d sum %g/%g max %g/%g",
+			h.Count(), want.Count(), h.Sum(), want.Sum(), h.Max(), want.Max())
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if h.Quantile(q) != want.Quantile(q) {
+			t.Errorf("merge(empty) moved Quantile(%g): %g != %g", q, h.Quantile(q), want.Quantile(q))
+		}
+	}
+
+	// Merging into an empty histogram reproduces the source distribution.
+	into := NewLogHistogram()
+	into.Merge(want)
+	if into.Count() != want.Count() || into.Sum() != want.Sum() || into.Max() != want.Max() {
+		t.Fatalf("empty.Merge(h) totals: count %d/%d sum %g/%g max %g/%g",
+			into.Count(), want.Count(), into.Sum(), want.Sum(), into.Max(), want.Max())
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if into.Quantile(q) != want.Quantile(q) {
+			t.Errorf("empty.Merge(h) Quantile(%g): %g != %g", q, into.Quantile(q), want.Quantile(q))
+		}
+	}
+}
+
 func TestLogHistogramClone(t *testing.T) {
 	h := NewLogHistogram()
 	h.Observe(42)

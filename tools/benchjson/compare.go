@@ -13,16 +13,27 @@ type diffRow struct {
 	Name           string
 	BaseNs, NewNs  float64
 	DeltaFrac      float64 // (new-base)/base; 0 when base is 0
+	BytesDelta     float64
 	AllocsDelta    int64
-	Status         string // "ok", "regression", "missing", "new"
+	P99Delta       float64 // relative movement of the "p99-ms" tail metric
+	hasP99         bool    // both sides report p99-ms
+	Status         string  // "ok", "regression", "missing", "new"
 	missingOrExtra bool
 }
 
+// tailMetric is the custom-metric unit gated in compare mode alongside
+// ns/op: the windowed p99 of the per-tick wall time reported by the tail
+// benchmarks (see bench_test.go and roiabench -fig variability).
+const tailMetric = "p99-ms"
+
 // compareSnapshots diffs two snapshots benchmark by benchmark. A benchmark
-// regresses when its candidate ns/op exceeds the baseline by more than
-// tolerance (a fraction, e.g. 0.10 = +10%). Benchmarks present on only one
-// side are reported as "missing"/"new" but never count as regressions —
-// renames and additions are routine, silent disappearance is visible.
+// regresses when its candidate ns/op — or its "p99-ms" tail metric, when
+// both sides report one — exceeds the baseline by more than tolerance (a
+// fraction, e.g. 0.10 = +10%). Gating the tail as well as the mean keeps
+// a faster-on-average change from hiding a fatter tick-time tail.
+// Benchmarks present on only one side are reported as "missing"/"new" but
+// never count as regressions — renames and additions are routine, silent
+// disappearance is visible.
 func compareSnapshots(base, next snapshot, tolerance float64) (rows []diffRow, regressions int) {
 	names := make([]string, 0, len(base.Benchmarks)+len(next.Benchmarks))
 	for name := range base.Benchmarks {
@@ -45,14 +56,24 @@ func compareSnapshots(base, next snapshot, tolerance float64) (rows []diffRow, r
 		default:
 			row := diffRow{
 				Name: name, BaseNs: b.NsPerOp, NewNs: n.NsPerOp,
+				BytesDelta:  n.BytesPerOp - b.BytesPerOp,
 				AllocsDelta: n.AllocsOp - b.AllocsOp,
 				Status:      "ok",
 			}
 			if b.NsPerOp > 0 {
 				row.DeltaFrac = (n.NsPerOp - b.NsPerOp) / b.NsPerOp
 			}
+			if bp, ok := b.Metrics[tailMetric]; ok && bp > 0 {
+				if np, ok := n.Metrics[tailMetric]; ok {
+					row.hasP99 = true
+					row.P99Delta = (np - bp) / bp
+				}
+			}
 			if row.DeltaFrac > tolerance {
 				row.Status = "regression"
+				regressions++
+			} else if row.hasP99 && row.P99Delta > tolerance {
+				row.Status = "regression(p99)"
 				regressions++
 			}
 			rows = append(rows, row)
@@ -63,16 +84,22 @@ func compareSnapshots(base, next snapshot, tolerance float64) (rows []diffRow, r
 
 // writeComparison renders the diff as an aligned table.
 func writeComparison(w io.Writer, rows []diffRow, tolerance float64) {
-	fmt.Fprintf(w, "%-50s %12s %12s %8s %8s  %s\n", "benchmark", "base ns/op", "new ns/op", "delta", "allocs", "status")
+	fmt.Fprintf(w, "%-50s %12s %12s %8s %8s %10s %8s  %s\n",
+		"benchmark", "base ns/op", "new ns/op", "delta", "p99", "B/op", "allocs", "status")
 	for _, r := range rows {
 		if r.missingOrExtra {
-			fmt.Fprintf(w, "%-50s %12.1f %12.1f %8s %8s  %s\n", r.Name, r.BaseNs, r.NewNs, "-", "-", r.Status)
+			fmt.Fprintf(w, "%-50s %12.1f %12.1f %8s %8s %10s %8s  %s\n",
+				r.Name, r.BaseNs, r.NewNs, "-", "-", "-", "-", r.Status)
 			continue
 		}
-		fmt.Fprintf(w, "%-50s %12.1f %12.1f %+7.1f%% %+8d  %s\n",
-			r.Name, r.BaseNs, r.NewNs, r.DeltaFrac*100, r.AllocsDelta, r.Status)
+		p99 := "-"
+		if r.hasP99 {
+			p99 = fmt.Sprintf("%+.1f%%", r.P99Delta*100)
+		}
+		fmt.Fprintf(w, "%-50s %12.1f %12.1f %+7.1f%% %8s %+10.0f %+8d  %s\n",
+			r.Name, r.BaseNs, r.NewNs, r.DeltaFrac*100, p99, r.BytesDelta, r.AllocsDelta, r.Status)
 	}
-	fmt.Fprintf(w, "tolerance: +%.0f%% ns/op\n", tolerance*100)
+	fmt.Fprintf(w, "tolerance: +%.0f%% ns/op and %s\n", tolerance*100, tailMetric)
 }
 
 // loadSnapshot reads one BENCH_<n>.json document.

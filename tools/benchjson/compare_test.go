@@ -68,6 +68,60 @@ func TestCompareReportsMissingAndNewWithoutFailing(t *testing.T) {
 	}
 }
 
+func TestCompareGatesOnTailMetric(t *testing.T) {
+	base := snap(map[string]result{
+		// Mean flat, p99 inflates 2×: a tail regression the ns/op gate
+		// alone would wave through.
+		"BenchmarkTailFat": {NsPerOp: 100, Metrics: map[string]float64{tailMetric: 2.0}},
+		// Mean and p99 both improve.
+		"BenchmarkTailOK": {NsPerOp: 100, Metrics: map[string]float64{tailMetric: 3.0}},
+		// No tail metric on either side: never p99-gated.
+		"BenchmarkNoTail": {NsPerOp: 100},
+		// Baseline has the metric, candidate dropped it: not gated (no
+		// pair to compare), only ns/op applies.
+		"BenchmarkTailDropped": {NsPerOp: 100, Metrics: map[string]float64{tailMetric: 2.0}},
+	})
+	next := snap(map[string]result{
+		"BenchmarkTailFat":     {NsPerOp: 101, Metrics: map[string]float64{tailMetric: 4.0}},
+		"BenchmarkTailOK":      {NsPerOp: 95, Metrics: map[string]float64{tailMetric: 2.5}},
+		"BenchmarkNoTail":      {NsPerOp: 101},
+		"BenchmarkTailDropped": {NsPerOp: 101},
+	})
+	rows, regressions := compareSnapshots(base, next, 0.10)
+	if regressions != 1 {
+		t.Fatalf("regressions = %d, want 1 (p99 only)\nrows: %+v", regressions, rows)
+	}
+	byName := map[string]diffRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	fat := byName["BenchmarkTailFat"]
+	if fat.Status != "regression(p99)" || !fat.hasP99 {
+		t.Fatalf("BenchmarkTailFat = %+v, want regression(p99) with hasP99", fat)
+	}
+	if fat.P99Delta < 0.99 || fat.P99Delta > 1.01 {
+		t.Fatalf("BenchmarkTailFat p99 delta = %g, want ~1.0 (2ms→4ms)", fat.P99Delta)
+	}
+	if s := byName["BenchmarkTailOK"].Status; s != "ok" {
+		t.Fatalf("BenchmarkTailOK status = %q, want ok", s)
+	}
+	for _, name := range []string{"BenchmarkNoTail", "BenchmarkTailDropped"} {
+		r := byName[name]
+		if r.Status != "ok" || r.hasP99 {
+			t.Fatalf("%s = %+v, want ok without p99 gating", name, r)
+		}
+	}
+
+	// ns/op regression takes precedence over the p99 label when both trip.
+	both, n := compareSnapshots(
+		snap(map[string]result{"BenchmarkBoth": {NsPerOp: 100, Metrics: map[string]float64{tailMetric: 1.0}}}),
+		snap(map[string]result{"BenchmarkBoth": {NsPerOp: 200, Metrics: map[string]float64{tailMetric: 9.0}}}),
+		0.10)
+	if n != 1 || both[0].Status != "regression" {
+		t.Fatalf("both-gates row = %+v (regressions=%d), want single plain regression", both[0], n)
+	}
+}
+
 func TestCompareRowsAreSortedAndRendered(t *testing.T) {
 	base := snap(map[string]result{"BenchmarkB": {NsPerOp: 10}, "BenchmarkA": {NsPerOp: 10}})
 	next := snap(map[string]result{"BenchmarkB": {NsPerOp: 10}, "BenchmarkA": {NsPerOp: 10}})

@@ -1,7 +1,9 @@
 // Command benchjson runs the repository's benchmarks (`go test -bench
 // -benchmem`) and writes the results as a machine-readable BENCH_<n>.json
-// snapshot: benchmark name → ns/op, B/op, allocs/op. Committing a snapshot
-// per optimisation PR gives the repo a diffable performance history without
+// snapshot: benchmark name → ns/op, B/op, allocs/op, plus every custom
+// b.ReportMetric unit (e.g. the tail gauges "p99-ms"/"p999-ms" of the
+// tick benchmarks) in a metrics map. Committing a snapshot per
+// optimisation PR gives the repo a diffable performance history without
 // any external tooling — compare two snapshots with jq or a spreadsheet.
 //
 // The output index n is chosen as one past the highest existing
@@ -9,10 +11,14 @@
 // overwrite a committed baseline.
 //
 // With -compare/-against the tool diffs two committed snapshots instead of
-// running anything: every shared benchmark's ns/op delta is printed, and
-// the exit status is nonzero when any exceeds -tolerance. Benchmarks that
-// appear on only one side are reported (missing/new) but never fail the
-// comparison.
+// running anything: every shared benchmark's ns/op delta is printed along
+// with its B/op, allocs and p99 movement, and the exit status is nonzero
+// when any ns/op — or any shared "p99-ms" tail metric — exceeds
+// -tolerance. Gating on p99 as well as the mean keeps a change honest
+// about variability: an optimisation that speeds the average tick while
+// fattening its tail is a regression for a real-time loop, whose QoS
+// deadline is paid per tick, not on average. Benchmarks that appear on
+// only one side are reported (missing/new) but never fail the comparison.
 //
 // Example:
 //
@@ -33,6 +39,7 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 	"time"
 )
 
@@ -53,6 +60,10 @@ type result struct {
 	NsPerOp    float64 `json:"ns_per_op"`
 	BytesPerOp float64 `json:"bytes_per_op"`
 	AllocsOp   int64   `json:"allocs_per_op"`
+	// Metrics holds every custom b.ReportMetric value keyed by its unit
+	// (e.g. "p99-ms", "bytes/tick"). Tail units like "p99-ms" are gated
+	// in compare mode alongside ns/op.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // snapshot is the BENCH_<n>.json document.
@@ -71,10 +82,41 @@ type snapshot struct {
 	Benchmarks map[string]result `json:"benchmarks"`
 }
 
-// benchLine matches `go test -bench -benchmem` result rows, e.g.
+// benchLine matches the head of a `go test -bench` result row, e.g.
 //
-//	BenchmarkTickLoop-8  1000  1234 ns/op  56 B/op  7 allocs/op
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
+//	BenchmarkTickLoop-8  1000  1234 ns/op  3.5 p99-ms  56 B/op  7 allocs/op
+//
+// The measurements after the iteration count are value/unit pairs parsed
+// by parsePairs — custom b.ReportMetric units sort between ns/op and
+// B/op in go test output, so a fixed ns/op→B/op→allocs/op pattern would
+// silently drop B/op on any benchmark that reports a custom metric.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.+)$`)
+
+// parsePairs folds a bench row's value/unit pairs into a result.
+func parsePairs(rest string) result {
+	var r result
+	fields := strings.Fields(rest)
+	for i := 0; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			break // not a measurement pair; stop at trailing annotations
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			r.BytesPerOp = v
+		case "allocs/op":
+			r.AllocsOp = int64(v)
+		default:
+			if r.Metrics == nil {
+				r.Metrics = make(map[string]float64)
+			}
+			r.Metrics[unit] = v
+		}
+	}
+	return r
+}
 
 func main() {
 	flag.Parse()
@@ -111,15 +153,8 @@ func run() error {
 		if m == nil {
 			continue
 		}
-		var r result
+		r := parsePairs(string(m[3]))
 		r.Iterations, _ = strconv.ParseInt(string(m[2]), 10, 64)
-		r.NsPerOp, _ = strconv.ParseFloat(string(m[3]), 64)
-		if len(m[4]) > 0 {
-			r.BytesPerOp, _ = strconv.ParseFloat(string(m[4]), 64)
-		}
-		if len(m[5]) > 0 {
-			r.AllocsOp, _ = strconv.ParseInt(string(m[5]), 10, 64)
-		}
 		benches[string(m[1])] = r
 	}
 	if len(benches) == 0 {

@@ -1,0 +1,40 @@
+package main
+
+import "testing"
+
+func TestParsePairsCapturesBenchmemAroundCustomMetrics(t *testing.T) {
+	// go test emits custom ReportMetric units (sorted by name) BETWEEN
+	// ns/op and B/op, so the parser must treat the row as generic
+	// value/unit pairs or -benchmem columns silently read as zero.
+	line := "BenchmarkRealServerTick/users=50-8 \t 100\t  84210 ns/op\t 3.1 measured-ms\t 2.8 model-ms\t 10224 B/op\t 120 allocs/op"
+	m := benchLine.FindStringSubmatch(line)
+	if m == nil {
+		t.Fatalf("benchLine did not match %q", line)
+	}
+	if m[1] != "BenchmarkRealServerTick/users=50" {
+		t.Fatalf("name = %q", m[1])
+	}
+	r := parsePairs(m[3])
+	if r.NsPerOp != 84210 {
+		t.Fatalf("ns/op = %g, want 84210", r.NsPerOp)
+	}
+	if r.BytesPerOp != 10224 {
+		t.Fatalf("B/op = %g, want 10224 (custom metrics must not shadow -benchmem)", r.BytesPerOp)
+	}
+	if r.AllocsOp != 120 {
+		t.Fatalf("allocs/op = %d, want 120", r.AllocsOp)
+	}
+	if r.Metrics["measured-ms"] != 3.1 || r.Metrics["model-ms"] != 2.8 {
+		t.Fatalf("metrics = %v, want measured-ms=3.1 model-ms=2.8", r.Metrics)
+	}
+}
+
+func TestParsePairsPlainRow(t *testing.T) {
+	r := parsePairs("1234.5 ns/op\t 56 B/op\t 7 allocs/op")
+	if r.NsPerOp != 1234.5 || r.BytesPerOp != 56 || r.AllocsOp != 7 {
+		t.Fatalf("parsed = %+v", r)
+	}
+	if r.Metrics != nil {
+		t.Fatalf("unexpected metrics: %v", r.Metrics)
+	}
+}

@@ -76,6 +76,38 @@ func (s *SnapshotSink) Set(v []int) {
 	s.last = append([]int(nil), v...)
 }
 
+// FlightRecorder mirrors the telemetry flight recorder's discipline: a
+// fixed-capacity ring of per-tick records overwritten modulo size, and a
+// capture list gated by a len comparison with a dropped counter for the
+// overflow path.
+type FlightRecorder struct {
+	ring     []int
+	next     int
+	size     int
+	captures [][]int
+	maxCaps  int
+	dropped  int
+}
+
+// Good: warm-up fill capped at size, then ring slot overwrite.
+func (r *FlightRecorder) Record(v int) {
+	if len(r.ring) < r.size {
+		r.ring = append(r.ring, v)
+		return
+	}
+	r.ring[r.next] = v
+	r.next = (r.next + 1) % r.size
+}
+
+// Good: the capture append is capped; overflow increments dropped instead.
+func (r *FlightRecorder) freeze() {
+	if len(r.captures) >= r.maxCaps {
+		r.dropped++
+		return
+	}
+	r.captures = append(r.captures, append([]int(nil), r.ring...))
+}
+
 // builder does not match the long-lived-type heuristic at all.
 type builder struct {
 	parts []string

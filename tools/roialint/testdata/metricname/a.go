@@ -48,6 +48,14 @@ func badHistName(w io.Writer) error {
 	return h.Write(w, "roia_Bad_Hist", "")
 }
 
+// Bad: a tail-quantile family whose label key drifts from "q" to
+// "quantile" between samples.
+func quantileDrift(w io.Writer) {
+	fmt.Fprintf(w, "# TYPE roia_fleet_tick_wall_q_ms gauge\n")
+	fmt.Fprintf(w, "roia_fleet_tick_wall_q_ms{q=\"p50\"} %g\n", 1.0)
+	fmt.Fprintf(w, "roia_fleet_tick_wall_q_ms{quantile=\"0.99\"} %g\n", 2.0)
+}
+
 // Good: well-formed families, consistent kinds and labels.
 func clean(w io.Writer, labels string) error {
 	var b strings.Builder
@@ -58,6 +66,13 @@ func clean(w io.Writer, labels string) error {
 	// Dynamic label sets are out of static reach and stay unflagged.
 	fmt.Fprintf(&b, "# TYPE roia_dyn_total counter\n")
 	fmt.Fprintf(&b, "roia_dyn_total%s %d\n", labels, 6)
+	// Good: the tail observability families — one gauge family carrying its
+	// quantile in a constant "q" label, and plain hiccup/capture counters.
+	fmt.Fprintf(&b, "# TYPE roia_tick_wall_q_ms gauge\n")
+	fmt.Fprintf(&b, "roia_tick_wall_q_ms{q=\"p50\"} %g\n", 0.2)
+	fmt.Fprintf(&b, "roia_tick_wall_q_ms{q=\"p999\"} %g\n", 1.4)
+	fmt.Fprintf(&b, "# TYPE roia_tick_hiccups_total counter\nroia_tick_hiccups_total %d\n", 7)
+	fmt.Fprintf(&b, "# TYPE roia_flightrec_captures_total counter\nroia_flightrec_captures_total %d\n", 1)
 	var h Histogram
 	if err := h.Write(&b, "roia_ok_ms", ""); err != nil {
 		return err
