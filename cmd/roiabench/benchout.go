@@ -71,6 +71,66 @@ func writeVariabilitySnapshot(path string, res *experiments.VariabilityResult) e
 	return os.WriteFile(path, append(doc, '\n'), 0o644)
 }
 
+// writeCostSnapshot writes the cost-harness result as a BENCH-schema JSON
+// document: one benchmark entry per scenario, mean tick as ns_per_op, heap
+// allocations per tick as allocs/bytes per op, and the GC / egress / churn
+// figures in the metrics map (gated by `benchjson -compare` alongside
+// ns_per_op and allocs_per_op).
+func writeCostSnapshot(path string, res *experiments.CostResult) error {
+	benches := make(map[string]benchResult, len(res.Rows))
+	for _, r := range res.Rows {
+		metrics := map[string]float64{
+			"gc-pause-p99-ms": r.GCPauseP99MS,
+			"gc-cycles":       float64(r.GCCycles),
+			"bytes/user/tick": r.BytesPerUserTick,
+			"payload-p99-b":   r.PayloadP99Bytes,
+			"churn-enter-p99": r.ChurnEnterP99,
+			"churn-leave-p99": r.ChurnLeaveP99,
+		}
+		for stage, v := range r.StageBytesPerTick {
+			metrics["alloc-b/tick-"+stage] = v
+		}
+		benches["BenchmarkCost/"+r.Scenario.Name] = benchResult{
+			Iterations: int64(r.Samples),
+			NsPerOp:    r.MeanTickMS * 1e6,
+			BytesPerOp: r.AllocBytesPerTick,
+			AllocsOp:   int64(r.AllocObjectsPerTick),
+			Metrics:    metrics,
+		}
+	}
+	snap := benchSnapshot{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		//roialint:ignore tickclock snapshot date stamp for humans, not simulation time
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		Benchmarks: benches,
+	}
+	doc, err := json.MarshalIndent(&snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(doc, '\n'), 0o644)
+}
+
+// writeCostRows dumps the cost harness rows as JSONL (one scenario per
+// line), the forensics artifact CI uploads when the cost gate fails.
+func writeCostRows(path string, res *experiments.CostResult) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	for _, r := range res.Rows {
+		if err := enc.Encode(&r); err != nil {
+			_ = f.Close()
+			return err
+		}
+	}
+	return f.Close()
+}
+
 // writeVariabilityCaptures dumps every flight-recorder capture frozen
 // during the harness runs as JSONL (the same format roiaserver's
 // /debug/flightrec endpoint serves) and returns the capture count.

@@ -11,6 +11,13 @@
 // written as a BENCH-schema JSON snapshot that `tools/benchjson -compare`
 // can diff (gating on the p99-ms tail) against a committed baseline.
 //
+// `-fig cost` runs the hot-path cost harness on the same scenarios: heap
+// allocations per tick by pipeline stage, in-tick GC pause tails, framed
+// egress bytes per user per tick, and AoI churn quantiles. With -bench-out
+// it writes a BENCH-schema snapshot whose allocs_per_op and bytes/user/tick
+// figures `tools/benchjson -compare` gates alongside ns_per_op; -cost-out
+// dumps the raw per-scenario rows as JSONL for forensics.
+//
 // Usage:
 //
 //	roiabench                  # everything, ASCII charts to stdout
@@ -32,15 +39,16 @@ import (
 )
 
 var (
-	figFlag   = flag.String("fig", "all", "artifact to regenerate: 4,5,6,7,8,anchors,baselines,traffic,heavy,pacing,flash,npcs,csweep,profiles,latency,speedup,variability,all")
+	figFlag   = flag.String("fig", "all", "artifact to regenerate: 4,5,6,7,8,anchors,baselines,traffic,heavy,pacing,flash,npcs,csweep,profiles,latency,speedup,variability,cost,all")
 	csvDir    = flag.String("csv", "", "directory to write CSV datasets into (created if missing)")
 	seedFlag  = flag.Int64("seed", 1, "seed for the deterministic runs")
 	recFlag   = flag.String("record", "", "write the Fig. 8 session time series to this CSV (replayable via cmd/roiareplay)")
 	width     = flag.Int("width", 72, "ASCII chart width")
 	height    = flag.Int("height", 16, "ASCII chart height")
 	runsFlag  = flag.Int("runs", 5, "repetitions per scenario for -fig variability")
-	benchOut  = flag.String("bench-out", "", "variability: also write the result as a BENCH-schema JSON snapshot (diffable via tools/benchjson -compare)")
+	benchOut  = flag.String("bench-out", "", "variability/cost: also write the result as a BENCH-schema JSON snapshot (diffable via tools/benchjson -compare)")
 	flightOut = flag.String("flightrec-out", "", "variability: write flight-recorder captures (one JSON object per line) to this path")
+	costOut   = flag.String("cost-out", "", "cost: write the per-scenario cost rows (one JSON object per line) to this path")
 )
 
 func main() {
@@ -278,6 +286,29 @@ func run() error {
 				return err
 			}
 			fmt.Printf("%d flight-recorder capture(s) written to %s\n\n", n, *flightOut)
+		}
+	}
+	if want("cost") {
+		any = true
+		res, err := experiments.Cost(*seedFlag, *runsFlag)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Hot-path cost (%d runs per scenario, %d measured ticks each):\n",
+			res.Runs, res.Rows[0].Ticks)
+		fmt.Print(experiments.FormatCost(res))
+		fmt.Println()
+		if *benchOut != "" {
+			if err := writeCostSnapshot(*benchOut, res); err != nil {
+				return err
+			}
+			fmt.Printf("cost snapshot written to %s\n\n", *benchOut)
+		}
+		if *costOut != "" {
+			if err := writeCostRows(*costOut, res); err != nil {
+				return err
+			}
+			fmt.Printf("cost rows written to %s\n\n", *costOut)
 		}
 	}
 	if !any {

@@ -10,9 +10,10 @@
 // the machine's real profile).
 //
 // With -fleet-metrics the session serves the cluster-level scrape while it
-// runs: per-replica tick and QoS-deadline counters, the merged client
-// input→update RTT distribution (deadline set by -rtt-deadline), and the
-// alert engine's state when -alerts is active. At the end of the session a
+// runs: per-replica tick and QoS-deadline counters, per-zone cost
+// attribution (allocation by stage, GC pauses, egress bytes, AoI churn),
+// the merged client input→update RTT distribution (deadline set by
+// -rtt-deadline), and the alert engine's state when -alerts is active. At the end of the session a
 // client-RTT percentile summary is printed alongside the fleet state.
 //
 // Example:
@@ -89,6 +90,11 @@ func run() error {
 		// alert rule and the collector's tail counters need them, and a
 		// stalled replica leaves a capture to inspect after the session.
 		FlightRecorders: true,
+		// Cost trackers hold fixed-vocabulary maps plus per-client counters
+		// evicted on disconnect, so they stay on too: the qos_gc_pause and
+		// egress_per_user_ceiling rules and the collector's cost families
+		// read them.
+		CostTrackers: true,
 	})
 	if err != nil {
 		return err

@@ -16,7 +16,10 @@
 // With -metrics the server also exposes an observability endpoint:
 // Prometheus metrics (tick histogram, QoS deadline violations, windowed
 // tail quantiles, hiccup counters, per-phase task profile, model-drift
-// gauges — aggregate and per-task — and Go runtime stats) on /metrics,
+// gauges — aggregate and per-task — cost attribution when -cost is on
+// (per-stage allocation counters, GC pause totals and quantiles,
+// per-type egress bytes, payload-size and AoI-churn quantiles), and Go
+// runtime stats) on /metrics,
 // the tick trace ring on /debug/ticktrace, flight-recorder captures as
 // JSONL on /debug/flightrec, and pprof on /debug/pprof/. With -trace-out
 // the trace ring is written as Chrome trace-event JSON at shutdown,
@@ -64,6 +67,7 @@ var (
 	traceCap    = flag.Int("trace-cap", telemetry.DefaultTraceCapacity, "tick traces kept in the ring buffer")
 	flightOut   = flag.String("flightrec-out", "", "write flight-recorder captures as JSONL to this file at shutdown")
 	hiccupK     = flag.Float64("hiccup-k", telemetry.DefaultHiccupK, "flag a tick as a hiccup when its wall time exceeds k x the rolling median")
+	costFlag    = flag.Bool("cost", true, "track per-stage allocation, GC attribution, per-client egress, and AoI churn")
 	deadline    = flag.Duration("deadline", 0, "tick QoS deadline for violation accounting (default: the tick interval, 1/U)")
 	parFlag     = flag.Int("parallelism", 1, "worker count for the tick pipeline's parallel stages (1 = sequential; wire output is identical either way)")
 )
@@ -100,6 +104,10 @@ func run() error {
 	tracer := telemetry.NewTracer(*traceCap)
 	profiler := telemetry.NewTaskProfiler()
 	flightRec := telemetry.NewFlightRecorder(telemetry.FlightRecConfig{K: *hiccupK})
+	var cost *telemetry.CostTracker
+	if *costFlag {
+		cost = telemetry.NewCostTracker()
+	}
 	srv, err := server.New(server.Config{
 		Node:         node,
 		Zone:         zone.ID(*zoneFlag),
@@ -111,6 +119,7 @@ func run() error {
 		Tracer:       tracer,
 		Profiler:     profiler,
 		FlightRec:    flightRec,
+		Cost:         cost,
 		Parallelism:  *parFlag,
 	})
 	if err != nil {
@@ -136,7 +145,7 @@ func run() error {
 	go trackDrift(ctx, srv.Monitor(), drift, taskDrift, *tickFlag)
 
 	if *metricsFlag != "" {
-		if err := serveMetrics(ctx, srv.Monitor(), drift, taskDrift, profiler, tracer, flightRec); err != nil {
+		if err := serveMetrics(ctx, srv.Monitor(), drift, taskDrift, profiler, tracer, flightRec, cost); err != nil {
 			return err
 		}
 	}
@@ -167,17 +176,21 @@ func run() error {
 
 // serveMetrics starts the observability HTTP server: Prometheus metrics,
 // the tick trace ring, and pprof. It shuts down gracefully when ctx ends.
-func serveMetrics(ctx context.Context, mon *monitor.Monitor, drift *telemetry.Drift, taskDrift *telemetry.TaskDrift, profiler *telemetry.TaskProfiler, tracer *telemetry.Tracer, flightRec *telemetry.FlightRecorder) error {
+func serveMetrics(ctx context.Context, mon *monitor.Monitor, drift *telemetry.Drift, taskDrift *telemetry.TaskDrift, profiler *telemetry.TaskProfiler, tracer *telemetry.Tracer, flightRec *telemetry.FlightRecorder, cost *telemetry.CostTracker) error {
 	labels := fmt.Sprintf("server=%q,zone=\"%d\"", *idFlag, *zoneFlag)
-	mux := http.NewServeMux()
-	mux.Handle("/metrics", telemetry.MetricsHandler(labels,
+	writers := []telemetry.MetricsWriter{
 		mon.WriteMetrics,
 		drift.WriteMetrics,
 		taskDrift.WriteMetrics,
 		profiler.WriteMetrics,
 		flightRec.WriteMetrics,
 		telemetry.WriteRuntimeMetrics,
-	))
+	}
+	if cost != nil {
+		writers = append(writers, cost.WriteMetrics)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", telemetry.MetricsHandler(labels, writers...))
 	mux.Handle("/debug/ticktrace", telemetry.TraceHandler(tracer))
 	mux.Handle("/debug/flightrec", telemetry.FlightRecHandler(flightRec))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

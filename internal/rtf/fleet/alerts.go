@@ -51,6 +51,18 @@ type AlertConfig struct {
 	// violation rate of the RTTs observed since the previous evaluation
 	// exceeds QoSViolationRate.
 	ClientLatency func() telemetry.LatencySnapshot
+	// GCPauseBudget is the fraction of the tick deadline 1/U that in-tick
+	// GC pause may consume before the qos_gc_pause rule is active (default
+	// 0.25: the windowed per-tick GC-pause p99 eats more than a quarter of
+	// the deadline). The rule is inert on replicas without a cost tracker
+	// (fleet Config.CostTrackers off).
+	GCPauseBudget float64
+	// EgressPerUserCeiling is the per-user egress budget in framed wire
+	// bytes per tick; the egress_per_user_ceiling rule fires when a
+	// replica's client egress since the previous evaluation, divided by
+	// new ticks and connected users, exceeds it. 0 disables the rule (no
+	// universal ceiling exists — it is a deployment bandwidth budget).
+	EgressPerUserCeiling float64
 }
 
 // Rule names exported by AlertRules.
@@ -63,6 +75,8 @@ const (
 	AlertQoSClientRTT     = "qos_client_rtt"
 	AlertQoSTickHiccup    = "qos_tick_hiccup"
 	AlertQoSTailInflation = "qos_tail_inflation"
+	AlertQoSGCPause       = "qos_gc_pause"
+	AlertEgressPerUser    = "egress_per_user_ceiling"
 )
 
 // AlertRules builds the fleet's threshold rules for a telemetry.AlertEngine.
@@ -99,6 +113,17 @@ const (
 //     than TailInflation× its p50 — sustained tail-latency inflation, the
 //     regime where mean-based capacity numbers (n_max from mean task
 //     costs) stop protecting the QoS deadline. One instance per replica.
+//   - qos_gc_pause: a replica's windowed per-tick GC-pause p99 exceeds
+//     GCPauseBudget of the tick deadline 1/U — the runtime, not the
+//     workload, is eating the QoS budget, and no migration or replication
+//     decision can win it back. One instance per replica; requires fleet
+//     Config.CostTrackers.
+//   - egress_per_user_ceiling: a replica's client egress since the
+//     previous evaluation, per user per tick, exceeds the configured
+//     bandwidth budget — the interest-management cost model (what the
+//     paper folds into the per-user cost term) is under-charging for
+//     update fan-out. One instance per replica; requires CostTrackers
+//     and a non-zero EgressPerUserCeiling.
 func (f *Fleet) AlertRules(cfg AlertConfig) []telemetry.Rule {
 	if cfg.DriftTolerance <= 0 {
 		cfg.DriftTolerance = 0.5
@@ -114,6 +139,9 @@ func (f *Fleet) AlertRules(cfg AlertConfig) []telemetry.Rule {
 	}
 	if cfg.TailMinCount <= 0 {
 		cfg.TailMinCount = 64
+	}
+	if cfg.GCPauseBudget <= 0 {
+		cfg.GCPauseBudget = 0.25
 	}
 	zoneKey := fmt.Sprintf("zone-%d", f.cfg.Zone)
 	rules := []telemetry.Rule{
@@ -340,6 +368,93 @@ func (f *Fleet) AlertRules(cfg AlertConfig) []telemetry.Rule {
 			return out
 		},
 	})
+	rules = append(rules, telemetry.Rule{
+		Name:       AlertQoSGCPause,
+		PendingFor: cfg.PendingFor,
+		Eval: func(now float64) []telemetry.RuleResult {
+			var out []telemetry.RuleResult
+			for _, id := range f.IDs() {
+				srv, ok := f.Server(id)
+				if !ok {
+					continue
+				}
+				ct := srv.CostTracker()
+				if ct == nil {
+					continue
+				}
+				snap := ct.Snapshot()
+				if snap.Ticks == 0 {
+					continue
+				}
+				budgetMS := cfg.GCPauseBudget * srv.Monitor().DeadlineMS()
+				if budgetMS <= 0 {
+					continue
+				}
+				p99 := snap.GCPause.Quantile(0.99)
+				if p99 <= budgetMS {
+					continue
+				}
+				out = append(out, telemetry.RuleResult{
+					Key:       id,
+					Value:     p99,
+					Threshold: budgetMS,
+					Detail: fmt.Sprintf("windowed per-tick GC pause p99 %.3fms exceeds %.0f%% of the %.1fms tick deadline",
+						p99, cfg.GCPauseBudget*100, srv.Monitor().DeadlineMS()),
+				})
+			}
+			return out
+		},
+	})
+	if cfg.EgressPerUserCeiling > 0 {
+		// Same delta idiom as the QoS rules: only egress since the previous
+		// evaluation counts, so a join burst resolves once traffic settles.
+		type egressPrev struct{ ticks, bytes uint64 }
+		egrPrev := make(map[string]egressPrev)
+		rules = append(rules, telemetry.Rule{
+			Name:       AlertEgressPerUser,
+			PendingFor: cfg.PendingFor,
+			Eval: func(now float64) []telemetry.RuleResult {
+				var out []telemetry.RuleResult
+				seen := make(map[string]bool)
+				for _, id := range f.IDs() {
+					srv, ok := f.Server(id)
+					if !ok {
+						continue
+					}
+					ct := srv.CostTracker()
+					if ct == nil {
+						continue
+					}
+					seen[id] = true
+					snap := ct.Snapshot()
+					cur := egressPrev{ticks: snap.Ticks, bytes: snap.EgressClientBytes}
+					prev := egrPrev[id]
+					egrPrev[id] = cur
+					users := srv.UserCount()
+					if cur.ticks <= prev.ticks || users == 0 {
+						continue // no new ticks (or tracker reset), or nobody to bill
+					}
+					perUserTick := float64(cur.bytes-prev.bytes) / float64(cur.ticks-prev.ticks) / float64(users)
+					if perUserTick <= cfg.EgressPerUserCeiling {
+						continue
+					}
+					out = append(out, telemetry.RuleResult{
+						Key:       id,
+						Value:     perUserTick,
+						Threshold: cfg.EgressPerUserCeiling,
+						Detail: fmt.Sprintf("client egress ran %.1f B/user/tick over the last %d ticks (%d users), above the %.1f B ceiling",
+							perUserTick, cur.ticks-prev.ticks, users, cfg.EgressPerUserCeiling),
+					})
+				}
+				for id := range egrPrev {
+					if !seen[id] {
+						delete(egrPrev, id) // replica stopped; forget its counters
+					}
+				}
+				return out
+			},
+		})
+	}
 	if cfg.ClientLatency != nil {
 		var prev telemetry.LatencySnapshot
 		rules = append(rules, telemetry.Rule{

@@ -72,6 +72,12 @@ type Config struct {
 	// attributing each tick to the model's four task phases (see
 	// server.Config.Profiler and Fleet.Profiler).
 	ProfilePhases bool
+	// CostTrackers gives every spawned server a telemetry.CostTracker
+	// attributing per-stage heap allocations, in-tick GC pauses, framed
+	// egress bytes (per message type and per client), and AoI churn (see
+	// server.Config.Cost and Fleet.CostTracker). The collector aggregates
+	// the per-replica trackers into zone-level cost metrics.
+	CostTrackers bool
 	// TickInterval is passed to every spawned server (default 40 ms); it
 	// also sets each server's tick QoS deadline 1/U.
 	TickInterval time.Duration
@@ -181,6 +187,18 @@ func (f *Fleet) FlightRecorder(id string) (*telemetry.FlightRecorder, bool) {
 		return nil, false
 	}
 	return s.FlightRecorder(), true
+}
+
+// CostTracker returns a running server's resource cost tracker (nil unless
+// CostTrackers is on).
+func (f *Fleet) CostTracker(id string) (*telemetry.CostTracker, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.servers[id]
+	if !ok {
+		return nil, false
+	}
+	return s.CostTracker(), true
 }
 
 // ObserveTaskDrift feeds every running server's measured per-phase costs
@@ -368,6 +386,10 @@ func (f *Fleet) AddReplica() (string, error) {
 	if f.cfg.FlightRecorders {
 		flightRec = telemetry.NewFlightRecorder(telemetry.FlightRecConfig{})
 	}
+	var cost *telemetry.CostTracker
+	if f.cfg.CostTrackers {
+		cost = telemetry.NewCostTracker()
+	}
 	srv, err := server.New(server.Config{
 		Node:         node,
 		Zone:         f.cfg.Zone,
@@ -380,6 +402,7 @@ func (f *Fleet) AddReplica() (string, error) {
 		MigTrace:     migTrace,
 		Profiler:     profiler,
 		FlightRec:    flightRec,
+		Cost:         cost,
 		Events:       f.cfg.Events,
 	})
 	if err != nil {

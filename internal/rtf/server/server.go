@@ -11,6 +11,7 @@ package server
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -95,6 +96,13 @@ type Config struct {
 	// Like the Tracer it reuses the Breakdown already timed for the
 	// Monitor, so recording adds no clock reads to the hot loop.
 	FlightRec *telemetry.FlightRecorder
+	// Cost, when set, receives the tick pipeline's resource attribution:
+	// per-stage heap-allocation deltas and in-tick GC pauses sampled from
+	// runtime/metrics at the stage barriers, framed egress bytes per
+	// message type and per client, and per-client AoI churn. The tick's
+	// GC/alloc totals also ride on every FlightRec TickRecord, so hiccup
+	// captures classify whether GC caused the spike (gc_attributed).
+	Cost *telemetry.CostTracker
 	// MigTrace, when set, records the server's side of every user
 	// migration (init on the source, recv/ack on the destination) keyed by
 	// the wire-level migration ID, so a fleet collector can stitch the
@@ -219,6 +227,10 @@ func (s *Server) MigTrace() *telemetry.MigTracer { return s.cfg.MigTrace }
 
 // Profiler exposes the server's phase profiler (nil unless configured).
 func (s *Server) Profiler() *telemetry.TaskProfiler { return s.cfg.Profiler }
+
+// CostTracker exposes the server's resource cost tracker (nil unless
+// configured).
+func (s *Server) CostTracker() *telemetry.CostTracker { return s.cfg.Cost }
 
 // Start registers the server as a replica of its zone. It is idempotent.
 func (s *Server) Start() {
@@ -402,9 +414,51 @@ func (s *Server) send(to string, msg wire.Message) {
 // where workers encoded state updates into their own buffers and the tick
 // goroutine sends them in deterministic user order. Must only be called
 // from the tick goroutine (it accumulates the tick's byte counter).
+//
+// Byte accounting uses the framed wire size (transport header + payload),
+// mirroring what a TCP peer actually writes, so BytesOut matches BytesIn
+// on the receiving end whatever the transport.
 func (s *Server) sendRaw(to string, payload []byte) {
-	s.tickBytesOut += len(payload)
+	frameBytes := transport.FrameWireBytes(s.ID(), to, len(payload))
+	s.tickBytesOut += frameBytes
+	if c := s.cfg.Cost; c != nil && len(payload) >= 2 {
+		client := ""
+		if _, ok := s.users[to]; ok {
+			client = to
+		}
+		c.ObserveEgress(client, egressTypeName(wire.Kind(binary.BigEndian.Uint16(payload))), frameBytes)
+	}
 	_ = s.cfg.Node.Send(to, payload)
+}
+
+// egressTypeName maps a wire kind to the message-type label of the
+// roia_egress_bytes_total family.
+func egressTypeName(k wire.Kind) string {
+	switch k {
+	case proto.KindJoin:
+		return "join"
+	case proto.KindJoinAck:
+		return "join_ack"
+	case proto.KindJoinNack:
+		return "join_nack"
+	case proto.KindLeave:
+		return "leave"
+	case proto.KindInput:
+		return "input"
+	case proto.KindStateUpdate:
+		return "state_update"
+	case proto.KindShadowUpdate:
+		return "shadow_update"
+	case proto.KindForwarded:
+		return "forwarded"
+	case proto.KindMigrateInit:
+		return "migrate_init"
+	case proto.KindMigrateAck:
+		return "migrate_ack"
+	case proto.KindMigrateNotice:
+		return "migrate_notice"
+	}
+	return "other"
 }
 
 func (s *Server) String() string {

@@ -50,6 +50,11 @@ type pubItem struct {
 	payload     []byte
 	aoiMS, suMS float64
 	ok          bool
+
+	// entered/left count AoI churn for this user's tick: entities that
+	// appeared in / dropped out of its visible set (fed to the CostTracker
+	// by the sequential merge; left zero when churn is not tracked).
+	entered, left int
 }
 
 // Tick executes one iteration of the real-time loop:
@@ -80,6 +85,10 @@ func (s *Server) Tick() {
 	s.env.Tick = s.tick
 	s.tickBytesOut = 0
 	var br monitor.Breakdown
+	cost := s.cfg.Cost
+	if cost != nil {
+		cost.BeginTick()
+	}
 
 	// --- Step 1: receive + decode stage ---
 	//
@@ -92,7 +101,9 @@ func (s *Server) Tick() {
 	// observable effects are identical to the seed's single loop.
 	frames := transport.Drain(s.cfg.Node, 0)
 	for _, f := range frames {
-		br.BytesIn += len(f.Payload)
+		// Framed wire bytes (header + payload): what the transport's peer
+		// actually wrote, matching the BytesOut convention in sendRaw.
+		br.BytesIn += transport.FrameWireBytes(f.From, s.ID(), len(f.Payload))
 	}
 	dec := make([]decodedFrame, len(frames))
 	s.exec.run(len(frames), func(i int, _ *workerCtx) {
@@ -120,6 +131,9 @@ func (s *Server) Tick() {
 			}
 		}
 	})
+	if cost != nil {
+		cost.EndStage(telemetry.CostStageDecode)
+	}
 
 	// --- Apply stage: frames in arrival order, all mutations sequential ---
 	inputs := make([]decodedInput, 0, len(frames))
@@ -261,6 +275,9 @@ func (s *Server) Tick() {
 		}
 		br.Add(monitor.FA, s.exec.since(t0), 1)
 	}
+	if cost != nil {
+		cost.EndStage(telemetry.CostStageApply)
+	}
 
 	// --- Step 2c: update NPCs (simulate stage) ---
 	npcs := s.store.Active(s.ID(), int(entity.NPC))
@@ -293,6 +310,9 @@ func (s *Server) Tick() {
 			br.Add(monitor.NPC, s.exec.since(t0), 1)
 			npc.Seq++
 		}
+	}
+	if cost != nil {
+		cost.EndStage(telemetry.CostStageSimulate)
 	}
 
 	// --- Idle eviction: drop users whose clients went silent ---
@@ -352,13 +372,22 @@ func (s *Server) Tick() {
 		// it lets the client close the input→update response-time loop.
 		upd := proto.StateUpdate{Tick: s.tick, AckSeq: it.u.seq, Self: *it.av, Events: it.events}
 		if s.cfg.DeltaUpdates {
-			fillDeltaUpdate(it.u, ctx.vis, snap, &upd)
-		} else if len(ctx.vis) > 0 {
-			upd.Visible = make([]entity.Entity, 0, len(ctx.vis))
-			for _, id := range ctx.vis {
-				if e, ok := snap.Get(id); ok {
-					upd.Visible = append(upd.Visible, *e)
+			it.entered, it.left = fillDeltaUpdate(it.u, ctx.vis, snap, &upd)
+		} else {
+			if len(ctx.vis) > 0 {
+				upd.Visible = make([]entity.Entity, 0, len(ctx.vis))
+				for _, id := range ctx.vis {
+					if e, ok := snap.Get(id); ok {
+						upd.Visible = append(upd.Visible, *e)
+					}
 				}
+			}
+			if cost != nil {
+				// Full updates carry no delta bookkeeping, so churn is
+				// diffed against the user's known-set here, only when a
+				// cost tracker wants it — the hot path is unchanged
+				// otherwise.
+				it.entered, it.left = visibleChurn(it.u, ctx.vis)
 			}
 		}
 		it.payload = append(it.payload, proto.Registry.Encode(ctx.w, &upd)...)
@@ -372,6 +401,9 @@ func (s *Server) Tick() {
 		br.Add(monitor.AOI, it.aoiMS, 1)
 		s.sendRaw(it.uid, it.payload)
 		br.Add(monitor.SU, it.suMS, 1)
+		if cost != nil {
+			cost.ObserveChurn(it.entered, it.left)
+		}
 	}
 
 	// --- Step 3b: shadow updates to peer replicas ---
@@ -395,6 +427,9 @@ func (s *Server) Tick() {
 		}
 	}
 	s.handoffs = nil
+	if cost != nil {
+		cost.EndStage(telemetry.CostStagePublish)
+	}
 
 	// --- Bookkeeping ---
 	br.Users = s.zoneUsersLocked()
@@ -411,6 +446,10 @@ func (s *Server) Tick() {
 	// speedup reported by Monitor.MeanTickCPU / mean wall.
 	br.WallMS = s.exec.since(tickStart)
 	s.mon.RecordTick(br)
+	var tickCost telemetry.TickCost
+	if cost != nil {
+		tickCost = cost.EndTick()
+	}
 	if s.cfg.Profiler != nil {
 		dur, items := br.PhaseBreakdown()
 		s.cfg.Profiler.RecordTick(dur, items)
@@ -419,14 +458,16 @@ func (s *Server) Tick() {
 		s.recordTrace(tickStart, &br)
 	}
 	if s.cfg.FlightRec != nil {
-		s.recordFlight(tickStart, &br, len(frames))
+		s.recordFlight(tickStart, &br, len(frames), tickCost)
 	}
 }
 
 // recordFlight converts the tick's Breakdown into a telemetry.TickRecord
 // for the flight recorder. Like tracing, it reuses the Breakdown already
 // timed for the Monitor — recording adds no clock reads to the hot loop.
-func (s *Server) recordFlight(start time.Time, br *monitor.Breakdown, queueDepth int) {
+// The tick's resource cost rides along (zero without a CostTracker), so a
+// capture can classify GC-caused spikes.
+func (s *Server) recordFlight(start time.Time, br *monitor.Breakdown, queueDepth int, tc telemetry.TickCost) {
 	tasks := make([]telemetry.Span, 0, len(br.TimeMS))
 	offset := 0.0
 	for _, t := range monitor.Tasks() {
@@ -453,6 +494,10 @@ func (s *Server) recordFlight(start time.Time, br *monitor.Breakdown, queueDepth
 		QueueDepth:     queueDepth,
 		BytesIn:        br.BytesIn,
 		BytesOut:       br.BytesOut,
+		GCPauseMS:      tc.GCPauseMS,
+		GCCycles:       tc.GCCycles,
+		AllocBytes:     tc.AllocBytes,
+		AllocObjects:   tc.AllocObjects,
 		Tasks:          tasks,
 	}
 	if deadline > 0 {
@@ -495,7 +540,9 @@ func (s *Server) recordTrace(start time.Time, br *monitor.Breakdown) {
 // left it — RTF's bandwidth optimization. It reads the tick's immutable
 // snapshot (never the live store) and mutates only the one user's known
 // map, so the publish stage may run it for different users concurrently.
-func fillDeltaUpdate(u *user, visible []entity.ID, snap *entity.Snapshot, upd *proto.StateUpdate) {
+// It returns the user's AoI churn for the tick: how many entities newly
+// entered the visible set and how many left it.
+func fillDeltaUpdate(u *user, visible []entity.ID, snap *entity.Snapshot, upd *proto.StateUpdate) (entered, left int) {
 	if u.known == nil {
 		u.known = make(map[entity.ID]uint64, len(visible))
 	}
@@ -506,7 +553,11 @@ func fillDeltaUpdate(u *user, visible []entity.ID, snap *entity.Snapshot, upd *p
 			continue
 		}
 		inView[id] = true
-		if last, seen := u.known[id]; !seen || e.Seq > last {
+		last, seen := u.known[id]
+		if !seen {
+			entered++
+		}
+		if !seen || e.Seq > last {
 			upd.Visible = append(upd.Visible, *e)
 			u.known[id] = e.Seq
 		}
@@ -517,8 +568,36 @@ func fillDeltaUpdate(u *user, visible []entity.ID, snap *entity.Snapshot, upd *p
 			delete(u.known, id)
 		}
 	}
+	left = len(upd.Gone)
 	// Deterministic wire output: map iteration scrambles Gone.
 	sort.Slice(upd.Gone, func(i, j int) bool { return upd.Gone[i] < upd.Gone[j] })
+	return entered, left
+}
+
+// visibleChurn diffs a user's visible set against the previous tick's,
+// counting AoI entries and exits, when the server publishes full updates
+// (no delta bookkeeping to piggyback on). It repurposes the user's known
+// map as the membership set; like fillDeltaUpdate it touches only the one
+// user's state, so publish workers may run it concurrently.
+func visibleChurn(u *user, visible []entity.ID) (entered, left int) {
+	if u.known == nil {
+		u.known = make(map[entity.ID]uint64, len(visible))
+	}
+	inView := make(map[entity.ID]bool, len(visible))
+	for _, id := range visible {
+		inView[id] = true
+		if _, seen := u.known[id]; !seen {
+			entered++
+			u.known[id] = 0
+		}
+	}
+	for id := range u.known {
+		if !inView[id] {
+			left++
+			delete(u.known, id)
+		}
+	}
+	return entered, left
 }
 
 // sortedUserIDs returns connected user IDs in deterministic order.
@@ -592,9 +671,21 @@ func (s *Server) removeUser(uid string) (entity.ID, bool) {
 	if !ok {
 		return 0, false
 	}
-	delete(s.users, uid)
+	s.forgetUser(uid)
 	s.store.Remove(u.avatar)
 	return u.avatar, true
+}
+
+// forgetUser drops a user's connection-scoped state: the users-map entry
+// and, when cost tracking is on, its per-client egress counter. Every path
+// that disconnects a user (leave, idle eviction, zone handoff, migration)
+// must go through here so the CostTracker's per-client map stays bounded by
+// the live connection count.
+func (s *Server) forgetUser(uid string) {
+	delete(s.users, uid)
+	if s.cfg.Cost != nil {
+		s.cfg.Cost.EvictClient(uid)
+	}
 }
 
 // receiveMigration installs a user handed off by a peer replica.
@@ -675,7 +766,7 @@ func (s *Server) processZoneTransfers(br *monitor.Breakdown, removed *[]entity.I
 		}
 
 		s.send(uid, &proto.MigrateNotice{NewServer: target})
-		delete(s.users, uid)
+		s.forgetUser(uid)
 		s.store.Remove(av.ID)
 		*removed = append(*removed, av.ID)
 	}
@@ -705,7 +796,7 @@ func (s *Server) processMigrationOrders(br *monitor.Breakdown) {
 			}
 			av, ok := s.store.Get(u.avatar)
 			if !ok {
-				delete(s.users, uid)
+				s.forgetUser(uid)
 				continue
 			}
 			t0 := s.exec.now()
@@ -722,7 +813,7 @@ func (s *Server) processMigrationOrders(br *monitor.Breakdown) {
 			// Optimistic ownership handoff: the target assumes control on
 			// receipt; locally the entity becomes a shadow.
 			av.Owner = ord.target
-			delete(s.users, uid)
+			s.forgetUser(uid)
 			s.send(uid, &proto.MigrateNotice{NewServer: ord.target})
 			moved++
 		}

@@ -1,0 +1,27 @@
+package transport
+
+import "math/bits"
+
+// FrameWireBytes returns the on-wire size of one framed message from→to
+// carrying payloadLen payload bytes, as the TCP transport writes it: a
+// 4-byte big-endian length prefix followed by the uvarint-length-prefixed
+// sender ID, target ID, and payload blob (see tcpNode.Send / readLoop).
+//
+// Loopback delivery carries no real framing, but the byte accounting in the
+// server uses this convention everywhere so that BytesIn/BytesOut mean the
+// same thing whichever transport backs the session: the bytes a TCP peer
+// would actually read or write.
+func FrameWireBytes(from, to string, payloadLen int) int {
+	if payloadLen < 0 {
+		payloadLen = 0
+	}
+	return 4 +
+		uvarintLen(uint64(len(from))) + len(from) +
+		uvarintLen(uint64(len(to))) + len(to) +
+		uvarintLen(uint64(payloadLen)) + payloadLen
+}
+
+// uvarintLen is the encoded size of v as a binary.PutUvarint varint.
+func uvarintLen(v uint64) int {
+	return (bits.Len64(v|1) + 6) / 7
+}

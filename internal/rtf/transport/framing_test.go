@@ -1,0 +1,53 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+
+	"roia/internal/rtf/wire"
+)
+
+// TestFrameWireBytesMatchesTCPFraming pins FrameWireBytes to the byte
+// layout tcpNode.Send actually produces: a 4-byte length prefix plus the
+// uvarint-prefixed from/to/payload triple. If the TCP framing ever changes,
+// this test forces the accounting helper to change with it.
+func TestFrameWireBytesMatchesTCPFraming(t *testing.T) {
+	payloads := []int{0, 1, 17, 127, 128, 4096, 16383, 16384}
+	ids := [][2]string{
+		{"s1", "c1"},
+		{"server-with-a-long-id", "x"},
+		{"", "peer"},
+	}
+	w := wire.NewWriter(64)
+	for _, pair := range ids {
+		from, to := pair[0], pair[1]
+		for _, n := range payloads {
+			payload := bytes.Repeat([]byte{0xAB}, n)
+			w.Reset()
+			w.Uint32(0) // length placeholder, exactly as tcpNode.Send writes it
+			w.String(from)
+			w.String(to)
+			w.Blob(payload)
+			want := len(w.Bytes())
+			if got := FrameWireBytes(from, to, n); got != want {
+				t.Errorf("FrameWireBytes(%q, %q, %d) = %d, want %d (actual framed size)",
+					from, to, n, got, want)
+			}
+		}
+	}
+}
+
+// TestFrameWireBytesOverhead pins the framing overhead for short node IDs:
+// 4 length-prefix bytes plus one uvarint length byte per field. Payloads
+// below 128 bytes encode their length in a single uvarint byte too.
+func TestFrameWireBytesOverhead(t *testing.T) {
+	const from, to = "s1", "c1"
+	// 4 (length prefix) + 1+2 (from) + 1+2 (to) + 1 (payload length) = 11.
+	if got := FrameWireBytes(from, to, 100) - 100; got != 11 {
+		t.Errorf("framing overhead for %q→%q with a short payload = %d, want 11", from, to, got)
+	}
+	// A 128-byte payload needs a second uvarint length byte.
+	if got := FrameWireBytes(from, to, 128) - 128; got != 12 {
+		t.Errorf("framing overhead at 128-byte payload = %d, want 12", got)
+	}
+}

@@ -1,0 +1,450 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime/metrics"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Pipeline stage names the CostTracker attributes allocations to. They
+// mirror the tick pipeline's barriers (decode → apply → simulate → publish);
+// CostStageOther absorbs whatever allocates between EndTick and the last
+// instrumented boundary (bookkeeping, telemetry itself).
+const (
+	CostStageDecode   = "decode"
+	CostStageApply    = "apply"
+	CostStageSimulate = "simulate"
+	CostStagePublish  = "publish"
+	CostStageOther    = "other"
+)
+
+// maxCostStages bounds the per-stage attribution maps: stage names form a
+// tiny fixed vocabulary, and an unexpected caller-supplied name collapses
+// into CostStageOther rather than growing the map forever.
+const maxCostStages = 8
+
+// maxEgressTypes bounds the per-message-type egress map the same way: the
+// protocol's kind set is fixed, and unknown kinds collapse into "other".
+const maxEgressTypes = 16
+
+// TickCost is one tick's resource delta, as sampled from runtime/metrics at
+// the tick boundaries.
+type TickCost struct {
+	// AllocBytes/AllocObjects are the heap allocations the whole process
+	// performed during the tick. On a server whose tick loop is the only
+	// busy goroutine this is the tick's own allocation cost; concurrent
+	// background work is charged to whatever tick it overlaps.
+	AllocBytes   uint64
+	AllocObjects uint64
+	// GCCycles is how many GC cycles completed inside the tick.
+	GCCycles uint64
+	// GCPauseMS is the total stop-the-world pause time that landed inside
+	// the tick, diffed from the runtime's cumulative pause histogram.
+	GCPauseMS float64
+}
+
+// CostSnapshot is a point-in-time copy of a CostTracker's aggregates, safe
+// to read after the tracker moves on. Maps and histograms are independent
+// copies; the fleet collector merges them into zone-level aggregates.
+type CostSnapshot struct {
+	// Ticks is how many BeginTick/EndTick pairs completed.
+	Ticks uint64
+	// AllocBytes/AllocObjects are cumulative heap allocations by pipeline
+	// stage.
+	AllocBytes   map[string]uint64
+	AllocObjects map[string]uint64
+	// GCCycles / GCPauseTotalMS are cumulative in-tick GC cycle and pause
+	// totals.
+	GCCycles       uint64
+	GCPauseTotalMS float64
+	// GCPause is the windowed distribution of per-tick in-tick pause time
+	// (ms per tick; most ticks observe 0).
+	GCPause *LogHistogram
+	// EgressByType is cumulative framed wire bytes sent, by message type.
+	EgressByType map[string]uint64
+	// EgressClientBytes is cumulative framed wire bytes sent to connected
+	// clients (the per-user share of EgressByType); EgressClients is the
+	// number of clients currently tracked.
+	EgressClientBytes uint64
+	EgressClients     int
+	// Payload is the windowed distribution of per-client framed message
+	// sizes (bytes, despite LogHistogram's ms-named API).
+	Payload *LogHistogram
+	// ChurnEnter/ChurnLeave are windowed distributions of entities
+	// entering/leaving one client's visible set in one tick.
+	ChurnEnter *LogHistogram
+	ChurnLeave *LogHistogram
+}
+
+// costSampleNames are the runtime/metrics series the tracker reads at tick
+// boundaries, in slice order.
+var costSampleNames = []string{
+	"/gc/heap/allocs:bytes",
+	"/gc/heap/allocs:objects",
+	"/gc/cycles/total:gc-cycles",
+	"/gc/pauses:seconds",
+}
+
+const (
+	costSampleAllocBytes = iota
+	costSampleAllocObjects
+	costSampleGCCycles
+	costSampleGCPauses
+)
+
+// CostTracker attributes the resource cost behind the tick loop: heap
+// allocations per pipeline stage (runtime/metrics deltas at the stage
+// barriers), GC pause time per tick (cumulative pause-histogram diffs),
+// framed egress bytes per message type and per client, and AoI churn per
+// client per tick. It answers the question the time-only telemetry cannot:
+// when a tick is slow or a replica is expensive, *which resource* — and
+// which stage — paid for it.
+//
+// BeginTick/EndStage/EndTick must be called from the tick goroutine (the
+// stages are barriers, so a stage's allocation delta is attributable even
+// though workers allocate concurrently within it). All methods are
+// internally synchronized so HTTP handlers and the fleet collector can read
+// while the loop records.
+type CostTracker struct {
+	mu sync.Mutex
+
+	// samples is the tick-boundary sample set (allocs, cycles, pauses);
+	// stageSamples is the cheaper allocs-only set read at stage barriers.
+	// runtime/metrics reuses the pause histogram inside samples across
+	// reads, so the begin-of-tick bucket counts are copied into pauseBase.
+	samples      []metrics.Sample
+	stageSamples []metrics.Sample
+	pauseBase    []uint64
+
+	inTick                         bool
+	tickBaseBytes, tickBaseObjects uint64
+	cyclesBase                     uint64
+	lastBytes, lastObjects         uint64
+
+	ticks          uint64
+	stageBytes     map[string]uint64
+	stageObjects   map[string]uint64
+	gcCycles       uint64
+	gcPauseTotalMS float64
+	gcPause        *TailTracker
+
+	egressType        map[string]uint64
+	egressClient      map[string]uint64
+	egressClientBytes uint64
+	payload           *TailTracker
+
+	churnEnter *TailTracker
+	churnLeave *TailTracker
+}
+
+// NewCostTracker returns an empty tracker.
+func NewCostTracker() *CostTracker {
+	c := &CostTracker{
+		samples:      make([]metrics.Sample, len(costSampleNames)),
+		stageSamples: make([]metrics.Sample, 2),
+		stageBytes:   make(map[string]uint64, maxCostStages),
+		stageObjects: make(map[string]uint64, maxCostStages),
+		gcPause:      NewTailTracker(0),
+		egressType:   make(map[string]uint64, maxEgressTypes),
+		egressClient: make(map[string]uint64),
+		payload:      NewTailTracker(0),
+		churnEnter:   NewTailTracker(0),
+		churnLeave:   NewTailTracker(0),
+	}
+	for i, name := range costSampleNames {
+		c.samples[i].Name = name
+	}
+	c.stageSamples[0].Name = costSampleNames[costSampleAllocBytes]
+	c.stageSamples[1].Name = costSampleNames[costSampleAllocObjects]
+	return c
+}
+
+// BeginTick snapshots the runtime counters at the start of a tick.
+func (c *CostTracker) BeginTick() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	metrics.Read(c.samples)
+	c.tickBaseBytes = c.samples[costSampleAllocBytes].Value.Uint64()
+	c.tickBaseObjects = c.samples[costSampleAllocObjects].Value.Uint64()
+	c.cyclesBase = c.samples[costSampleGCCycles].Value.Uint64()
+	h := c.samples[costSampleGCPauses].Value.Float64Histogram()
+	c.pauseBase = append(c.pauseBase[:0], h.Counts...)
+	c.lastBytes, c.lastObjects = c.tickBaseBytes, c.tickBaseObjects
+	c.inTick = true
+}
+
+// EndStage attributes the allocations since the previous boundary (BeginTick
+// or the last EndStage) to the named pipeline stage. A no-op outside a tick.
+func (c *CostTracker) EndStage(stage string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.inTick {
+		return
+	}
+	metrics.Read(c.stageSamples)
+	b := c.stageSamples[0].Value.Uint64()
+	o := c.stageSamples[1].Value.Uint64()
+	c.attributeLocked(stage, b-c.lastBytes, o-c.lastObjects)
+	c.lastBytes, c.lastObjects = b, o
+}
+
+// attributeLocked adds one allocation delta to a stage's cumulative
+// counters, collapsing unexpected stage names into CostStageOther once the
+// fixed stage vocabulary is exhausted.
+func (c *CostTracker) attributeLocked(stage string, db, do uint64) {
+	if _, ok := c.stageBytes[stage]; !ok &&
+		(len(c.stageBytes) >= maxCostStages || len(c.stageObjects) >= maxCostStages) {
+		stage = CostStageOther
+	}
+	c.stageBytes[stage] += db
+	c.stageObjects[stage] += do
+}
+
+// EndTick closes the tick: residual allocations since the last stage
+// boundary go to CostStageOther, and the tick's GC cycle/pause deltas are
+// computed from the cumulative runtime series. Returns the tick's cost for
+// the flight recorder. The zero TickCost is returned outside a tick.
+func (c *CostTracker) EndTick() TickCost {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.inTick {
+		return TickCost{}
+	}
+	c.inTick = false
+	metrics.Read(c.samples)
+	b := c.samples[costSampleAllocBytes].Value.Uint64()
+	o := c.samples[costSampleAllocObjects].Value.Uint64()
+	c.attributeLocked(CostStageOther, b-c.lastBytes, o-c.lastObjects)
+	c.lastBytes, c.lastObjects = b, o
+
+	cost := TickCost{
+		AllocBytes:   b - c.tickBaseBytes,
+		AllocObjects: o - c.tickBaseObjects,
+		GCCycles:     c.samples[costSampleGCCycles].Value.Uint64() - c.cyclesBase,
+		GCPauseMS:    pauseDeltaMS(c.samples[costSampleGCPauses].Value.Float64Histogram(), c.pauseBase),
+	}
+	c.ticks++
+	c.gcCycles += cost.GCCycles
+	c.gcPauseTotalMS += cost.GCPauseMS
+	c.gcPause.Observe(cost.GCPauseMS)
+	return cost
+}
+
+// pauseDeltaMS sums the new observations a cumulative pause histogram
+// gained since base, approximating each by its bucket midpoint (the finite
+// edge for the ±Inf boundary buckets). Returns milliseconds.
+func pauseDeltaMS(h *metrics.Float64Histogram, base []uint64) float64 {
+	if h == nil || len(base) != len(h.Counts) || len(h.Buckets) != len(h.Counts)+1 {
+		return 0
+	}
+	total := 0.0
+	for i, n := range h.Counts {
+		d := n - base[i]
+		if d == 0 {
+			continue
+		}
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		var mid float64
+		switch {
+		case math.IsInf(lo, -1):
+			mid = hi
+		case math.IsInf(hi, 1):
+			mid = lo
+		default:
+			mid = (lo + hi) / 2
+		}
+		total += float64(d) * mid
+	}
+	return total * 1e3
+}
+
+// ObserveEgress records one framed wire message of frameBytes bytes (header
+// + payload, the transport's on-wire size). msgType is the protocol kind
+// name; client is the destination's connected-client ID, or "" for
+// server-to-server traffic (which is counted by type but not per client).
+func (c *CostTracker) ObserveEgress(client, msgType string, frameBytes int) {
+	if frameBytes <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.egressType[msgType]; !ok && len(c.egressType) >= maxEgressTypes {
+		msgType = "other"
+	}
+	c.egressType[msgType] += uint64(frameBytes)
+	if client == "" {
+		return
+	}
+	c.egressClient[client] += uint64(frameBytes)
+	c.egressClientBytes += uint64(frameBytes)
+	c.payload.Observe(float64(frameBytes))
+}
+
+// EvictClient drops a disconnected client's egress counter. The server
+// calls this when a user leaves, migrates away, or is idle-evicted, so the
+// per-client map tracks only live connections.
+func (c *CostTracker) EvictClient(client string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.egressClient, client)
+}
+
+// ClientEgressBytes reports the cumulative framed bytes sent to one
+// currently-connected client.
+func (c *CostTracker) ClientEgressBytes(client string) (uint64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b, ok := c.egressClient[client]
+	return b, ok
+}
+
+// ObserveChurn records one client's AoI churn for one tick: entered
+// entities appeared in its visible set this tick, left entities dropped out.
+func (c *CostTracker) ObserveChurn(entered, left int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.churnEnter.Observe(float64(entered))
+	c.churnLeave.Observe(float64(left))
+}
+
+// Ticks reports how many completed ticks the tracker has observed.
+func (c *CostTracker) Ticks() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ticks
+}
+
+// Snapshot copies the tracker's aggregates.
+func (c *CostTracker) Snapshot() CostSnapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	snap := CostSnapshot{
+		Ticks:             c.ticks,
+		AllocBytes:        make(map[string]uint64, len(c.stageBytes)),
+		AllocObjects:      make(map[string]uint64, len(c.stageObjects)),
+		GCCycles:          c.gcCycles,
+		GCPauseTotalMS:    c.gcPauseTotalMS,
+		GCPause:           c.gcPause.Histogram(),
+		EgressByType:      make(map[string]uint64, len(c.egressType)),
+		EgressClientBytes: c.egressClientBytes,
+		EgressClients:     len(c.egressClient),
+		Payload:           c.payload.Histogram(),
+		ChurnEnter:        c.churnEnter.Histogram(),
+		ChurnLeave:        c.churnLeave.Histogram(),
+	}
+	for k, v := range c.stageBytes {
+		snap.AllocBytes[k] = v
+	}
+	for k, v := range c.stageObjects {
+		snap.AllocObjects[k] = v
+	}
+	for k, v := range c.egressType {
+		snap.EgressByType[k] = v
+	}
+	return snap
+}
+
+// WriteMetrics exports the tracker's aggregates in the Prometheus text
+// exposition format; it matches MetricsWriter.
+//
+// Exported families:
+//
+//	roia_alloc_bytes_total{stage}     counter, heap bytes allocated per stage
+//	roia_alloc_objects_total{stage}   counter, heap objects allocated per stage
+//	roia_gc_cycles_total              counter, GC cycles completed inside ticks
+//	roia_gc_pause_ms_total            counter, in-tick GC pause time
+//	roia_gc_pause_q_ms{q}             gauge, windowed per-tick pause quantiles
+//	roia_egress_bytes_total{type}     counter, framed wire bytes by message type
+//	roia_egress_client_bytes_total    counter, framed wire bytes to clients
+//	roia_egress_clients               gauge, clients currently tracked
+//	roia_egress_payload_q_bytes{q}    gauge, windowed per-client frame sizes
+//	roia_aoi_churn_enter_q{q}         gauge, windowed per-client AoI entries/tick
+//	roia_aoi_churn_leave_q{q}         gauge, windowed per-client AoI exits/tick
+func (c *CostTracker) WriteMetrics(w io.Writer, labels string) error {
+	snap := c.Snapshot()
+	lbl := func(extra string) string { return FormatLabels(labels, extra) }
+	var b strings.Builder
+
+	fmt.Fprintf(&b, "# TYPE roia_alloc_bytes_total counter\n")
+	for _, st := range sortedCostKeys(snap.AllocBytes) {
+		fmt.Fprintf(&b, "roia_alloc_bytes_total%s %d\n", lbl(fmt.Sprintf("stage=%q", st)), snap.AllocBytes[st])
+	}
+	fmt.Fprintf(&b, "# TYPE roia_alloc_objects_total counter\n")
+	for _, st := range sortedCostKeys(snap.AllocObjects) {
+		fmt.Fprintf(&b, "roia_alloc_objects_total%s %d\n", lbl(fmt.Sprintf("stage=%q", st)), snap.AllocObjects[st])
+	}
+	fmt.Fprintf(&b, "# TYPE roia_gc_cycles_total counter\n")
+	fmt.Fprintf(&b, "roia_gc_cycles_total%s %d\n", lbl(""), snap.GCCycles)
+	fmt.Fprintf(&b, "# TYPE roia_gc_pause_ms_total counter\n")
+	fmt.Fprintf(&b, "roia_gc_pause_ms_total%s %g\n", lbl(""), snap.GCPauseTotalMS)
+	writeCostQuantiles(&b, "roia_gc_pause_q_ms", lbl, snap.GCPause)
+
+	fmt.Fprintf(&b, "# TYPE roia_egress_bytes_total counter\n")
+	for _, typ := range sortedCostKeys(snap.EgressByType) {
+		fmt.Fprintf(&b, "roia_egress_bytes_total%s %d\n", lbl(fmt.Sprintf("type=%q", typ)), snap.EgressByType[typ])
+	}
+	fmt.Fprintf(&b, "# TYPE roia_egress_client_bytes_total counter\n")
+	fmt.Fprintf(&b, "roia_egress_client_bytes_total%s %d\n", lbl(""), snap.EgressClientBytes)
+	fmt.Fprintf(&b, "# TYPE roia_egress_clients gauge\n")
+	fmt.Fprintf(&b, "roia_egress_clients%s %d\n", lbl(""), snap.EgressClients)
+	writeCostQuantiles(&b, "roia_egress_payload_q_bytes", lbl, snap.Payload)
+	writeCostQuantiles(&b, "roia_aoi_churn_enter_q", lbl, snap.ChurnEnter)
+	writeCostQuantiles(&b, "roia_aoi_churn_leave_q", lbl, snap.ChurnLeave)
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// costQuantileLevels are the quantile gauge levels every windowed cost
+// family exports, as (label value, quantile) pairs.
+var costQuantileLevels = []struct {
+	Label string
+	Q     float64
+}{
+	{"0.5", 0.50},
+	{"0.9", 0.90},
+	{"0.99", 0.99},
+	{"1", 1},
+}
+
+// writeCostQuantiles emits one windowed quantile-gauge family. The family
+// name must be `# TYPE`-declared by WriteCostQuantileTypes below (kept in
+// one place so the metricname analyzer sees a single declaration per
+// family).
+func writeCostQuantiles(b *strings.Builder, family string, lbl func(string) string, h *LogHistogram) {
+	writeCostQuantileType(b, family)
+	for _, lv := range costQuantileLevels {
+		fmt.Fprintf(b, "%s%s %g\n", family, lbl(fmt.Sprintf("q=%q", lv.Label)), h.Quantile(lv.Q))
+	}
+}
+
+// writeCostQuantileType declares the TYPE header for each quantile family
+// with a literal name, so the exposition-grammar analyzer can check it.
+func writeCostQuantileType(b *strings.Builder, family string) {
+	switch family {
+	case "roia_gc_pause_q_ms":
+		b.WriteString("# TYPE roia_gc_pause_q_ms gauge\n")
+	case "roia_egress_payload_q_bytes":
+		b.WriteString("# TYPE roia_egress_payload_q_bytes gauge\n")
+	case "roia_aoi_churn_enter_q":
+		b.WriteString("# TYPE roia_aoi_churn_enter_q gauge\n")
+	case "roia_aoi_churn_leave_q":
+		b.WriteString("# TYPE roia_aoi_churn_leave_q gauge\n")
+	default:
+		fmt.Fprintf(b, "# TYPE %s gauge\n", family)
+	}
+}
+
+// sortedCostKeys returns a map's keys in deterministic order.
+func sortedCostKeys(m map[string]uint64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -42,9 +42,18 @@ type TickRecord struct {
 	// QueueDepth is the number of frames drained from the receive queue at
 	// the start of the tick — backlog pressure when a previous tick ran long.
 	QueueDepth int `json:"queue_depth"`
-	// BytesIn/BytesOut are the tick's wire payload bytes.
+	// BytesIn/BytesOut are the tick's framed wire bytes (transport header
+	// + payload, matching what the transport reads and writes).
 	BytesIn  int `json:"bytes_in,omitempty"`
 	BytesOut int `json:"bytes_out,omitempty"`
+	// GCPauseMS is the stop-the-world GC pause time that landed inside the
+	// tick and GCCycles the GC cycles that completed in it; AllocBytes and
+	// AllocObjects are the tick's heap allocations. All four come from the
+	// server's CostTracker and stay zero when cost tracking is off.
+	GCPauseMS    float64 `json:"gc_pause_ms,omitempty"`
+	GCCycles     uint64  `json:"gc_cycles,omitempty"`
+	AllocBytes   uint64  `json:"alloc_bytes,omitempty"`
+	AllocObjects uint64  `json:"alloc_objects,omitempty"`
 	// Tasks is the per-task (t_ua, t_npc, ...) time/item decomposition of
 	// the tick, in loop order; tasks that did no work are omitted.
 	Tasks []Span `json:"tasks,omitempty"`
@@ -63,6 +72,11 @@ type FlightCapture struct {
 	// MedianMS is the rolling-median tick wall time at the trigger (0 until
 	// the detector's window has filled).
 	MedianMS float64 `json:"median_ms"`
+	// GCAttributed classifies the capture: true when the triggering tick
+	// observed in-tick GC activity (a nonzero pause or a completed cycle),
+	// so GC-caused tail spikes are distinguishable from simulation cost.
+	// Always false when the server runs without a CostTracker.
+	GCAttributed bool `json:"gc_attributed"`
 	// Records is the surrounding window in chronological order: up to Pre
 	// ticks before the trigger, the trigger itself, and Post ticks after.
 	Records []TickRecord `json:"-"`
@@ -218,11 +232,12 @@ func (r *FlightRecorder) Record(rec TickRecord) {
 	case reason != "":
 		r.nextID++
 		c := &FlightCapture{
-			ID:          r.nextID,
-			Reason:      reason,
-			TriggerTick: rec.Tick,
-			MedianMS:    median,
-			Records:     r.ringOrderedLocked(),
+			ID:           r.nextID,
+			Reason:       reason,
+			TriggerTick:  rec.Tick,
+			MedianMS:     median,
+			GCAttributed: rec.GCPauseMS > 0 || rec.GCCycles > 0,
+			Records:      r.ringOrderedLocked(),
 		}
 		r.open = c
 		r.postLeft = r.cfg.Post

@@ -15,8 +15,11 @@ type diffRow struct {
 	DeltaFrac      float64 // (new-base)/base; 0 when base is 0
 	BytesDelta     float64
 	AllocsDelta    int64
+	AllocsFrac     float64 // relative allocs/op movement; 0 when base is 0
 	P99Delta       float64 // relative movement of the "p99-ms" tail metric
 	hasP99         bool    // both sides report p99-ms
+	EgressDelta    float64 // relative movement of the "bytes/user/tick" metric
+	hasEgress      bool    // both sides report bytes/user/tick
 	Status         string  // "ok", "regression", "missing", "new"
 	missingOrExtra bool
 }
@@ -26,11 +29,19 @@ type diffRow struct {
 // benchmarks (see bench_test.go and roiabench -fig variability).
 const tailMetric = "p99-ms"
 
+// egressMetric is the second gated custom metric: framed wire bytes sent
+// per user per tick, reported by the cost harness (roiabench -fig cost).
+// A protocol or interest-management change that silently fattens every
+// user's update stream regresses this even when tick time is unchanged.
+const egressMetric = "bytes/user/tick"
+
 // compareSnapshots diffs two snapshots benchmark by benchmark. A benchmark
-// regresses when its candidate ns/op — or its "p99-ms" tail metric, when
-// both sides report one — exceeds the baseline by more than tolerance (a
-// fraction, e.g. 0.10 = +10%). Gating the tail as well as the mean keeps
-// a faster-on-average change from hiding a fatter tick-time tail.
+// regresses when its candidate ns/op — or its "p99-ms" tail metric, its
+// allocs/op, or its "bytes/user/tick" egress metric, when the baseline
+// reports a nonzero value — exceeds the baseline by more than tolerance (a
+// fraction, e.g. 0.10 = +10%). Gating the tail as well as the mean keeps a
+// faster-on-average change from hiding a fatter tick-time tail; gating
+// allocations and per-user egress keeps one from hiding a costlier tick.
 // Benchmarks present on only one side are reported as "missing"/"new" but
 // never count as regressions — renames and additions are routine, silent
 // disappearance is visible.
@@ -63,17 +74,33 @@ func compareSnapshots(base, next snapshot, tolerance float64) (rows []diffRow, r
 			if b.NsPerOp > 0 {
 				row.DeltaFrac = (n.NsPerOp - b.NsPerOp) / b.NsPerOp
 			}
+			if b.AllocsOp > 0 {
+				row.AllocsFrac = float64(n.AllocsOp-b.AllocsOp) / float64(b.AllocsOp)
+			}
 			if bp, ok := b.Metrics[tailMetric]; ok && bp > 0 {
 				if np, ok := n.Metrics[tailMetric]; ok {
 					row.hasP99 = true
 					row.P99Delta = (np - bp) / bp
 				}
 			}
-			if row.DeltaFrac > tolerance {
+			if be, ok := b.Metrics[egressMetric]; ok && be > 0 {
+				if ne, ok := n.Metrics[egressMetric]; ok {
+					row.hasEgress = true
+					row.EgressDelta = (ne - be) / be
+				}
+			}
+			switch {
+			case row.DeltaFrac > tolerance:
 				row.Status = "regression"
 				regressions++
-			} else if row.hasP99 && row.P99Delta > tolerance {
+			case row.hasP99 && row.P99Delta > tolerance:
 				row.Status = "regression(p99)"
+				regressions++
+			case row.AllocsFrac > tolerance:
+				row.Status = "regression(allocs)"
+				regressions++
+			case row.hasEgress && row.EgressDelta > tolerance:
+				row.Status = "regression(bytes/user)"
 				regressions++
 			}
 			rows = append(rows, row)
@@ -99,7 +126,7 @@ func writeComparison(w io.Writer, rows []diffRow, tolerance float64) {
 		fmt.Fprintf(w, "%-50s %12.1f %12.1f %+7.1f%% %8s %+10.0f %+8d  %s\n",
 			r.Name, r.BaseNs, r.NewNs, r.DeltaFrac*100, p99, r.BytesDelta, r.AllocsDelta, r.Status)
 	}
-	fmt.Fprintf(w, "tolerance: +%.0f%% ns/op and %s\n", tolerance*100, tailMetric)
+	fmt.Fprintf(w, "tolerance: +%.0f%% ns/op, %s, allocs/op, and %s\n", tolerance*100, tailMetric, egressMetric)
 }
 
 // loadSnapshot reads one BENCH_<n>.json document.

@@ -122,6 +122,91 @@ func TestCompareGatesOnTailMetric(t *testing.T) {
 	}
 }
 
+func TestCompareGatesOnAllocs(t *testing.T) {
+	base := snap(map[string]result{
+		// ns/op flat, allocs/op +50%: a cost regression the time gate
+		// alone would wave through.
+		"BenchmarkAllocFat": {NsPerOp: 100, AllocsOp: 100},
+		// Allocs improve.
+		"BenchmarkAllocOK": {NsPerOp: 100, AllocsOp: 100},
+		// Zero-alloc baseline: never alloc-gated (no ratio to form), even
+		// if the candidate starts allocating.
+		"BenchmarkZeroBase": {NsPerOp: 100, AllocsOp: 0},
+	})
+	next := snap(map[string]result{
+		"BenchmarkAllocFat": {NsPerOp: 101, AllocsOp: 150},
+		"BenchmarkAllocOK":  {NsPerOp: 101, AllocsOp: 80},
+		"BenchmarkZeroBase": {NsPerOp: 101, AllocsOp: 3},
+	})
+	rows, regressions := compareSnapshots(base, next, 0.10)
+	if regressions != 1 {
+		t.Fatalf("regressions = %d, want 1 (allocs only)\nrows: %+v", regressions, rows)
+	}
+	byName := map[string]diffRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	fat := byName["BenchmarkAllocFat"]
+	if fat.Status != "regression(allocs)" {
+		t.Fatalf("BenchmarkAllocFat = %+v, want regression(allocs)", fat)
+	}
+	if fat.AllocsFrac < 0.49 || fat.AllocsFrac > 0.51 {
+		t.Fatalf("BenchmarkAllocFat allocs frac = %g, want ~0.50", fat.AllocsFrac)
+	}
+	for _, name := range []string{"BenchmarkAllocOK", "BenchmarkZeroBase"} {
+		if s := byName[name].Status; s != "ok" {
+			t.Fatalf("%s status = %q, want ok", name, s)
+		}
+	}
+}
+
+func TestCompareGatesOnEgressMetric(t *testing.T) {
+	base := snap(map[string]result{
+		// ns/op flat, per-user egress doubles: a bandwidth regression.
+		"BenchmarkEgressFat": {NsPerOp: 100, Metrics: map[string]float64{egressMetric: 90}},
+		// Egress improves.
+		"BenchmarkEgressOK": {NsPerOp: 100, Metrics: map[string]float64{egressMetric: 90}},
+		// Candidate dropped the metric: not gated (no pair to compare).
+		"BenchmarkEgressDropped": {NsPerOp: 100, Metrics: map[string]float64{egressMetric: 90}},
+	})
+	next := snap(map[string]result{
+		"BenchmarkEgressFat":     {NsPerOp: 101, Metrics: map[string]float64{egressMetric: 180}},
+		"BenchmarkEgressOK":      {NsPerOp: 101, Metrics: map[string]float64{egressMetric: 85}},
+		"BenchmarkEgressDropped": {NsPerOp: 101},
+	})
+	rows, regressions := compareSnapshots(base, next, 0.10)
+	if regressions != 1 {
+		t.Fatalf("regressions = %d, want 1 (egress only)\nrows: %+v", regressions, rows)
+	}
+	byName := map[string]diffRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	fat := byName["BenchmarkEgressFat"]
+	if fat.Status != "regression(bytes/user)" || !fat.hasEgress {
+		t.Fatalf("BenchmarkEgressFat = %+v, want regression(bytes/user)", fat)
+	}
+	if fat.EgressDelta < 0.99 || fat.EgressDelta > 1.01 {
+		t.Fatalf("BenchmarkEgressFat egress delta = %g, want ~1.0 (90→180)", fat.EgressDelta)
+	}
+	if s := byName["BenchmarkEgressOK"].Status; s != "ok" {
+		t.Fatalf("BenchmarkEgressOK status = %q, want ok", s)
+	}
+	r := byName["BenchmarkEgressDropped"]
+	if r.Status != "ok" || r.hasEgress {
+		t.Fatalf("BenchmarkEgressDropped = %+v, want ok without egress gating", r)
+	}
+
+	// ns/op takes precedence over the egress label when both trip.
+	both, n := compareSnapshots(
+		snap(map[string]result{"BenchmarkBoth": {NsPerOp: 100, Metrics: map[string]float64{egressMetric: 10}}}),
+		snap(map[string]result{"BenchmarkBoth": {NsPerOp: 200, Metrics: map[string]float64{egressMetric: 99}}}),
+		0.10)
+	if n != 1 || both[0].Status != "regression" {
+		t.Fatalf("both-gates row = %+v (regressions=%d), want single plain regression", both[0], n)
+	}
+}
+
 func TestCompareRowsAreSortedAndRendered(t *testing.T) {
 	base := snap(map[string]result{"BenchmarkB": {NsPerOp: 10}, "BenchmarkA": {NsPerOp: 10}})
 	next := snap(map[string]result{"BenchmarkB": {NsPerOp: 10}, "BenchmarkA": {NsPerOp: 10}})

@@ -108,6 +108,43 @@ func (r *FlightRecorder) freeze() {
 	r.captures = append(r.captures, append([]int(nil), r.ring...))
 }
 
+// UsageTracker mirrors the cost tracker's per-client discipline: a map
+// keyed by live connections whose entries are deleted on disconnect, and a
+// small fixed-vocabulary map gated by a len comparison that collapses
+// overflow into a catch-all key.
+type UsageTracker struct {
+	perClient map[string]uint64
+	byKind    map[string]uint64
+}
+
+// Good: the insert is paired with the Evict age-out in the method set.
+func (t *UsageTracker) Observe(client string, n uint64) {
+	t.perClient[client] += n
+}
+
+// Evict removes a disconnected client's counter.
+func (t *UsageTracker) Evict(client string) {
+	delete(t.perClient, client)
+}
+
+// Good: a len comparison caps the vocabulary; overflow shares one key.
+func (t *UsageTracker) ObserveKind(kind string, n uint64) {
+	if _, ok := t.byKind[kind]; !ok && len(t.byKind) >= 8 {
+		kind = "other"
+	}
+	t.byKind[kind] += n
+}
+
+// LeakTracker proves the Tracker suffix is in scope for the heuristic.
+type LeakTracker struct {
+	seen map[string]int
+}
+
+// Bad: map insert in a *Tracker type with no bounding evidence.
+func (t *LeakTracker) Mark(k string) {
+	t.seen[k] += 1
+}
+
 // builder does not match the long-lived-type heuristic at all.
 type builder struct {
 	parts []string

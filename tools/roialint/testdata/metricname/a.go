@@ -56,6 +56,34 @@ func quantileDrift(w io.Writer) {
 	fmt.Fprintf(w, "roia_fleet_tick_wall_q_ms{quantile=\"0.99\"} %g\n", 2.0)
 }
 
+// Bad: an egress family whose label key drifts from "type" to "kind".
+func egressDrift(w io.Writer) {
+	fmt.Fprintf(w, "# TYPE roia_egress_bytes_total counter\n")
+	fmt.Fprintf(w, "roia_egress_bytes_total{type=\"state_update\"} %d\n", 1)
+	fmt.Fprintf(w, "roia_egress_bytes_total{kind=\"input\"} %d\n", 2)
+}
+
+// Good: the cost observability families — per-stage allocation counters,
+// GC pause totals and quantile gauges, per-type egress counters, and AoI
+// churn quantiles, each with one constant label-key set.
+func costClean(w io.Writer) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# TYPE roia_alloc_bytes_total counter\n")
+	fmt.Fprintf(&b, "roia_alloc_bytes_total%s %d\n", fmt.Sprintf("stage=%q", "decode"), 10)
+	fmt.Fprintf(&b, "roia_alloc_bytes_total%s %d\n", fmt.Sprintf("stage=%q", "publish"), 20)
+	fmt.Fprintf(&b, "# TYPE roia_gc_cycles_total counter\nroia_gc_cycles_total %d\n", 3)
+	fmt.Fprintf(&b, "# TYPE roia_gc_pause_ms_total counter\nroia_gc_pause_ms_total %g\n", 0.5)
+	fmt.Fprintf(&b, "# TYPE roia_gc_pause_q_ms gauge\n")
+	fmt.Fprintf(&b, "roia_gc_pause_q_ms{q=\"0.99\"} %g\n", 0.1)
+	fmt.Fprintf(&b, "roia_gc_pause_q_ms{q=\"1\"} %g\n", 0.4)
+	fmt.Fprintf(&b, "# TYPE roia_egress_client_bytes_total counter\nroia_egress_client_bytes_total %d\n", 512)
+	fmt.Fprintf(&b, "# TYPE roia_egress_payload_q_bytes gauge\n")
+	fmt.Fprintf(&b, "roia_egress_payload_q_bytes{q=\"0.5\"} %g\n", 96.0)
+	fmt.Fprintf(&b, "# TYPE roia_aoi_churn_enter_q gauge\n")
+	fmt.Fprintf(&b, "roia_aoi_churn_enter_q{q=\"0.99\"} %g\n", 2.0)
+	_, _ = io.WriteString(w, b.String())
+}
+
 // Good: well-formed families, consistent kinds and labels.
 func clean(w io.Writer, labels string) error {
 	var b strings.Builder
