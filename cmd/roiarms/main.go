@@ -39,6 +39,7 @@ import (
 	"roia/internal/rtf/transport"
 	"roia/internal/rtf/zone"
 	"roia/internal/telemetry"
+	"roia/internal/telemetry/tsdb"
 	"roia/internal/workload"
 )
 
@@ -126,9 +127,40 @@ func run() error {
 	}
 	driver.SetLatencyDeadline(rttDeadline)
 
+	// -fleet-metrics: a bounded time-series store retains the per-second
+	// scrape history (12 min at 1 Hz by default), and the SLO engine turns
+	// the tick-deadline and client-RTT counters in it into error-budget
+	// burn rates. Both are built before the alert engine so the burn-rate
+	// rules can join the model-threshold rules.
+	var (
+		store *tsdb.Store
+		slo   *tsdb.SLOEngine
+	)
+	if *fleetMetFlag != "" {
+		store = tsdb.NewStore(tsdb.Config{})
+		slo = tsdb.NewSLOEngine(store,
+			// QoS contract A: every tick finishes within the deadline 1/U.
+			tsdb.SLO{
+				Name:      "tick_deadline",
+				Objective: 0.99,
+				Total:     tsdb.Selector{Family: "roia_fleet_ticks_total"},
+				Bad:       tsdb.Selector{Family: "roia_fleet_deadline_violations_total"},
+			},
+			// QoS contract B: every client input→update round trip lands
+			// within the RTT deadline.
+			tsdb.SLO{
+				Name:      "client_rtt",
+				Objective: 0.99,
+				Total:     tsdb.Selector{Family: "roia_client_rtt_count"},
+				Bad:       tsdb.Selector{Family: "roia_client_rtt_deadline_violations_total"},
+			},
+		)
+	}
+
 	// -alerts: evaluate the model-threshold rules once per control second,
 	// in lockstep with the manager, and log every pending/firing/resolved
-	// transition as JSONL.
+	// transition as JSONL. With -fleet-metrics also active, the SLO burn
+	// rules flow through the same engine and log.
 	var (
 		alertLog *telemetry.AlertLog
 		engine   *telemetry.AlertEngine
@@ -142,24 +174,35 @@ func run() error {
 		defer f.Close()
 		alertLog = telemetry.NewAlertLog(f)
 		drift = &telemetry.Drift{}
-		engine = telemetry.NewAlertEngine(alertLog, fl.AlertRules(fleet.AlertConfig{
+		rules := fl.AlertRules(fleet.AlertConfig{
 			Model:         mdl,
 			MaxReplicas:   *maxRepFlag,
 			Drift:         drift,
 			ClientLatency: func() telemetry.LatencySnapshot { return driver.ClientLatency().Snapshot() },
-		})...)
+		})
+		if slo != nil {
+			rules = append(rules, slo.Rules(2)...)
+		}
+		engine = telemetry.NewAlertEngine(alertLog, rules...)
 	}
 
 	// -fleet-metrics: the cluster-level scrape — per-replica tick/deadline
-	// counters, the merged client RTT distribution, and (with -alerts) the
-	// alert engine's state.
+	// counters, the merged client RTT distribution, model capacity
+	// ceilings, SLO budget state, the retained history at /fleet/query,
+	// and (with -alerts) the alert engine's state.
+	var col *fleet.Collector
 	if *fleetMetFlag != "" {
 		ctx, cancel := context.WithCancel(context.Background())
 		defer cancel()
-		col := fleet.NewCollector(fl)
+		col = fleet.NewCollector(fl)
+		col.SetStore(store)
+		col.SetModel(mdl)
+		col.SetClientLatency(func() telemetry.LatencySnapshot { return driver.ClientLatency().Snapshot() })
 		col.AddMetrics(func(w io.Writer, labels string) error {
 			return driver.ClientLatency().WriteMetrics(w, "roia_client_rtt", labels)
 		})
+		col.AddMetrics(slo.WriteMetrics)
+		col.AddMetrics(store.WriteMetrics)
 		if engine != nil {
 			col.SetAlerts(engine)
 		}
@@ -167,7 +210,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("fleet metrics on http://%s/fleet/metrics, migration traces on /fleet/migrations\n", addr)
+		fmt.Printf("fleet metrics on http://%s/fleet/metrics, history on /fleet/query, migration traces on /fleet/migrations\n", addr)
 	}
 
 	half := *durationFlag / 2
@@ -184,6 +227,11 @@ func run() error {
 		}
 		for tick := 0; tick < *tpsFlag; tick++ {
 			driver.Step()
+		}
+		// One history sample per control second, before the manager and the
+		// alert rules look at the world, so the burn rates see this second.
+		if col != nil {
+			col.Record()
 		}
 		actions := mgr.Step(float64(sec))
 		if engine != nil {

@@ -191,6 +191,7 @@ func serveMetrics(ctx context.Context, mon *monitor.Monitor, drift *telemetry.Dr
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", telemetry.MetricsHandler(labels, writers...))
+	mux.Handle("/healthz", telemetry.ReadyHandler(func() bool { return mon.Ticks() > 0 }))
 	mux.Handle("/debug/ticktrace", telemetry.TraceHandler(tracer))
 	mux.Handle("/debug/flightrec", telemetry.FlightRecHandler(flightRec))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

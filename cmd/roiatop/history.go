@@ -1,0 +1,126 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// histSeries is one retained time series from /fleet/query.
+type histSeries struct {
+	Family string
+	Labels map[string]string
+	Points []float64 // values in time order; the sparkline only needs shape
+}
+
+// parseHistory reads the /fleet/query JSONL stream, grouping raw-sample
+// lines (the ones carrying "t") into series; aggregate lines are skipped —
+// the dashboard draws shape, not windows.
+func parseHistory(r io.Reader) ([]histSeries, error) {
+	type line struct {
+		Family string            `json:"family"`
+		Labels map[string]string `json:"labels"`
+		T      *float64          `json:"t"`
+		V      *float64          `json:"v"`
+	}
+	idx := make(map[string]int)
+	var out []histSeries
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var l line
+		if err := json.Unmarshal([]byte(text), &l); err != nil {
+			return nil, fmt.Errorf("history: bad line %q: %w", text, err)
+		}
+		if l.T == nil || l.V == nil {
+			continue
+		}
+		key := seriesKey(l.Family, l.Labels)
+		i, ok := idx[key]
+		if !ok {
+			i = len(out)
+			idx[key] = i
+			out = append(out, histSeries{Family: l.Family, Labels: l.Labels})
+		}
+		out[i].Points = append(out[i].Points, *l.V)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(a, b int) bool {
+		return seriesKey(out[a].Family, out[a].Labels) < seriesKey(out[b].Family, out[b].Labels)
+	})
+	return out, nil
+}
+
+// seriesKey canonicalizes family+labels for grouping and ordering.
+func seriesKey(family string, labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(family)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "|%s=%s", k, labels[k])
+	}
+	return b.String()
+}
+
+// find returns the first series matching family and the want label pairs.
+func findSeries(series []histSeries, family string, want map[string]string) (histSeries, bool) {
+	for _, s := range series {
+		if s.Family != family {
+			continue
+		}
+		ok := true
+		for k, v := range want {
+			if s.Labels[k] != v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return s, true
+		}
+	}
+	return histSeries{}, false
+}
+
+// sparkline renders values as a fixed-height unicode bar run, scaled to
+// the series' own min..max (a flat series renders as a low bar).
+func sparkline(vals []float64, width int) string {
+	if len(vals) == 0 {
+		return ""
+	}
+	if len(vals) > width {
+		vals = vals[len(vals)-width:]
+	}
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	ramp := []rune("▁▂▃▄▅▆▇█")
+	var b strings.Builder
+	for _, v := range vals {
+		i := 0
+		if hi > lo {
+			i = int((v - lo) / (hi - lo) * float64(len(ramp)-1))
+		}
+		b.WriteRune(ramp[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,140 @@
+// Command roiatop is a terminal dashboard over the fleet collector: it
+// polls /fleet/metrics and /fleet/query and renders the live replica
+// table, observed occupancy against the model ceilings n_max/l_max, tick
+// tail sparklines from the retained history, SLO error-budget and
+// burn-rate gauges, and the alert engine's firing state — the paper's
+// capacity model and the running fleet on one screen.
+//
+// Live mode redraws every -interval seconds:
+//
+//	roiatop -addr 127.0.0.1:9200
+//
+// -once renders a single plain (ANSI-free, byte-stable) frame and exits;
+// with -fixture it renders from recorded scrape files instead of the
+// network, which is how the golden test and the CI snapshot drive it:
+//
+//	roiatop -once -fixture cmd/roiatop/testdata
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+var (
+	addrFlag     = flag.String("addr", "127.0.0.1:9200", "fleet collector address (host:port)")
+	intervalFlag = flag.Float64("interval", 2, "refresh interval in seconds (live mode)")
+	onceFlag     = flag.Bool("once", false, "render one plain frame and exit")
+	fixtureFlag  = flag.String("fixture", "", "render from recorded files in this directory (fleet_metrics.txt, fleet_query.jsonl) instead of the network; implies -once")
+	noColorFlag  = flag.Bool("no-color", false, "disable ANSI colors in live mode")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "roiatop:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer) error {
+	if *fixtureFlag != "" {
+		snap, err := loadFixture(*fixtureFlag)
+		if err != nil {
+			return err
+		}
+		render(w, snap, style{color: false})
+		return nil
+	}
+	if *onceFlag {
+		snap, err := fetch(*addrFlag)
+		if err != nil {
+			return err
+		}
+		render(w, snap, style{color: false})
+		return nil
+	}
+	st := style{color: !*noColorFlag}
+	interval := time.Duration(*intervalFlag * float64(time.Second))
+	if interval <= 0 {
+		interval = time.Second
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		snap, err := fetch(*addrFlag)
+		if err != nil {
+			return err
+		}
+		if st.color {
+			fmt.Fprint(w, "\x1b[H\x1b[2J") // home + clear
+		}
+		render(w, snap, st)
+		<-ticker.C
+	}
+}
+
+// fetch scrapes the collector: the full exposition, plus the retained
+// tick-tail history when the collector serves /fleet/query (absence —
+// e.g. no store attached — degrades to a dashboard without sparklines).
+func fetch(addr string) (snapshot, error) {
+	client := &http.Client{Timeout: 5 * time.Second}
+	snap := snapshot{source: addr}
+
+	resp, err := client.Get("http://" + addr + "/fleet/metrics")
+	if err != nil {
+		return snap, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return snap, fmt.Errorf("/fleet/metrics: status %s", resp.Status)
+	}
+	if snap.scrape, err = parseScrape(resp.Body); err != nil {
+		return snap, err
+	}
+
+	hresp, err := client.Get("http://" + addr + "/fleet/query?family=roia_fleet_tick_wall_q_ms&since=600")
+	if err != nil {
+		// History is optional — a collector without a store has no
+		// /fleet/query; the scrape alone still renders.
+		return snap, nil
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode == http.StatusOK {
+		if snap.history, err = parseHistory(hresp.Body); err != nil {
+			return snap, err
+		}
+	}
+	return snap, nil
+}
+
+// loadFixture reads a recorded scrape pair from dir: fleet_metrics.txt
+// (required) and fleet_query.jsonl (optional).
+func loadFixture(dir string) (snapshot, error) {
+	snap := snapshot{source: "fixture:" + filepath.ToSlash(dir)}
+	mf, err := os.Open(filepath.Join(dir, "fleet_metrics.txt"))
+	if err != nil {
+		return snap, err
+	}
+	defer mf.Close()
+	if snap.scrape, err = parseScrape(mf); err != nil {
+		return snap, err
+	}
+	qf, err := os.Open(filepath.Join(dir, "fleet_query.jsonl"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return snap, nil
+		}
+		return snap, err
+	}
+	defer qf.Close()
+	if snap.history, err = parseHistory(qf); err != nil {
+		return snap, err
+	}
+	return snap, nil
+}

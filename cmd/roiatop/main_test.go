@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden snapshot")
+
+// TestRenderGolden is the acceptance gate: the -once frame rendered from
+// the recorded fixture must be byte-identical to the checked-in golden.
+// Regenerate after an intentional layout change with
+//
+//	go test ./cmd/roiatop -update
+func TestRenderGolden(t *testing.T) {
+	snap, err := loadFixture("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	render(&buf, snap, style{color: false})
+	golden := filepath.Join("testdata", "golden.txt")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("rendered frame differs from %s (rerun with -update after intentional changes)\n--- got ---\n%s\n--- want ---\n%s",
+			golden, buf.String(), want)
+	}
+	// The plain frame must carry no ANSI escapes: -once output is for
+	// files and CI artifacts, not terminals.
+	if bytes.Contains(buf.Bytes(), []byte("\x1b[")) {
+		t.Error("plain render contains ANSI escapes")
+	}
+}
+
+// TestRenderDeterministic re-renders the same snapshot and demands
+// identical bytes — the guard against map-iteration order leaking in.
+func TestRenderDeterministic(t *testing.T) {
+	snap, err := loadFixture("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	render(&a, snap, style{color: false})
+	for i := 0; i < 10; i++ {
+		b.Reset()
+		render(&b, snap, style{color: false})
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Fatal("render is not deterministic across invocations")
+		}
+	}
+}
+
+func TestParseScrape(t *testing.T) {
+	in := `# TYPE roia_x gauge
+roia_x{zone="1",replica="a b"} 4.5
+roia_x{zone="2"} 7
+roia_plain 1
+`
+	s, err := parseScrape(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s.value("roia_x", map[string]string{"zone": "1"}); !ok || v != 4.5 {
+		t.Errorf("zone 1 = %v,%v", v, ok)
+	}
+	if got := s.labelValues("roia_x", "zone", nil); len(got) != 2 || got[0] != "1" || got[1] != "2" {
+		t.Errorf("zones = %v", got)
+	}
+	if v, ok := s.value("roia_plain", nil); !ok || v != 1 {
+		t.Errorf("unlabeled = %v,%v", v, ok)
+	}
+	if _, err := parseScrape(strings.NewReader("roia_bad{...} x\n")); err == nil {
+		t.Error("malformed sample accepted")
+	}
+}
+
+func TestParseLabelsEscapes(t *testing.T) {
+	got, err := parseLabels(`id="a\"b",zone="1"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["id"] != `a"b` || got["zone"] != "1" {
+		t.Errorf("labels = %v", got)
+	}
+	if _, err := parseLabels(`id=`); err == nil {
+		t.Error("malformed labels accepted")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if got := sparkline([]float64{0, 1, 2, 3}, 48); got != "▁▃▅█" {
+		t.Errorf("ramp = %q", got)
+	}
+	// Flat series: all-low bars, no division by zero.
+	if got := sparkline([]float64{5, 5, 5}, 48); got != "▁▁▁" {
+		t.Errorf("flat = %q", got)
+	}
+	// Width cap keeps the newest points.
+	if got := sparkline([]float64{9, 9, 0, 8}, 2); got != "▁█" {
+		t.Errorf("capped = %q", got)
+	}
+	if got := sparkline(nil, 48); got != "" {
+		t.Errorf("empty = %q", got)
+	}
+}
+
+func TestWindowSeconds(t *testing.T) {
+	for in, want := range map[string]float64{"5m": 300, "1h": 3600, "90s": 90, "6h": 21600, "": 0} {
+		if got := windowSeconds(in); got != want {
+			t.Errorf("windowSeconds(%q) = %g, want %g", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,264 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ANSI styling, elided entirely in plain mode so -once snapshots are
+// byte-stable.
+type style struct{ color bool }
+
+func (s style) paint(code, text string) string {
+	if !s.color {
+		return text
+	}
+	return "\x1b[" + code + "m" + text + "\x1b[0m"
+}
+
+func (s style) bold(t string) string  { return s.paint("1", t) }
+func (s style) red(t string) string   { return s.paint("31", t) }
+func (s style) green(t string) string { return s.paint("32", t) }
+func (s style) amber(t string) string { return s.paint("33", t) }
+func (s style) dim(t string) string   { return s.paint("2", t) }
+
+// snapshot is one dashboard frame's input: the /fleet/metrics scrape plus
+// the /fleet/query tail history.
+type snapshot struct {
+	source  string
+	scrape  scrape
+	history []histSeries
+}
+
+const sparkWidth = 48
+
+// render writes one dashboard frame. Every section iterates in sorted
+// order, so the same snapshot always renders the same bytes.
+func render(w io.Writer, snap snapshot, st style) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", st.bold("roiatop"), snap.source)
+
+	renderZones(&b, snap, st)
+	renderReplicas(&b, snap, st)
+	renderSparklines(&b, snap, st)
+	renderSLO(&b, snap, st)
+	renderAlerts(&b, snap, st)
+	io.WriteString(w, b.String())
+}
+
+// renderZones prints one line per zone: observed n, l, m against the
+// model ceilings n_max(l,m) and l_max(m) when the scrape carries them.
+func renderZones(b *strings.Builder, snap snapshot, st style) {
+	zones := snap.scrape.labelValues("roia_fleet_zone_users", "zone", nil)
+	if len(zones) == 0 {
+		return
+	}
+	fmt.Fprintf(b, "%s\n", st.bold("zones"))
+	for _, z := range zones {
+		zl := map[string]string{"zone": z}
+		users, _ := snap.scrape.value("roia_fleet_zone_users", zl)
+		reps, _ := snap.scrape.value("roia_fleet_replicas", zl)
+		npcs, _ := snap.scrape.value("roia_fleet_npcs", zl)
+		line := fmt.Sprintf("  zone %-4s users %s   replicas %s   npcs %.0f",
+			z,
+			vsCeiling(users, snap.scrape, "roia_fleet_nmax", zl, st),
+			vsCeiling(reps, snap.scrape, "roia_fleet_lmax", zl, st),
+			npcs)
+		if ok, okHave := snap.scrape.value("roia_fleet_migrations", map[string]string{"zone": z, "state": "complete"}); okHave {
+			lost, _ := snap.scrape.value("roia_fleet_migrations", map[string]string{"zone": z, "state": "incomplete"})
+			mig := fmt.Sprintf("   migrations %.0f ok / %.0f lost", ok, lost)
+			if lost > 0 {
+				mig = st.red(mig)
+			}
+			line += mig
+		}
+		fmt.Fprintf(b, "%s\n", line)
+	}
+}
+
+// vsCeiling renders "observed / ceiling" with load-aware coloring; a -1 or
+// missing ceiling renders as observed alone.
+func vsCeiling(observed float64, s scrape, family string, zl map[string]string, st style) string {
+	ceil, ok := s.value(family, zl)
+	if !ok || ceil < 0 {
+		return fmt.Sprintf("%.0f", observed)
+	}
+	text := fmt.Sprintf("%.0f / %.0f", observed, ceil)
+	switch {
+	case observed > ceil:
+		return st.red(text)
+	case ceil > 0 && observed >= 0.8*ceil:
+		return st.amber(text)
+	default:
+		return text
+	}
+}
+
+// renderReplicas prints the per-replica table, sorted by zone then ID.
+func renderReplicas(b *strings.Builder, snap snapshot, st style) {
+	type row struct {
+		zone, id string
+	}
+	var rows []row
+	for _, m := range snap.scrape["roia_fleet_ticks_total"] {
+		rows = append(rows, row{m.labels["zone"], m.labels["replica"]})
+	}
+	if len(rows) == 0 {
+		return
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].zone != rows[j].zone {
+			return rows[i].zone < rows[j].zone
+		}
+		return rows[i].id < rows[j].id
+	})
+	fmt.Fprintf(b, "%s\n", st.bold("replicas"))
+	fmt.Fprintf(b, "  %-12s %5s %9s %9s %9s %6s %8s\n", "replica", "users", "ticks", "mean ms", "p95 ms", "viol", "hiccups")
+	for _, r := range rows {
+		rl := map[string]string{"zone": r.zone, "replica": r.id}
+		users, _ := snap.scrape.value("roia_fleet_users", rl)
+		ticks, _ := snap.scrape.value("roia_fleet_ticks_total", rl)
+		mean, _ := snap.scrape.value("roia_fleet_tick_mean_ms", rl)
+		p95, _ := snap.scrape.value("roia_fleet_tick_p95_ms", rl)
+		viol, _ := snap.scrape.value("roia_fleet_deadline_violations_total", rl)
+		hic, _ := snap.scrape.value("roia_fleet_tick_hiccups_total", rl)
+		line := fmt.Sprintf("  %-12s %5.0f %9.0f %9.3f %9.3f %6.0f %8.0f", r.id, users, ticks, mean, p95, viol, hic)
+		if d, _ := snap.scrape.value("roia_fleet_draining", rl); d > 0 {
+			line += "  " + st.amber("(draining)")
+		}
+		if viol > 0 {
+			line = st.red(line)
+		}
+		fmt.Fprintf(b, "%s\n", line)
+	}
+}
+
+// renderSparklines draws the retained tick-tail history per zone.
+func renderSparklines(b *strings.Builder, snap snapshot, st style) {
+	zones := make(map[string]bool)
+	for _, s := range snap.history {
+		if s.Family == "roia_fleet_tick_wall_q_ms" {
+			zones[s.Labels["zone"]] = true
+		}
+	}
+	if len(zones) == 0 {
+		return
+	}
+	sorted := make([]string, 0, len(zones))
+	for z := range zones {
+		sorted = append(sorted, z)
+	}
+	sort.Strings(sorted)
+	fmt.Fprintf(b, "%s\n", st.bold("tick tail (ms)"))
+	for _, z := range sorted {
+		for _, q := range []string{"p50", "p99"} {
+			s, ok := findSeries(snap.history, "roia_fleet_tick_wall_q_ms", map[string]string{"zone": z, "q": q})
+			if !ok || len(s.Points) == 0 {
+				continue
+			}
+			lo, hi := s.Points[0], s.Points[0]
+			for _, v := range s.Points {
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+			fmt.Fprintf(b, "  zone %-4s %-4s %s  %.2f..%.2f\n", z, q, sparkline(s.Points, sparkWidth), lo, hi)
+		}
+	}
+}
+
+// renderSLO prints each objective's error-budget state and the burn rate
+// over every exported window, sorted short to long.
+func renderSLO(b *strings.Builder, snap snapshot, st style) {
+	slos := snap.scrape.labelValues("roia_slo_objective", "slo", nil)
+	if len(slos) == 0 {
+		return
+	}
+	fmt.Fprintf(b, "%s\n", st.bold("slo"))
+	for _, name := range slos {
+		sl := map[string]string{"slo": name}
+		obj, _ := snap.scrape.value("roia_slo_objective", sl)
+		budget, haveBudget := snap.scrape.value("roia_slo_budget_remaining", sl)
+		line := fmt.Sprintf("  %-14s obj %.2f%%", name, 100*obj)
+		if haveBudget {
+			bt := fmt.Sprintf("  budget %6.1f%%", 100*budget)
+			switch {
+			case budget <= 0:
+				bt = st.red(bt)
+			case budget < 0.5:
+				bt = st.amber(bt)
+			default:
+				bt = st.green(bt)
+			}
+			line += bt
+		}
+		wins := snap.scrape.get("roia_slo_burn_rate", sl)
+		sort.Slice(wins, func(i, j int) bool {
+			return windowSeconds(wins[i].labels["window"]) < windowSeconds(wins[j].labels["window"])
+		})
+		for _, wm := range wins {
+			bt := fmt.Sprintf("  %s %.1fx", wm.labels["window"], wm.value)
+			if wm.value > 1 {
+				bt = st.amber(bt)
+			}
+			if wm.value > 6 {
+				bt = st.red(bt)
+			}
+			line += bt
+		}
+		fmt.Fprintf(b, "%s\n", line)
+	}
+}
+
+// windowSeconds parses the burn-rate window label ("5m", "1h", "90s").
+func windowSeconds(s string) float64 {
+	if s == "" {
+		return 0
+	}
+	unit := s[len(s)-1]
+	n, err := strconv.ParseFloat(s[:len(s)-1], 64)
+	if err != nil {
+		return 0
+	}
+	switch unit {
+	case 'h':
+		return n * 3600
+	case 'm':
+		return n * 60
+	default:
+		return n
+	}
+}
+
+// renderAlerts lists the alert engine's live instances, firing first.
+func renderAlerts(b *strings.Builder, snap snapshot, st style) {
+	states := snap.scrape["roia_alert_state"]
+	fmt.Fprintf(b, "%s\n", st.bold("alerts"))
+	if len(states) == 0 {
+		fmt.Fprintf(b, "  %s\n", st.dim("none"))
+		return
+	}
+	sort.Slice(states, func(i, j int) bool {
+		if states[i].value != states[j].value {
+			return states[i].value > states[j].value // firing (2) first
+		}
+		if states[i].labels["rule"] != states[j].labels["rule"] {
+			return states[i].labels["rule"] < states[j].labels["rule"]
+		}
+		return states[i].labels["key"] < states[j].labels["key"]
+	})
+	for _, a := range states {
+		state := "pending"
+		paint := st.amber
+		if a.value >= 2 {
+			state, paint = "firing", st.red
+		}
+		fmt.Fprintf(b, "  %s\n", paint(fmt.Sprintf("%-8s %-24s %s", state, a.labels["rule"], a.labels["key"])))
+	}
+}

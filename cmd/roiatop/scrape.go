@@ -1,0 +1,156 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// metric is one exposition sample: a label set and its value.
+type metric struct {
+	labels map[string]string
+	value  float64
+}
+
+// scrape is a parsed Prometheus text exposition, family → samples in
+// exposition order.
+type scrape map[string][]metric
+
+// parseScrape reads the Prometheus text format the repo's MetricsWriters
+// emit: `# TYPE`/comment lines, then `family{k="v",...} value` samples.
+// It tolerates unknown families — the dashboard picks what it renders.
+func parseScrape(r io.Reader) (scrape, error) {
+	out := make(scrape)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, m, err := parseSample(line)
+		if err != nil {
+			return nil, err
+		}
+		out[name] = append(out[name], m)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseSample splits one exposition line into family, labels and value.
+func parseSample(line string) (string, metric, error) {
+	var name, rest string
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := strings.LastIndexByte(line, '}')
+		if j < i {
+			return "", metric{}, fmt.Errorf("scrape: malformed sample %q", line)
+		}
+		name, rest = line[:i], strings.TrimSpace(line[j+1:])
+		labels, err := parseLabels(line[i+1 : j])
+		if err != nil {
+			return "", metric{}, fmt.Errorf("scrape: %q: %w", line, err)
+		}
+		v, err := strconv.ParseFloat(rest, 64)
+		if err != nil {
+			return "", metric{}, fmt.Errorf("scrape: %q: %w", line, err)
+		}
+		return name, metric{labels: labels, value: v}, nil
+	}
+	fields := strings.Fields(line)
+	if len(fields) != 2 {
+		return "", metric{}, fmt.Errorf("scrape: malformed sample %q", line)
+	}
+	name = fields[0]
+	v, err := strconv.ParseFloat(fields[1], 64)
+	if err != nil {
+		return "", metric{}, fmt.Errorf("scrape: %q: %w", line, err)
+	}
+	return name, metric{labels: map[string]string{}, value: v}, nil
+}
+
+// parseLabels parses `k="v",k2="v2"`; values may escape quotes and
+// backslashes per the exposition format.
+func parseLabels(s string) (map[string]string, error) {
+	out := make(map[string]string)
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 || len(s) < eq+2 || s[eq+1] != '"' {
+			return nil, fmt.Errorf("malformed labels %q", s)
+		}
+		key := strings.TrimSpace(s[:eq])
+		rest := s[eq+2:]
+		var val strings.Builder
+		i := 0
+		for ; i < len(rest); i++ {
+			if rest[i] == '\\' && i+1 < len(rest) {
+				i++
+				val.WriteByte(rest[i])
+				continue
+			}
+			if rest[i] == '"' {
+				break
+			}
+			val.WriteByte(rest[i])
+		}
+		if i >= len(rest) {
+			return nil, fmt.Errorf("unterminated label value in %q", s)
+		}
+		out[key] = val.String()
+		s = strings.TrimPrefix(strings.TrimSpace(rest[i+1:]), ",")
+	}
+	return out, nil
+}
+
+// match reports whether m's labels include every want pair.
+func (m metric) match(want map[string]string) bool {
+	for k, v := range want {
+		if m.labels[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// get returns the family's samples whose labels include the want pairs.
+func (s scrape) get(family string, want map[string]string) []metric {
+	var out []metric
+	for _, m := range s[family] {
+		if m.match(want) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// value returns the single matching sample's value, ok=false when the
+// family or label match is absent.
+func (s scrape) value(family string, want map[string]string) (float64, bool) {
+	ms := s.get(family, want)
+	if len(ms) == 0 {
+		return 0, false
+	}
+	return ms[0].value, true
+}
+
+// labelValues returns the sorted distinct values of one label across a
+// family — e.g. the zone list, or the replica list within a zone.
+func (s scrape) labelValues(family, label string, want map[string]string) []string {
+	seen := make(map[string]bool)
+	for _, m := range s.get(family, want) {
+		if v, ok := m.labels[label]; ok && !seen[v] {
+			seen[v] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -17,18 +17,26 @@ import (
 	"sync"
 	"time"
 
+	"roia/internal/model"
 	"roia/internal/telemetry"
+	"roia/internal/telemetry/tsdb"
 )
 
 // Collector aggregates one or more fleets (one per zone) into a single
 // observability surface: a /fleet/metrics Prometheus exposition with
-// replica and zone labels, and a /fleet/migrations endpoint serving the
-// stitched cross-replica migration trace.
+// replica and zone labels, a /fleet/migrations endpoint serving the
+// stitched cross-replica migration trace, and — when a time-series store
+// is attached — a /fleet/query range endpoint over the retained history
+// the collector records on every scrape.
 type Collector struct {
-	mu     sync.Mutex
-	fleets []*Fleet
-	engine *telemetry.AlertEngine
-	extra  []telemetry.MetricsWriter
+	mu      sync.Mutex
+	fleets  []*Fleet
+	engine  *telemetry.AlertEngine
+	extra   []telemetry.MetricsWriter
+	store   *tsdb.Store
+	model   *model.Model
+	rtt     func() telemetry.LatencySnapshot
+	records uint64
 }
 
 // NewCollector returns a collector over the given fleets.
@@ -60,6 +68,34 @@ func (c *Collector) AddMetrics(w telemetry.MetricsWriter) {
 	defer c.mu.Unlock()
 	//roialint:ignore boundedgrowth registration list, one exposition section per subsystem wired at startup
 	c.extra = append(c.extra, w)
+}
+
+// SetStore attaches a bounded time-series store. Once attached, every
+// /fleet/metrics scrape (and every explicit Record call) appends the
+// scrape's replica and zone numbers to the store, and Handler serves the
+// retained history at /fleet/query.
+func (c *Collector) SetStore(st *tsdb.Store) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.store = st
+}
+
+// SetModel attaches the scalability model so the scrape can export the
+// predicted capacity ceilings n_max(l,m) and l_max(m) next to the observed
+// n, l, m — the live headroom comparison the dashboard renders.
+func (c *Collector) SetModel(m *model.Model) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.model = m
+}
+
+// SetClientLatency attaches a client input→update RTT snapshot source
+// (e.g. bots.FleetDriver.ClientLatency().Snapshot); Record then feeds the
+// RTT event/violation counters into the store as the client-side SLI.
+func (c *Collector) SetClientLatency(fn func() telemetry.LatencySnapshot) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rtt = fn
 }
 
 func (c *Collector) snapshot() ([]*Fleet, *telemetry.AlertEngine, []telemetry.MetricsWriter) {
@@ -127,6 +163,12 @@ func (c *Collector) MigEvents() map[string][]telemetry.MigEvent {
 //	roia_fleet_zone_users{zone}             gauge, zone-wide users (n)
 //	roia_fleet_npcs{zone}                   gauge, zone-wide NPCs (m)
 //	roia_fleet_replicas{zone}               gauge, running replicas (l)
+//	roia_fleet_nmax{zone}                   gauge, model ceiling n_max(l,m)
+//	                                        (-1 unbounded; only with an
+//	                                        attached model)
+//	roia_fleet_lmax{zone}                   gauge, model ceiling l_max(m)
+//	                                        (-1 unbounded; only with an
+//	                                        attached model)
 //	roia_fleet_migrations{zone,state}       gauge, stitched migrations in
 //	                                        the trace rings (complete /
 //	                                        incomplete)
@@ -145,28 +187,45 @@ func (c *Collector) MigEvents() map[string][]telemetry.MigEvent {
 //	roia_fleet_alloc_bytes_total{zone,stage}       counter, heap bytes/stage
 //	roia_fleet_aoi_churn_enter_q{zone,q}           gauge, AoI entries/client/tick
 //	roia_fleet_aoi_churn_leave_q{zone,q}           gauge, AoI exits/client/tick
-func (c *Collector) WriteMetrics(w io.Writer, labels string) error {
-	fleets, engine, extra := c.snapshot()
-	var rows []replicaRow
-	type zoneRow struct {
-		zone              uint32
-		users, npcs, l    int
-		complete, incompl int
-		tail              *telemetry.LogHistogram
+//
+// zoneRow is one zone's aggregated scrape snapshot.
+type zoneRow struct {
+	zone              uint32
+	users, npcs, l    int
+	complete, incompl int
+	tail              *telemetry.LogHistogram
 
-		// Cost aggregates; cost is false when no replica has a tracker,
-		// and the cost families are omitted from the scrape.
-		cost              bool
-		egressType        map[string]uint64
-		egressClientBytes uint64
-		gcCycles          uint64
-		gcPauseTotalMS    float64
-		allocBytes        map[string]uint64
-		gcPause           *telemetry.LogHistogram
-		payload           *telemetry.LogHistogram
-		churnEnter        *telemetry.LogHistogram
-		churnLeave        *telemetry.LogHistogram
-	}
+	// Model capacity ceilings; modeled is false without an attached model,
+	// and the nmax/lmax families are omitted from the scrape. A false
+	// nmaxOK/lmaxOK means the model reports no finite ceiling at this
+	// configuration (exported as -1).
+	modeled        bool
+	nmax, lmax     int
+	nmaxOK, lmaxOK bool
+
+	// Cost aggregates; cost is false when no replica has a tracker,
+	// and the cost families are omitted from the scrape.
+	cost              bool
+	egressType        map[string]uint64
+	egressClientBytes uint64
+	gcCycles          uint64
+	gcPauseTotalMS    float64
+	allocBytes        map[string]uint64
+	gcPause           *telemetry.LogHistogram
+	payload           *telemetry.LogHistogram
+	churnEnter        *telemetry.LogHistogram
+	churnLeave        *telemetry.LogHistogram
+}
+
+// collect walks every registered fleet and returns the per-replica and
+// per-zone scrape snapshot — the shared input of the /fleet/metrics
+// exposition (WriteMetrics) and the history feed (Record).
+func (c *Collector) collect() ([]replicaRow, []zoneRow) {
+	c.mu.Lock()
+	fleets := append([]*Fleet(nil), c.fleets...)
+	mdl := c.model
+	c.mu.Unlock()
+	var rows []replicaRow
 	var zones []zoneRow
 	for _, fl := range fleets {
 		z := uint32(fl.Zone())
@@ -229,8 +288,19 @@ func (c *Collector) WriteMetrics(w io.Writer, labels string) error {
 				zr.incompl++
 			}
 		}
+		if mdl != nil {
+			zr.modeled = true
+			zr.nmax, zr.nmaxOK = mdl.MaxUsers(zr.l, zr.npcs)
+			zr.lmax, zr.lmaxOK = mdl.MaxReplicas(zr.npcs)
+		}
 		zones = append(zones, zr)
 	}
+	return rows, zones
+}
+
+func (c *Collector) WriteMetrics(w io.Writer, labels string) error {
+	_, engine, extra := c.snapshot()
+	rows, zones := c.collect()
 
 	lbl := func(extra string) string { return telemetry.FormatLabels(labels, extra) }
 	rlbl := func(r replicaRow) string {
@@ -300,6 +370,27 @@ func (c *Collector) WriteMetrics(w io.Writer, labels string) error {
 	fmt.Fprintf(&b, "# TYPE roia_fleet_replicas gauge\n")
 	for _, z := range zones {
 		fmt.Fprintf(&b, "roia_fleet_replicas%s %d\n", lbl(fmt.Sprintf("zone=\"%d\"", z.zone)), z.l)
+	}
+	anyModel := false
+	for _, z := range zones {
+		if z.modeled {
+			anyModel = true
+			break
+		}
+	}
+	if anyModel {
+		fmt.Fprintf(&b, "# TYPE roia_fleet_nmax gauge\n")
+		for _, z := range zones {
+			if z.modeled {
+				fmt.Fprintf(&b, "roia_fleet_nmax%s %d\n", lbl(fmt.Sprintf("zone=\"%d\"", z.zone)), capOrMinusOne(z.nmax, z.nmaxOK))
+			}
+		}
+		fmt.Fprintf(&b, "# TYPE roia_fleet_lmax gauge\n")
+		for _, z := range zones {
+			if z.modeled {
+				fmt.Fprintf(&b, "roia_fleet_lmax%s %d\n", lbl(fmt.Sprintf("zone=\"%d\"", z.zone)), capOrMinusOne(z.lmax, z.lmaxOK))
+			}
+		}
 	}
 	fmt.Fprintf(&b, "# TYPE roia_fleet_migrations gauge\n")
 	for _, z := range zones {
@@ -431,16 +522,108 @@ func (c *Collector) WriteMetrics(w io.Writer, labels string) error {
 	return nil
 }
 
+// capOrMinusOne renders a model ceiling: the value when the model reports
+// a finite cap, -1 when unbounded.
+func capOrMinusOne(v int, ok bool) int {
+	if !ok {
+		return -1
+	}
+	return v
+}
+
+// Record appends the current scrape snapshot to the attached time-series
+// store (a no-op without one): per-replica tick/violation/user series,
+// per-zone occupancy and tail-quantile series, the model ceilings when a
+// model is attached, and the client RTT SLI counters when a latency source
+// is attached. Each call lands one sample per series, stamped with the
+// store's clock — called once per scrape (or once per session second), the
+// ring retention horizon is capacity × that cadence.
+func (c *Collector) Record() {
+	c.mu.Lock()
+	st, rtt := c.store, c.rtt
+	c.mu.Unlock()
+	if st == nil {
+		// Still count the scrape: readiness means "the collector has walked
+		// the fleet once", with or without retained history.
+		c.mu.Lock()
+		c.records++
+		c.mu.Unlock()
+		return
+	}
+	rows, zones := c.collect()
+	for _, r := range rows {
+		lbl := map[string]string{"zone": fmt.Sprintf("%d", r.zone), "replica": r.id}
+		st.Append("roia_fleet_ticks_total", lbl, tsdb.Counter, float64(r.ticks))
+		st.Append("roia_fleet_tick_mean_ms", lbl, tsdb.Gauge, r.meanMS)
+		st.Append("roia_fleet_tick_p95_ms", lbl, tsdb.Gauge, r.p95MS)
+		st.Append("roia_fleet_deadline_violations_total", lbl, tsdb.Counter, float64(r.violations))
+		st.Append("roia_fleet_tick_hiccups_total", lbl, tsdb.Counter, float64(r.hiccups))
+		st.Append("roia_fleet_users", lbl, tsdb.Gauge, float64(r.users))
+	}
+	for _, z := range zones {
+		lbl := map[string]string{"zone": fmt.Sprintf("%d", z.zone)}
+		st.Append("roia_fleet_zone_users", lbl, tsdb.Gauge, float64(z.users))
+		st.Append("roia_fleet_npcs", lbl, tsdb.Gauge, float64(z.npcs))
+		st.Append("roia_fleet_replicas", lbl, tsdb.Gauge, float64(z.l))
+		if z.modeled {
+			st.Append("roia_fleet_nmax", lbl, tsdb.Gauge, float64(capOrMinusOne(z.nmax, z.nmaxOK)))
+			st.Append("roia_fleet_lmax", lbl, tsdb.Gauge, float64(capOrMinusOne(z.lmax, z.lmaxOK)))
+		}
+		for _, q := range []struct {
+			name string
+			q    float64
+		}{
+			{"p50", 0.50}, {"p90", 0.90}, {"p99", 0.99},
+		} {
+			st.Append("roia_fleet_tick_wall_q_ms",
+				map[string]string{"zone": fmt.Sprintf("%d", z.zone), "q": q.name},
+				tsdb.Gauge, z.tail.Quantile(q.q))
+		}
+	}
+	if rtt != nil {
+		snap := rtt()
+		st.Append("roia_client_rtt_count", nil, tsdb.Counter, float64(snap.Count))
+		st.Append("roia_client_rtt_deadline_violations_total", nil, tsdb.Counter, float64(snap.Violations))
+	}
+	c.mu.Lock()
+	c.records++
+	c.mu.Unlock()
+}
+
+// Recorded reports how many Record calls have landed — the readiness
+// signal for /healthz (503 until the first scrape is retained).
+func (c *Collector) Recorded() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.records
+}
+
 // Handler returns the collector's HTTP surface:
 //
-//	/fleet/metrics     the WriteMetrics exposition
+//	/fleet/metrics     the WriteMetrics exposition; with a store attached,
+//	                   every scrape also appends to the retained history
+//	/fleet/query       range queries over the retained history (with a
+//	                   store attached; 404 otherwise)
+//	/healthz           readiness: 503 until the first scrape is recorded,
+//	                   200 after
 //	/fleet/migrations  the stitched cross-replica migration trace;
 //	                   ?format=chrome (default; one process row per
 //	                   replica, loadable in Perfetto) or ?format=jsonl
 //	                   (one stitched migration per line)
 func (c *Collector) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.Handle("/fleet/metrics", telemetry.MetricsHandler("", c.WriteMetrics))
+	metrics := telemetry.MetricsHandler("", c.WriteMetrics)
+	mux.HandleFunc("/fleet/metrics", func(w http.ResponseWriter, r *http.Request) {
+		c.Record()
+		metrics.ServeHTTP(w, r)
+	})
+	c.mu.Lock()
+	st := c.store
+	c.mu.Unlock()
+	if st != nil {
+		mux.Handle("/fleet/query", tsdb.QueryHandler(st))
+	}
+	mux.Handle("/healthz", telemetry.ReadyHandler(func() bool { return c.Recorded() > 0 }))
 	mux.HandleFunc("/fleet/migrations", func(w http.ResponseWriter, r *http.Request) {
 		events := c.MigEvents()
 		switch format := r.URL.Query().Get("format"); format {

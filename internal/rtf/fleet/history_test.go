@@ -1,0 +1,193 @@
+package fleet_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"roia/internal/rtf/fleet"
+	"roia/internal/telemetry"
+	"roia/internal/telemetry/tsdb"
+)
+
+// testClock is a settable store clock for deterministic history tests.
+type testClock struct {
+	mu  sync.Mutex
+	sec float64
+}
+
+func (c *testClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return time.Unix(0, int64(c.sec*1e9))
+}
+
+func (c *testClock) Set(sec float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sec = sec
+}
+
+// TestCollectorRecordsHistory drives the collector with an injected-clock
+// store: every /fleet/metrics scrape must land one sample per series, and
+// /fleet/query must serve the retained range with aggregates.
+func TestCollectorRecordsHistory(t *testing.T) {
+	h := newObsHarness(t)
+	for i := 0; i < 3; i++ {
+		h.addBot(t, "server-1")
+	}
+	for i := 0; i < 5; i++ {
+		h.step()
+	}
+
+	clk := &testClock{}
+	st := tsdb.NewStore(tsdb.Config{SeriesCapacity: 64, Now: clk.Now})
+	col := fleet.NewCollector(h.fl)
+	col.SetStore(st)
+	col.SetModel(tinyModel(t))
+	col.SetClientLatency(func() telemetry.LatencySnapshot {
+		return telemetry.LatencySnapshot{Count: 100, Violations: 2}
+	})
+	ts := httptest.NewServer(col.Handler())
+	t.Cleanup(ts.Close)
+
+	// healthz must refuse before the first scrape is recorded.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz before first record: status = %d, want 503", resp.StatusCode)
+	}
+
+	// Three scrapes at t=1,2,3: each must append to the retained history.
+	for sec := 1; sec <= 3; sec++ {
+		clk.Set(float64(sec))
+		resp, err := http.Get(ts.URL + "/fleet/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if sec == 1 {
+			out := string(body)
+			for _, want := range []string{
+				"# TYPE roia_fleet_nmax gauge",
+				`roia_fleet_nmax{zone="1"}`,
+				`roia_fleet_lmax{zone="1"}`,
+			} {
+				if !strings.Contains(out, want) {
+					t.Fatalf("scrape with model attached missing %q:\n%s", want, out)
+				}
+			}
+		}
+	}
+	if got := col.Recorded(); got != 3 {
+		t.Fatalf("Recorded = %d, want 3", got)
+	}
+
+	// healthz flips to ready after the first recorded scrape.
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after record: status = %d, want 200", resp.StatusCode)
+	}
+
+	// The retained history serves range queries per replica.
+	resp, err = http.Get(ts.URL + "/fleet/query?family=roia_fleet_ticks_total&label=replica=server-1&since=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status = %d: %s", resp.StatusCode, body)
+	}
+	var times []float64
+	for _, line := range strings.Split(strings.TrimSpace(string(body)), "\n") {
+		var ql struct {
+			Labels map[string]string `json:"labels"`
+			Kind   string            `json:"kind"`
+			T      *float64          `json:"t"`
+			V      *float64          `json:"v"`
+		}
+		if err := json.Unmarshal([]byte(line), &ql); err != nil {
+			t.Fatalf("bad JSONL %q: %v", line, err)
+		}
+		if ql.Labels["replica"] != "server-1" || ql.Labels["zone"] != "1" {
+			t.Fatalf("labels = %v", ql.Labels)
+		}
+		if ql.Kind != "counter" {
+			t.Fatalf("kind = %q, want counter", ql.Kind)
+		}
+		if ql.T != nil {
+			times = append(times, *ql.T)
+		}
+	}
+	if len(times) != 3 || times[0] != 1 || times[2] != 3 {
+		t.Fatalf("retained scrape timestamps = %v, want [1 2 3]", times)
+	}
+
+	// The client RTT SLI counters landed too.
+	if got := st.Query("roia_client_rtt_count", nil, 0, 0); len(got) != 1 || len(got[0].Samples) != 3 {
+		t.Fatalf("roia_client_rtt_count history = %+v, want 1 series with 3 samples", got)
+	}
+	// Model ceilings are recorded as gauges per zone.
+	if got := st.Query("roia_fleet_nmax", map[string]string{"zone": "1"}, 0, 0); len(got) != 1 {
+		t.Fatalf("roia_fleet_nmax history missing: %+v", got)
+	}
+
+	// Bad query parameters are rejected, not served.
+	resp, err = http.Get(ts.URL + "/fleet/query?family=roia_fleet_ticks_total&since=-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative since: status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestCollectorWithoutStore pins the degraded surface: no /fleet/query
+// route, but scrapes still serve and still flip readiness.
+func TestCollectorWithoutStore(t *testing.T) {
+	h := newObsHarness(t)
+	col := fleet.NewCollector(h.fl)
+	ts := httptest.NewServer(col.Handler())
+	t.Cleanup(ts.Close)
+
+	resp, err := http.Get(ts.URL + "/fleet/query?family=roia_fleet_ticks_total")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("query without store: status = %d, want 404", resp.StatusCode)
+	}
+	// Scrapes still work and still count as records for readiness.
+	resp, err = http.Get(ts.URL + "/fleet/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status = %d", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after a scrape: status = %d, want 200", resp.StatusCode)
+	}
+}

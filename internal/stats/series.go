@@ -15,9 +15,13 @@ type Series struct {
 	Y    []float64
 }
 
-// Add appends one point.
+// Add appends one point. A Series is experiment output — it lives for one
+// figure sweep and holds one point per swept parameter value, so there is
+// no retention bound to enforce.
 func (s *Series) Add(x, y float64) {
+	//roialint:ignore boundedgrowth experiment output, one point per swept parameter value
 	s.X = append(s.X, x)
+	//roialint:ignore boundedgrowth experiment output, one point per swept parameter value
 	s.Y = append(s.Y, y)
 }
 

@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -57,6 +58,79 @@ func TestAlertLifecyclePendingFiringResolved(t *testing.T) {
 	}
 	if len(engine.Active()) != 0 {
 		t.Fatalf("active after resolve = %+v", engine.Active())
+	}
+}
+
+// TestAlertRefireAfterResolve pins the re-fire semantics: a resolved
+// instance is forgotten, so a recurrence of the same rule+key must walk
+// the full pending → firing ladder again (with its PendingFor hold), not
+// resume as firing — and the JSONL stream must show both complete cycles.
+func TestAlertRefireAfterResolve(t *testing.T) {
+	v := 0.0
+	var jsonl bytes.Buffer
+	log := NewAlertLog(&jsonl)
+	engine := NewAlertEngine(log, thresholdRule("over", 2, &v, 10))
+
+	// Cycle 1: breach, hold through PendingFor=2, fire, clear.
+	v = 20
+	engine.Eval(1) // pending
+	engine.Eval(2) // held (still pending)
+	engine.Eval(3) // firing
+	v = 0
+	engine.Eval(4) // resolved
+	if n := len(engine.Active()); n != 0 {
+		t.Fatalf("active after first resolve = %d", n)
+	}
+
+	// Cycle 2: the same key breaches again. It must re-enter pending —
+	// one consecutive breach is not enough to fire with PendingFor=2.
+	v = 30
+	engine.Eval(5)
+	active := engine.Active()
+	if len(active) != 1 || active[0].State != AlertPending {
+		t.Fatalf("recurrence state = %+v, want pending again", active)
+	}
+	engine.Eval(6) // held
+	engine.Eval(7) // firing again
+	active = engine.Active()
+	if len(active) != 1 || active[0].State != AlertFiring {
+		t.Fatalf("recurrence after hold = %+v, want firing", active)
+	}
+	v = 0
+	engine.Eval(8) // resolved again
+
+	if err := log.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// The event stream carries both full cycles, in order, with the
+	// recurrence's values — not a deduplicated or resumed instance.
+	var events []AlertEvent
+	for _, line := range strings.Split(strings.TrimSpace(jsonl.String()), "\n") {
+		var e AlertEvent
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("bad JSONL %q: %v", line, err)
+		}
+		if e.Rule != "over" || e.Key != "k" {
+			t.Fatalf("unexpected event %+v", e)
+		}
+		events = append(events, e)
+	}
+	want := []string{"pending", "firing", "resolved", "pending", "firing", "resolved"}
+	if got := statesOf(events); len(got) != len(want) {
+		t.Fatalf("JSONL states = %v, want %v", got, want)
+	} else {
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("JSONL states = %v, want %v", got, want)
+			}
+		}
+	}
+	// Each cycle's timestamps are its own: the second pending is at t=5.
+	if events[3].Time != 5 || events[3].Value != 30 {
+		t.Fatalf("second pending = %+v, want time=5 value=30", events[3])
+	}
+	if events[4].Time != 7 {
+		t.Fatalf("second firing = %+v, want time=7", events[4])
 	}
 }
 

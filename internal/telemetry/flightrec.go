@@ -6,7 +6,6 @@ import (
 	"io"
 	"net/http"
 	"sort"
-	"strconv"
 	"strings"
 	"sync"
 )
@@ -368,19 +367,18 @@ func WriteFlightJSONL(w io.Writer, captures []*FlightCapture) error {
 
 // FlightRecHandler serves a recorder's finalized captures as JSONL (the
 // /debug/flightrec endpoint). Query parameter n limits the response to the
-// n most recent captures (default all).
+// n most recent captures (absent = all, 0 = none); a negative or
+// non-numeric n is a 400.
 func FlightRecHandler(r *FlightRecorder) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		n, err := QueryIntParam(req.URL.Query(), "n", -1)
+		if err != nil {
+			http.Error(w, "flightrec: "+err.Error(), http.StatusBadRequest)
+			return
+		}
 		captures := r.Captures()
-		if q := req.URL.Query().Get("n"); q != "" {
-			n, err := strconv.Atoi(q)
-			if err != nil || n < 0 {
-				http.Error(w, "flightrec: n must be a non-negative integer", http.StatusBadRequest)
-				return
-			}
-			if n < len(captures) {
-				captures = captures[len(captures)-n:]
-			}
+		if n >= 0 && n < len(captures) {
+			captures = captures[len(captures)-n:]
 		}
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		if err := WriteFlightJSONL(w, captures); err != nil {

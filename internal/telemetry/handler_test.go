@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 	"net/http/httptest"
+	"net/url"
 	"strings"
 	"testing"
 )
@@ -83,6 +84,99 @@ func TestTraceHandlerBadParams(t *testing.T) {
 		if resp.StatusCode != 400 {
 			t.Fatalf("%s: status = %d, want 400", q, resp.StatusCode)
 		}
+	}
+}
+
+func TestFlightRecHandlerBadParams(t *testing.T) {
+	srv := httptest.NewServer(FlightRecHandler(NewFlightRecorder(FlightRecConfig{})))
+	defer srv.Close()
+	for _, q := range []string{"?n=-1", "?n=abc", "?n=1.5"} {
+		resp, err := srv.Client().Get(srv.URL + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 400 {
+			t.Fatalf("%s: status = %d, want 400", q, resp.StatusCode)
+		}
+	}
+	// Absent and zero n still serve.
+	for _, q := range []string{"", "?n=0", "?n=2"} {
+		resp, err := srv.Client().Get(srv.URL + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s: status = %d, want 200", q, resp.StatusCode)
+		}
+	}
+}
+
+func TestQueryIntParam(t *testing.T) {
+	parse := func(raw string) url.Values {
+		v, err := url.ParseQuery(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	if n, err := QueryIntParam(parse(""), "n", 7); err != nil || n != 7 {
+		t.Errorf("absent = %d,%v, want default 7", n, err)
+	}
+	if n, err := QueryIntParam(parse("n=42"), "n", 7); err != nil || n != 42 {
+		t.Errorf("present = %d,%v", n, err)
+	}
+	for _, raw := range []string{"n=-1", "n=abc", "n=1.5", "n="} {
+		if _, err := QueryIntParam(parse(raw), "n", 0); err == nil {
+			t.Errorf("%s: accepted, want error", raw)
+		}
+	}
+}
+
+func TestQueryFloatParam(t *testing.T) {
+	parse := func(raw string) url.Values {
+		v, err := url.ParseQuery(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	if f, err := QueryFloatParam(parse(""), "since", 300); err != nil || f != 300 {
+		t.Errorf("absent = %g,%v, want default 300", f, err)
+	}
+	if f, err := QueryFloatParam(parse("since=0.5"), "since", 300); err != nil || f != 0.5 {
+		t.Errorf("present = %g,%v", f, err)
+	}
+	for _, raw := range []string{"since=-1", "since=abc", "since=NaN", "since=Inf", "since="} {
+		if _, err := QueryFloatParam(parse(raw), "since", 0); err == nil {
+			t.Errorf("%s: accepted, want error", raw)
+		}
+	}
+}
+
+func TestReadyHandler(t *testing.T) {
+	ready := false
+	srv := httptest.NewServer(ReadyHandler(func() bool { return ready }))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 503 || !strings.Contains(string(body), "not ready") {
+		t.Fatalf("unready: status %d body %q, want 503 not ready", resp.StatusCode, body)
+	}
+	ready = true
+	resp, err = srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || string(body) != "ok\n" {
+		t.Fatalf("ready: status %d body %q, want 200 ok", resp.StatusCode, body)
 	}
 }
 

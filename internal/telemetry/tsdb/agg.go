@@ -1,0 +1,117 @@
+package tsdb
+
+import (
+	"math"
+
+	"roia/internal/telemetry"
+)
+
+// WindowAgg is one aggregation window over one series. Which fields carry
+// information depends on the series kind: gauges get Avg/Max and the
+// LogHistogram quantiles (exact to bucket resolution, mergeable across
+// replicas upstream), counters get the reset-aware Increase and the
+// per-second Rate. Count is the number of samples in the window either way.
+type WindowAgg struct {
+	// Start/End bound the window: samples with Start < T <= End.
+	Start float64 `json:"t0"`
+	End   float64 `json:"t1"`
+	Count int     `json:"count"`
+
+	// Gauge aggregates.
+	Avg float64 `json:"avg,omitempty"`
+	Max float64 `json:"max,omitempty"`
+	P50 float64 `json:"p50,omitempty"`
+	P90 float64 `json:"p90,omitempty"`
+	P99 float64 `json:"p99,omitempty"`
+
+	// Counter aggregates.
+	Increase float64 `json:"increase,omitempty"`
+	Rate     float64 `json:"rate,omitempty"`
+}
+
+// Increase computes the reset-aware increase of a cumulative counter over
+// the given chronological samples: the sum of the positive deltas, with a
+// decrease read as a restart contributing the new value (the Prometheus
+// increase() convention). Fewer than two samples yield 0 — no
+// extrapolation is attempted.
+func Increase(samples []Sample) float64 {
+	if len(samples) < 2 {
+		return 0
+	}
+	var inc float64
+	prev := samples[0].V
+	for _, s := range samples[1:] {
+		if s.V >= prev {
+			inc += s.V - prev
+		} else {
+			inc += s.V // counter reset: the new value is all growth
+		}
+		prev = s.V
+	}
+	return inc
+}
+
+// Aggregate buckets a series' samples into fixed step-width windows
+// covering (since, until] and computes the per-window aggregates for the
+// series' kind. step must be positive; windows with no samples are
+// omitted. Windows are aligned to until, counting backwards, so the newest
+// window always ends exactly at the query time.
+func Aggregate(sd SeriesData, since, until, step float64) []WindowAgg {
+	if step <= 0 || until <= since || len(sd.Samples) == 0 {
+		return nil
+	}
+	n := int(math.Ceil((until - since) / step))
+	if n <= 0 {
+		n = 1
+	}
+	var out []WindowAgg
+	idx := 0
+	for w := n - 1; w >= 0; w-- {
+		end := until - float64(w)*step
+		start := end - step
+		// Collect the chronological run of samples in (start, end]. A
+		// counter window also needs the sample just before it as the delta
+		// baseline, so remember where the run began.
+		first := idx
+		for first < len(sd.Samples) && sd.Samples[first].T <= start {
+			first++
+		}
+		last := first
+		for last < len(sd.Samples) && sd.Samples[last].T <= end {
+			last++
+		}
+		idx = first
+		in := sd.Samples[first:last]
+		if len(in) == 0 {
+			continue
+		}
+		agg := WindowAgg{Start: start, End: end, Count: len(in)}
+		switch sd.Kind {
+		case Counter:
+			// Prepend the preceding sample (when there is one) so the first
+			// in-window delta is measured, not discarded.
+			run := in
+			if first > 0 {
+				run = sd.Samples[first-1 : last]
+			}
+			agg.Increase = Increase(run)
+			agg.Rate = agg.Increase / step
+		default:
+			hist := telemetry.NewLogHistogram()
+			var sum float64
+			for _, s := range in {
+				sum += s.V
+				if s.V > agg.Max {
+					agg.Max = s.V
+				}
+				hist.Observe(s.V)
+			}
+			agg.Avg = sum / float64(len(in))
+			agg.P50 = hist.Quantile(0.50)
+			agg.P90 = hist.Quantile(0.90)
+			agg.P99 = hist.Quantile(0.99)
+		}
+		out = append(out, agg)
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package tsdb
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"regexp"
+	"strings"
+
+	"roia/internal/telemetry"
+)
+
+// Query endpoint defaults: a 5-minute lookback and a hard cap on it so a
+// single request cannot ask the store to materialise unbounded ranges.
+const (
+	DefaultQuerySinceSec = 300
+	MaxQuerySinceSec     = 24 * 3600
+)
+
+// familyPattern mirrors the roialint metric-name grammar: the query
+// endpoint rejects anything that could not be a metric family, before it
+// touches the store.
+var familyPattern = regexp.MustCompile(`^(roia|fleet)_[a-z0-9_]+$`)
+
+// queryLine is one JSONL line of a /fleet/query response: either a raw
+// sample (T/V set) or, when step > 0, a windowed aggregate (Agg set).
+type queryLine struct {
+	Family string            `json:"family"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Kind   string            `json:"kind"`
+	T      *float64          `json:"t,omitempty"`
+	V      *float64          `json:"v,omitempty"`
+	Agg    *WindowAgg        `json:"agg,omitempty"`
+}
+
+// QueryHandler serves range queries over the store as JSONL (the
+// /fleet/query endpoint). Query parameters:
+//
+//	family  required; the metric family to read (roia_/fleet_ grammar)
+//	label   repeatable k=v matchers; a series must carry every pair
+//	since   lookback window in seconds from the store clock's now
+//	        (default 300, max 86400)
+//	step    aggregation window in seconds; when > 0 each series
+//	        additionally gets windowed aggregate lines (rate and increase
+//	        for counters; avg/max and LogHistogram p50/p90/p99 for gauges)
+//
+// Every parameter is validated with the shared telemetry helpers: a
+// malformed value is a 400, never a silent default. One JSON object per
+// line: raw samples first (chronological per series), then the aggregate
+// lines, series ordered by canonical label key.
+func QueryHandler(st *Store) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		family := q.Get("family")
+		if family == "" {
+			http.Error(w, "query: family is required", http.StatusBadRequest)
+			return
+		}
+		if !familyPattern.MatchString(family) {
+			http.Error(w, fmt.Sprintf("query: family %q does not match the metric grammar", family), http.StatusBadRequest)
+			return
+		}
+		match := make(map[string]string)
+		for _, kv := range q["label"] {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok || k == "" {
+				http.Error(w, fmt.Sprintf("query: label %q must be key=value", kv), http.StatusBadRequest)
+				return
+			}
+			match[k] = v
+		}
+		since, err := telemetry.QueryFloatParam(q, "since", DefaultQuerySinceSec)
+		if err != nil {
+			http.Error(w, "query: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if since == 0 || since > MaxQuerySinceSec {
+			http.Error(w, fmt.Sprintf("query: since must be in (0, %d] seconds", MaxQuerySinceSec), http.StatusBadRequest)
+			return
+		}
+		step, err := telemetry.QueryFloatParam(q, "step", 0)
+		if err != nil {
+			http.Error(w, "query: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if step > since {
+			http.Error(w, "query: step must not exceed since", http.StatusBadRequest)
+			return
+		}
+
+		now := st.NowSec()
+		from := now - since
+		series := st.Query(family, match, from, now)
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		for _, sd := range series {
+			for _, s := range sd.Samples {
+				t, v := s.T, s.V
+				if err := enc.Encode(queryLine{
+					Family: sd.Family, Labels: sd.Labels, Kind: sd.Kind.String(), T: &t, V: &v,
+				}); err != nil {
+					return // client went away; nothing useful to report
+				}
+			}
+		}
+		if step > 0 {
+			for _, sd := range series {
+				for _, agg := range Aggregate(sd, from, now, step) {
+					a := agg
+					if err := enc.Encode(queryLine{
+						Family: sd.Family, Labels: sd.Labels, Kind: sd.Kind.String(), Agg: &a,
+					}); err != nil {
+						return
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,256 @@
+// The SLO engine turns the paper's QoS definition — sustain the update
+// rate U, i.e. finish every tick (and deliver every input→update round
+// trip) within 1/U — into an error-budget contract over retained history.
+// A point-in-time violation-rate alert answers "is it bad right now?"; the
+// burn-rate rules answer the operational question "at this rate, will the
+// objective survive the window?", using the multi-window multi-burn-rate
+// discipline (a fast 5m/1h page and a slow 30m/6h warn) so a lone spike
+// neither pages nor hides a slow bleed.
+package tsdb
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"roia/internal/telemetry"
+)
+
+// Selector names the counter series an SLI reads: every series of Family
+// whose labels include the Match pairs is summed.
+type Selector struct {
+	Family string
+	Match  map[string]string
+}
+
+// SLO declares one service-level objective over two cumulative counter
+// families in the store: Total counts events, Bad counts the events that
+// missed the contract. The error budget is 1-Objective of the events in
+// BudgetWindowSec.
+type SLO struct {
+	// Name keys the SLO in metrics, rules and queries (e.g. "tick_deadline").
+	Name string
+	// Objective is the required good fraction in (0,1), e.g. 0.99: at most
+	// 1% of events may miss the deadline.
+	Objective float64
+	// Total and Bad select the event and violation counters.
+	Total, Bad Selector
+	// BudgetWindowSec is the rolling window the error budget is accounted
+	// over (default 6h — the slow burn rule's long window, so "budget
+	// exhausted" and "slow burn at 1×" agree).
+	BudgetWindowSec float64
+}
+
+// Burn-rate rule defaults: the Google SRE workbook's two-window pairs,
+// scaled to a 6h budget horizon. The fast pair pages on a budget-destroying
+// burst (14.4× burn: a 30-day budget gone in 2 days, or here a 6h budget
+// gone in 25 minutes); the slow pair warns on a sustained bleed.
+const (
+	DefaultFastShortSec  = 5 * 60
+	DefaultFastLongSec   = 3600
+	DefaultFastThreshold = 14.4
+	DefaultSlowShortSec  = 30 * 60
+	DefaultSlowLongSec   = 6 * 3600
+	DefaultSlowThreshold = 6
+	DefaultBudgetWindow  = 6 * 3600
+)
+
+// Rule names exported by SLOEngine.Rules.
+const (
+	RuleSLOBurnFast = "slo_burn_fast"
+	RuleSLOBurnSlow = "slo_burn_slow"
+)
+
+// SLOEngine evaluates SLOs against the store's retained counter history.
+// It is stateless between calls — every number is recomputed from the
+// store, so the engine inherits the store's bounded retention and injected
+// clock.
+type SLOEngine struct {
+	store *Store
+	slos  []SLO
+
+	// Burn windows and thresholds; zero fields take the defaults above.
+	FastShortSec, FastLongSec, FastThreshold float64
+	SlowShortSec, SlowLongSec, SlowThreshold float64
+}
+
+// NewSLOEngine returns an engine over the given SLOs (burn windows at the
+// defaults; override the exported fields before first use to tune them).
+func NewSLOEngine(st *Store, slos ...SLO) *SLOEngine {
+	e := &SLOEngine{
+		store:         st,
+		FastShortSec:  DefaultFastShortSec,
+		FastLongSec:   DefaultFastLongSec,
+		FastThreshold: DefaultFastThreshold,
+		SlowShortSec:  DefaultSlowShortSec,
+		SlowLongSec:   DefaultSlowLongSec,
+		SlowThreshold: DefaultSlowThreshold,
+	}
+	for _, s := range slos {
+		if s.BudgetWindowSec <= 0 {
+			s.BudgetWindowSec = DefaultBudgetWindow
+		}
+		e.slos = append(e.slos, s)
+	}
+	return e
+}
+
+// SLOs returns the declared objectives.
+func (e *SLOEngine) SLOs() []SLO { return append([]SLO(nil), e.slos...) }
+
+// IncreaseOver computes the reset-aware increase summed over every series
+// matching sel in the window (now-windowSec, now]. The sample at or before
+// the window start is the delta baseline, so a window that opens between
+// two scrapes still measures the growth that landed inside it.
+func (e *SLOEngine) IncreaseOver(sel Selector, windowSec, now float64) float64 {
+	// Query one extra window back so the baseline sample is in hand; the
+	// store bounds retention anyway.
+	from := now - 2*windowSec
+	start := now - windowSec
+	var total float64
+	for _, sd := range e.store.Query(sel.Family, sel.Match, from, now) {
+		// Trim to the run starting at the last sample with T <= start.
+		lo := 0
+		for i, s := range sd.Samples {
+			if s.T <= start {
+				lo = i
+			} else {
+				break
+			}
+		}
+		total += Increase(sd.Samples[lo:])
+	}
+	return total
+}
+
+// BurnRate reports how fast the SLO consumes its error budget over the
+// trailing window: the bad-event fraction divided by the budget fraction
+// 1-Objective. 1.0 means "exactly sustainable"; 14.4 means the budget
+// burns 14.4× faster than allotted. A window with no total events burns 0.
+func (e *SLOEngine) BurnRate(s SLO, windowSec, now float64) float64 {
+	total := e.IncreaseOver(s.Total, windowSec, now)
+	if total <= 0 {
+		return 0
+	}
+	bad := e.IncreaseOver(s.Bad, windowSec, now)
+	budget := 1 - s.Objective
+	if budget <= 0 {
+		return 0
+	}
+	return (bad / total) / budget
+}
+
+// BudgetRemaining reports the unburned fraction of the SLO's error budget
+// over its BudgetWindowSec: 1 means untouched, 0 exhausted, negative
+// overspent. (This is 1 minus the burn rate over the budget window.)
+func (e *SLOEngine) BudgetRemaining(s SLO, now float64) float64 {
+	return 1 - e.BurnRate(s, s.BudgetWindowSec, now)
+}
+
+// Rules returns the multi-window burn-rate rules for the alert engine, new
+// telemetry.Rule kinds flowing through the same pending→firing→resolved
+// lifecycle as the model-threshold rules:
+//
+//   - slo_burn_fast: burn rate over BOTH the fast short (5m) and fast long
+//     (1h) windows exceeds FastThreshold (14.4×) — page-worthy; at this
+//     rate the budget is gone within the hour. The short window makes the
+//     rule resolve quickly once the burst ends; the long window keeps a
+//     lone spike from paging.
+//   - slo_burn_slow: burn rate over both the slow short (30m) and slow
+//     long (6h) windows exceeds SlowThreshold (6×) — a sustained bleed
+//     that will exhaust the budget within the day; warn-worthy.
+//
+// One instance per SLO (key = SLO name). The windows read the store clock,
+// so the rules stay deterministic under an injected clock regardless of
+// the evaluation timestamps the alert engine passes.
+func (e *SLOEngine) Rules(pendingFor int) []telemetry.Rule {
+	burn := func(shortSec, longSec, threshold float64) func(float64) []telemetry.RuleResult {
+		return func(_ float64) []telemetry.RuleResult {
+			now := e.store.NowSec()
+			var out []telemetry.RuleResult
+			for _, s := range e.slos {
+				short := e.BurnRate(s, shortSec, now)
+				long := e.BurnRate(s, longSec, now)
+				if short <= threshold || long <= threshold {
+					continue
+				}
+				out = append(out, telemetry.RuleResult{
+					Key:       s.Name,
+					Value:     short,
+					Threshold: threshold,
+					Detail: fmt.Sprintf("error budget burning at %.1fx/%.1fx over %s/%s (budget %.2g, remaining %.0f%%)",
+						short, long, fmtWindow(shortSec), fmtWindow(longSec),
+						1-s.Objective, 100*e.BudgetRemaining(s, now)),
+				})
+			}
+			return out
+		}
+	}
+	return []telemetry.Rule{
+		{Name: RuleSLOBurnFast, PendingFor: pendingFor, Eval: burn(e.FastShortSec, e.FastLongSec, e.FastThreshold)},
+		{Name: RuleSLOBurnSlow, PendingFor: pendingFor, Eval: burn(e.SlowShortSec, e.SlowLongSec, e.SlowThreshold)},
+	}
+}
+
+// fmtWindow renders a window length in seconds as a compact duration
+// ("5m", "1h", "90s").
+func fmtWindow(sec float64) string {
+	switch {
+	case sec >= 3600 && sec == float64(int(sec/3600))*3600:
+		return fmt.Sprintf("%dh", int(sec/3600))
+	case sec >= 60 && sec == float64(int(sec/60))*60:
+		return fmt.Sprintf("%dm", int(sec/60))
+	default:
+		return fmt.Sprintf("%gs", sec)
+	}
+}
+
+// WriteMetrics exports the live SLO state in the Prometheus text
+// exposition format; it matches telemetry.MetricsWriter.
+//
+// Exported families:
+//
+//	roia_slo_objective{slo}          gauge, the declared good fraction
+//	roia_slo_budget_remaining{slo}   gauge, unburned budget over the
+//	                                 budget window (1 full … <0 overspent)
+//	roia_slo_burn_rate{slo,window}   gauge, burn rate over each rule window
+func (e *SLOEngine) WriteMetrics(w io.Writer, labels string) error {
+	now := e.store.NowSec()
+	windows := e.metricWindows()
+	var b strings.Builder
+	fmt.Fprintf(&b, "# TYPE roia_slo_objective gauge\n")
+	for _, s := range e.slos {
+		fmt.Fprintf(&b, "roia_slo_objective%s %g\n",
+			telemetry.FormatLabels(labels, fmt.Sprintf("slo=%q", s.Name)), s.Objective)
+	}
+	fmt.Fprintf(&b, "# TYPE roia_slo_budget_remaining gauge\n")
+	for _, s := range e.slos {
+		fmt.Fprintf(&b, "roia_slo_budget_remaining%s %g\n",
+			telemetry.FormatLabels(labels, fmt.Sprintf("slo=%q", s.Name)), e.BudgetRemaining(s, now))
+	}
+	fmt.Fprintf(&b, "# TYPE roia_slo_burn_rate gauge\n")
+	for _, s := range e.slos {
+		for _, win := range windows {
+			fmt.Fprintf(&b, "roia_slo_burn_rate%s %g\n",
+				telemetry.FormatLabels(labels, fmt.Sprintf("slo=%q,window=%q", s.Name, fmtWindow(win))),
+				e.BurnRate(s, win, now))
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// metricWindows returns the distinct rule windows, ascending.
+func (e *SLOEngine) metricWindows() []float64 {
+	seen := map[float64]bool{}
+	var out []float64
+	for _, w := range []float64{e.FastShortSec, e.SlowShortSec, e.FastLongSec, e.SlowLongSec} {
+		if w > 0 && !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	sort.Float64s(out)
+	return out
+}

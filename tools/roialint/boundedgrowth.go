@@ -19,7 +19,7 @@ type BoundedGrowth struct {
 	TypePattern *regexp.Regexp
 }
 
-var defaultLongLived = regexp.MustCompile(`Tracer|Tracker|Ring|Collector|Recorder|Sink|Memory`)
+var defaultLongLived = regexp.MustCompile(`Tracer|Tracker|Ring|Collector|Recorder|Sink|Memory|Store|Series`)
 
 func (BoundedGrowth) Name() string { return "boundedgrowth" }
 

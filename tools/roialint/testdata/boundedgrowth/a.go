@@ -145,6 +145,37 @@ func (t *LeakTracker) Mark(k string) {
 	t.seen[k] += 1
 }
 
+// EventStore proves the Store suffix is in scope: a time-series-style
+// store whose series map and per-series buffers grow without any cap.
+type EventStore struct {
+	series map[string][]float64
+}
+
+// Bad: map insert in a *Store type with no bounding evidence.
+func (s *EventStore) Insert(key string, v float64) {
+	s.series[key] = append(s.series[key], v)
+}
+
+// SampleSeries mirrors the tsdb ring discipline: warm-up append capped by
+// a len comparison, then ring-slot overwrite with a dropped counter.
+type SampleSeries struct {
+	buf     []float64
+	next    int
+	size    int
+	dropped int
+}
+
+// Good: the tsdb idiom — capped fill, then overwrite-oldest.
+func (s *SampleSeries) Append(v float64) {
+	if len(s.buf) < s.size {
+		s.buf = append(s.buf, v)
+		return
+	}
+	s.buf[s.next] = v
+	s.next = (s.next + 1) % s.size
+	s.dropped++
+}
+
 // builder does not match the long-lived-type heuristic at all.
 type builder struct {
 	parts []string
