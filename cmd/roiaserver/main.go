@@ -205,6 +205,15 @@ func serveMetrics(ctx context.Context, mon *monitor.Monitor, drift *telemetry.Dr
 		Handler:           mux,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
+	// done joins the serve goroutine: shutdown waits for the listener to
+	// actually stop before the shutdown path completes.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "roiaserver: metrics:", err)
+		}
+	}()
 	go func() {
 		<-ctx.Done()
 		shutCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
@@ -212,11 +221,7 @@ func serveMetrics(ctx context.Context, mon *monitor.Monitor, drift *telemetry.Dr
 		if err := httpSrv.Shutdown(shutCtx); err != nil {
 			_ = httpSrv.Close()
 		}
-	}()
-	go func() {
-		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-			fmt.Fprintln(os.Stderr, "roiaserver: metrics:", err)
-		}
+		<-done
 	}()
 	fmt.Printf("metrics on http://%s/metrics, traces on /debug/ticktrace, flight recorder on /debug/flightrec, pprof on /debug/pprof/\n", *metricsFlag)
 	return nil

@@ -67,8 +67,8 @@ func main() {
 		log.Fatal(err)
 	}
 	coord := rms.NewCoordinator()
-	for z, fl := range fleets {
-		coord.Add(z, rms.NewManager(fl, rms.Config{Model: mdl, CooldownSec: 5, MaxReplicas: 3}))
+	for _, z := range []zone.ID{1, 2} {
+		coord.Add(z, rms.NewManager(fleets[z], rms.Config{Model: mdl, CooldownSec: 5, MaxReplicas: 3}))
 	}
 
 	// Bots join the west zone and drift east.
@@ -111,8 +111,8 @@ func main() {
 		}
 		actions := coord.Step(float64(sec))
 		var notable []string
-		for z, acts := range actions {
-			for _, a := range acts {
+		for _, z := range coord.Zones() {
+			for _, a := range actions[z] {
 				if a.Kind != rms.ActMigrate {
 					notable = append(notable, fmt.Sprintf("zone%d:%s", z, a))
 				}

@@ -172,8 +172,16 @@ func (mgr *Manager) step(now float64, rec *telemetry.DecisionRecord) []Action {
 	}
 	snapshotServers(rec, servers)
 
-	// Activate pending substitutions whose replacement became ready.
-	for newID, oldID := range mgr.pendingSubs {
+	// Activate pending substitutions whose replacement became ready. Keys
+	// are walked in sorted order so the action list and the audit record
+	// stay deterministic when several substitutions complete on one step.
+	pending := make([]string, 0, len(mgr.pendingSubs))
+	for newID := range mgr.pendingSubs {
+		pending = append(pending, newID)
+	}
+	sort.Strings(pending)
+	for _, newID := range pending {
+		oldID := mgr.pendingSubs[newID]
 		for _, s := range servers {
 			if s.ID == newID && s.Ready {
 				if err := mgr.cluster.SetDraining(oldID, true); err == nil {

@@ -660,6 +660,16 @@ func (c *Collector) Serve(ctx context.Context, addr string) (string, error) {
 		Handler:           c.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
+	// done joins the serve goroutine: the shutdown goroutine waits on it
+	// after Shutdown so the server has actually stopped accepting before
+	// the shutdown path completes, rather than racing process exit.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			fmt.Printf("fleet: collector: %v\n", err)
+		}
+	}()
 	go func() {
 		<-ctx.Done()
 		shutCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
@@ -667,11 +677,7 @@ func (c *Collector) Serve(ctx context.Context, addr string) (string, error) {
 		if err := httpSrv.Shutdown(shutCtx); err != nil {
 			_ = httpSrv.Close()
 		}
-	}()
-	go func() {
-		if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
-			fmt.Printf("fleet: collector: %v\n", err)
-		}
+		<-done
 	}()
 	return ln.Addr().String(), nil
 }

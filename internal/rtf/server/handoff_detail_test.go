@@ -1,0 +1,46 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+
+	"roia/internal/rtf/zone"
+)
+
+// TestHandoffDetailMatchesFmt pins the hand-rolled formatter to the
+// fmt.Sprintf it replaced: the audit text of a zone handoff must not
+// change just because the tick path stopped paying for fmt.
+func TestHandoffDetailMatchesFmt(t *testing.T) {
+	var s Server
+	cases := []struct {
+		uid    string
+		dest   zone.ID
+		target string
+	}{
+		{"user-1", 2, "east-1"},
+		{"", 0, ""},
+		{"u", 4294967295, "west-12"},
+		{"bot-42", 7, "zone-7-replica-3"},
+	}
+	for _, c := range cases {
+		got := s.handoffDetail(c.uid, c.dest, c.target)
+		want := fmt.Sprintf("user %s → zone %d (%s)", c.uid, c.dest, c.target)
+		if got != want {
+			t.Errorf("handoffDetail(%q, %d, %q) = %q, want %q", c.uid, c.dest, c.target, got, want)
+		}
+	}
+}
+
+// TestHandoffDetailReuseKeepsResults checks that reusing the scratch
+// buffer does not corrupt strings returned by earlier calls.
+func TestHandoffDetailReuseKeepsResults(t *testing.T) {
+	var s Server
+	first := s.handoffDetail("aaaa", 1, "t1")
+	second := s.handoffDetail("bbbb", 22, "t2")
+	if first != "user aaaa → zone 1 (t1)" {
+		t.Errorf("first result corrupted by reuse: %q", first)
+	}
+	if second != "user bbbb → zone 22 (t2)" {
+		t.Errorf("second result wrong: %q", second)
+	}
+}

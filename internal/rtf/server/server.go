@@ -167,6 +167,12 @@ type Server struct {
 	// they ride along in the next shadow update (they are no longer
 	// "active" here, but the new owner must learn of the transfer).
 	handoffs []entity.ID
+	// detailBuf is a reusable scratch buffer for building event detail
+	// strings without fmt on the tick path (tick goroutine only).
+	detailBuf []byte
+	// frameBuf is the reusable receive buffer the tick's Drain fills;
+	// frames are only referenced within the tick that drained them.
+	frameBuf []transport.Frame
 }
 
 // New assembles a server from the configuration. The server is inert until

@@ -2,8 +2,8 @@ package server
 
 import (
 	"encoding/binary"
-	"fmt"
 	"sort"
+	"strconv"
 	"time"
 
 	"roia/internal/rtf/entity"
@@ -11,6 +11,7 @@ import (
 	"roia/internal/rtf/proto"
 	"roia/internal/rtf/transport"
 	"roia/internal/rtf/wire"
+	"roia/internal/rtf/zone"
 	"roia/internal/telemetry"
 )
 
@@ -99,7 +100,11 @@ func (s *Server) Tick() {
 	// frames in their original order, merging the slot accounting into the
 	// Breakdown and performing every state mutation sequentially — so the
 	// observable effects are identical to the seed's single loop.
-	frames := transport.Drain(s.cfg.Node, 0)
+	// The frame buffer is owned by the server and reused across ticks:
+	// frames are dead once the apply stage below finishes, so last tick's
+	// capacity serves this tick without reallocating.
+	frames := transport.DrainInto(s.cfg.Node, s.frameBuf[:0], 0)
+	s.frameBuf = frames
 	for _, f := range frames {
 		// Framed wire bytes (header + payload): what the transport's peer
 		// actually wrote, matching the BytesOut convention in sendRaw.
@@ -761,7 +766,7 @@ func (s *Server) processZoneTransfers(br *monitor.Breakdown, removed *[]entity.I
 				Kind:      telemetry.FleetEventZoneHandoff,
 				Zone:      uint32(s.cfg.Zone),
 				Replica:   s.ID(),
-				Detail:    fmt.Sprintf("user %s → zone %d (%s)", uid, dest.ID, target),
+				Detail:    s.handoffDetail(uid, dest.ID, target),
 			})
 		}
 
@@ -770,6 +775,23 @@ func (s *Server) processZoneTransfers(br *monitor.Breakdown, removed *[]entity.I
 		s.store.Remove(av.ID)
 		*removed = append(*removed, av.ID)
 	}
+}
+
+// handoffDetail renders "user <uid> → zone <id> (<target>)" into the
+// server's reused scratch buffer: it runs once per zone handoff on the
+// tick path, where fmt's formatting machinery (boxing plus verb parsing)
+// is avoidable cost. Only the final string conversion allocates.
+func (s *Server) handoffDetail(uid string, dest zone.ID, target string) string {
+	b := s.detailBuf[:0]
+	b = append(b, "user "...)
+	b = append(b, uid...)
+	b = append(b, " → zone "...)
+	b = strconv.AppendUint(b, uint64(dest), 10)
+	b = append(b, " ("...)
+	b = append(b, target...)
+	b = append(b, ')')
+	s.detailBuf = b
+	return string(b)
 }
 
 // processMigrationOrders executes the pending migration orders, handing

@@ -176,17 +176,27 @@ func (n *loopNode) Close() error {
 // It is the helper the real-time loop uses at the start of each tick
 // (step 1 of the tick: "each server receives inputs from its users").
 func Drain(n Node, max int) []Frame {
-	var frames []Frame
-	for max <= 0 || len(frames) < max {
+	return DrainInto(n, nil, max)
+}
+
+// DrainInto is Drain appending into a caller-owned buffer (typically
+// buf[:0] of last tick's slice): the receive stage runs every tick, and
+// growing a fresh slice from nil each time is repeated reallocation the
+// tick path can skip entirely once the buffer has reached steady-state
+// capacity. Returns the filled buffer; frames are appended in arrival
+// order.
+func DrainInto(n Node, buf []Frame, max int) []Frame {
+	start := len(buf)
+	for max <= 0 || len(buf)-start < max {
 		select {
 		case f, ok := <-n.Inbox():
 			if !ok {
-				return frames
+				return buf
 			}
-			frames = append(frames, f)
+			buf = append(buf, f)
 		default:
-			return frames
+			return buf
 		}
 	}
-	return frames
+	return buf
 }

@@ -317,3 +317,56 @@ func TestTCPLargePayload(t *testing.T) {
 		t.Fatal("large frame not delivered")
 	}
 }
+
+// TestDrainIntoReusesBuffer pins the tick receive stage's buffer-reuse
+// contract: frames append in arrival order after any existing elements,
+// a pre-sized buffer is not regrown, and Drain stays a nil-buffer shim.
+func TestDrainIntoReusesBuffer(t *testing.T) {
+	net := NewLoopback()
+	defer net.Close()
+	a, _ := net.Attach("a", 16)
+	b, _ := net.Attach("b", 16)
+	for i := 0; i < 3; i++ {
+		if err := a.Send("b", []byte{byte('0' + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	buf := make([]Frame, 0, 8)
+	got := DrainInto(b, buf, 0)
+	if len(got) != 3 {
+		t.Fatalf("drained %d frames, want 3", len(got))
+	}
+	for i, f := range got {
+		if want := string(rune('0' + i)); string(f.Payload) != want {
+			t.Errorf("frame %d payload = %q, want %q (arrival order)", i, f.Payload, want)
+		}
+	}
+	if cap(got) != 8 {
+		t.Errorf("cap grew to %d, want the caller's 8 (no reallocation)", cap(got))
+	}
+
+	// Next tick: drain into the truncated previous buffer.
+	if err := a.Send("b", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	got = DrainInto(b, got[:0], 0)
+	if len(got) != 1 || string(got[0].Payload) != "x" {
+		t.Fatalf("second drain = %d frames (first %q), want 1 frame \"x\"", len(got), got[0].Payload)
+	}
+
+	// Existing elements are preserved, and max counts only new frames.
+	for i := 0; i < 5; i++ {
+		if err := a.Send("b", []byte{byte('a' + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pre := []Frame{{From: "pre"}}
+	out := DrainInto(b, pre, 2)
+	if len(out) != 3 || out[0].From != "pre" {
+		t.Fatalf("DrainInto with prefix = %+v, want prefix plus 2 frames", out)
+	}
+	if rest := Drain(b, 0); len(rest) != 3 {
+		t.Fatalf("Drain left %d frames, want 3", len(rest))
+	}
+}

@@ -244,12 +244,20 @@ func (e *AlertEngine) Eval(now float64) {
 		}
 		// Instances that stopped appearing resolve (firing) or cancel
 		// silently (pending that never fired — logging those would make
-		// every threshold graze a spurious resolved line).
+		// every threshold graze a spurious resolved line). Collected and
+		// sorted before emitting: the JSONL event stream is diffed and
+		// deduped downstream, so resolved lines must not come out in map
+		// order when several instances resolve on the same evaluation.
 		prefix := rule.Name + "\x00"
-		for k, inst := range e.states {
-			if !strings.HasPrefix(k, prefix) || active[strings.TrimPrefix(k, prefix)] {
-				continue
+		var gone []string
+		for k := range e.states {
+			if strings.HasPrefix(k, prefix) && !active[strings.TrimPrefix(k, prefix)] {
+				gone = append(gone, k)
 			}
+		}
+		sort.Strings(gone)
+		for _, k := range gone {
+			inst := e.states[k]
 			if inst.state == AlertFiring {
 				e.emitEvent(AlertEvent{
 					Time: now, Rule: rule.Name, Key: inst.last.Key, State: "resolved",

@@ -245,3 +245,47 @@ func TestAlertLogJSONLAndMetrics(t *testing.T) {
 		}
 	}
 }
+
+// TestAlertResolvedOrderDeterministic pins the JSONL stream contract:
+// when several instances of one rule resolve on the same evaluation, the
+// resolved events are emitted sorted by instance key, not in map order —
+// downstream diffing and dedup rely on byte-stable streams.
+func TestAlertResolvedOrderDeterministic(t *testing.T) {
+	active := true
+	keys := []string{"replica-9", "replica-1", "replica-5", "replica-3", "replica-7"}
+	rule := Rule{
+		Name: "over",
+		Eval: func(now float64) []RuleResult {
+			if !active {
+				return nil
+			}
+			out := make([]RuleResult, len(keys))
+			for i, k := range keys {
+				out[i] = RuleResult{Key: k, Value: 1, Threshold: 0}
+			}
+			return out
+		},
+	}
+	sink := &MemoryAlerts{}
+	engine := NewAlertEngine(sink, rule)
+	engine.Eval(1) // all pending
+	engine.Eval(2) // all firing
+	active = false
+	engine.Eval(3) // all resolve on one evaluation
+
+	var resolved []string
+	for _, e := range sink.Snapshot() {
+		if e.State == "resolved" {
+			resolved = append(resolved, e.Key)
+		}
+	}
+	want := []string{"replica-1", "replica-3", "replica-5", "replica-7", "replica-9"}
+	if len(resolved) != len(want) {
+		t.Fatalf("resolved keys = %v, want %v", resolved, want)
+	}
+	for i := range want {
+		if resolved[i] != want[i] {
+			t.Fatalf("resolved keys = %v, want sorted %v", resolved, want)
+		}
+	}
+}

@@ -1,30 +1,77 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/token"
+	"io"
 	"path/filepath"
 	"sort"
 	"strings"
 )
 
 // Diagnostic is one finding: a position, the check that produced it, and a
-// human-readable message stating the violated invariant.
+// human-readable message stating the violated invariant. Suppressed marks
+// findings absorbed by an inline //roialint:ignore directive or by the
+// hotpathalloc baseline; they are excluded from the human output and the
+// exit status but carried in the -json stream so CI artifacts show the
+// complete picture.
 type Diagnostic struct {
-	Pos     token.Position
-	Check   string
-	Message string
+	Pos        token.Position
+	Check      string
+	Message    string
+	Suppressed bool
 }
 
 func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
 }
 
-// Analyzer is one named check over a loaded package.
+// jsonDiagnostic is the -json wire form: one object per line, stable field
+// names, so CI can upload findings as a machine-readable artifact.
+type jsonDiagnostic struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Check      string `json:"check"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
+// WriteJSONL renders diagnostics (active and suppressed) as JSON lines.
+func WriteJSONL(w io.Writer, diags []Diagnostic) error {
+	enc := json.NewEncoder(w)
+	for _, d := range diags {
+		if err := enc.Encode(jsonDiagnostic{
+			File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column,
+			Check: d.Check, Message: d.Message, Suppressed: d.Suppressed,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Analyzer is one named check. Implementations are either PackageAnalyzers
+// (independent single-package passes) or GraphAnalyzers (interprocedural
+// passes over the module-wide call graph).
 type Analyzer interface {
 	Name() string
+}
+
+// PackageAnalyzer is a check over one loaded package at a time.
+type PackageAnalyzer interface {
+	Analyzer
 	Check(pkg *Package, r *Reporter)
+}
+
+// GraphAnalyzer is a check over the whole-module call graph: it sees every
+// package at once, with per-function summaries and reachability from the
+// tick entry points (see callgraph.go).
+type GraphAnalyzer interface {
+	Analyzer
+	CheckGraph(g *Graph, r *Reporter)
 }
 
 // Finisher is implemented by analyzers that need a cross-package pass after
@@ -67,6 +114,34 @@ func NewReporter(fset *token.FileSet, root string) *Reporter {
 
 const ignorePrefix = "roialint:ignore"
 
+// parseIgnoreDirective parses the text of one comment (without the leading
+// "//") as a //roialint:ignore directive. ok reports whether the comment is
+// a directive at all; a directive that is malformed (missing check name or
+// reason) returns a non-empty errMsg and MUST be reported, never silently
+// honored — an unparseable suppression that silently suppressed nothing
+// (or worse, something) would be invisible debt.
+func parseIgnoreDirective(text string) (check, reason, errMsg string, ok bool) {
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, ignorePrefix) {
+		return "", "", "", false
+	}
+	rest := strings.TrimPrefix(text, ignorePrefix)
+	// "roialint:ignoreXYZ" is a typo of a directive, not a new word: treat
+	// anything but a field separator (or end) after the prefix as malformed.
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", "", "roialint:ignore directive is malformed (no space after the directive name)", true
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return "", "", "roialint:ignore needs a check name and a reason", true
+	}
+	if len(fields) < 2 {
+		return fields[0], "",
+			fmt.Sprintf("roialint:ignore %s needs a reason — say why the invariant does not apply here", fields[0]), true
+	}
+	return fields[0], strings.Join(fields[1:], " "), "", true
+}
+
 // ScanSuppressions parses every //roialint:ignore comment in the package.
 // Malformed suppressions (no check name, or no reason) are reported as
 // findings of the pseudo-check "suppress".
@@ -74,27 +149,16 @@ func (r *Reporter) ScanSuppressions(pkg *Package) {
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text := strings.TrimPrefix(c.Text, "//")
-				text = strings.TrimSpace(text)
-				if !strings.HasPrefix(text, ignorePrefix) {
+				check, reason, errMsg, ok := parseIgnoreDirective(strings.TrimPrefix(c.Text, "//"))
+				if !ok {
 					continue
 				}
 				pos := r.fset.Position(c.Pos())
-				fields := strings.Fields(strings.TrimPrefix(text, ignorePrefix))
-				if len(fields) == 0 {
-					r.report(pos, "suppress", "roialint:ignore needs a check name and a reason")
+				if errMsg != "" {
+					r.report(pos, "suppress", errMsg)
 					continue
 				}
-				if len(fields) < 2 {
-					r.report(pos, "suppress",
-						fmt.Sprintf("roialint:ignore %s needs a reason — say why the invariant does not apply here", fields[0]))
-					continue
-				}
-				s := &suppression{
-					check:  fields[0],
-					reason: strings.Join(fields[1:], " "),
-					line:   pos.Line,
-				}
+				s := &suppression{check: check, reason: reason, line: pos.Line}
 				byLine := r.sups[pos.Filename]
 				if byLine == nil {
 					byLine = map[int][]*suppression{}
@@ -123,17 +187,34 @@ func (r *Reporter) ReportPos(pos token.Position, check, format string, args ...a
 		if s.check == check {
 			s.used = true
 			r.suppressed++
+			r.reportSuppressed(pos, check, fmt.Sprintf(format, args...))
 			return
 		}
 	}
 	r.report(pos, check, fmt.Sprintf(format, args...))
 }
 
+// ReportBaselined records a finding absorbed by a baseline file: suppressed
+// for exit-status purposes, but visible in the -json stream.
+func (r *Reporter) ReportBaselined(node ast.Node, check, format string, args ...any) {
+	pos := r.fset.Position(node.Pos())
+	r.suppressed++
+	r.reportSuppressed(pos, check, fmt.Sprintf(format, args...))
+}
+
 func (r *Reporter) report(pos token.Position, check, msg string) {
+	r.diags = append(r.diags, Diagnostic{Pos: r.rel(pos), Check: check, Message: msg})
+}
+
+func (r *Reporter) reportSuppressed(pos token.Position, check, msg string) {
+	r.diags = append(r.diags, Diagnostic{Pos: r.rel(pos), Check: check, Message: msg, Suppressed: true})
+}
+
+func (r *Reporter) rel(pos token.Position) token.Position {
 	if rel, err := filepath.Rel(r.root, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
 		pos.Filename = filepath.ToSlash(rel)
 	}
-	r.diags = append(r.diags, Diagnostic{Pos: pos, Check: check, Message: msg})
+	return pos
 }
 
 // Rel renders a filename relative to the reporter's root, matching how
@@ -146,12 +227,11 @@ func (r *Reporter) Rel(filename string) string {
 	return filename
 }
 
-// Diagnostics returns the surviving findings sorted by position, with
-// exact duplicates collapsed (one string literal can trip the same rule on
-// several of its lines).
-func (r *Reporter) Diagnostics() []Diagnostic {
-	sort.Slice(r.diags, func(i, j int) bool {
-		a, b := r.diags[i], r.diags[j]
+// sortDiags orders diagnostics by position then check, collapsing exact
+// duplicates (one string literal can trip the same rule on several lines).
+func sortDiags(diags []Diagnostic) []Diagnostic {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}
@@ -161,18 +241,41 @@ func (r *Reporter) Diagnostics() []Diagnostic {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Check < b.Check
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return !a.Suppressed && b.Suppressed
 	})
-	out := r.diags[:0]
-	for i, d := range r.diags {
-		if i > 0 && d == r.diags[i-1] {
+	out := diags[:0]
+	for i, d := range diags {
+		if i > 0 && d == diags[i-1] {
 			continue
 		}
 		out = append(out, d)
 	}
-	r.diags = out
+	return out
+}
+
+// Diagnostics returns the surviving (non-suppressed) findings sorted by
+// position.
+func (r *Reporter) Diagnostics() []Diagnostic {
+	r.diags = sortDiags(r.diags)
+	out := make([]Diagnostic, 0, len(r.diags))
+	for _, d := range r.diags {
+		if !d.Suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// AllDiagnostics returns every finding — active and suppressed — sorted by
+// position, for the -json machine output.
+func (r *Reporter) AllDiagnostics() []Diagnostic {
+	r.diags = sortDiags(r.diags)
 	return r.diags
 }
 
-// Suppressed reports how many findings inline suppressions absorbed.
+// Suppressed reports how many findings inline suppressions (or baselines)
+// absorbed.
 func (r *Reporter) Suppressed() int { return r.suppressed }

@@ -1,0 +1,76 @@
+package main
+
+// Determinism enforces the PR 5 byte-identical-output contract tree-wide:
+// the staged tick pipeline promises that client-visible wire bytes are
+// identical for any worker count and GOMAXPROCS, and the telemetry layer
+// promises byte-stable exposition and JSONL streams (golden tests, scrape
+// diffing, and the fleet collector's dedup all rely on it).
+//
+// Two scopes, both interprocedural:
+//
+//   - the wire scope: everything reachable from an executor worker closure
+//     or from any function whose signature touches a wire.Writer. Here
+//     nothing nondeterministic is allowed at all: no unsorted map ranges,
+//     no wall-clock reads, no math/rand global source (injected sources
+//     via rand.New are fine), no GOMAXPROCS/NumCPU-dependent values, and
+//     no goroutine spawns (scheduling order is not part of the contract);
+//   - the emit scope: every function that transitively writes formatted
+//     output (fmt.Fprint*, JSON encoders, strings.Builder/bytes.Buffer).
+//     Here only map-iteration order is policed — emitted lines must not
+//     depend on it.
+//
+// A map range is accepted as deterministic on positive evidence only:
+// either a sort.*/slices.Sort* call later in the same function (the
+// collect-keys-then-sort idiom), or an order-insensitive body (deletes,
+// map writes, scalar accumulation — nothing ordered escapes the loop).
+type Determinism struct{}
+
+func (Determinism) Name() string { return "determinism" }
+
+func (Determinism) CheckGraph(g *Graph, r *Reporter) {
+	for _, n := range g.Nodes {
+		if !g.Reportable(n) {
+			continue
+		}
+		wire := g.DetScope(n)
+		emit := n.Emits
+		if !wire && !emit {
+			continue
+		}
+		for _, s := range n.Sites {
+			switch s.Kind {
+			case SiteMapRange:
+				if s.SortedAfter || s.Benign {
+					continue
+				}
+				where := "emitted output"
+				if wire {
+					where = "the wire/publish path"
+				}
+				r.Report(s.Node, "determinism",
+					"map iteration order reaches %s in %s — collect the keys and sort them first",
+					where, n.Name)
+			case SiteClock:
+				if wire {
+					r.Report(s.Node, "determinism",
+						"time.%s in %s, which is reachable from the wire/publish path — wall time must come from the injected tick clock", s.Detail, n.Name)
+				}
+			case SiteRandGlobal:
+				if wire {
+					r.Report(s.Node, "determinism",
+						"%s in %s uses the global rand source on the wire/publish path — inject a seeded *rand.Rand instead", s.Detail, n.Name)
+				}
+			case SiteSchedDep:
+				if wire {
+					r.Report(s.Node, "determinism",
+						"%s in %s makes wire output depend on the processor count", s.Detail, n.Name)
+				}
+			case SiteSpawn:
+				if wire {
+					r.Report(s.Node, "determinism",
+						"goroutine spawned in %s on the wire/publish path — scheduling order would leak into the byte stream", n.Name)
+				}
+			}
+		}
+	}
+}

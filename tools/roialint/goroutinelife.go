@@ -1,0 +1,136 @@
+package main
+
+import (
+	"go/ast"
+)
+
+// GoroutineLife checks goroutine and timer lifecycle: in a server meant to
+// run for weeks (ROADMAP item 1 turns replicas into long-lived fleet
+// processes), a goroutine with no termination path is a slow leak, and an
+// unstopped time.Ticker pins both a goroutine and a heap timer forever.
+//
+// Rules:
+//
+//   - every `go` statement needs join/stop evidence in the spawned
+//     function, found interprocedurally through static calls: a
+//     WaitGroup.Done, a channel receive or select (typically on a done or
+//     ctx.Done channel), a range over a channel, or a deferred close of a
+//     completion channel;
+//   - every time.NewTicker/NewTimer assigned to a local must have a Stop
+//     on the same expression in the same function (a deferred Stop is the
+//     idiom). Creations assigned to struct fields are skipped — their Stop
+//     lives in another method and ownership is the type's business;
+//   - time.Tick is always flagged: its ticker can never be stopped.
+type GoroutineLife struct{}
+
+func (GoroutineLife) Name() string { return "goroutinelife" }
+
+func (GoroutineLife) CheckGraph(g *Graph, r *Reporter) {
+	for _, n := range g.Nodes {
+		if !g.Reportable(n) {
+			continue
+		}
+		var tickerSites []*Site
+		for _, s := range n.Sites {
+			switch s.Kind {
+			case SiteSpawn:
+				if s.Target == nil {
+					r.Report(s.Node, "goroutinelife",
+						"goroutine spawned in %s on a dynamic function value — no join/stop evidence is visible; spawn a named function or closure with a termination path", n.Name)
+					continue
+				}
+				if !s.Target.stops {
+					r.Report(s.Node, "goroutinelife",
+						"goroutine spawned in %s has no join/stop evidence (no WaitGroup.Done, channel receive/select, ctx.Done, or deferred close) — it can outlive its owner", n.Name)
+				}
+			case SiteTicker:
+				if s.Detail == "Tick" {
+					r.Report(s.Node, "goroutinelife",
+						"time.Tick in %s leaks its ticker — use time.NewTicker with a deferred Stop", n.Name)
+					continue
+				}
+				tickerSites = append(tickerSites, s)
+			}
+		}
+		if len(tickerSites) > 0 {
+			checkTickerStops(g, n, tickerSites, r)
+		}
+	}
+}
+
+// checkTickerStops matches NewTicker/NewTimer creations against Stop calls
+// within the same function body.
+func checkTickerStops(g *Graph, n *FuncNode, sites []*Site, r *Reporter) {
+	body := n.Body()
+	if body == nil {
+		return
+	}
+	info := n.Pkg.Info
+
+	// Creation targets: the expression each ticker is assigned to, by
+	// canonical text. Field assignments transfer ownership out of this
+	// function and are excluded from the check.
+	assignedTo := map[*Site]string{}
+	fieldOwned := map[*Site]bool{}
+	ast.Inspect(body, func(x ast.Node) bool {
+		as, ok := x.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			for _, s := range sites {
+				if s.Node != rhs {
+					continue
+				}
+				switch lhs := ast.Unparen(as.Lhs[i]).(type) {
+				case *ast.Ident:
+					assignedTo[s] = lhs.Name
+				case *ast.SelectorExpr:
+					fieldOwned[s] = true
+					_ = lhs
+				}
+			}
+		}
+		return true
+	})
+
+	// Stop calls on *time.Ticker / *time.Timer receivers, by receiver text.
+	stopped := map[string]bool{}
+	anyStops := 0
+	ast.Inspect(body, func(x ast.Node) bool {
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Stop" {
+			return true
+		}
+		t := info.TypeOf(sel.X)
+		if !isNamed(t, "time", "Ticker") && !isNamed(t, "time", "Timer") {
+			return true
+		}
+		stopped[exprKey(g.Fset, sel.X)] = true
+		anyStops++
+		return true
+	})
+
+	for _, s := range sites {
+		if fieldOwned[s] {
+			continue
+		}
+		name, ok := assignedTo[s]
+		if ok {
+			if stopped[name] {
+				continue
+			}
+		} else if anyStops > 0 {
+			// Unassigned-form creation (e.g. returned, or passed along):
+			// give the benefit of the doubt when the function stops any
+			// ticker at all.
+			continue
+		}
+		r.Report(s.Node, "goroutinelife",
+			"time.New%s in %s is never stopped here — defer its Stop (or hand it to an owner that does)", s.Detail[3:], n.Name)
+	}
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzIgnoreDirective fuzzes the //roialint:ignore parser with the one
+// property that keeps suppressions honest: a comment is either not a
+// directive at all, a malformed directive that MUST carry an error message
+// (so ScanSuppressions reports it instead of honoring it), or a
+// well-formed directive with a non-empty check and reason. There is no
+// fourth state in which garbage silently suppresses findings.
+func FuzzIgnoreDirective(f *testing.F) {
+	f.Add("roialint:ignore tickclock benchmarked against a fixed clock")
+	f.Add(" roialint:ignore hotpathalloc startup-only path")
+	f.Add("roialint:ignore")
+	f.Add("roialint:ignore\t")
+	f.Add("roialint:ignorefoo bar")
+	f.Add("roialint:ignore lockhold")
+	f.Add("just a comment mentioning roialint")
+	f.Add("")
+	f.Add("roialint:ignore  check \t reason with   spaces")
+	f.Fuzz(func(t *testing.T, text string) {
+		check, reason, errMsg, ok := parseIgnoreDirective(text)
+		if !ok {
+			// Not a directive: nothing may leak out.
+			if check != "" || reason != "" || errMsg != "" {
+				t.Fatalf("ok=false but fields set: check=%q reason=%q err=%q for %q", check, reason, errMsg, text)
+			}
+			if strings.HasPrefix(strings.TrimSpace(text), ignorePrefix) {
+				t.Fatalf("directive-shaped comment not recognized: %q", text)
+			}
+			return
+		}
+		if errMsg != "" {
+			// Malformed: must never yield a usable suppression.
+			if reason != "" {
+				t.Fatalf("malformed directive carries a reason (would be honored): %q → check=%q reason=%q", text, check, reason)
+			}
+			return
+		}
+		// Well-formed: check and reason must both be usable.
+		if check == "" || reason == "" {
+			t.Fatalf("well-formed directive with empty check/reason: %q → check=%q reason=%q", text, check, reason)
+		}
+		if strings.ContainsAny(check, " \t\n") {
+			t.Fatalf("check name contains whitespace: %q from %q", check, text)
+		}
+	})
+}

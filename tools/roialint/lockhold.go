@@ -17,6 +17,10 @@ import (
 // The analysis is positional and per-function: an interval runs from each
 // Lock/RLock to the next non-deferred Unlock/RUnlock of the same mutex
 // expression (or to the end of the function when the unlock is deferred).
+// On top of the direct checks, the call-graph pass flags calls to module
+// functions whose *transitive* summary blocks — the held region does not
+// have to contain the channel operation itself anymore, only a call that
+// eventually reaches one through static calls.
 type LockHold struct {
 	// PathPrefix restricts the check to files whose module-relative path
 	// contains it; empty means the rtf default.
@@ -25,6 +29,13 @@ type LockHold struct {
 
 func (LockHold) Name() string { return "lockhold" }
 
+func (l LockHold) prefix() string {
+	if l.PathPrefix == "" {
+		return "internal/rtf/"
+	}
+	return l.PathPrefix
+}
+
 type lockEvent struct {
 	pos     token.Pos
 	lock    bool // Lock/RLock vs Unlock/RUnlock
@@ -32,12 +43,8 @@ type lockEvent struct {
 }
 
 func (l LockHold) Check(pkg *Package, r *Reporter) {
-	prefix := l.PathPrefix
-	if prefix == "" {
-		prefix = "internal/rtf/"
-	}
 	for _, f := range pkg.Files {
-		if !matchesAny(pkg.RelFiles[f], []string{prefix}) {
+		if !matchesAny(pkg.RelFiles[f], []string{l.prefix()}) {
 			continue
 		}
 		for _, decl := range f.Decls {
@@ -49,6 +56,66 @@ func (l LockHold) Check(pkg *Package, r *Reporter) {
 		}
 		l.checkExecutorWorkers(pkg, f, r)
 	}
+}
+
+// CheckGraph is the interprocedural extension: a call under a held mutex
+// to a module function that transitively blocks is as dangerous as the
+// blocking operation itself, with one level (or many) of indirection.
+func (l LockHold) CheckGraph(g *Graph, r *Reporter) {
+	for _, pkg := range g.Pkgs {
+		if !g.reportable[pkg] {
+			continue
+		}
+		for _, f := range pkg.Files {
+			if !matchesAny(pkg.RelFiles[f], []string{l.prefix()}) {
+				continue
+			}
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				heldAt := lockIntervals(pkg, fn, r.fset)
+				if heldAt == nil {
+					continue
+				}
+				self := g.NodeOf(funcObj(pkg, fn))
+				ast.Inspect(fn.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					key, lockPos, held := heldAt(call.Pos())
+					if !held {
+						return true
+					}
+					callee, _ := calleeObj(pkg.Info, call).(*types.Func)
+					if callee == nil {
+						return true
+					}
+					target := g.NodeOf(callee)
+					if target == nil || target == self || !target.Blocks {
+						return true
+					}
+					why, where := target.BlockWhy, ""
+					if target.BlockSite != nil {
+						p := r.fset.Position(target.BlockSite.Pos())
+						where = r.Rel(p.Filename) + ":" + itoa(p.Line)
+					}
+					r.Report(call, "lockhold",
+						"call to %s while %s is held (locked at line %d): it can block (%s at %s)",
+						target.Name, key, r.fset.Position(lockPos).Line, why, where)
+					return true
+				})
+			}
+		}
+	}
+}
+
+// funcObj resolves a declaration to its *types.Func.
+func funcObj(pkg *Package, fn *ast.FuncDecl) *types.Func {
+	obj, _ := pkg.Info.Defs[fn.Name].(*types.Func)
+	return obj
 }
 
 // checkExecutorWorkers flags any mutex operation inside a closure handed to
@@ -84,7 +151,9 @@ func (LockHold) checkExecutorWorkers(pkg *Package, f *ast.File, r *Reporter) {
 	}
 }
 
-func (LockHold) checkFunc(pkg *Package, fn *ast.FuncDecl, r *Reporter) {
+// lockIntervals computes the held-mutex intervals of one function and
+// returns a position lookup, or nil when the function takes no locks.
+func lockIntervals(pkg *Package, fn *ast.FuncDecl, fset *token.FileSet) func(token.Pos) (string, token.Pos, bool) {
 	info := pkg.Info
 
 	// Pass 1: collect Lock/Unlock events per mutex expression.
@@ -114,12 +183,12 @@ func (LockHold) checkFunc(pkg *Package, fn *ast.FuncDecl, r *Reporter) {
 		if t == nil || (!isNamed(t, "sync", "Mutex") && !isNamed(t, "sync", "RWMutex")) {
 			return true
 		}
-		key := exprKey(r.fset, sel.X)
+		key := exprKey(fset, sel.X)
 		events[key] = append(events[key], lockEvent{pos: call.Pos(), lock: isLock, deferDo: inDefer[call]})
 		return true
 	})
 	if len(events) == 0 {
-		return
+		return nil
 	}
 
 	// Build held intervals: Lock → next plain Unlock, else function end.
@@ -144,9 +213,9 @@ func (LockHold) checkFunc(pkg *Package, fn *ast.FuncDecl, r *Reporter) {
 		}
 	}
 	if len(held) == 0 {
-		return
+		return nil
 	}
-	heldAt := func(pos token.Pos) (string, token.Pos, bool) {
+	return func(pos token.Pos) (string, token.Pos, bool) {
 		for _, iv := range held {
 			if pos > iv.start && pos < iv.end {
 				return iv.key, iv.start, true
@@ -154,9 +223,16 @@ func (LockHold) checkFunc(pkg *Package, fn *ast.FuncDecl, r *Reporter) {
 		}
 		return "", token.NoPos, false
 	}
+}
 
-	// Pass 2: flag blocking operations inside held intervals. Comm clauses
-	// of a select with a default are non-blocking and exempted.
+func (l LockHold) checkFunc(pkg *Package, fn *ast.FuncDecl, r *Reporter) {
+	heldAt := lockIntervals(pkg, fn, r.fset)
+	if heldAt == nil {
+		return
+	}
+
+	// Flag blocking operations inside held intervals. Comm clauses of a
+	// select with a default are non-blocking and exempted.
 	nonBlocking := map[ast.Node]bool{}
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		sel, ok := n.(*ast.SelectStmt)

@@ -32,6 +32,11 @@ func TestGolden(t *testing.T) {
 		{dir: "boundedgrowth", analyzers: []Analyzer{BoundedGrowth{}}},
 		{dir: "tickclock", analyzers: []Analyzer{TickClock{Allowed: []string{"clock_ok.go", "exec.go"}}}},
 		{dir: "closeerr", analyzers: []Analyzer{CloseErr{}}},
+		{dir: "determinism", analyzers: []Analyzer{Determinism{}}},
+		// No BaselinePath: every allocation site reports. Baseline
+		// round-tripping is covered by TestHotPathBaselineRoundTrip.
+		{dir: "hotpathalloc", analyzers: []Analyzer{HotPathAlloc{}}},
+		{dir: "goroutinelife", analyzers: []Analyzer{GoroutineLife{}}},
 		{dir: "suppress", analyzers: []Analyzer{TickClock{}}, wantSuppressed: 2},
 	}
 	for _, tc := range cases {
@@ -42,8 +47,21 @@ func TestGolden(t *testing.T) {
 			}
 			r := NewReporter(loader.Fset, loader.Root)
 			r.ScanSuppressions(pkg)
+			var g *Graph
 			for _, a := range tc.analyzers {
-				a.Check(pkg, r)
+				if _, ok := a.(GraphAnalyzer); ok && g == nil {
+					g = BuildGraph(loader, []*Package{pkg}, nil)
+				}
+			}
+			for _, a := range tc.analyzers {
+				if pa, ok := a.(PackageAnalyzer); ok {
+					pa.Check(pkg, r)
+				}
+			}
+			for _, a := range tc.analyzers {
+				if ga, ok := a.(GraphAnalyzer); ok {
+					ga.CheckGraph(g, r)
+				}
 			}
 			for _, a := range tc.analyzers {
 				if fin, ok := a.(Finisher); ok {
@@ -82,13 +100,15 @@ func TestGolden(t *testing.T) {
 // TestGoldenNonEmpty guards the harness itself: every fixture directory
 // except the all-clean ones must produce at least one diagnostic, so a
 // broken analyzer cannot silently pass by matching an empty golden file.
+// The callgraph fixture is exempt — it feeds the structural unit tests in
+// callgraph_test.go, not the golden harness.
 func TestGoldenNonEmpty(t *testing.T) {
 	dirs, err := os.ReadDir("testdata")
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, d := range dirs {
-		if !d.IsDir() {
+		if !d.IsDir() || d.Name() == "callgraph" {
 			continue
 		}
 		golden := filepath.Join("testdata", d.Name(), "golden")

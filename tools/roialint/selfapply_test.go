@@ -1,0 +1,55 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestSelfApply runs the complete analyzer suite — including the three
+// interprocedural ones — over the real repository and asserts the tree is
+// clean: no finding escapes the inline suppressions and the committed
+// hotpathalloc baseline. This is the same gate CI applies via
+// `go run ./tools/roialint ./...`, kept as a test so `go test` alone
+// catches a regression (or a stale baseline) without the CI wiring.
+func TestSelfApply(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	root := filepath.Join("..", "..")
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+
+	r := NewReporter(loader.Fset, loader.Root)
+	for _, pkg := range pkgs {
+		r.ScanSuppressions(pkg)
+	}
+	analyzers := defaultAnalyzers(filepath.Join(root, filepath.FromSlash(defaultHotpathBaseline)))
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if pa, ok := a.(PackageAnalyzer); ok {
+				pa.Check(pkg, r)
+			}
+		}
+	}
+	g := BuildGraph(loader, pkgs, nil)
+	for _, a := range analyzers {
+		if ga, ok := a.(GraphAnalyzer); ok {
+			ga.CheckGraph(g, r)
+		}
+	}
+	for _, a := range analyzers {
+		if fin, ok := a.(Finisher); ok {
+			fin.Finish(r)
+		}
+	}
+
+	for _, d := range r.Diagnostics() {
+		t.Errorf("tree not clean: %v", d)
+	}
+}

@@ -1,0 +1,44 @@
+// Package callgraph is the unit-test fixture for the interprocedural core:
+// a miniature tick pipeline exercising every edge kind, the reachability
+// roots, and the blocking/emission/stop fixpoints. It has no golden file —
+// callgraph_test.go asserts on the graph structure directly.
+package callgraph
+
+import (
+	"fmt"
+	"time"
+)
+
+type executor struct{}
+
+func (e *executor) run(n int, fn func(i int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+// Server.Tick is the hot-path root.
+type Server struct{ e *executor }
+
+func (s *Server) Tick() {
+	s.e.run(2, func(i int) {
+		helper()
+	})
+	go spawned()
+}
+
+func helper() { time.Sleep(time.Millisecond) }
+
+func spawned() { <-make(chan int) }
+
+// Sink exercises interface resolution: drive's call is a dynamic edge to
+// every module implementation.
+type Sink interface{ Put(v int) }
+
+type mem struct{}
+
+func (m *mem) Put(v int) { emit(v) }
+
+func emit(v int) { fmt.Println(v) }
+
+func drive(s Sink) { s.Put(1) }

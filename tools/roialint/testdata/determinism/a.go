@@ -1,0 +1,77 @@
+// Package determinism holds determinism fixtures: nondeterminism sources
+// inside the wire and emit scopes, plus the sorted/benign shapes and the
+// out-of-scope functions that must stay clean.
+package determinism
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"time"
+
+	"fixture/determinism/wire"
+)
+
+// Publish is a wire producer: its signature mentions wire.Writer, so its
+// whole call closure is in the byte-identical-output scope.
+func Publish(w *wire.Writer, counts map[string]int) {
+	for k := range counts { // bad: unsorted map range on the wire path
+		w.B = append(w.B, k...)
+	}
+	w.B = append(w.B, byte(time.Now().Second())) // bad: wall clock
+	w.B = append(w.B, byte(rand.Intn(256)))      // bad: global rand source
+	w.B = append(w.B, byte(runtime.NumCPU()))    // bad: processor count
+	go flush(w)                                  // bad: scheduling order
+	for _, k := range helper(counts) {
+		w.B = append(w.B, k...)
+	}
+}
+
+func flush(w *wire.Writer) { w.B = w.B[:0] }
+
+// helper takes no wire type itself: it is in scope only because Publish
+// reaches it.
+func helper(counts map[string]int) []string {
+	keys := make([]string, 0, len(counts))
+	for k := range counts { // bad: map order escapes, one call deep
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// PublishSorted collects then sorts: the approved idiom.
+func PublishSorted(w *wire.Writer, counts map[string]int) {
+	keys := make([]string, 0, len(counts))
+	for k := range counts { // fine: sorted below
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		w.B = append(w.B, k...)
+	}
+}
+
+// Reset only deletes: an order-insensitive body.
+func Reset(w *wire.Writer, counts map[string]int) {
+	for k := range counts { // fine: benign body
+		delete(counts, k)
+	}
+}
+
+// Dump writes formatted output: the emit scope polices map order only.
+func Dump(counts map[string]int) {
+	for k, v := range counts { // bad: emitted line order depends on the map
+		fmt.Printf("%s=%d\n", k, v)
+	}
+	_ = time.Now() // fine: clock reads are allowed off the wire path
+}
+
+// Keys is in neither scope: map order here is its caller's problem.
+func Keys(counts map[string]int) []string {
+	out := make([]string, 0, len(counts))
+	for k := range counts { // fine: no emission, not wire-reachable
+		out = append(out, k)
+	}
+	return out
+}

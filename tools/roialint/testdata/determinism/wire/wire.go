@@ -1,0 +1,7 @@
+// Package wire is the fixture analogue of the repo's wire package: any
+// function whose signature mentions Writer is a deterministic-output
+// producer, and everything it reaches joins the wire scope.
+package wire
+
+// Writer is the byte-stream builder the determinism contract covers.
+type Writer struct{ B []byte }

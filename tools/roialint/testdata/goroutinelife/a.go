@@ -1,0 +1,90 @@
+// Package goroutinelife holds goroutine- and ticker-lifecycle fixtures:
+// spawns with no join evidence, unstopped tickers, and the joined, stopped
+// and ownership-transferred shapes that must stay clean.
+package goroutinelife
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+func work() {}
+
+// SpawnLeak has no join evidence anywhere in the spawned closure.
+func SpawnLeak() {
+	go func() { // bad: can outlive its owner
+		work()
+	}()
+}
+
+// SpawnDynamic spawns a bare function value: nothing to inspect.
+func SpawnDynamic(f func()) {
+	go f() // bad: dynamic function value
+}
+
+// SpawnJoined closes a done channel the caller receives on.
+func SpawnJoined() {
+	done := make(chan struct{})
+	go func() { // fine: deferred close is a completion signal
+		defer close(done)
+		work()
+	}()
+	<-done
+}
+
+// SpawnWG signals a WaitGroup.
+func SpawnWG(wg *sync.WaitGroup) {
+	go func() { // fine: WaitGroup.Done
+		defer wg.Done()
+		work()
+	}()
+}
+
+// SpawnCtx waits on a context.
+func SpawnCtx(ctx context.Context) {
+	go func() { // fine: ctx.Done receive
+		<-ctx.Done()
+	}()
+}
+
+// SpawnHelper reaches join evidence through a static call.
+func SpawnHelper(ch chan int) {
+	go waiter(ch) // fine: waiter receives
+}
+
+func waiter(ch chan int) { <-ch }
+
+// TickerLeak never stops its ticker.
+func TickerLeak() {
+	t := time.NewTicker(time.Second) // bad: no Stop in this function
+	<-t.C
+}
+
+// TimerLeak never stops its timer.
+func TimerLeak() {
+	t := time.NewTimer(time.Second) // bad: no Stop in this function
+	<-t.C
+}
+
+// TickLeak uses the unstoppable helper.
+func TickLeak() {
+	<-time.Tick(time.Second) // bad: time.Tick can never be stopped
+}
+
+// TickerStopped defers the Stop.
+func TickerStopped() {
+	t := time.NewTicker(time.Second) // fine: deferred Stop below
+	defer t.Stop()
+	<-t.C
+}
+
+// pump owns its ticker as a struct field: the Stop lives in another
+// method, so creation-time analysis hands ownership to the type.
+type pump struct{ t *time.Ticker }
+
+func (p *pump) start() {
+	p.t = time.NewTicker(time.Second) // fine: ownership transferred
+}
+
+func (p *pump) stop() { p.t.Stop() }

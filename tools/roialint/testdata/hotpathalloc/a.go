@@ -1,0 +1,39 @@
+// Package hotpathalloc holds hot-path allocation fixtures: one site per
+// tracked allocation kind inside the tick-reachable closure, plus the
+// shapes that must not count (pointer boxing, local helper literals,
+// functions off the tick path).
+package hotpathalloc
+
+import "fmt"
+
+// Server makes Tick a hot-path root, matched by type and method name.
+type Server struct{ n int }
+
+// Tick is the per-tick entry point.
+func (s *Server) Tick() {
+	_ = fmt.Sprintf("tick %d", s.n) // bad: fmt on the tick path
+	var out []int
+	out = append(out, s.n) // bad: append onto a bare slice
+	_ = out
+	sink(func() { s.n++ }) // bad: escaping closure capturing s
+	box(s.n)               // bad: boxing an int
+	box(&s.n)              // fine: pointers fit the interface word
+	double := func(v int) int { return v * 2 }
+	s.n = double(s.n) // fine: local helper literal stays on the stack
+	s.n = hotHelper(s.n)
+}
+
+// hotHelper is tick-reachable through the call above.
+func hotHelper(n int) int {
+	s := "n=" + digit(n) // bad: string concatenation, one call deep
+	return len(s)
+}
+
+func digit(n int) string { return string(rune('0' + n%10)) }
+
+func sink(f func()) { f() }
+
+func box(v any) {}
+
+// cold is not reachable from Tick: its allocations do not count.
+func cold() string { return fmt.Sprintf("cold %d", 3) }

@@ -23,3 +23,16 @@ func approvedExecutorUse() {
 	})
 	_ = time.Now() // approved file, tick goroutine: fine
 }
+
+// workerHelper is only called from a worker closure below: its clock read
+// executes on a worker goroutine even though this file is approved.
+func workerHelper() time.Time {
+	return time.Now() // flagged transitively, with the call chain
+}
+
+func transitiveWorkerUse() {
+	e := &executor{clock: time.Now}
+	e.run(2, func(i int) {
+		_ = workerHelper()
+	})
+}

@@ -1,7 +1,6 @@
 package main
 
 import (
-	"go/ast"
 	"strings"
 )
 
@@ -12,6 +11,11 @@ import (
 // referencing time.Now as a *value* to inject it is fine; calling it
 // inline is not, because it silently couples experiments to wall time and
 // makes T(l,n,m) measurements unreproducible.
+//
+// The check is interprocedural for the tick executor: closures handed to
+// (executor).run execute on worker goroutines, where even the approved
+// files must read time through the executor's injected clock — and so must
+// every function those closures call, transitively.
 type TickClock struct {
 	// Allowed entries are substring-matched against the file path
 	// relative to the module root; test files are always exempt.
@@ -27,46 +31,80 @@ var defaultTickClockAllowed = []string{
 
 func (TickClock) Name() string { return "tickclock" }
 
-func (t TickClock) Check(pkg *Package, r *Reporter) {
+func (t TickClock) CheckGraph(g *Graph, r *Reporter) {
 	allowed := t.Allowed
 	if allowed == nil {
 		allowed = defaultTickClockAllowed
 	}
-	for _, f := range pkg.Files {
-		rel := pkg.RelFiles[f]
-		if matchesAny(rel, allowed) {
-			// Approved wall-clock surface — but closures handed to the tick
-			// executor run on worker goroutines, where even these files must
-			// read time through the executor's injected clock.
-			for _, lit := range executorWorkerFuncs(pkg, f) {
-				ast.Inspect(lit.Body, func(n ast.Node) bool {
-					call, ok := n.(*ast.CallExpr)
-					if !ok {
-						return true
-					}
-					if isPkgCall(pkg.Info, call, "time", "Now", "Sleep") {
-						obj := calleeObj(pkg.Info, call)
-						r.Report(call, "tickclock",
-							"direct time.%s() inside an executor worker; workers must read time through the executor's injected clock", obj.Name())
-					}
-					return true
-				})
-			}
+
+	// File-scoped rule: outside the approved surface, any direct wall
+	// clock read is a finding.
+	for _, n := range g.Nodes {
+		if !g.Reportable(n) || matchesAny(n.RelFile(), allowed) {
 			continue
 		}
-		ast.Inspect(f, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
+		for _, s := range n.Sites {
+			if s.Kind != SiteClock {
+				continue
 			}
-			if isPkgCall(pkg.Info, call, "time", "Now", "Sleep") {
-				obj := calleeObj(pkg.Info, call)
-				r.Report(call, "tickclock",
-					"direct time.%s() outside the approved tick/monitor/telemetry call sites; inject a clock so simulations stay deterministic", obj.Name())
-			}
-			return true
-		})
+			r.Report(s.Node, "tickclock",
+				"direct time.%s() outside the approved tick/monitor/telemetry call sites; inject a clock so simulations stay deterministic", s.Detail)
+		}
 	}
+
+	// Worker rule: walk the static call closure of every executor worker
+	// closure. Clock reads in approved files are only exempt on the tick
+	// goroutine — a worker (or anything it calls) reading wall time skews
+	// per-item accounting across worker counts.
+	seen := map[*Site]bool{}
+	for _, root := range g.Nodes {
+		if !root.WorkerRoot {
+			continue
+		}
+		via := map[*FuncNode]*FuncNode{root: nil}
+		queue := []*FuncNode{root}
+		for len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			if g.Reportable(n) && matchesAny(n.RelFile(), allowed) {
+				for _, s := range n.Sites {
+					if s.Kind != SiteClock || seen[s] {
+						continue
+					}
+					seen[s] = true
+					if n == root {
+						r.Report(s.Node, "tickclock",
+							"direct time.%s() inside an executor worker; workers must read time through the executor's injected clock", s.Detail)
+					} else {
+						r.Report(s.Node, "tickclock",
+							"direct time.%s() in %s, which executor workers reach (via %s); workers must read time through the executor's injected clock",
+							s.Detail, n.Name, callChain(via, n))
+					}
+				}
+			}
+			for _, e := range n.Edges {
+				if e.Kind != EdgeCall || e.Dynamic {
+					continue
+				}
+				if _, ok := via[e.Callee]; !ok {
+					via[e.Callee] = n
+					queue = append(queue, e.Callee)
+				}
+			}
+		}
+	}
+}
+
+// callChain renders the BFS path from a worker root to n, for diagnostics.
+func callChain(via map[*FuncNode]*FuncNode, n *FuncNode) string {
+	var parts []string
+	for p := via[n]; p != nil; p = via[p] {
+		parts = append(parts, p.Name)
+	}
+	for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+		parts[i], parts[j] = parts[j], parts[i]
+	}
+	return strings.Join(parts, " → ")
 }
 
 func matchesAny(rel string, pats []string) bool {
