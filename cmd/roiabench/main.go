@@ -39,7 +39,7 @@ import (
 )
 
 var (
-	figFlag   = flag.String("fig", "all", "artifact to regenerate: 4,5,6,7,8,anchors,baselines,traffic,heavy,pacing,flash,npcs,csweep,profiles,latency,speedup,variability,cost,all")
+	figFlag   = flag.String("fig", "all", "artifact to regenerate: 4,5,6,7,8,anchors,baselines,traffic,heavy,pacing,flash,npcs,csweep,profiles,latency,speedup,variability,cost,recalib,all")
 	csvDir    = flag.String("csv", "", "directory to write CSV datasets into (created if missing)")
 	seedFlag  = flag.Int64("seed", 1, "seed for the deterministic runs")
 	recFlag   = flag.String("record", "", "write the Fig. 8 session time series to this CSV (replayable via cmd/roiareplay)")
@@ -49,6 +49,7 @@ var (
 	benchOut  = flag.String("bench-out", "", "variability/cost: also write the result as a BENCH-schema JSON snapshot (diffable via tools/benchjson -compare)")
 	flightOut = flag.String("flightrec-out", "", "variability: write flight-recorder captures (one JSON object per line) to this path")
 	costOut   = flag.String("cost-out", "", "cost: write the per-scenario cost rows (one JSON object per line) to this path")
+	deltaFlag = flag.Bool("delta", false, "cost: measure the proto v5 delta publish path (delta+keyframe stream, incremental AoI) instead of full updates")
 )
 
 func main() {
@@ -290,9 +291,16 @@ func run() error {
 	}
 	if want("cost") {
 		any = true
-		res, err := experiments.Cost(*seedFlag, *runsFlag)
+		opts := experiments.CostOpts{}
+		if *deltaFlag {
+			opts = experiments.CostOpts{DeltaUpdates: true, IncrementalAOI: true}
+		}
+		res, err := experiments.CostWithOpts(*seedFlag, *runsFlag, opts)
 		if err != nil {
 			return err
+		}
+		if *deltaFlag {
+			fmt.Println("(delta publish path: proto v5 delta+keyframe stream, incremental AoI)")
 		}
 		fmt.Printf("Hot-path cost (%d runs per scenario, %d measured ticks each):\n",
 			res.Runs, res.Rows[0].Ticks)
@@ -310,6 +318,15 @@ func run() error {
 			}
 			fmt.Printf("cost rows written to %s\n\n", *costOut)
 		}
+	}
+	if want("recalib") {
+		any = true
+		res, err := experiments.RecalibratePublish(*seedFlag)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatRecalibrate(res))
+		fmt.Println()
 	}
 	if !any {
 		return fmt.Errorf("unknown -fig value %q", *figFlag)

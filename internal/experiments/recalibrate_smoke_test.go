@@ -1,0 +1,22 @@
+package experiments
+
+import "testing"
+
+func TestRecalibratePublishSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live measurement")
+	}
+	res, err := RecalibratePublish(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + FormatRecalibrate(res))
+	for _, r := range []RecalibrateRow{res.Full, res.Delta} {
+		if r.NMax <= 0 {
+			t.Fatalf("%s: n_max = %d, want positive", r.Mode, r.NMax)
+		}
+		if r.AuditNMax != r.NMax {
+			t.Fatalf("%s: audit n_max %d != model n_max %d", r.Mode, r.AuditNMax, r.NMax)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package aoi
+
+import (
+	"math/rand"
+	"slices"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"roia/internal/rtf/entity"
+)
+
+// TestIncrementalMatchesEuclidProperty drives an incremental index through
+// many ticks of random walks, teleports, spawns and despawns and checks
+// after every rebuild that its answers match the brute-force Euclid
+// reference for every subject. The incremental index only re-buckets moved
+// entities, so the property specifically exercises the stale-slot paths a
+// single-build comparison cannot reach.
+func TestIncrementalMatchesEuclidProperty(t *testing.T) {
+	prop := func(seed int64, n8 uint8, radiusRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(n8%60) + 4
+		radius := float64(radiusRaw%50) + 1
+		euclid := NewEuclid(radius)
+		inc := NewIncremental(radius)
+
+		world := make([]*entity.Entity, 0, n)
+		nextID := entity.ID(1)
+		for i := 0; i < n; i++ {
+			world = append(world, &entity.Entity{
+				ID:  nextID,
+				Pos: entity.Vec2{X: rng.Float64() * 200, Y: rng.Float64() * 200},
+			})
+			nextID++
+		}
+
+		for tick := 0; tick < 12; tick++ {
+			for _, e := range world {
+				switch rng.Intn(10) {
+				case 0: // teleport: arbitrary cell jump
+					e.Pos = entity.Vec2{X: rng.Float64()*400 - 100, Y: rng.Float64()*400 - 100}
+				case 1, 2, 3: // stand still: slot refresh path
+				default: // walk: usually a neighbouring cell at most
+					e.Pos.X += rng.Float64()*6 - 3
+					e.Pos.Y += rng.Float64()*6 - 3
+				}
+			}
+			if len(world) > 4 && rng.Intn(3) == 0 { // despawn: eviction path
+				i := rng.Intn(len(world))
+				world = append(world[:i], world[i+1:]...)
+			}
+			if rng.Intn(3) == 0 { // spawn: first-seen path
+				world = append(world, &entity.Entity{
+					ID:  nextID,
+					Pos: entity.Vec2{X: rng.Float64() * 200, Y: rng.Float64() * 200},
+				})
+				nextID++
+			}
+			// The store hands AoI managers ID-sorted worlds; despawn+spawn
+			// above preserves order except for the swap-free delete, so
+			// re-sort to honour the contract.
+			slices.SortFunc(world, func(a, b *entity.Entity) int {
+				if a.ID < b.ID {
+					return -1
+				}
+				return 1
+			})
+			inc.Build(world)
+			for _, subj := range world {
+				want := euclid.Visible(nil, subj.ID, subj.Pos, world)
+				got := inc.Visible(nil, subj.ID, subj.Pos, world)
+				slices.Sort(want)
+				slices.Sort(got)
+				if !slices.Equal(want, got) {
+					t.Logf("tick %d subject %d: euclid=%v incremental=%v", tick, subj.ID, want, got)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIncrementalVisibleConcurrent hammers Visible from 8 goroutines
+// between builds — the Manager contract says Visible is a concurrent
+// read-only query, and the race detector holds the incremental index to
+// it.
+func TestIncrementalVisibleConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	world := make([]*entity.Entity, 64)
+	for i := range world {
+		world[i] = &entity.Entity{
+			ID:  entity.ID(i + 1),
+			Pos: entity.Vec2{X: rng.Float64() * 100, Y: rng.Float64() * 100},
+		}
+	}
+	inc := NewIncremental(25)
+	euclid := NewEuclid(25)
+	for tick := 0; tick < 8; tick++ {
+		for _, e := range world {
+			e.Pos.X += rng.Float64()*4 - 2
+			e.Pos.Y += rng.Float64()*4 - 2
+		}
+		inc.Build(world)
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				dst := make([]entity.ID, 0, 64)
+				for i := g; i < len(world); i += 8 {
+					subj := world[i]
+					got := inc.Visible(dst[:0], subj.ID, subj.Pos, world)
+					want := euclid.Visible(nil, subj.ID, subj.Pos, world)
+					slices.Sort(got)
+					slices.Sort(want)
+					if !slices.Equal(want, got) {
+						t.Errorf("subject %d: euclid=%v incremental=%v", subj.ID, want, got)
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+	}
+}
+
+// TestDiff pins the enter/leave merge walk on hand-written sets.
+func TestDiff(t *testing.T) {
+	cases := []struct {
+		prev, cur, enters, gone []entity.ID
+	}{
+		{nil, nil, nil, nil},
+		{nil, []entity.ID{1, 2}, []entity.ID{1, 2}, nil},
+		{[]entity.ID{1, 2}, nil, nil, []entity.ID{1, 2}},
+		{[]entity.ID{1, 2, 4}, []entity.ID{2, 3, 4}, []entity.ID{3}, []entity.ID{1}},
+		{[]entity.ID{5}, []entity.ID{5}, nil, nil},
+		{[]entity.ID{1, 3, 5}, []entity.ID{2, 4, 6}, []entity.ID{2, 4, 6}, []entity.ID{1, 3, 5}},
+	}
+	for i, c := range cases {
+		enters, gone := Diff(c.prev, c.cur, nil, nil)
+		if !slices.Equal(enters, c.enters) || !slices.Equal(gone, c.gone) {
+			t.Errorf("case %d: got enters=%v gone=%v, want enters=%v gone=%v",
+				i, enters, gone, c.enters, c.gone)
+		}
+	}
+}

@@ -54,6 +54,17 @@ type Client struct {
 	migrations int
 	w          *wire.Writer
 
+	// Delta-stream state (proto v5, server.Config.DeltaUpdates). A delta
+	// applies only when its BaseTick matches lastTick of a synced client;
+	// anything else — a gap, a duplicate, an unknown entity — flips synced
+	// off and counts a resync, and the client coasts on its last coherent
+	// world until the next keyframe re-anchors it. The client never applies
+	// a delta onto a base it does not hold, so it cannot diverge silently.
+	synced    bool
+	lastTick  uint64
+	resyncs   uint64
+	keyframes uint64
+
 	// pending holds send timestamps of unacked inputs, oldest first;
 	// ackSeq is the highest AckSeq delivered (guards against reordered
 	// updates re-acking); lost counts inputs evicted unacked.
@@ -112,6 +123,31 @@ func (c *Client) Updates() uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.updates
+}
+
+// Resyncs reports how many times the delta stream lost coherence (a gap,
+// duplicate, reorder or unknown-entity delta) and the client had to wait
+// for a keyframe to re-anchor. Zero on full-update streams.
+func (c *Client) Resyncs() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.resyncs
+}
+
+// Keyframes reports how many full keyframes the delta stream delivered.
+func (c *Client) Keyframes() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.keyframes
+}
+
+// Synced reports whether the client holds a coherent delta-stream view
+// (anchored by a keyframe with no unapplied gap since). Always false on
+// full-update streams, where World is maintained per update instead.
+func (c *Client) Synced() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.synced
 }
 
 // JoinNacks reports how many join requests were explicitly rejected
@@ -309,6 +345,90 @@ func (c *Client) Poll() int {
 			}
 			c.updates++
 			seen++
+		case proto.KindStateKeyframe:
+			msg, err := proto.Registry.Decode(f.Payload)
+			if err != nil {
+				continue
+			}
+			kf := msg.(*proto.StateKeyframe)
+			c.resolveAckLocked(kf.AckSeq, now)
+			// A keyframe is a complete visible set: replace the world
+			// wholesale and re-anchor the delta chain.
+			if c.world == nil {
+				c.world = make(map[entity.ID]entity.Entity, len(kf.Visible)+1)
+			} else {
+				clear(c.world)
+			}
+			c.world[kf.Self.ID] = kf.Self
+			for _, e := range kf.Visible {
+				c.world[e.ID] = e
+			}
+			c.lastTick = kf.Tick
+			c.synced = true
+			c.keyframes++
+			c.lastUpdate = &proto.StateUpdate{Tick: kf.Tick, AckSeq: kf.AckSeq, Self: kf.Self}
+			if len(kf.Events) > 0 {
+				c.events = append(c.events, kf.Events)
+			}
+			c.updates++
+			seen++
+		case proto.KindStateDelta:
+			msg, err := proto.Registry.Decode(f.Payload)
+			if err != nil {
+				continue
+			}
+			upd := msg.(*proto.StateDelta)
+			c.resolveAckLocked(upd.AckSeq, now)
+			if !c.synced || upd.BaseTick != c.lastTick {
+				// Base mismatch (dropped, duplicated or reordered frame) or
+				// not yet anchored: count a resync once per loss of sync and
+				// coast until the next keyframe.
+				if c.synced {
+					c.synced = false
+					c.resyncs++
+				}
+				continue
+			}
+			self, ok := c.world[c.avatar]
+			if !ok {
+				c.synced = false
+				c.resyncs++
+				continue
+			}
+			self.ApplyMasked(&upd.Self, upd.SelfMask)
+			c.world[self.ID] = self
+			applied := true
+			for i := range upd.Updates {
+				d := &upd.Updates[i]
+				prev, known := c.world[d.ID]
+				if !known {
+					// Delta against an entity this client never saw: the
+					// stream and our view have diverged — stop applying and
+					// wait for the keyframe rather than guess.
+					c.synced = false
+					c.resyncs++
+					applied = false
+					break
+				}
+				prev.ApplyMasked(&d.State, d.Mask)
+				c.world[d.ID] = prev
+			}
+			if !applied {
+				continue
+			}
+			for _, e := range upd.Enters {
+				c.world[e.ID] = e
+			}
+			for _, id := range upd.Gone {
+				delete(c.world, id)
+			}
+			c.lastTick = upd.Tick
+			c.lastUpdate = &proto.StateUpdate{Tick: upd.Tick, AckSeq: upd.AckSeq, Self: self}
+			if len(upd.Events) > 0 {
+				c.events = append(c.events, upd.Events)
+			}
+			c.updates++
+			seen++
 		case proto.KindMigrateNotice:
 			msg, err := proto.Registry.Decode(f.Payload)
 			if err != nil {
@@ -316,6 +436,9 @@ func (c *Client) Poll() int {
 			}
 			c.server = msg.(*proto.MigrateNotice).NewServer
 			c.migrations++
+			// The new server opens its stream with a keyframe; drop the old
+			// server's delta chain so a straggler frame cannot apply.
+			c.synced = false
 			if !c.joined && c.lastJoin != nil {
 				// Redirected before the join was acked (e.g. by a draining
 				// server): re-issue the join at the new server.

@@ -1,0 +1,194 @@
+package proto
+
+import (
+	"roia/internal/rtf/entity"
+	"roia/internal/rtf/wire"
+)
+
+// EntityDelta is one entity's masked field changes inside a StateDelta.
+// Only the field groups named by Mask are meaningful in State; the client
+// applies them onto its previous copy of the entity. On the wire the ID
+// travels gap-encoded at the StateDelta framing level, not here.
+type EntityDelta struct {
+	ID    entity.ID
+	Mask  entity.FieldMask
+	State entity.Entity
+}
+
+// StateDelta is the per-tick incremental state update of protocol v5: the
+// difference between the client's visible world at BaseTick (the previous
+// update it applied) and at Tick. A client that missed the base — joins,
+// migrations, dropped frames — cannot apply it and waits for the next
+// StateKeyframe instead (resync).
+//
+// Updates, Enters and Gone are strictly ascending by entity ID; ID columns
+// are gap-encoded (first absolute, then successive differences) so dense ID
+// ranges cost one byte per entity. Encoding is fully deterministic, which
+// preserves the byte-identical-across-parallelism pipeline contract.
+type StateDelta struct {
+	// Tick is the server tick this delta advances the client to.
+	Tick uint64
+	// BaseTick is the tick of the update this delta applies on top of.
+	BaseTick uint64
+	// AckSeq is the last applied input sequence number (see StateUpdate).
+	AckSeq uint64
+	// SelfMask names the avatar field groups that changed; Self carries
+	// only those (the avatar's ID never travels — the client knows it).
+	SelfMask entity.FieldMask
+	Self     entity.Entity
+	// Updates are masked changes to entities already visible at BaseTick.
+	Updates []EntityDelta
+	// Enters are full records of entities that entered the visible set.
+	Enters []entity.Entity
+	// Gone lists entities that left the visible set.
+	Gone []entity.ID
+	// Events is an opaque application payload (e.g. hits suffered).
+	Events []byte
+}
+
+// WireKind implements wire.Message.
+func (*StateDelta) WireKind() wire.Kind { return KindStateDelta }
+
+// MarshalWire implements wire.Message.
+func (m *StateDelta) MarshalWire(w *wire.Writer) {
+	w.Uvarint(m.Tick)
+	w.Uvarint(m.Tick - m.BaseTick)
+	w.Uvarint(m.AckSeq)
+	w.Uint8(uint8(m.SelfMask))
+	m.Self.MarshalDelta(w, m.SelfMask)
+	w.Uvarint(uint64(len(m.Updates)))
+	prev := uint64(0)
+	for i := range m.Updates {
+		u := &m.Updates[i]
+		w.Uvarint(uint64(u.ID) - prev)
+		prev = uint64(u.ID)
+		w.Uint8(uint8(u.Mask))
+		u.State.MarshalDelta(w, u.Mask)
+	}
+	w.Uvarint(uint64(len(m.Enters)))
+	for i := range m.Enters {
+		m.Enters[i].MarshalWire(w)
+	}
+	w.Uvarint(uint64(len(m.Gone)))
+	prev = 0
+	for _, id := range m.Gone {
+		w.Uvarint(uint64(id) - prev)
+		prev = uint64(id)
+	}
+	w.Blob(m.Events)
+}
+
+// UnmarshalWire implements wire.Message.
+func (m *StateDelta) UnmarshalWire(r *wire.Reader) error {
+	m.Tick = r.Uvarint()
+	m.BaseTick = m.Tick - r.Uvarint()
+	m.AckSeq = r.Uvarint()
+	m.SelfMask = entity.FieldMask(r.Uint8())
+	if err := m.Self.UnmarshalDelta(r, m.SelfMask); err != nil {
+		return err
+	}
+	n := r.Uvarint()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if n > uint64(r.Remaining()) { // each update needs >1 byte
+		return wire.ErrStringTooLong
+	}
+	m.Updates = make([]EntityDelta, n)
+	prev := uint64(0)
+	for i := range m.Updates {
+		u := &m.Updates[i]
+		prev += r.Uvarint()
+		u.ID = entity.ID(prev)
+		u.Mask = entity.FieldMask(r.Uint8())
+		if err := u.State.UnmarshalDelta(r, u.Mask); err != nil {
+			return err
+		}
+	}
+	e := r.Uvarint()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if e > uint64(r.Remaining()) {
+		return wire.ErrStringTooLong
+	}
+	m.Enters = make([]entity.Entity, e)
+	for i := range m.Enters {
+		if err := m.Enters[i].UnmarshalWire(r); err != nil {
+			return err
+		}
+	}
+	g := r.Uvarint()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if g > uint64(r.Remaining()) {
+		return wire.ErrStringTooLong
+	}
+	m.Gone = make([]entity.ID, g)
+	prev = 0
+	for i := range m.Gone {
+		prev += r.Uvarint()
+		m.Gone[i] = entity.ID(prev)
+	}
+	m.Events = r.Blob()
+	return r.Err()
+}
+
+// StateKeyframe is a full self-contained state update of protocol v5: the
+// client replaces its visible world wholesale. Keyframes are emitted on a
+// configurable cadence and forced whenever a client has no valid delta base
+// (join, migration, resync after loss), bounding how long a desynchronized
+// client stays stale.
+type StateKeyframe struct {
+	// Tick is the server tick this keyframe reflects.
+	Tick uint64
+	// AckSeq is the last applied input sequence number (see StateUpdate).
+	AckSeq uint64
+	// Self is the client's own avatar state.
+	Self entity.Entity
+	// Visible is the complete area-of-interest-filtered entity set, in
+	// ascending ID order.
+	Visible []entity.Entity
+	// Events is an opaque application payload (e.g. hits suffered).
+	Events []byte
+}
+
+// WireKind implements wire.Message.
+func (*StateKeyframe) WireKind() wire.Kind { return KindStateKeyframe }
+
+// MarshalWire implements wire.Message.
+func (m *StateKeyframe) MarshalWire(w *wire.Writer) {
+	w.Uvarint(m.Tick)
+	w.Uvarint(m.AckSeq)
+	m.Self.MarshalWire(w)
+	w.Uvarint(uint64(len(m.Visible)))
+	for i := range m.Visible {
+		m.Visible[i].MarshalWire(w)
+	}
+	w.Blob(m.Events)
+}
+
+// UnmarshalWire implements wire.Message.
+func (m *StateKeyframe) UnmarshalWire(r *wire.Reader) error {
+	m.Tick = r.Uvarint()
+	m.AckSeq = r.Uvarint()
+	if err := m.Self.UnmarshalWire(r); err != nil {
+		return err
+	}
+	n := r.Uvarint()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if n > uint64(r.Remaining()) { // each entity needs >1 byte
+		return wire.ErrStringTooLong
+	}
+	m.Visible = make([]entity.Entity, n)
+	for i := range m.Visible {
+		if err := m.Visible[i].UnmarshalWire(r); err != nil {
+			return err
+		}
+	}
+	m.Events = r.Blob()
+	return r.Err()
+}

@@ -18,11 +18,13 @@ import (
 //	v2  MigrateInit/MigrateAck gained MigID (fleet migration tracing)
 //	v3  StateUpdate gained AckSeq (client-perceived response time)
 //	v4  JoinNack added (draining servers reject joins explicitly)
+//	v5  StateDelta/StateKeyframe added (masked per-entity field deltas
+//	    with periodic keyframes; see DESIGN §17)
 //
 // The format has no in-band negotiation: fields are appended at the end of
 // a message's fixed prefix or, as with AckSeq, inserted with a version
 // bump, and mixed-version fleets are not supported.
-const Version = 4
+const Version = 5
 
 // Message kinds of the RTF protocol.
 const (
@@ -37,6 +39,8 @@ const (
 	KindMigrateAck
 	KindMigrateNotice
 	KindJoinNack
+	KindStateDelta
+	KindStateKeyframe
 )
 
 // Registry decodes every RTF protocol message.
@@ -52,6 +56,8 @@ var Registry = wire.NewRegistry(
 	func() wire.Message { return &MigrateAck{} },
 	func() wire.Message { return &MigrateNotice{} },
 	func() wire.Message { return &JoinNack{} },
+	func() wire.Message { return &StateDelta{} },
+	func() wire.Message { return &StateKeyframe{} },
 )
 
 // Join is sent by a client to enter a zone.

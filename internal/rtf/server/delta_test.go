@@ -149,6 +149,92 @@ func TestDeltaGoneListPrunesClientWorld(t *testing.T) {
 	}
 }
 
+// TestDeltaKeyframeResyncAfterLoss drops most server→client traffic while
+// everyone moves, then heals the link: the clients must report resyncs
+// (gaps detected, never silently applied) and converge back to the exact
+// server state once keyframes get through — within two keyframe periods of
+// the link healing.
+func TestDeltaKeyframeResyncAfterLoss(t *testing.T) {
+	const n, keyframeTicks = 3, 4
+	net := transport.NewLoopback()
+	t.Cleanup(func() { net.Close() })
+	raw, err := net.Attach("s1", 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossy := transport.NewLossy(raw, 0, 99)
+	srv, err := server.New(server.Config{
+		Node:          lossy,
+		Zone:          1,
+		Assignment:    zone.NewAssignment(),
+		App:           game.New(game.DefaultConfig()),
+		IDPrefix:      1,
+		Seed:          1,
+		DeltaUpdates:  true,
+		KeyframeTicks: keyframeTicks,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	clients := make([]*client.Client, n)
+	for i := range clients {
+		cn, err := net.Attach(fmt.Sprintf("c%d", i+1), 1<<14)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = client.New(cn, "s1")
+		if err := clients[i].Join(1, entity.Vec2{X: float64(100 + i*5), Y: 100}, cn.ID()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	step := func() {
+		srv.Tick()
+		for _, cl := range clients {
+			cl.Poll()
+		}
+	}
+	for i := 0; i < 4; i++ {
+		step()
+	}
+	// Loss phase: 60% of updates vanish while everyone keeps moving.
+	lossy.SetRate(0.6)
+	for i := 0; i < 20; i++ {
+		for j, cl := range clients {
+			cl.SendInput(game.Commands.EncodeToBytes(&game.Move{DX: 1, DY: float64(j % 2)}))
+		}
+		step()
+	}
+	// Heal and let two keyframe periods pass with no further movement.
+	lossy.SetRate(0)
+	for i := 0; i < 2*keyframeTicks+2; i++ {
+		step()
+	}
+	resyncs := uint64(0)
+	for i, cl := range clients {
+		resyncs += cl.Resyncs()
+		if !cl.Synced() {
+			t.Fatalf("client %d not re-anchored after link healed", i)
+		}
+		world := cl.World()
+		if len(world) != n-1 {
+			t.Fatalf("client %d world has %d entities, want %d", i, len(world), n-1)
+		}
+		for _, got := range world {
+			want, ok := srv.Entity(got.ID)
+			if !ok {
+				t.Fatalf("client %d sees entity %d the server does not have", i, got.ID)
+			}
+			if got != want {
+				t.Fatalf("client %d diverged on entity %d:\nclient %+v\nserver %+v", i, got.ID, got, want)
+			}
+		}
+	}
+	if resyncs == 0 {
+		t.Fatal("no client reported a resync despite 60% loss")
+	}
+}
+
 func TestDeltaReappearsAfterReturn(t *testing.T) {
 	_, clients, step := deltaCluster(t, true, 2)
 	for i := 0; i < 3; i++ {

@@ -71,6 +71,14 @@ func (c *scriptedClient) poll() {
 // hex digest per client of everything that client received.
 func runPipelineScenario(t *testing.T, parallelism int, app func(i int) server.Application) []string {
 	t.Helper()
+	return runPipelineScenarioDelta(t, parallelism, app, false)
+}
+
+// runPipelineScenarioDelta is runPipelineScenario with the proto v5
+// delta+keyframe stream switched on (KeyframeTicks 8 so the scenario spans
+// several keyframe boundaries and the mid-run migration forces resyncs).
+func runPipelineScenarioDelta(t *testing.T, parallelism int, app func(i int) server.Application, delta bool) []string {
+	t.Helper()
 	const (
 		nServers = 2
 		nClients = 6
@@ -86,13 +94,15 @@ func runPipelineScenario(t *testing.T, parallelism int, app func(i int) server.A
 			t.Fatal(err)
 		}
 		srv, err := server.New(server.Config{
-			Node:        node,
-			Zone:        1,
-			Assignment:  assignment,
-			App:         app(i),
-			IDPrefix:    uint16(i + 1),
-			Seed:        int64(7000 + i),
-			Parallelism: parallelism,
+			Node:          node,
+			Zone:          1,
+			Assignment:    assignment,
+			App:           app(i),
+			IDPrefix:      uint16(i + 1),
+			Seed:          int64(7000 + i),
+			Parallelism:   parallelism,
+			DeltaUpdates:  delta,
+			KeyframeTicks: 8,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -160,6 +170,24 @@ func TestPipelineDeterministicAcrossParallelism(t *testing.T) {
 		for i := range base {
 			if got[i] != base[i] {
 				t.Fatalf("client %d wire stream diverged at Parallelism=%d:\n seq: %s\n par: %s",
+					i+1, w, base[i], got[i])
+			}
+		}
+	}
+}
+
+// TestPipelineDeterministicDeltaAcrossParallelism pins the proto v5
+// delta+keyframe encoding to the same byte-identical-across-parallelism
+// contract as the full-update stream: masked field deltas, gap-encoded IDs,
+// keyframe cadence and migration-forced keyframes must all be functions of
+// the simulation state alone, never of worker scheduling.
+func TestPipelineDeterministicDeltaAcrossParallelism(t *testing.T) {
+	base := runPipelineScenarioDelta(t, 1, gameApp, true)
+	for _, w := range []int{2, 4, 8} {
+		got := runPipelineScenarioDelta(t, w, gameApp, true)
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("client %d delta wire stream diverged at Parallelism=%d:\n seq: %s\n par: %s",
 					i+1, w, base[i], got[i])
 			}
 		}

@@ -58,12 +58,20 @@ type Config struct {
 	// first-person-shooter rate of Section V).
 	TickInterval time.Duration
 	// DeltaUpdates enables RTF's bandwidth optimization for client state
-	// updates: each tick sends only entities whose state changed since the
-	// client's previous update plus a removal list for entities that left
-	// its area of interest, instead of the full visible set. The client
-	// maintains a world cache (client.World). Server-to-server shadow
-	// updates remain full refreshes so replicas stay loss-tolerant.
+	// updates: protocol v5 StateDelta frames carrying only the field groups
+	// that changed since the client's previous update (plus enter records
+	// and a removal list for area-of-interest churn), with periodic
+	// StateKeyframe full refreshes. Keyframes are forced whenever a client
+	// has no valid delta base — join, migration, resync after loss. The
+	// client maintains a world cache (client.World). Server-to-server
+	// shadow updates remain full refreshes so replicas stay loss-tolerant.
 	DeltaUpdates bool
+	// KeyframeTicks is the cadence of periodic StateKeyframe refreshes
+	// under DeltaUpdates: a client receives a keyframe at least every
+	// KeyframeTicks ticks, which bounds how long a desynchronized client
+	// (dropped or reordered delta) stays stale. 0 defaults to 32 ticks
+	// (~1.3 s at 25 Hz). Ignored without DeltaUpdates.
+	KeyframeTicks int
 	// Parallelism is the worker count for the embarrassingly-parallel
 	// stages of the tick pipeline (frame decode, per-user AoI queries and
 	// state-update serialization, and — for applications declaring the
@@ -127,10 +135,18 @@ type user struct {
 	// lastInput is the tick of the user's most recent input (or join),
 	// for idle eviction.
 	lastInput uint64
-	// known tracks, under delta updates, the entity sequence numbers the
-	// client has already received; entities whose Seq is unchanged are
-	// omitted from its next state update.
-	known map[entity.ID]uint64
+	// prevVis is the ascending-ID visible set of the user's last published
+	// update; the publish stage diffs the new set against it to produce
+	// enter/leave events (AoI churn) and, under delta updates, the
+	// StateDelta's Updates/Enters/Gone columns. Owned by the publish
+	// worker handling this user (slot discipline), reused across ticks.
+	prevVis []entity.ID
+	// lastPub is the tick of the user's last published update; a delta is
+	// only valid on an unbroken chain (lastPub == tick-1), anything else
+	// forces a keyframe.
+	lastPub uint64
+	// nextKey is the tick at which the next periodic keyframe is due.
+	nextKey uint64
 }
 
 // migrationOrder is an instruction (from the resource manager) to move
@@ -173,6 +189,35 @@ type Server struct {
 	// frameBuf is the reusable receive buffer the tick's Drain fills;
 	// frames are only referenced within the tick that drained them.
 	frameBuf []transport.Frame
+
+	// keyframeTicks is Config.KeyframeTicks with the default applied.
+	keyframeTicks uint64
+	// ob stages every frame the tick produces and flushes them in
+	// per-destination batches at the end of the tick (vectored writes on
+	// transports that support them).
+	ob outbox
+	// decodeFn/npcFn/publishFn are the executor stage bodies, bound once at
+	// construction: handing run a stored func field instead of a fresh
+	// closure keeps the per-tick fan-out allocation-free. Their per-tick
+	// inputs live in the server fields below; workers read them while the
+	// tick goroutine is parked in run, so the slot discipline still holds.
+	decodeFn, npcFn, publishFn func(i int, ctx *workerCtx)
+	// Reusable per-tick stage buffers (tick goroutine only): decoded-frame
+	// slots, applied inputs, forwarded inputs, removed entities, the NPC
+	// active set and result slots, the publish items and their snapshot,
+	// sorted user IDs, peer replicas, and the shadow-update entity scratch.
+	decBuf     []decodedFrame
+	inputsBuf  []decodedInput
+	fwdBuf     []*proto.Forwarded
+	removedBuf []entity.ID
+	npcActive  []*entity.Entity
+	npcBuf     []npcResult
+	pubItems   []pubItem
+	pubSnap    *entity.Snapshot
+	pubWorld   []*entity.Entity
+	uidBuf     []string
+	peersBuf   []string
+	suEnts     []entity.Entity
 }
 
 // New assembles a server from the configuration. The server is inert until
@@ -193,14 +238,21 @@ func New(cfg Config) (*Server, error) {
 	if cfg.TickInterval <= 0 {
 		cfg.TickInterval = 40 * time.Millisecond
 	}
-	s := &Server{
-		cfg:   cfg,
-		store: entity.NewStore(),
-		users: make(map[string]*user),
-		mon:   monitor.New(),
-		w:     wire.NewWriter(4 << 10),
-		exec:  newExecutor(cfg.Parallelism, time.Now),
+	if cfg.KeyframeTicks <= 0 {
+		cfg.KeyframeTicks = 32
 	}
+	s := &Server{
+		cfg:           cfg,
+		store:         entity.NewStore(),
+		users:         make(map[string]*user),
+		mon:           monitor.New(),
+		w:             wire.NewWriter(4 << 10),
+		exec:          newExecutor(cfg.Parallelism, time.Now),
+		keyframeTicks: uint64(cfg.KeyframeTicks),
+	}
+	s.decodeFn = s.decodeItem
+	s.npcFn = s.npcItem
+	s.publishFn = s.publishItem
 	// The tick interval is the QoS deadline 1/U: a tick that computes
 	// longer than its period cannot deliver every user's update in time.
 	s.mon.SetDeadline(float64(cfg.TickInterval) / float64(time.Millisecond))
@@ -392,6 +444,7 @@ func (s *Server) Stop() error {
 	}
 	s.stopped = true
 	s.mu.Unlock()
+	s.exec.close()
 	s.cfg.Assignment.RemoveReplica(s.cfg.Zone, s.ID())
 	return s.cfg.Node.Close()
 }
@@ -416,10 +469,13 @@ func (s *Server) send(to string, msg wire.Message) {
 	s.sendRaw(to, proto.Registry.Encode(s.w, msg))
 }
 
-// sendRaw transmits an already-encoded payload — the publish merge path,
-// where workers encoded state updates into their own buffers and the tick
-// goroutine sends them in deterministic user order. Must only be called
-// from the tick goroutine (it accumulates the tick's byte counter).
+// sendRaw stages an already-encoded payload in the tick's outbox — the
+// publish merge path, where workers encoded state updates into their own
+// buffers and the tick goroutine stages them in deterministic user order.
+// Must only be called from the tick goroutine (it accumulates the tick's
+// byte counter); the payload is copied, so the caller may reuse its buffer
+// immediately. Delivery happens in per-destination batches when the tick's
+// outbox flushes (end of Tick), preserving per-destination frame order.
 //
 // Byte accounting uses the framed wire size (transport header + payload),
 // mirroring what a TCP peer actually writes, so BytesOut matches BytesIn
@@ -434,7 +490,7 @@ func (s *Server) sendRaw(to string, payload []byte) {
 		}
 		c.ObserveEgress(client, egressTypeName(wire.Kind(binary.BigEndian.Uint16(payload))), frameBytes)
 	}
-	_ = s.cfg.Node.Send(to, payload)
+	s.ob.stage(to, payload)
 }
 
 // egressTypeName maps a wire kind to the message-type label of the
@@ -463,6 +519,10 @@ func egressTypeName(k wire.Kind) string {
 		return "migrate_ack"
 	case proto.KindMigrateNotice:
 		return "migrate_notice"
+	case proto.KindStateDelta:
+		return "state_delta"
+	case proto.KindStateKeyframe:
+		return "state_keyframe"
 	}
 	return "other"
 }

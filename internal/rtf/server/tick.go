@@ -2,10 +2,11 @@ package server
 
 import (
 	"encoding/binary"
-	"sort"
+	"slices"
 	"strconv"
 	"time"
 
+	"roia/internal/rtf/aoi"
 	"roia/internal/rtf/entity"
 	"roia/internal/rtf/monitor"
 	"roia/internal/rtf/proto"
@@ -41,11 +42,13 @@ type npcResult struct {
 
 // pubItem is one slot of the publish stage: everything worker i needs to
 // build user i's state update, and everything the sequential merge needs to
-// send it and account for it.
+// send it and account for it. Slots live in the server's reusable pubItems
+// buffer; payload keeps its capacity across ticks.
 type pubItem struct {
 	uid    string
 	u      *user
 	av     *entity.Entity
+	avMask entity.FieldMask
 	events []byte
 
 	payload     []byte
@@ -110,40 +113,21 @@ func (s *Server) Tick() {
 		// actually wrote, matching the BytesOut convention in sendRaw.
 		br.BytesIn += transport.FrameWireBytes(f.From, s.ID(), len(f.Payload))
 	}
-	dec := make([]decodedFrame, len(frames))
-	s.exec.run(len(frames), func(i int, _ *workerCtx) {
-		f := frames[i]
-		if len(f.Payload) < 2 {
-			return
-		}
-		d := &dec[i]
-		switch wire.Kind(binary.BigEndian.Uint16(f.Payload)) {
-		case proto.KindInput, proto.KindForwarded:
-			t0 := s.exec.now()
-			msg, err := proto.Registry.Decode(f.Payload)
-			d.ms = s.exec.since(t0)
-			d.items = 1
-			if err == nil {
-				d.msg = msg
-			}
-		case proto.KindShadowUpdate:
-			t0 := s.exec.now()
-			msg, err := proto.Registry.Decode(f.Payload)
-			d.ms = s.exec.since(t0)
-			if err == nil {
-				d.msg = msg
-				d.items = len(msg.(*proto.ShadowUpdate).Entities)
-			}
-		}
-	})
+	if cap(s.decBuf) < len(frames) {
+		s.decBuf = make([]decodedFrame, len(frames))
+	}
+	dec := s.decBuf[:len(frames)]
+	clear(dec)
+	//roialint:ignore lockhold the pool's wake channels are buffered and drained by the previous run's wg.Wait, so the send never blocks; workers never take s.mu
+	s.exec.run(len(frames), s.decodeFn)
 	if cost != nil {
 		cost.EndStage(telemetry.CostStageDecode)
 	}
 
 	// --- Apply stage: frames in arrival order, all mutations sequential ---
-	inputs := make([]decodedInput, 0, len(frames))
-	var forwards []*proto.Forwarded
-	var removed []entity.ID
+	inputs := s.inputsBuf[:0]
+	forwards := s.fwdBuf[:0]
+	removed := s.removedBuf[:0]
 	for i, f := range frames {
 		if len(f.Payload) < 2 {
 			continue
@@ -280,23 +264,26 @@ func (s *Server) Tick() {
 		}
 		br.Add(monitor.FA, s.exec.since(t0), 1)
 	}
+	s.inputsBuf, s.fwdBuf = inputs[:0], forwards[:0]
 	if cost != nil {
 		cost.EndStage(telemetry.CostStageApply)
 	}
 
 	// --- Step 2c: update NPCs (simulate stage) ---
-	npcs := s.store.Active(s.ID(), int(entity.NPC))
+	npcs := s.store.ActiveInto(s.npcActive[:0], s.ID(), int(entity.NPC))
+	s.npcActive = npcs
 	if cs, ok := s.cfg.App.(ConcurrentSimulator); ok && cs.ConcurrentNPCUpdates() {
 		// Capability-declared applications run two-phase on every worker
 		// count: compute all updates into indexed slots (parallel), then
 		// apply the returned forwards sequentially in slice order — so the
 		// sequential and parallel executions are identical by construction.
-		results := make([]npcResult, len(npcs))
-		s.exec.run(len(npcs), func(i int, _ *workerCtx) {
-			t0 := s.exec.now()
-			results[i].fwds = s.cfg.App.UpdateNPC(s.env, npcs[i])
-			results[i].ms = s.exec.since(t0)
-		})
+		if cap(s.npcBuf) < len(npcs) {
+			s.npcBuf = make([]npcResult, len(npcs))
+		}
+		results := s.npcBuf[:len(npcs)]
+		clear(results)
+		//roialint:ignore lockhold the pool's wake channels are buffered and drained by the previous run's wg.Wait, so the send never blocks; workers never take s.mu
+		s.exec.run(len(npcs), s.npcFn)
 		for i, npc := range npcs {
 			t0 := s.exec.now()
 			s.applyNPCForwards(npc, results[i].fwds)
@@ -342,7 +329,7 @@ func (s *Server) Tick() {
 
 	// --- Step 3a: state updates to connected users (publish stage) ---
 	//
-	// Publishing fans out per user: AoI query, delta computation and wire
+	// Publishing fans out per user: AoI query, visible-set diffing and wire
 	// serialization are independent across users once the world state is
 	// frozen. The stage runs against an immutable store snapshot so workers
 	// never touch live entities; each worker encodes into its own writer and
@@ -350,75 +337,64 @@ func (s *Server) Tick() {
 	// (DrainEvents) stay on the tick goroutine per the Application contract,
 	// and the actual sends happen in the sequential merge in sorted-user
 	// order — so the wire output is byte-identical to the sequential loop.
+	// Every buffer in the stage (snapshot arenas, AoI index, per-user
+	// visible sets, delta scratch, payload slots, the outbox) is reused
+	// across ticks: the steady-state publish path allocates nothing.
 	snap := s.store.Snapshot()
+	s.pubSnap = snap
 	world := snap.All()
+	s.pubWorld = world
 	s.cfg.AOI.Build(world)
 	uids := s.sortedUserIDs()
-	items := make([]pubItem, len(uids))
+	if cap(s.pubItems) < len(uids) {
+		grown := make([]pubItem, len(uids))
+		copy(grown, s.pubItems[:cap(s.pubItems)])
+		s.pubItems = grown
+	}
+	items := s.pubItems[:len(uids)]
+	s.pubItems = items
 	for i, uid := range uids {
+		it := &items[i]
 		u := s.users[uid]
-		av, ok := snap.Get(u.avatar)
+		av, mask, ok := snap.Lookup(u.avatar)
 		if !ok {
+			it.ok = false
 			continue
 		}
-		items[i] = pubItem{uid: uid, u: u, av: av, events: s.cfg.App.DrainEvents(s.env, av.ID), ok: true}
+		it.uid, it.u, it.av, it.avMask, it.ok = uid, u, av, mask, true
+		it.events = s.cfg.App.DrainEvents(s.env, av.ID)
+		it.payload = it.payload[:0]
+		it.entered, it.left = 0, 0
 	}
-	s.exec.run(len(items), func(i int, ctx *workerCtx) {
-		it := &items[i]
-		if !it.ok {
-			return
-		}
-		t0 := s.exec.now()
-		ctx.vis = s.cfg.AOI.Visible(ctx.vis[:0], it.av.ID, it.av.Pos, world)
-		it.aoiMS = s.exec.since(t0)
-
-		t1 := s.exec.now()
-		// u.seq is the last input sequence applied for this user; echoing
-		// it lets the client close the input→update response-time loop.
-		upd := proto.StateUpdate{Tick: s.tick, AckSeq: it.u.seq, Self: *it.av, Events: it.events}
-		if s.cfg.DeltaUpdates {
-			it.entered, it.left = fillDeltaUpdate(it.u, ctx.vis, snap, &upd)
-		} else {
-			if len(ctx.vis) > 0 {
-				upd.Visible = make([]entity.Entity, 0, len(ctx.vis))
-				for _, id := range ctx.vis {
-					if e, ok := snap.Get(id); ok {
-						upd.Visible = append(upd.Visible, *e)
-					}
-				}
-			}
-			if cost != nil {
-				// Full updates carry no delta bookkeeping, so churn is
-				// diffed against the user's known-set here, only when a
-				// cost tracker wants it — the hot path is unchanged
-				// otherwise.
-				it.entered, it.left = visibleChurn(it.u, ctx.vis)
-			}
-		}
-		it.payload = append(it.payload, proto.Registry.Encode(ctx.w, &upd)...)
-		it.suMS = s.exec.since(t1)
-	})
+	//roialint:ignore lockhold the pool's wake channels are buffered and drained by the previous run's wg.Wait, so the send never blocks; workers never take s.mu
+	s.exec.run(len(items), s.publishFn)
 	for i := range items {
 		it := &items[i]
 		if !it.ok {
 			continue
 		}
 		br.Add(monitor.AOI, it.aoiMS, 1)
+		// Staging copies the payload into the outbox arena — per-byte work
+		// that is part of serializing the user's state update, so it counts
+		// toward t_su alongside the encoding measured in publishItem.
+		t0 := s.exec.now()
 		s.sendRaw(it.uid, it.payload)
-		br.Add(monitor.SU, it.suMS, 1)
+		br.Add(monitor.SU, it.suMS+s.exec.since(t0), 1)
 		if cost != nil {
 			cost.ObserveChurn(it.entered, it.left)
 		}
 	}
 
 	// --- Step 3b: shadow updates to peer replicas ---
-	peers := s.cfg.Assignment.Peers(s.cfg.Zone, s.ID())
+	peers := s.cfg.Assignment.PeersInto(s.peersBuf[:0], s.cfg.Zone, s.ID())
+	s.peersBuf = peers
 	if len(peers) > 0 {
-		actives := s.store.Active(s.ID(), -1)
+		actives := s.store.ActiveInto(s.npcActive[:0], s.ID(), -1)
+		s.npcActive = actives[:0]
 		su := proto.ShadowUpdate{Tick: s.tick, Removed: removed}
-		su.Entities = make([]entity.Entity, len(actives), len(actives)+len(s.handoffs))
-		for i, e := range actives {
-			su.Entities[i] = *e
+		su.Entities = s.suEnts[:0]
+		for _, e := range actives {
+			su.Entities = append(su.Entities, *e)
 		}
 		// Entities handed off this tick ride along once more so the new
 		// owner learns of the transfer.
@@ -430,8 +406,19 @@ func (s *Server) Tick() {
 		for _, p := range peers {
 			s.send(p, &su)
 		}
+		s.suEnts = su.Entities[:0]
 	}
-	s.handoffs = nil
+	s.handoffs = s.handoffs[:0]
+	s.removedBuf = removed[:0]
+	// Flush the tick's staged frames — one batched (vectored, on capable
+	// transports) write per destination — inside the publish stage window
+	// so its resource cost stays attributed to publishing. The wall time is
+	// egress work proportional to the staged bytes; it folds into the t_su
+	// bucket (time only — the per-user items were counted above), keeping
+	// the fitted per-user t_su sensitive to how much each update weighs.
+	tFlush := s.exec.now()
+	s.ob.flush(s.cfg.Node)
+	br.Add(monitor.SU, s.exec.since(tFlush), 0)
 	if cost != nil {
 		cost.EndStage(telemetry.CostStagePublish)
 	}
@@ -539,79 +526,152 @@ func (s *Server) recordTrace(start time.Time, br *monitor.Breakdown) {
 	})
 }
 
-// fillDeltaUpdate populates a state update with only the changes since the
-// user's previous update: entities whose sequence number advanced (or that
-// newly entered the area of interest) plus a removal list for entities that
-// left it — RTF's bandwidth optimization. It reads the tick's immutable
-// snapshot (never the live store) and mutates only the one user's known
-// map, so the publish stage may run it for different users concurrently.
-// It returns the user's AoI churn for the tick: how many entities newly
-// entered the visible set and how many left it.
-func fillDeltaUpdate(u *user, visible []entity.ID, snap *entity.Snapshot, upd *proto.StateUpdate) (entered, left int) {
-	if u.known == nil {
-		u.known = make(map[entity.ID]uint64, len(visible))
+// decodeItem is the decode-stage body (executor slot discipline: frame i
+// in, decBuf slot i out). Deserialization is side-effect-free, so it runs
+// on any worker; the apply stage merges the slot accounting in frame order.
+func (s *Server) decodeItem(i int, _ *workerCtx) {
+	f := s.frameBuf[i]
+	if len(f.Payload) < 2 {
+		return
 	}
-	inView := make(map[entity.ID]bool, len(visible))
-	for _, id := range visible {
-		e, ok := snap.Get(id)
-		if !ok {
-			continue
+	d := &s.decBuf[i]
+	switch wire.Kind(binary.BigEndian.Uint16(f.Payload)) {
+	case proto.KindInput, proto.KindForwarded:
+		t0 := s.exec.now()
+		msg, err := proto.Registry.Decode(f.Payload)
+		d.ms = s.exec.since(t0)
+		d.items = 1
+		if err == nil {
+			d.msg = msg
 		}
-		inView[id] = true
-		last, seen := u.known[id]
-		if !seen {
-			entered++
-		}
-		if !seen || e.Seq > last {
-			upd.Visible = append(upd.Visible, *e)
-			u.known[id] = e.Seq
-		}
-	}
-	for id := range u.known {
-		if !inView[id] {
-			upd.Gone = append(upd.Gone, id)
-			delete(u.known, id)
+	case proto.KindShadowUpdate:
+		t0 := s.exec.now()
+		msg, err := proto.Registry.Decode(f.Payload)
+		d.ms = s.exec.since(t0)
+		if err == nil {
+			d.msg = msg
+			d.items = len(msg.(*proto.ShadowUpdate).Entities)
 		}
 	}
-	left = len(upd.Gone)
-	// Deterministic wire output: map iteration scrambles Gone.
-	sort.Slice(upd.Gone, func(i, j int) bool { return upd.Gone[i] < upd.Gone[j] })
-	return entered, left
 }
 
-// visibleChurn diffs a user's visible set against the previous tick's,
-// counting AoI entries and exits, when the server publishes full updates
-// (no delta bookkeeping to piggyback on). It repurposes the user's known
-// map as the membership set; like fillDeltaUpdate it touches only the one
-// user's state, so publish workers may run it concurrently.
-func visibleChurn(u *user, visible []entity.ID) (entered, left int) {
-	if u.known == nil {
-		u.known = make(map[entity.ID]uint64, len(visible))
-	}
-	inView := make(map[entity.ID]bool, len(visible))
-	for _, id := range visible {
-		inView[id] = true
-		if _, seen := u.known[id]; !seen {
-			entered++
-			u.known[id] = 0
-		}
-	}
-	for id := range u.known {
-		if !inView[id] {
-			left++
-			delete(u.known, id)
-		}
-	}
-	return entered, left
+// npcItem is the two-phase NPC compute body under the ConcurrentSimulator
+// capability: UpdateNPC for active NPC i into result slot i; the forwards
+// are applied sequentially afterwards.
+func (s *Server) npcItem(i int, _ *workerCtx) {
+	t0 := s.exec.now()
+	s.npcBuf[i].fwds = s.cfg.App.UpdateNPC(s.env, s.npcActive[i])
+	s.npcBuf[i].ms = s.exec.since(t0)
 }
 
-// sortedUserIDs returns connected user IDs in deterministic order.
+// publishItem is the publish-stage body for user slot i: AoI query, diff
+// against the user's previously published visible set, and wire encoding
+// into the slot's payload buffer. It reads the tick's immutable snapshot
+// (never the live store) and writes only slot i, the passed workerCtx and
+// the one user's publish bookkeeping (prevVis/lastPub/nextKey), so the
+// stage may fan out across workers.
+//
+// Under DeltaUpdates the user gets a StateDelta when its delta chain is
+// intact (published last tick, no periodic keyframe due) and a
+// StateKeyframe otherwise; without DeltaUpdates, the classic full
+// StateUpdate. All three encodings consume only reused scratch.
+func (s *Server) publishItem(i int, ctx *workerCtx) {
+	it := &s.pubItems[i]
+	if !it.ok {
+		return
+	}
+	snap := s.pubSnap
+	t0 := s.exec.now()
+	ctx.vis = s.cfg.AOI.Visible(ctx.vis[:0], it.av.ID, it.av.Pos, s.pubWorld)
+	// The visible-set diff below merge-walks sorted sets. Euclid emits in
+	// ID order already; grid managers emit in cell order, so sort. (For
+	// full updates this also fixes the wire order, keeping output
+	// byte-identical across AoI managers' bucketing choices.)
+	slices.Sort(ctx.vis)
+	it.aoiMS = s.exec.since(t0)
+
+	t1 := s.exec.now()
+	u := it.u
+	deltaOK := s.cfg.DeltaUpdates && u.lastPub == s.tick-1 && u.lastPub != 0 && s.tick < u.nextKey
+	wantDiff := s.cfg.DeltaUpdates || s.cfg.Cost != nil
+	if wantDiff {
+		ctx.enters, ctx.gone = ctx.enters[:0], ctx.gone[:0]
+		ctx.enters, ctx.gone = aoi.Diff(u.prevVis, ctx.vis, ctx.enters, ctx.gone)
+		it.entered, it.left = len(ctx.enters), len(ctx.gone)
+	}
+	switch {
+	case deltaOK:
+		// StateDelta: masked field changes for entities that stayed
+		// visible, full records for entrants, IDs for leavers. The
+		// entity-level change masks come from the snapshot diff; an
+		// unchanged entity costs nothing on the wire.
+		upd := &ctx.delta
+		upd.Tick, upd.BaseTick, upd.AckSeq = s.tick, u.lastPub, u.seq
+		upd.SelfMask, upd.Self = it.avMask, *it.av
+		upd.Gone, upd.Events = ctx.gone, it.events
+		ctx.updates = ctx.updates[:0]
+		ctx.ents = ctx.ents[:0]
+		e := 0 // walks ctx.enters (ascending, a subset of ctx.vis)
+		for _, id := range ctx.vis {
+			if e < len(ctx.enters) && ctx.enters[e] == id {
+				e++
+				if ent, ok := snap.Get(id); ok {
+					ctx.ents = append(ctx.ents, *ent)
+				}
+				continue
+			}
+			ent, mask, ok := snap.Lookup(id)
+			if !ok || mask == 0 {
+				continue
+			}
+			ctx.updates = append(ctx.updates, proto.EntityDelta{ID: id, Mask: mask, State: *ent})
+		}
+		upd.Updates = ctx.updates
+		upd.Enters = ctx.ents
+		it.payload = append(it.payload, proto.Registry.Encode(ctx.w, upd)...)
+	case s.cfg.DeltaUpdates:
+		// StateKeyframe: full refresh; the client replaces its world
+		// wholesale, re-anchoring the delta chain.
+		upd := &ctx.keyframe
+		upd.Tick, upd.AckSeq, upd.Self, upd.Events = s.tick, u.seq, *it.av, it.events
+		ctx.ents = ctx.ents[:0]
+		for _, id := range ctx.vis {
+			if ent, ok := snap.Get(id); ok {
+				ctx.ents = append(ctx.ents, *ent)
+			}
+		}
+		upd.Visible = ctx.ents
+		it.payload = append(it.payload, proto.Registry.Encode(ctx.w, upd)...)
+		u.nextKey = s.tick + s.keyframeTicks
+	default:
+		// u.seq is the last input sequence applied for this user; echoing
+		// it lets the client close the input→update response-time loop.
+		upd := &ctx.update
+		upd.Tick, upd.AckSeq, upd.Self, upd.Events = s.tick, u.seq, *it.av, it.events
+		ctx.ents = ctx.ents[:0]
+		for _, id := range ctx.vis {
+			if ent, ok := snap.Get(id); ok {
+				ctx.ents = append(ctx.ents, *ent)
+			}
+		}
+		upd.Visible = ctx.ents
+		it.payload = append(it.payload, proto.Registry.Encode(ctx.w, upd)...)
+	}
+	u.prevVis = append(u.prevVis[:0], ctx.vis...)
+	u.lastPub = s.tick
+	it.suMS = s.exec.since(t1)
+}
+
+// sortedUserIDs returns connected user IDs in deterministic order. The
+// backing buffer is reused across calls (tick goroutine only); callers
+// must finish iterating before the next call.
 func (s *Server) sortedUserIDs() []string {
-	ids := make([]string, 0, len(s.users))
+	ids := s.uidBuf[:0]
 	for id := range s.users {
 		ids = append(ids, id)
 	}
-	sort.Strings(ids)
+	slices.Sort(ids)
+	s.uidBuf = ids
 	return ids
 }
 
@@ -645,7 +705,7 @@ func (s *Server) handleJoin(from string, j *proto.Join) {
 	if s.draining {
 		peers := s.cfg.Assignment.Peers(s.cfg.Zone, s.ID())
 		if len(peers) > 0 {
-			sort.Strings(peers)
+			slices.Sort(peers)
 			s.send(from, &proto.MigrateNotice{NewServer: peers[0]})
 		} else {
 			s.send(from, &proto.JoinNack{Reason: "draining"})

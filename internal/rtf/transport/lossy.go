@@ -75,6 +75,35 @@ func (l *Lossy) Send(to string, payload []byte) error {
 	return l.node.Send(to, payload)
 }
 
+// SendBatch implements BatchSender, applying the drop probability to each
+// frame of the batch independently — loss on a real link is per-packet, so
+// a batched flush must not become an all-or-nothing unit.
+func (l *Lossy) SendBatch(to string, payloads [][]byte) error {
+	keep := make([][]byte, 0, len(payloads))
+	l.mu.Lock()
+	for _, p := range payloads {
+		if l.rng.Float64() < l.rate {
+			l.dropped++
+			continue
+		}
+		l.sent++
+		keep = append(keep, p)
+	}
+	l.mu.Unlock()
+	if len(keep) == 0 {
+		return nil
+	}
+	if bs, ok := l.node.(BatchSender); ok {
+		return bs.SendBatch(to, keep)
+	}
+	for _, p := range keep {
+		if err := l.node.Send(to, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Stats reports how many sends were dropped and delivered.
 func (l *Lossy) Stats() (dropped, sent int) {
 	l.mu.Lock()

@@ -89,14 +89,18 @@ type tcpNode struct {
 	wg     sync.WaitGroup
 
 	mu      sync.Mutex
-	conns   map[string]*tcpConn   // outbound, keyed by target ID
-	inbound map[net.Conn]struct{} // accepted connections, closed on Close
+	conns   map[string]*tcpConn   // send routes by peer ID: dialed or adopted inbound
+	inbound map[net.Conn]struct{} // every connection with a readLoop, closed on Close
 }
 
 type tcpConn struct {
 	mu   sync.Mutex // serializes writes
 	conn net.Conn
 	w    *wire.Writer
+	// ends/bufs are SendBatch scratch (header end offsets into w's buffer
+	// and the vectored-write slice), reused across batches under mu.
+	ends []int
+	bufs net.Buffers
 }
 
 func (n *tcpNode) ID() string          { return n.id }
@@ -131,8 +135,16 @@ func (n *tcpNode) readLoop(conn net.Conn) {
 		conn.Close()
 		n.mu.Lock()
 		delete(n.inbound, conn)
+		// Drop any reply route adopted from this connection, so a later
+		// send re-dials (or re-adopts a fresh inbound connection).
+		for id, c := range n.conns {
+			if c.conn == conn {
+				delete(n.conns, id)
+			}
+		}
 		n.mu.Unlock()
 	}()
+	adopted := false
 	var lenBuf [4]byte
 	for {
 		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
@@ -151,6 +163,15 @@ func (n *tcpNode) readLoop(conn net.Conn) {
 		if r.Err() != nil {
 			return
 		}
+		if !adopted {
+			// Adopt this connection as the reply path to the sender. A
+			// client process is not in this process's directory (its
+			// listener, if any, is behind its own NAT/process boundary),
+			// so replies must ride the socket it dialed in on — exactly
+			// how JoinAck and state updates reach roiabot swarms.
+			n.adopt(frame.From, conn)
+			adopted = true
+		}
 		select {
 		case n.inbox <- frame:
 		case <-n.closed:
@@ -164,7 +185,9 @@ func (n *tcpNode) readLoop(conn net.Conn) {
 }
 
 // Send implements Node. The first send to a target dials and caches a
-// connection; concurrent sends to the same target serialize on it.
+// full-duplex connection (replies ride it back); concurrent sends to the
+// same target serialize on it. A target that already dialed in is reached
+// over its adopted inbound connection — no directory entry needed.
 func (n *tcpNode) Send(to string, payload []byte) error {
 	select {
 	case <-n.closed:
@@ -199,6 +222,74 @@ func (n *tcpNode) Send(to string, payload []byte) error {
 	return nil
 }
 
+// SendBatch implements BatchSender: all frame headers are serialized into
+// the connection's writer first (sizes are known up front), then headers
+// and caller payloads are interleaved into one net.Buffers vectored write —
+// a single writev(2) for the whole batch, with zero copies of the payloads.
+func (n *tcpNode) SendBatch(to string, payloads [][]byte) error {
+	select {
+	case <-n.closed:
+		return ErrClosed
+	default:
+	}
+	if len(payloads) == 0 {
+		return nil
+	}
+	c, err := n.conn(to)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.w.Reset()
+	c.ends = c.ends[:0]
+	for _, p := range payloads {
+		c.w.Uint32(0) // length placeholder
+		c.w.String(n.id)
+		c.w.String(to)
+		c.w.Uvarint(uint64(len(p))) // Blob prefix; the body rides in the vector
+		c.ends = append(c.ends, c.w.Len())
+	}
+	hdr := c.w.Bytes()
+	c.bufs = c.bufs[:0]
+	start := 0
+	for i, p := range payloads {
+		h := hdr[start:c.ends[i]]
+		start = c.ends[i]
+		binary.BigEndian.PutUint32(h[:4], uint32(len(h)-4+len(p)))
+		c.bufs = append(c.bufs, h, p)
+	}
+	nb := c.bufs // WriteTo consumes its receiver; keep c.bufs for reuse
+	//roialint:ignore lockhold the per-connection mutex exists to serialize writes on this socket
+	if _, err := nb.WriteTo(c.conn); err != nil {
+		n.mu.Lock()
+		if n.conns[to] == c {
+			delete(n.conns, to)
+		}
+		n.mu.Unlock()
+		//roialint:ignore lockhold teardown of this connection under its own write lock, not a shared one
+		c.conn.Close()
+		return fmt.Errorf("transport: send batch to %s: %w", to, err)
+	}
+	return nil
+}
+
+// adopt registers an accepted connection as the outbound route to id, so
+// peers that never appear in the directory (clients dialing in from other
+// processes) can be answered. An existing route wins: a node that already
+// dialed id (or adopted an earlier connection from it) keeps that path.
+func (n *tcpNode) adopt(id string, raw net.Conn) {
+	if id == "" {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.conns[id]; ok {
+		return
+	}
+	n.conns[id] = &tcpConn{conn: raw, w: wire.NewWriter(256)}
+}
+
 func (n *tcpNode) conn(to string) (*tcpConn, error) {
 	n.mu.Lock()
 	if c, ok := n.conns[to]; ok {
@@ -230,6 +321,12 @@ func (n *tcpNode) conn(to string) (*tcpConn, error) {
 	}
 	if !raced && !closed {
 		n.conns[to] = c
+		// Connections are full-duplex: the peer replies over the socket
+		// we dialed (it adopts it — see readLoop), so the dialer must
+		// read it too. Tracked in the inbound set for Close teardown.
+		n.inbound[raw] = struct{}{}
+		n.wg.Add(1)
+		go n.readLoop(raw)
 	}
 	n.mu.Unlock()
 	if raced {

@@ -47,6 +47,17 @@ type Network interface {
 	Attach(id string, inboxSize int) (Node, error)
 }
 
+// BatchSender is an optional Node capability: deliver several payloads to
+// one destination in a single operation. The TCP transport turns a batch
+// into one vectored write (net.Buffers) instead of len(payloads) syscalls,
+// which is how the server flushes a whole tick's frames per client. Frames
+// are delivered in slice order; on error, a prefix of the batch may have
+// been delivered. Callers fall back to per-payload Send when the node does
+// not implement BatchSender.
+type BatchSender interface {
+	SendBatch(to string, payloads [][]byte) error
+}
+
 // Errors shared by transport implementations.
 var (
 	// ErrClosed is returned by operations on a closed node or network.
@@ -159,6 +170,18 @@ func (n *loopNode) Send(to string, payload []byte) error {
 	default:
 		return fmt.Errorf("%w: %s", ErrInboxFull, to)
 	}
+}
+
+// SendBatch implements BatchSender as sequential Sends: the loopback hub
+// has no syscall boundary to amortize, so batching only preserves the
+// ordering contract. Delivery stops at the first local failure.
+func (n *loopNode) SendBatch(to string, payloads [][]byte) error {
+	for _, p := range payloads {
+		if err := n.Send(to, p); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (n *loopNode) Close() error {

@@ -370,3 +370,162 @@ func TestDrainIntoReusesBuffer(t *testing.T) {
 		t.Fatalf("Drain left %d frames, want 3", len(rest))
 	}
 }
+
+// TestTCPSendBatchRoundTrip pins the vectored batch framing: every frame
+// of a batch must decode on the receiver byte-identical to the payloads
+// handed to SendBatch, in order, interleaved correctly with single Sends
+// on the same connection.
+func TestTCPSendBatchRoundTrip(t *testing.T) {
+	net := NewTCP()
+	a, _ := net.Attach("a", 64)
+	defer a.Close()
+	b, _ := net.Attach("b", 64)
+	defer b.Close()
+
+	batch := [][]byte{
+		[]byte("first"),
+		{},                      // empty payload must still frame
+		[]byte("third-payload"), // varied lengths exercise the uvarint prefix
+		make([]byte, 300),       // >255 forces a 2-byte uvarint
+	}
+	for i := range batch[3] {
+		batch[3][i] = byte(i * 7)
+	}
+	bs, ok := a.(BatchSender)
+	if !ok {
+		t.Fatal("tcp node does not implement BatchSender")
+	}
+	if err := bs.SendBatch("b", batch); err != nil {
+		t.Fatalf("SendBatch: %v", err)
+	}
+	if err := a.Send("b", []byte("single-after")); err != nil {
+		t.Fatalf("Send after batch: %v", err)
+	}
+
+	want := append(append([][]byte{}, batch...), []byte("single-after"))
+	for i, w := range want {
+		select {
+		case f := <-b.Inbox():
+			if f.From != "a" || f.To != "b" {
+				t.Fatalf("frame %d routing = %s->%s, want a->b", i, f.From, f.To)
+			}
+			if string(f.Payload) != string(w) {
+				t.Fatalf("frame %d payload = %q (%d bytes), want %q (%d bytes)",
+					i, f.Payload, len(f.Payload), w, len(w))
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("frame %d not delivered", i)
+		}
+	}
+}
+
+// TestTCPReplyRidesInboundConnection simulates the real roiaserver/roiabot
+// split: two TCPNetwork directories in (conceptually) different processes.
+// The client knows the server's address, the server has never heard of the
+// client — its reply must be adopted onto the connection the client dialed
+// in on. Without adoption, JoinAck is undeliverable and no client can ever
+// join over real sockets.
+func TestTCPReplyRidesInboundConnection(t *testing.T) {
+	serverNet := NewTCP()
+	srv, err := serverNet.AttachListener("s1", "127.0.0.1:0", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	addr, _ := serverNet.Lookup("s1")
+
+	clientNet := NewTCP() // separate directory: the client's process
+	clientNet.Register("s1", addr)
+	cl, err := clientNet.Attach("bot-1", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if err := cl.Send("s1", []byte("join")); err != nil {
+		t.Fatalf("client send: %v", err)
+	}
+	var join Frame
+	select {
+	case join = <-srv.Inbox():
+	case <-time.After(5 * time.Second):
+		t.Fatal("join not delivered")
+	}
+
+	// The server directory has no entry for bot-1; the reply must still
+	// route — over the adopted inbound connection.
+	if _, ok := serverNet.Lookup(join.From); ok {
+		t.Fatalf("test invariant broken: %s is in the server directory", join.From)
+	}
+	if err := srv.Send(join.From, []byte("ack")); err != nil {
+		t.Fatalf("reply Send: %v", err)
+	}
+	select {
+	case f := <-cl.Inbox():
+		if string(f.Payload) != "ack" || f.From != "s1" {
+			t.Fatalf("reply frame = %+v", f)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("reply not delivered over inbound connection")
+	}
+
+	// State updates flow through the outbox as batches: same route.
+	if err := srv.(BatchSender).SendBatch(join.From, [][]byte{[]byte("u1"), []byte("u2")}); err != nil {
+		t.Fatalf("reply SendBatch: %v", err)
+	}
+	for _, want := range []string{"u1", "u2"} {
+		select {
+		case f := <-cl.Inbox():
+			if string(f.Payload) != want {
+				t.Fatalf("batch frame = %q, want %q", f.Payload, want)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("batch frame %q not delivered", want)
+		}
+	}
+}
+
+// TestTCPAdoptedRouteDropsWithConnection verifies the cleanup side of
+// adoption: when the client hangs up, the server's adopted route is
+// removed, and a later send fails with ErrUnknownTarget instead of
+// writing into a dead socket forever.
+func TestTCPAdoptedRouteDropsWithConnection(t *testing.T) {
+	serverNet := NewTCP()
+	srv, err := serverNet.AttachListener("s1", "127.0.0.1:0", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	addr, _ := serverNet.Lookup("s1")
+
+	clientNet := NewTCP()
+	clientNet.Register("s1", addr)
+	cl, err := clientNet.Attach("bot-2", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Send("s1", []byte("join")); err != nil {
+		t.Fatal(err)
+	}
+	join := <-srv.Inbox()
+	if err := srv.Send(join.From, []byte("ack")); err != nil {
+		t.Fatalf("reply before hangup: %v", err)
+	}
+	<-cl.Inbox()
+	cl.Close()
+
+	// The server read loop notices the hangup and drops the route; the
+	// send path then has nowhere to go. Poll briefly: connection teardown
+	// is asynchronous.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		err := srv.Send(join.From, []byte("late"))
+		if errors.Is(err, ErrUnknownTarget) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("send after hangup = %v, want ErrUnknownTarget", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

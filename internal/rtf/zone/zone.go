@@ -179,15 +179,21 @@ func (a *Assignment) ReplicaCount(z ID) int {
 
 // Peers returns the zone's replica group without the given server.
 func (a *Assignment) Peers(z ID, serverID string) []string {
+	return a.PeersInto(nil, z, serverID)
+}
+
+// PeersInto appends the zone's replica group without the given server to
+// dst and returns the extended slice. The tick loop passes a recycled
+// dst[:0] so the per-tick peer lookup stays allocation-free.
+func (a *Assignment) PeersInto(dst []string, z ID, serverID string) []string {
 	a.mu.RLock()
 	defer a.mu.RUnlock()
-	var out []string
 	for _, s := range a.replicas[z] {
 		if s != serverID {
-			out = append(out, s)
+			dst = append(dst, s)
 		}
 	}
-	return out
+	return dst
 }
 
 // IsReplica reports whether the server is in the zone's replica group.

@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 )
 
 // diffRow is one benchmark's baseline-vs-candidate comparison.
@@ -35,6 +36,44 @@ const tailMetric = "p99-ms"
 // user's update stream regresses this even when tick time is unchanged.
 const egressMetric = "bytes/user/tick"
 
+// gateSet selects which regression classes fail a comparison. Keys are the
+// class names accepted by -gate: "ns" (ns/op), "p99" (the p99-ms tail
+// metric), "allocs" (allocs/op) and "egress" (bytes/user/tick). A class
+// outside the set still shows in the table — as "warn(<class>)" — but does
+// not fail the run. Machine-noise-sensitive classes (ns/op on a shared CI
+// box) can thus be demoted to warnings while the deterministic ones
+// (allocations, wire bytes) stay blocking.
+type gateSet map[string]bool
+
+// gateClasses is every known -gate class, in check order.
+var gateClasses = []string{"ns", "p99", "allocs", "egress"}
+
+// allGates returns a gateSet with every class blocking (the default).
+func allGates() gateSet {
+	g := make(gateSet, len(gateClasses))
+	for _, c := range gateClasses {
+		g[c] = true
+	}
+	return g
+}
+
+// parseGate parses a -gate value: a comma-separated subset of gateClasses.
+func parseGate(s string) (gateSet, error) {
+	known := allGates()
+	g := make(gateSet)
+	for _, c := range strings.Split(s, ",") {
+		c = strings.TrimSpace(c)
+		if c == "" {
+			continue
+		}
+		if !known[c] {
+			return nil, fmt.Errorf("unknown -gate class %q (known: %s)", c, strings.Join(gateClasses, ","))
+		}
+		g[c] = true
+	}
+	return g, nil
+}
+
 // compareSnapshots diffs two snapshots benchmark by benchmark. A benchmark
 // regresses when its candidate ns/op — or its "p99-ms" tail metric, its
 // allocs/op, or its "bytes/user/tick" egress metric, when the baseline
@@ -42,10 +81,12 @@ const egressMetric = "bytes/user/tick"
 // fraction, e.g. 0.10 = +10%). Gating the tail as well as the mean keeps a
 // faster-on-average change from hiding a fatter tick-time tail; gating
 // allocations and per-user egress keeps one from hiding a costlier tick.
+// The gate set picks which of those classes actually fail the comparison;
+// out-of-gate exceedances render as "warn(<class>)" and do not count.
 // Benchmarks present on only one side are reported as "missing"/"new" but
 // never count as regressions — renames and additions are routine, silent
 // disappearance is visible.
-func compareSnapshots(base, next snapshot, tolerance float64) (rows []diffRow, regressions int) {
+func compareSnapshots(base, next snapshot, tolerance float64, gate gateSet) (rows []diffRow, regressions int) {
 	names := make([]string, 0, len(base.Benchmarks)+len(next.Benchmarks))
 	for name := range base.Benchmarks {
 		names = append(names, name)
@@ -89,19 +130,27 @@ func compareSnapshots(base, next snapshot, tolerance float64) (rows []diffRow, r
 					row.EgressDelta = (ne - be) / be
 				}
 			}
-			switch {
-			case row.DeltaFrac > tolerance:
-				row.Status = "regression"
-				regressions++
-			case row.hasP99 && row.P99Delta > tolerance:
-				row.Status = "regression(p99)"
-				regressions++
-			case row.AllocsFrac > tolerance:
-				row.Status = "regression(allocs)"
-				regressions++
-			case row.hasEgress && row.EgressDelta > tolerance:
-				row.Status = "regression(bytes/user)"
-				regressions++
+			checks := []struct {
+				class, status string
+				hit           bool
+			}{
+				{"ns", "regression", row.DeltaFrac > tolerance},
+				{"p99", "regression(p99)", row.hasP99 && row.P99Delta > tolerance},
+				{"allocs", "regression(allocs)", row.AllocsFrac > tolerance},
+				{"egress", "regression(bytes/user)", row.hasEgress && row.EgressDelta > tolerance},
+			}
+			for _, c := range checks {
+				if !c.hit {
+					continue
+				}
+				if gate[c.class] {
+					row.Status = c.status
+					regressions++
+					break
+				}
+				if row.Status == "ok" {
+					row.Status = "warn(" + c.class + ")"
+				}
 			}
 			rows = append(rows, row)
 		}
@@ -146,8 +195,8 @@ func loadSnapshot(path string) (snapshot, error) {
 }
 
 // runCompare is the -compare mode entry point: nonzero exit (via error)
-// when any shared benchmark regressed past the tolerance.
-func runCompare(basePath, nextPath string, tolerance float64) error {
+// when any shared benchmark regressed past the tolerance in a gated class.
+func runCompare(basePath, nextPath string, tolerance float64, gate gateSet) error {
 	base, err := loadSnapshot(basePath)
 	if err != nil {
 		return err
@@ -156,10 +205,45 @@ func runCompare(basePath, nextPath string, tolerance float64) error {
 	if err != nil {
 		return err
 	}
-	rows, regressions := compareSnapshots(base, next, tolerance)
+	rows, regressions := compareSnapshots(base, next, tolerance, gate)
 	writeComparison(os.Stdout, rows, tolerance)
 	if regressions > 0 {
 		return fmt.Errorf("%d benchmark(s) regressed more than +%.0f%% vs %s", regressions, tolerance*100, basePath)
 	}
+	return nil
+}
+
+// runMerge unions several snapshots into one document at outPath. Later
+// files win on benchmark-name collisions; the environment header comes from
+// the last file (the most recent run). This is how a composite baseline is
+// assembled from tools that each emit a partial snapshot — e.g. the cost
+// harness's scenario metrics plus a `go test -bench` allocation benchmark.
+func runMerge(paths []string, outPath string) error {
+	if outPath == "" {
+		return fmt.Errorf("-merge needs an explicit output path (-o)")
+	}
+	if len(paths) < 2 {
+		return fmt.Errorf("-merge needs at least two snapshots, got %d", len(paths))
+	}
+	merged := snapshot{Benchmarks: make(map[string]result)}
+	for _, p := range paths {
+		s, err := loadSnapshot(p)
+		if err != nil {
+			return err
+		}
+		merged.GoVersion, merged.GOOS, merged.GOARCH = s.GoVersion, s.GOOS, s.GOARCH
+		merged.GOMAXPROCS, merged.Date, merged.Benchtime = s.GOMAXPROCS, s.Date, s.Benchtime
+		for name, r := range s.Benchmarks {
+			merged.Benchmarks[name] = r
+		}
+	}
+	doc, err := json.MarshalIndent(&merged, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(doc, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%s: merged %d snapshots, %d benchmarks\n", outPath, len(paths), len(merged.Benchmarks))
 	return nil
 }

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -20,7 +23,7 @@ func TestCompareFlagsOnlyRegressionsPastTolerance(t *testing.T) {
 		"BenchmarkSteady": {NsPerOp: 150, AllocsOp: 0},  // faster
 		"BenchmarkSlow":   {NsPerOp: 1200, AllocsOp: 7}, // +20%: regression
 	})
-	rows, regressions := compareSnapshots(base, next, 0.10)
+	rows, regressions := compareSnapshots(base, next, 0.10, allGates())
 	if regressions != 1 {
 		t.Fatalf("regressions = %d, want 1\nrows: %+v", regressions, rows)
 	}
@@ -52,7 +55,7 @@ func TestCompareReportsMissingAndNewWithoutFailing(t *testing.T) {
 		"BenchmarkKept":  {NsPerOp: 100},
 		"BenchmarkAdded": {NsPerOp: 75},
 	})
-	rows, regressions := compareSnapshots(base, next, 0.10)
+	rows, regressions := compareSnapshots(base, next, 0.10, allGates())
 	if regressions != 0 {
 		t.Fatalf("regressions = %d, want 0", regressions)
 	}
@@ -87,7 +90,7 @@ func TestCompareGatesOnTailMetric(t *testing.T) {
 		"BenchmarkNoTail":      {NsPerOp: 101},
 		"BenchmarkTailDropped": {NsPerOp: 101},
 	})
-	rows, regressions := compareSnapshots(base, next, 0.10)
+	rows, regressions := compareSnapshots(base, next, 0.10, allGates())
 	if regressions != 1 {
 		t.Fatalf("regressions = %d, want 1 (p99 only)\nrows: %+v", regressions, rows)
 	}
@@ -116,7 +119,7 @@ func TestCompareGatesOnTailMetric(t *testing.T) {
 	both, n := compareSnapshots(
 		snap(map[string]result{"BenchmarkBoth": {NsPerOp: 100, Metrics: map[string]float64{tailMetric: 1.0}}}),
 		snap(map[string]result{"BenchmarkBoth": {NsPerOp: 200, Metrics: map[string]float64{tailMetric: 9.0}}}),
-		0.10)
+		0.10, allGates())
 	if n != 1 || both[0].Status != "regression" {
 		t.Fatalf("both-gates row = %+v (regressions=%d), want single plain regression", both[0], n)
 	}
@@ -138,7 +141,7 @@ func TestCompareGatesOnAllocs(t *testing.T) {
 		"BenchmarkAllocOK":  {NsPerOp: 101, AllocsOp: 80},
 		"BenchmarkZeroBase": {NsPerOp: 101, AllocsOp: 3},
 	})
-	rows, regressions := compareSnapshots(base, next, 0.10)
+	rows, regressions := compareSnapshots(base, next, 0.10, allGates())
 	if regressions != 1 {
 		t.Fatalf("regressions = %d, want 1 (allocs only)\nrows: %+v", regressions, rows)
 	}
@@ -174,7 +177,7 @@ func TestCompareGatesOnEgressMetric(t *testing.T) {
 		"BenchmarkEgressOK":      {NsPerOp: 101, Metrics: map[string]float64{egressMetric: 85}},
 		"BenchmarkEgressDropped": {NsPerOp: 101},
 	})
-	rows, regressions := compareSnapshots(base, next, 0.10)
+	rows, regressions := compareSnapshots(base, next, 0.10, allGates())
 	if regressions != 1 {
 		t.Fatalf("regressions = %d, want 1 (egress only)\nrows: %+v", regressions, rows)
 	}
@@ -201,7 +204,7 @@ func TestCompareGatesOnEgressMetric(t *testing.T) {
 	both, n := compareSnapshots(
 		snap(map[string]result{"BenchmarkBoth": {NsPerOp: 100, Metrics: map[string]float64{egressMetric: 10}}}),
 		snap(map[string]result{"BenchmarkBoth": {NsPerOp: 200, Metrics: map[string]float64{egressMetric: 99}}}),
-		0.10)
+		0.10, allGates())
 	if n != 1 || both[0].Status != "regression" {
 		t.Fatalf("both-gates row = %+v (regressions=%d), want single plain regression", both[0], n)
 	}
@@ -210,7 +213,7 @@ func TestCompareGatesOnEgressMetric(t *testing.T) {
 func TestCompareRowsAreSortedAndRendered(t *testing.T) {
 	base := snap(map[string]result{"BenchmarkB": {NsPerOp: 10}, "BenchmarkA": {NsPerOp: 10}})
 	next := snap(map[string]result{"BenchmarkB": {NsPerOp: 10}, "BenchmarkA": {NsPerOp: 10}})
-	rows, _ := compareSnapshots(base, next, 0.10)
+	rows, _ := compareSnapshots(base, next, 0.10, allGates())
 	if len(rows) != 2 || rows[0].Name != "BenchmarkA" || rows[1].Name != "BenchmarkB" {
 		t.Fatalf("rows not sorted: %+v", rows)
 	}
@@ -219,5 +222,89 @@ func TestCompareRowsAreSortedAndRendered(t *testing.T) {
 	out := b.String()
 	if !strings.Contains(out, "BenchmarkA") || !strings.Contains(out, "tolerance: +10%") {
 		t.Fatalf("rendered comparison missing content:\n%s", out)
+	}
+}
+
+func TestGateDemotesExcludedClassesToWarnings(t *testing.T) {
+	base := snap(map[string]result{
+		"BenchmarkSlow":  {NsPerOp: 100, AllocsOp: 10},
+		"BenchmarkAlloc": {NsPerOp: 100, AllocsOp: 10},
+	})
+	next := snap(map[string]result{
+		// ns/op doubles but allocs hold: out-of-gate → warning only.
+		"BenchmarkSlow": {NsPerOp: 200, AllocsOp: 10},
+		// allocs double: in-gate → still a regression.
+		"BenchmarkAlloc": {NsPerOp: 100, AllocsOp: 20},
+	})
+	gate, err := parseGate("allocs,egress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, regressions := compareSnapshots(base, next, 0.10, gate)
+	if regressions != 1 {
+		t.Fatalf("regressions = %d, want 1 (only the gated allocs class)", regressions)
+	}
+	byName := map[string]diffRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	if r := byName["BenchmarkSlow"]; r.Status != "warn(ns)" {
+		t.Fatalf("BenchmarkSlow = %+v, want warn(ns)", r)
+	}
+	if r := byName["BenchmarkAlloc"]; r.Status != "regression(allocs)" {
+		t.Fatalf("BenchmarkAlloc = %+v, want regression(allocs)", r)
+	}
+}
+
+func TestParseGateRejectsUnknownClass(t *testing.T) {
+	if _, err := parseGate("allocs,latency"); err == nil {
+		t.Fatal("parseGate accepted unknown class")
+	}
+	g, err := parseGate("ns")
+	if err != nil || !g["ns"] || g["allocs"] {
+		t.Fatalf("parseGate(ns) = %v, %v", g, err)
+	}
+}
+
+func TestMergeUnionsSnapshotsLaterWins(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, s snapshot) string {
+		doc, err := json.Marshal(&s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, doc, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	a := write("a.json", snapshot{
+		GoVersion:  "go1",
+		Benchmarks: map[string]result{"BenchmarkA": {NsPerOp: 1}, "BenchmarkShared": {NsPerOp: 10}},
+	})
+	b := write("b.json", snapshot{
+		GoVersion:  "go2",
+		Benchmarks: map[string]result{"BenchmarkB": {NsPerOp: 2}, "BenchmarkShared": {NsPerOp: 20}},
+	})
+	out := filepath.Join(dir, "merged.json")
+	if err := runMerge([]string{a, b}, out); err != nil {
+		t.Fatal(err)
+	}
+	m, err := loadSnapshot(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Benchmarks) != 3 || m.GoVersion != "go2" {
+		t.Fatalf("merged = %+v, want 3 benchmarks with go2 header", m)
+	}
+	if m.Benchmarks["BenchmarkShared"].NsPerOp != 20 {
+		t.Fatalf("collision winner = %+v, want the later file's row", m.Benchmarks["BenchmarkShared"])
+	}
+	if err := runMerge([]string{a}, out); err == nil {
+		t.Fatal("runMerge accepted a single input")
+	}
+	if err := runMerge([]string{a, b}, ""); err == nil {
+		t.Fatal("runMerge accepted an empty output path")
 	}
 }

@@ -19,12 +19,19 @@
 // fattening its tail is a regression for a real-time loop, whose QoS
 // deadline is paid per tick, not on average. Benchmarks that appear on
 // only one side are reported (missing/new) but never fail the comparison.
+// -gate restricts which regression classes fail the run (ns, p99, allocs,
+// egress); excluded classes render as warnings, so a CI box with noisy
+// timers can still block on the deterministic classes. With -merge, several
+// snapshots are unioned into one document at -o (later files win on
+// collisions) — how a composite baseline is assembled from partial runs.
 //
 // Example:
 //
 //	go run ./tools/benchjson                      # all packages, default time
 //	go run ./tools/benchjson -benchtime 100ms -pkg .
 //	go run ./tools/benchjson -compare BENCH_1.json -against BENCH_2.json -tolerance 0.10
+//	go run ./tools/benchjson -compare BENCH_4.json -against BENCH_5.json -gate allocs,egress
+//	go run ./tools/benchjson -merge cost.json,publish.json -o BENCH_5.json
 package main
 
 import (
@@ -52,6 +59,8 @@ var (
 	cmpFlag   = flag.String("compare", "", "compare mode: baseline BENCH_<n>.json (no benchmarks are run)")
 	agstFlag  = flag.String("against", "", "compare mode: candidate snapshot to diff against -compare")
 	tolFlag   = flag.Float64("tolerance", 0.10, "compare mode: ns/op regression tolerance as a fraction (0.10 = +10%)")
+	gateFlag  = flag.String("gate", "ns,p99,allocs,egress", "compare mode: comma list of regression classes that fail the run (ns,p99,allocs,egress); excluded classes are reported as warnings")
+	mergeFlag = flag.String("merge", "", "merge mode: comma list of snapshots to union into one document at -o (later files win on collisions)")
 )
 
 // result is one benchmark's measurements.
@@ -127,11 +136,18 @@ func main() {
 }
 
 func run() error {
+	if *mergeFlag != "" {
+		return runMerge(strings.Split(*mergeFlag, ","), *outFlag)
+	}
 	if *cmpFlag != "" || *agstFlag != "" {
 		if *cmpFlag == "" || *agstFlag == "" {
 			return fmt.Errorf("compare mode needs both -compare BASELINE and -against CANDIDATE")
 		}
-		return runCompare(*cmpFlag, *agstFlag, *tolFlag)
+		gate, err := parseGate(*gateFlag)
+		if err != nil {
+			return err
+		}
+		return runCompare(*cmpFlag, *agstFlag, *tolFlag, gate)
 	}
 	args := []string{"test", "-run", "^$", "-bench", *benchFlag, "-benchmem"}
 	if *timeFlag != "" {

@@ -814,6 +814,11 @@ func (b *graphBuilder) checkBoxing(n *FuncNode, call *ast.CallExpr, sig *types.S
 		default:
 			continue
 		}
+		if _, isTypeParam := pt.(*types.TypeParam); isTypeParam {
+			// A type-parameter's underlying is its constraint interface, but
+			// generic calls instantiate at compile time — nothing boxes.
+			continue
+		}
 		if !types.IsInterface(pt) {
 			continue
 		}
